@@ -1,0 +1,22 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Every ``test_bench_eNN_*`` regenerates one experiment from DESIGN.md: it
+sweeps the experiment's parameters, prints the paper-style table, saves it
+under ``benchmarks/results/``, and hands one representative configuration
+to pytest-benchmark for timing.  EXPERIMENTS.md quotes the saved tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, *tables) -> str:
+    """Print and persist the rendered tables for experiment ``name``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(str(t) for t in tables)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+    return text

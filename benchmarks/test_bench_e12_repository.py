@@ -1,0 +1,98 @@
+"""E12 — section 1: pattern-directed access to a software repository.
+
+Claims regenerated:
+* interface-attribute queries retrieve classes with one pattern send
+  (vs the register/lookup/send triple of a name server);
+* broadcast enumerates a namespace without a registry scan API;
+* classes published at run time become retrievable immediately (open
+  interfaces), measured as query-to-answer latency for a late class.
+"""
+
+from repro.apps.repository import build_repository, query_all, query_one
+from repro.baselines.nameserver import LookupThenSendClient, NameServerBehavior
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable
+
+from .common import emit
+
+SEED = 8
+
+
+def _repo(count):
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=SEED)
+    handle = build_repository(system, class_count=count, seed=SEED)
+    return system, handle
+
+
+def test_bench_e12_repository(benchmark):
+    retrieval = TextTable(
+        ["library size", "query", "mode", "answers", "time to answer"],
+        title="E12a: interface-pattern retrieval",
+    )
+    for count in (100, 500):
+        for pattern, mode in [
+            ("collections/list/*", "send"),
+            ("collections/*/concurrent", "send"),
+            ("math/**", "broadcast"),
+        ]:
+            system, handle = _repo(count)
+            start = system.clock.now
+            if mode == "send":
+                query_one(system, handle, pattern)
+            else:
+                query_all(system, handle, pattern)
+            system.run()
+            answers = len(handle.client.instances) + len(handle.client.classes)
+            retrieval.add_row([
+                count, pattern, mode, answers, system.clock.now - start,
+            ])
+
+    # Access-cost comparison with the name-server baseline.
+    system, handle = _repo(200)
+    pattern_msgs = 1  # one send carries the request
+    ns_system = ActorSpaceSystem(topology=Topology.lan(4), seed=SEED)
+    ns = ns_system.create_actor(NameServerBehavior(), node=0)
+    target_got = []
+    target = ns_system.create_actor(
+        lambda ctx, m: target_got.append(m.payload), node=1)
+    ns_system.send_to(ns, ("register", "collections.list.x", target))
+    ns_system.run()
+    monitor_got = []
+    monitor = ns_system.create_actor(
+        lambda ctx, m: monitor_got.append(m.payload))
+    ns_system.create_actor(
+        LookupThenSendClient(ns, "collections.list.x", ("instantiate", None),
+                             monitor=monitor), node=2)
+    ns_system.run()
+    comparison = TextTable(
+        ["mechanism", "client messages per first contact", "needs exact name"],
+        title="E12b: access cost — patterns vs global name server",
+    )
+    comparison.add_row(["ActorSpace pattern send", pattern_msgs, False])
+    comparison.add_row([
+        "name server (lookup+send)", monitor_got[0][2], True,
+    ])
+
+    # Run-time publication: a query waiting on a not-yet-published class.
+    system, handle = _repo(50)
+    query_one(system, handle, "brand-new/widget")
+    system.run()
+    from repro.apps.repository import ClassFactory
+
+    publish_time = system.clock.now
+    factory = ClassFactory("brand.new.widget", ["brand-new/widget"])
+    addr = system.create_actor(factory, space=handle.space)
+    system.make_visible(addr, "brand-new/widget", handle.space)
+    system.run()
+    late = TextTable(
+        ["event", "t"],
+        title="E12c: open repository — query answered on publication",
+    )
+    late.add_row(["class published", publish_time])
+    late.add_row(["suspended query answered", system.clock.now])
+    late.add_row(["instances returned", len(handle.client.instances)])
+    emit("e12_repository", retrieval, comparison, late)
+
+    system, handle = _repo(200)
+    benchmark(lambda: (query_one(system, handle, "io/**"), system.run()))

@@ -1,0 +1,116 @@
+"""E15 — section 8 (future work): monitoring daemons steering coordination.
+
+"More powerful managers could use daemons to monitor actors in an
+actorSpace and update attributes in order to maintain specified
+coordination constraints."
+
+Scenario: a service has fast and slow replicas (10x service-time gap).
+Clients address ``work/**`` blindly.  A daemon maintains a derived
+``load/{low,high}`` attribute per replica from observed queue depth;
+*aware* clients address ``load/low`` instead.  Regenerated claim: the
+constraint ("prefer unloaded replicas") is maintained purely through
+attribute updates — no client or replica code changes — and improves
+both makespan and tail latency over blind random choice.
+"""
+
+from repro.core.actor import Behavior
+from repro.core.daemons import install_daemon, threshold_rule
+from repro.core.messages import Destination, Message
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable, summarize
+
+from .common import emit
+
+SEED = 13
+REQUESTS = 150
+
+
+class UnevenReplica(Behavior):
+    def __init__(self, service_time):
+        self.service_time = service_time
+        self.busy_until = 0.0
+        self.handled = 0
+
+    def receive(self, ctx: object, message: Message) -> None:
+        kind, *rest = message.payload
+        if kind == "request":
+            self.handled += 1
+            start = max(ctx.now, self.busy_until)
+            self.busy_until = start + self.service_time
+            ctx.schedule(self.busy_until - ctx.now,
+                         ("respond", rest[0], message.reply_to))
+        elif kind == "respond":
+            rid, reply_to = rest
+            if reply_to is not None:
+                ctx.send_to(reply_to, ("response", rid))
+
+
+def _run(daemon_steered):
+    system = ActorSpaceSystem(topology=Topology.lan(5), seed=SEED)
+    key = system.new_capability()
+    space = system.create_space(capability=key)
+    system.run()
+    replicas = []
+    for i in range(4):
+        service_time = 0.02 if i < 2 else 0.2  # two fast, two slow
+        behavior = UnevenReplica(service_time)
+        addr = system.create_actor(behavior, node=1 + i)
+        system.make_visible(addr, f"work/r{i}", space, capability=key)
+        replicas.append(behavior)
+    system.run()
+    if daemon_steered:
+        install_daemon(system, space,
+                       [threshold_rule("load", "queue", low_max=1)],
+                       capability=key, period=0.1, max_sweeps=600)
+        system.run(until=system.clock.now + 0.3)
+
+    responses = {}
+    send_times = {}
+    last_response = [0.0]
+
+    def client(ctx, message):
+        kind, *rest = message.payload
+        if kind == "response":
+            rid = rest[0]
+            responses[rid] = ctx.now - send_times[rid]
+            last_response[0] = ctx.now
+
+    client_addr = system.create_actor(client, node=0)
+    start = system.clock.now
+    pattern = "load/low" if daemon_steered else "work/**"
+    for rid in range(REQUESTS):
+        send_times[rid] = start + rid * 0.01
+
+        def fire(rid=rid):
+            system.send(Destination(pattern, space), ("request", rid),
+                        reply_to=client_addr)
+
+        system.events.schedule(send_times[rid], fire)
+    system.run()
+    lat = summarize(responses.values())
+    return {
+        "answered": len(responses),
+        "makespan": last_response[0] - start,
+        "mean": lat["mean"],
+        "p95": lat["p95"],
+        "per_replica": [r.handled for r in replicas],
+    }
+
+
+def test_bench_e15_daemons(benchmark):
+    table = TextTable(
+        ["clients address", "answered", "makespan", "mean latency",
+         "p95 latency", "per-replica (fast,fast,slow,slow)"],
+        title="E15: daemon-maintained load attributes vs blind choice — "
+              "2 fast + 2 slow replicas, 150 requests",
+    )
+    for steered, label in ((False, "work/** (blind random)"),
+                           (True, "load/low (daemon-steered)")):
+        r = _run(steered)
+        table.add_row([
+            label, r["answered"], r["makespan"], r["mean"], r["p95"],
+            str(r["per_replica"]),
+        ])
+    emit("e15_daemons", table)
+    benchmark(lambda: _run(True))

@@ -1,0 +1,125 @@
+"""E17 — pattern addressing vs topic pub/sub (the modern approximation).
+
+Not a claim from the 1993 paper, but the comparison a present-day reader
+asks for: mainstream pub/sub topics are *exact strings*, so multi-facet
+group addressing ("all sensors in building 2, on any floor") must choose
+between topic explosion and client-side filtering.  One ActorSpace
+pattern does it natively.  The table quantifies the three designs on the
+same device fleet and the same query slice.
+"""
+
+from repro.baselines.pubsub import FilteringSubscriber, TopicBrokerBehavior
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable
+
+from .common import emit
+
+SEED = 19
+TYPES = ["sensor", "camera", "lock", "light"]
+
+
+def _fleet(buildings, floors):
+    """Device descriptors: (building, floor, type)."""
+    return [
+        (b, f, t)
+        for b in range(buildings)
+        for f in range(floors)
+        for t in TYPES
+    ]
+
+
+def _actorspace(buildings, floors):
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=SEED)
+    hits, misses = [], []
+    for b, f, t in _fleet(buildings, floors):
+        wanted = (b == 1 and t == "sensor")
+        bucket = hits if wanted else misses
+        addr = system.create_actor(
+            lambda ctx, m, bk=bucket: bk.append(m.payload),
+            node=(b + f) % 4)
+        system.make_visible(addr, f"b{b}/f{f}/{t}")
+    system.run()
+    system.broadcast("b1/*/sensor", ("cmd", "recalibrate"))
+    system.run()
+    return {
+        "client_msgs": 1,
+        "topics": 0,
+        "exact": len(hits),
+        "wasted": len(misses),
+    }
+
+
+def _pubsub_fine(buildings, floors):
+    """One topic per (building, floor, type) combination."""
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=SEED)
+    broker_behavior = TopicBrokerBehavior()
+    broker = system.create_actor(broker_behavior, node=0)
+    receivers = []
+    for b, f, t in _fleet(buildings, floors):
+        sub = FilteringSubscriber(lambda payload: True)
+        addr = system.create_actor(sub, node=(b + f) % 4)
+        system.send_to(broker, ("subscribe", f"b{b}.f{f}.{t}"), reply_to=addr)
+        receivers.append(((b, f, t), sub))
+    system.run()
+    # The publisher must enumerate the slice itself: one publish per floor.
+    for f in range(floors):
+        system.send_to(broker, ("publish", f"b1.f{f}.sensor",
+                                ("cmd", "recalibrate")))
+    system.run()
+    exact = sum(len(s.accepted) for (b, _f, t), s in receivers
+                if b == 1 and t == "sensor")
+    wasted = sum(len(s.accepted) for (b, _f, t), s in receivers
+                 if not (b == 1 and t == "sensor"))
+    return {
+        "client_msgs": floors,
+        "topics": broker_behavior.topic_count,
+        "exact": exact,
+        "wasted": wasted,
+    }
+
+
+def _pubsub_coarse(buildings, floors):
+    """One topic per building; subscribers filter by type client-side."""
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=SEED)
+    broker_behavior = TopicBrokerBehavior()
+    broker = system.create_actor(broker_behavior, node=0)
+    subs = []
+    for b, f, t in _fleet(buildings, floors):
+        sub = FilteringSubscriber(
+            lambda payload, t=t: payload[1] == t)  # want my own type
+        addr = system.create_actor(sub, node=(b + f) % 4)
+        system.send_to(broker, ("subscribe", f"b{b}"), reply_to=addr)
+        subs.append(((b, f, t), sub))
+    system.run()
+    system.send_to(broker, ("publish", "b1", ("cmd", "sensor")))
+    system.run()
+    exact = sum(len(s.accepted) for (b, _f, t), s in subs
+                if b == 1 and t == "sensor")
+    wasted = sum(s.wasted for (_b, _f, _t), s in subs)
+    return {
+        "client_msgs": 1,
+        "topics": broker_behavior.topic_count,
+        "exact": exact,
+        "wasted": wasted,
+    }
+
+
+def test_bench_e17_pubsub(benchmark):
+    table = TextTable(
+        ["fleet (BxFxT)", "addressing", "topics", "client msgs",
+         "exact deliveries", "wasted deliveries"],
+        title='E17: deliver "all sensors in building 1" — patterns vs topics',
+    )
+    for buildings, floors in ((4, 3), (6, 5)):
+        fleet = f"{buildings}x{floors}x{len(TYPES)}"
+        for label, run in (
+            ("ActorSpace pattern", _actorspace),
+            ("pub/sub fine topics", _pubsub_fine),
+            ("pub/sub coarse + filter", _pubsub_coarse),
+        ):
+            r = run(buildings, floors)
+            table.add_row([fleet, label, r["topics"], r["client_msgs"],
+                           r["exact"], r["wasted"]])
+    emit("e17_pubsub", table)
+    benchmark(lambda: _actorspace(4, 3))

@@ -1,0 +1,61 @@
+"""E2 — section 5.3: send() auto-load-balances replicated servers.
+
+Claims regenerated:
+* per-replica request counts are near-uniform (chi-square) although the
+  clients never know the replica count;
+* makespan and latency fall as replicas are added;
+* arbitration ablation: random vs round-robin vs least-loaded (the
+  customized managers of section 8).
+"""
+
+from repro.apps.replicated import run_replicated_service
+from repro.core.manager import Arbitration
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable, chi_square_uniform, summarize
+
+from .common import emit
+
+REQUESTS = 400
+SEED = 5
+
+
+def _run(replicas, arbitration=Arbitration.RANDOM):
+    system = ActorSpaceSystem(topology=Topology.lan(9), seed=SEED)
+    return run_replicated_service(
+        system, replicas=replicas, requests=REQUESTS,
+        arbitration=arbitration,
+    )
+
+
+def test_bench_e2_load_balance(benchmark):
+    scale = TextTable(
+        ["replicas", "makespan", "speedup", "mean latency", "p95 latency",
+         "chi2 uniform"],
+        title="E2a: scaling a replicated service — 400 requests, 1 client",
+    )
+    base = None
+    for replicas in (1, 2, 4, 8, 16):
+        result = _run(replicas)
+        if base is None:
+            base = result.makespan
+        stats = summarize(result.latencies)
+        scale.add_row([
+            replicas, result.makespan, base / result.makespan,
+            stats["mean"], stats["p95"],
+            chi_square_uniform(result.per_replica),
+        ])
+
+    ablation = TextTable(
+        ["arbitration", "per-replica counts", "chi2", "makespan"],
+        title="E2b: arbitration ablation — 8 replicas",
+    )
+    for arbitration in (Arbitration.RANDOM, Arbitration.ROUND_ROBIN,
+                        Arbitration.LEAST_LOADED):
+        result = _run(8, arbitration)
+        ablation.add_row([
+            arbitration.value, str(result.per_replica),
+            chi_square_uniform(result.per_replica), result.makespan,
+        ])
+    emit("e2_load_balance", scale, ablation)
+    benchmark(lambda: _run(8))

@@ -1,0 +1,125 @@
+"""E4 — section 6: nested actorSpaces localize traffic.
+
+"The broadcast can happen to representatives of a WAN whereas the
+subsequent distribution can be localized to be within a LAN."
+
+Scenario: a client on cluster 0 scatters T tasks to workers spread over k
+LAN clusters.
+
+* **flat** — every worker is visible in one global space; each task is a
+  ``send('workers/*')`` from the client, so most tasks cross the WAN.
+* **nested** — each cluster has a local pool space plus one representative
+  actor visible globally; the client broadcasts the batch to the
+  representatives (k WAN messages) and each representative scatters its
+  share inside its own LAN.
+
+Regenerated claim: the nested structure replaces O(T) WAN messages with
+O(k), cutting mean task latency accordingly.
+"""
+
+from repro.core.actor import Behavior
+from repro.core.messages import Destination
+from repro.runtime.network import LinkKind, Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable
+
+from .common import emit
+
+TASKS = 120
+SEED = 9
+
+
+class Worker(Behavior):
+    def __init__(self):
+        self.done = []
+
+    def receive(self, ctx, message):
+        self.done.append((ctx.now, message.payload))
+
+
+class Representative(Behavior):
+    """Receives a batch for its LAN and scatters it locally."""
+
+    def __init__(self, local_pool):
+        self.local_pool = local_pool
+
+    def receive(self, ctx, message):
+        kind, tasks = message.payload
+        for task in tasks:
+            ctx.send(Destination("**", self.local_pool), ("task", task))
+
+
+def _topology(clusters, per_cluster):
+    return Topology.wan(*([per_cluster] * clusters))
+
+
+def _flat(clusters, per_cluster):
+    system = ActorSpaceSystem(topology=_topology(clusters, per_cluster),
+                              seed=SEED)
+    workers = []
+    for node in system.topology.nodes:
+        w = Worker()
+        addr = system.create_actor(w, node=node)
+        system.make_visible(addr, f"workers/n{node}")
+        workers.append(w)
+    system.run()
+    system.tracer.hops.clear()
+    start = system.clock.now
+    for task in range(TASKS):
+        system.send("workers/*", ("task", task))
+    system.run()
+    return system, workers, start
+
+
+def _nested(clusters, per_cluster):
+    system = ActorSpaceSystem(topology=_topology(clusters, per_cluster),
+                              seed=SEED)
+    workers = []
+    for cluster in range(clusters):
+        nodes = system.topology.cluster_nodes(cluster)
+        pool = system.create_space(node=nodes[0])
+        system.run()
+        for node in nodes:
+            w = Worker()
+            addr = system.create_actor(w, node=node, space=pool)
+            system.make_visible(addr, f"w/n{node}", pool)
+            workers.append(w)
+        rep = system.create_actor(Representative(pool), node=nodes[0])
+        system.make_visible(rep, f"reps/lan{cluster}")
+    system.run()
+    system.tracer.hops.clear()
+    start = system.clock.now
+    # One broadcast to the k representatives, each carrying its share.
+    share = TASKS // clusters
+    for cluster in range(clusters):
+        tasks = list(range(cluster * share, (cluster + 1) * share))
+        system.send(f"reps/lan{cluster}", ("batch", tasks))
+    system.run()
+    return system, workers, start
+
+
+def _delivery_stats(workers, start):
+    times = [t - start for w in workers for (t, _p) in w.done]
+    count = len(times)
+    mean = sum(times) / count if count else 0.0
+    return count, mean
+
+
+def test_bench_e4_nesting(benchmark):
+    table = TextTable(
+        ["clusters x nodes", "structure", "tasks delivered", "WAN hops",
+         "LAN hops", "mean task latency"],
+        title="E4: flat vs nested distribution of 120 tasks",
+    )
+    for clusters, per_cluster in ((2, 4), (4, 4), (6, 2)):
+        for label, build in (("flat", _flat), ("nested", _nested)):
+            system, workers, start = build(clusters, per_cluster)
+            count, mean = _delivery_stats(workers, start)
+            table.add_row([
+                f"{clusters}x{per_cluster}", label, count,
+                system.tracer.hops.get(LinkKind.WAN, 0),
+                system.tracer.hops.get(LinkKind.LAN, 0),
+                mean,
+            ])
+    emit("e4_nesting", table)
+    benchmark(lambda: _nested(4, 4))

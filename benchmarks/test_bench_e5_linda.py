@@ -1,0 +1,112 @@
+"""E5 — section 3: ActorSpace vs Linda on identical workloads.
+
+Claims regenerated:
+* late-binding delivery: suspension costs O(1) messages; Linda polling
+  costs O(delay / poll-interval) round trips, or (blocking `in`) parks
+  state in a central kernel;
+* producer/consumer throughput through a central tuple space vs direct
+  pattern-addressed delivery (the kernel serializes; patterns do not);
+* the security gap is demonstrated (any Linda process can steal a tuple;
+  in ActorSpace the *sender* chooses the receiver's attributes) — shown
+  as a boolean column, since it is a property, not a rate.
+"""
+
+from repro.baselines.linda import ANY, PollingConsumer, TupleSpaceBehavior
+from repro.core.messages import Mode
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable
+
+from .common import emit
+
+SEED = 4
+
+
+def _actorspace_late(delay):
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=SEED)
+    delivered = []
+    system.send("consumers/c1", ("result", 42))
+    system.run()
+
+    def arrive():
+        addr = system.create_actor(lambda ctx, m: delivered.append(ctx.now),
+                                   node=1)
+        system.make_visible(addr, "consumers/c1")
+
+    system.events.schedule(delay, arrive)
+    system.run()
+    assert delivered
+    msgs = sum(system.tracer.sent.values())
+    return msgs, delivered[0]
+
+
+def _linda_late(delay, poll):
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=SEED)
+    space = system.create_actor(TupleSpaceBehavior(), node=0)
+    consumer = PollingConsumer(space, ("result", ANY), poll)
+    system.create_actor(consumer, node=1)
+    system.events.schedule(
+        delay, lambda: system.send_to(space, ("out", ("result", 42))))
+    system.run()
+    assert consumer.result is not None
+    return consumer.polls * 2 + 1, None
+
+
+def _producer_consumer_linda(items):
+    system = ActorSpaceSystem(topology=Topology.lan(3), seed=SEED)
+    space = system.create_actor(TupleSpaceBehavior(), node=0)
+    got = []
+    done_at = []
+
+    def consume(ctx, message):
+        tag, *rest = message.payload
+        if tag == "tuple":
+            got.append(rest[0])
+            done_at.append(ctx.now)
+            if len(got) < items:
+                ctx.send_to(space, ("in", ("item", ANY)),
+                            reply_to=ctx.self_address)
+
+    consumer = system.create_actor(consume, node=2)
+    system.send_to(space, ("in", ("item", ANY)), reply_to=consumer)
+    for i in range(items):
+        system.send_to(space, ("out", ("item", i)))
+    system.run()
+    return len(got), system.clock.now
+
+
+def _producer_consumer_actorspace(items):
+    system = ActorSpaceSystem(topology=Topology.lan(3), seed=SEED)
+    got = []
+    addr = system.create_actor(lambda ctx, m: got.append(m.payload), node=2)
+    system.make_visible(addr, "consumers/c1")
+    system.run()
+    for i in range(items):
+        system.send("consumers/c1", ("item", i))
+    system.run()
+    return len(got), system.clock.now
+
+
+def test_bench_e5_linda(benchmark):
+    late = TextTable(
+        ["receiver delay", "mechanism", "messages", "sender picks receiver"],
+        title="E5a: late-binding delivery — suspension vs polling",
+    )
+    for delay in (1.0, 5.0, 20.0):
+        msgs, _t = _actorspace_late(delay)
+        late.add_row([delay, "ActorSpace suspend", msgs, True])
+        for poll in (0.2, 1.0):
+            msgs, _t = _linda_late(delay, poll)
+            late.add_row([delay, f"Linda inp poll={poll}", msgs, False])
+
+    tput = TextTable(
+        ["items", "substrate", "delivered", "finish time"],
+        title="E5b: producer/consumer stream — central kernel vs patterns",
+    )
+    for items in (50, 200):
+        n, t = _producer_consumer_linda(items)
+        tput.add_row([items, "Linda (in/out)", n, t])
+        n, t = _producer_consumer_actorspace(items)
+        tput.add_row([items, "ActorSpace send", n, t])
+    emit("e5_linda", late, tput)
+    benchmark(lambda: _producer_consumer_actorspace(100))

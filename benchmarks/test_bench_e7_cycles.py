@@ -1,0 +1,111 @@
+"""E7 — section 5.7: the cost of cycle prevention.
+
+"In implementation terms, avoiding such cycles means that a visibility
+relation graph must be constructed before an actorSpace is allowed to be
+visible."  The experiment measures that cost — the DAG reachability check
+at ``make_visible`` — against the space-graph size, and exercises the
+message-tagging alternative the paper sketches.
+"""
+
+import time
+
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import SpaceAddress
+from repro.core.errors import VisibilityCycleError
+from repro.core.manager import CyclePolicy, SpaceManager
+from repro.core.visibility import Directory
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import TextTable
+
+from .common import emit
+
+
+def _random_dag_directory(n_spaces, edges_per_space, seed=0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    d = Directory()
+    spaces = [SpaceAddress(0, i) for i in range(n_spaces)]
+    for s in spaces:
+        d.add_space(SpaceRecord(s))
+    # Edges only from lower to higher index: guaranteed acyclic input.
+    for i, s in enumerate(spaces[:-1]):
+        for _ in range(edges_per_space):
+            j = int(rng.integers(i + 1, n_spaces))
+            d.make_visible(spaces[j], f"e{i}-{j}", s)
+    return d, spaces
+
+
+def _check_cost(n_spaces, edges_per_space, probes=200):
+    """Wall time per make_visible including the DAG check."""
+    d, spaces = _random_dag_directory(n_spaces, edges_per_space)
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    t0 = time.perf_counter()
+    rejected = 0
+    for _ in range(probes):
+        a = int(rng.integers(0, len(spaces)))
+        b = int(rng.integers(0, len(spaces)))
+        try:
+            d.make_visible(spaces[a], "probe", spaces[b])
+        except VisibilityCycleError:
+            rejected += 1
+    elapsed = time.perf_counter() - t0
+    return elapsed / probes * 1e6, rejected  # microseconds, count
+
+
+def test_bench_e7_cycles(benchmark):
+    cost = TextTable(
+        ["spaces", "edges/space", "us per make_visible", "cycle attempts rejected"],
+        title="E7a: DAG-check cost vs visibility-graph size (200 probes)",
+    )
+    for n, e in ((10, 2), (100, 2), (500, 3), (2000, 3)):
+        us, rejected = _check_cost(n, e)
+        cost.add_row([n, e, us, rejected])
+
+    # The adversarial column: every direct attempt to close a cycle must
+    # be rejected, at any size.
+    adversarial = TextTable(
+        ["chain length", "closing edge rejected"],
+        title="E7b: adversarial cycle attempts on a visibility chain",
+    )
+    for length in (2, 10, 100, 1000):
+        d = Directory()
+        spaces = [SpaceAddress(0, i) for i in range(length)]
+        for s in spaces:
+            d.add_space(SpaceRecord(s))
+        for parent, child in zip(spaces, spaces[1:]):
+            d.make_visible(child, "link", parent)
+        try:
+            d.make_visible(spaces[0], "close", spaces[-1])
+            rejected = False
+        except VisibilityCycleError:
+            rejected = True
+        adversarial.add_row([length, rejected])
+
+    # Tagging alternative: a cycle is tolerated at make_visible, and the
+    # routing layer drops messages whose traces exceed the hop budget.
+    factory = lambda: SpaceManager(cycles=CyclePolicy.TAGGING,
+                                   max_forward_hops=8)
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=0,
+                              root_manager_factory=factory)
+    s = system.create_space(attributes="outer",
+                            manager_factory=factory)
+    system.run()
+    system.make_visible(s, "inner", s)  # allowed under TAGGING
+    system.run()
+    tagging = TextTable(
+        ["policy", "self-visibility allowed", "defence"],
+        title="E7c: the section-5.7 alternative",
+    )
+    d0 = system.directory_of(0)
+    tagging.add_row([
+        "dag-check", False, "rejected at make_visible",
+    ])
+    tagging.add_row([
+        "tagging", s in d0.space(s), "hop budget traps cycling messages",
+    ])
+    emit("e7_cycles", cost, adversarial, tagging)
+    benchmark(lambda: _check_cost(500, 3, probes=50))

@@ -1,0 +1,95 @@
+"""Runtime microbenchmarks: host-time cost of the core primitives.
+
+Not a paper experiment — engineering telemetry for the simulator itself,
+so regressions in the hot paths (routing, resolution, bus application)
+show up in CI.  Complements E10 (which measures *algorithmic* scaling).
+"""
+
+import pytest
+
+from repro.core.manager import SpaceManager
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def _system(nodes=4, seed=0, **kw):
+    return ActorSpaceSystem(topology=Topology.lan(nodes), seed=seed, **kw)
+
+
+def test_bench_direct_send_throughput(benchmark):
+    """1000 point-to-point messages across a 4-node LAN."""
+
+    def run():
+        system = _system(keep_samples=False)
+        sink = system.create_actor(lambda ctx, m: None, node=3)
+        for i in range(1000):
+            system.send_to(sink, i)
+        system.run()
+        return system.tracer.invocations
+
+    assert benchmark(run) == 1000
+
+
+def test_bench_pattern_send_throughput(benchmark):
+    """1000 pattern sends resolved against a 100-actor registry."""
+
+    def run():
+        system = _system(keep_samples=False)
+        for i in range(100):
+            addr = system.create_actor(lambda ctx, m: None, node=i % 4)
+            system.make_visible(addr, f"svc/kind{i % 10}/i{i}")
+        system.run()
+        for i in range(1000):
+            system.send(f"svc/kind{i % 10}/*", i)
+        system.run()
+        return sum(system.tracer.delivered.values())
+
+    assert benchmark(run) == 1000
+
+
+def test_bench_broadcast_fanout(benchmark):
+    """100 broadcasts, each fanning out to 100 receivers."""
+
+    def run():
+        system = _system(keep_samples=False)
+        for i in range(100):
+            addr = system.create_actor(lambda ctx, m: None, node=i % 4)
+            system.make_visible(addr, f"grp/m{i}")
+        system.run()
+        for i in range(100):
+            system.broadcast("grp/*", i)
+        system.run()
+        return sum(system.tracer.delivered.values())
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_visibility_op_throughput(benchmark):
+    """500 visibility changes sequenced, fanned out, and applied on 4 replicas."""
+
+    def run():
+        system = _system(keep_samples=False)
+        addrs = [
+            system.create_actor(lambda ctx, m: None, node=i % 4)
+            for i in range(50)
+        ]
+        for round_no in range(10):
+            for addr in addrs:
+                system.make_visible(addr, f"r{round_no}/a{addr.serial}",
+                                    node=addr.node)
+        system.run()
+        return system.bus.ops_sequenced
+
+    assert benchmark(run) == 500
+
+
+def test_bench_actor_creation(benchmark):
+    """2000 actor creations with acquaintance scanning."""
+
+    def run():
+        system = _system()
+        for i in range(2000):
+            system.create_actor(lambda ctx, m: None, node=i % 4)
+        return sum(len(c.actors) for c in system.coordinators)
+
+    assert benchmark(run) == 2000

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Diffusion scheduling over neighbourhood actorSpaces (paper section 1).
+
+Run:  python examples/diffusion_grid.py
+
+64 work units land on one corner of a 4x4 processor grid.  Every
+processor belongs to its neighbours' actorSpaces (spaces overlap
+arbitrarily!), and offloads surplus with ``send('*@N_p')`` — one unit to
+one arbitrary neighbour.  Watch the hot spot melt.
+"""
+
+from repro import ActorSpaceSystem, Topology
+from repro.apps.diffusion import run_diffusion
+from repro.util import TextTable
+
+
+def heat_row(loads, cols):
+    """Render one sample as a compact heat strip per grid row."""
+    glyphs = " .:-=+*#%@"
+    rows = []
+    for r in range(len(loads) // cols):
+        cells = loads[r * cols:(r + 1) * cols]
+        rows.append("".join(
+            glyphs[min(len(glyphs) - 1, c if c < 8 else 8 + (c > 16))]
+            for c in cells))
+    return " / ".join(rows)
+
+
+def main() -> None:
+    print(__doc__)
+    results = {}
+    for diffuse in (True, False):
+        system = ActorSpaceSystem(topology=Topology.lan(4), seed=9)
+        results[diffuse] = run_diffusion(
+            system, rows=4, cols=4, hot_units=64, diffuse=diffuse,
+            sample_every=0.4, max_time=20,
+        )
+
+    table = TextTable(["t", "grid load (diffusion on)", "grid load (off)"],
+                      title="Backlog per processor over time "
+                            "(rows separated by '/'; darker = more load)")
+    on, off = results[True], results[False]
+    for i in range(0, min(len(on.load_series), len(off.load_series), 14)):
+        t, loads_on = on.load_series[i]
+        _t, loads_off = off.load_series[i]
+        table.add_row([f"{t:.1f}", heat_row(loads_on, 4), heat_row(loads_off, 4)])
+    print(table)
+    print(
+        f"\nmakespan: diffusion on = {on.makespan}, off = {off.makespan}; "
+        f"transfers = {on.transfers}\n"
+        "Reading: with diffusion the corner's backlog spreads through the\n"
+        "overlapping neighbourhood spaces within a few ticks; without it,\n"
+        "fifteen processors idle while one grinds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The dynamic process pool of the paper's section 6 (Figure 1).
+
+Run:  python examples/process_pool.py
+
+A client sends one big divisible job into a processor-pool actorSpace
+with ``send('*@ProcPool')``.  Whichever processor receives it decides the
+job is too big, splits it, and scatters the pieces back into the pool —
+no master process, no processor knows the pool size.  Halfway through,
+new processors arrive (the lighter circles in Figure 1) and immediately
+share the load.
+"""
+
+from repro import ActorSpaceSystem, Topology
+from repro.apps.process_pool import run_process_pool
+from repro.util import TextTable
+
+
+def main() -> None:
+    print(__doc__)
+    table = TextTable(
+        ["pool size", "arrivals", "makespan", "jobs/worker (min..max)",
+         "divisions", "correct"],
+        title="Dynamic process pool: divide-and-conquer without a master",
+    )
+    for workers, arrivals in [(1, None), (4, None), (8, None), (16, None),
+                              (4, [(0.5, 12)])]:
+        system = ActorSpaceSystem(topology=Topology.lan(4), seed=42)
+        result = run_process_pool(
+            system, workers=workers, job_size=4096, grain=64,
+            arrivals=arrivals,
+        )
+        loads = [j for j in result.worker_jobs if j > 0] or [0]
+        table.add_row([
+            f"{workers}->{result.pool_size_final}",
+            "yes" if arrivals else "no",
+            result.makespan,
+            f"{min(loads)}..{max(loads)}",
+            result.divisions,
+            result.correct,
+        ])
+    print(table)
+    print(
+        "\nReading: makespan falls as the pool grows although the client's\n"
+        "code never changes; mid-run arrivals (last row) rescue a small pool\n"
+        "without stopping the system — the claim of section 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

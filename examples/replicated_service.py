@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Replicated services: load balancing + reliability (paper sections 1, 5.3).
+
+Run:  python examples/replicated_service.py
+
+Clients address a *pattern*, never a replica: ``send('compute/*@services')``.
+The system's nondeterministic choice spreads the load; when replicas
+crash, clients that retransmit on timeout still get every answer — the
+pattern interface hides membership entirely.
+"""
+
+from repro import ActorSpaceSystem, Topology
+from repro.apps.replicated import run_replicated_service
+from repro.util import TextTable, chi_square_uniform, summarize
+
+
+def main() -> None:
+    print(__doc__)
+    balance = TextTable(
+        ["replicas", "makespan", "mean latency", "chi2 vs uniform"],
+        title="Load balancing: clients never know the replica count",
+    )
+    for replicas in (1, 2, 4, 8):
+        system = ActorSpaceSystem(topology=Topology.lan(9), seed=5)
+        result = run_replicated_service(system, replicas=replicas,
+                                        requests=400)
+        balance.add_row([
+            replicas,
+            result.makespan,
+            summarize(result.latencies)["mean"],
+            chi_square_uniform(result.per_replica),
+        ])
+    print(balance)
+
+    crash = TextTable(
+        ["replicas", "crashed", "client retries", "success rate",
+         "retransmissions"],
+        title="\nReliability: crash half the replicas mid-run",
+    )
+    for timeout in (None, 0.5):
+        system = ActorSpaceSystem(topology=Topology.lan(9), seed=5)
+        result = run_replicated_service(
+            system, replicas=8, requests=200,
+            crash_replicas=4, crash_after=0.4, timeout=timeout,
+        )
+        crash.add_row([
+            8, 4, "on" if timeout else "off",
+            f"{result.success_rate:.1%}", result.retries_used,
+        ])
+    print(crash)
+    print(
+        "\nReading: makespan scales down with replicas and requests split\n"
+        "near-uniformly (small chi-square).  After crashes, plain sends\n"
+        "lose the requests routed to dead replicas; with retransmission the\n"
+        "nondeterministic choice eventually lands on a live one — the\n"
+        "replication-for-reliability claim, with zero client code change."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Run-time-loaded behavior scripts (the paper's section-7 prototype).
+
+Run:  python examples/script_actors.py
+
+The prototype interprets behavior code so that behaviors can be loaded
+while the system runs.  This example loads a small ping-pong protocol and
+a counter written in the behavior-script language, then hot-loads a
+*replacement* behavior mid-run and `become`s into it.
+"""
+
+from repro import ActorSpaceSystem, Topology
+from repro.interp import BehaviorLibrary, InterpretedBehavior
+
+SCRIPTS = """
+(behavior ponger ()
+  (method ping (n from)
+    (print "pong" n)
+    (send-to from (list "pong" n))))
+
+(behavior pinger (peer remaining)
+  (method start ()
+    (send-to peer (list "ping" remaining (self))))
+  (method pong (n)
+    (if (> remaining 1)
+        (begin
+          (become pinger peer (- remaining 1))
+          (send-to peer (list "ping" (- remaining 1) (self))))
+        (print "rally finished"))))
+
+(behavior counter (count)
+  (method incr (by) (become counter (+ count by)))
+  (method show () (print "count =" count)))
+"""
+
+UPGRADE = """
+(behavior counter (count)
+  (method incr (by) (become counter (+ count (* 2 by))))  ; doubled!
+  (method show () (print "upgraded count =" count)))
+"""
+
+
+def main() -> None:
+    print(__doc__)
+    library = BehaviorLibrary()
+    library.load(SCRIPTS)
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=1)
+
+    ponger = system.create_actor(
+        InterpretedBehavior(library, library.get("ponger"), []), node=1)
+    pinger = system.create_actor(
+        InterpretedBehavior(library, library.get("pinger"), [ponger, 3]))
+    system.send_to(pinger, ["start"])
+    system.run()
+
+    counter = system.create_actor(
+        InterpretedBehavior(library, library.get("counter"), [0]))
+    for _ in range(3):
+        system.send_to(counter, ["incr", 5])
+    system.run()  # message arrival order is nondeterministic; sequence the show
+    system.send_to(counter, ["show"])
+    system.run()
+
+    # Hot-load new code: the next `become counter ...` picks it up.
+    library.load(UPGRADE)
+    for _ in range(2):
+        system.send_to(counter, ["incr", 5])
+    system.run()
+    system.send_to(counter, ["show"])
+    system.run()
+
+    for address in (ponger, pinger, counter):
+        record = system.actor_record(address)
+        for line in record.behavior.output:
+            print(f"  <{record.behavior.definition.name}> {line}")
+        print(f"  ports: {record.behavior.ports}")
+    print(
+        "\nReading: all three actors run interpreted code; invocations\n"
+        "arrive on the Invocation-port, `become` travels the Behavior-port,\n"
+        "and loading UPGRADE changed the counter's semantics mid-run\n"
+        "without stopping anything."
+    )
+
+
+if __name__ == "__main__":
+    main()

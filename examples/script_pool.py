@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The section-6 process pool, written entirely in the script language.
+
+Run:  python examples/script_pool.py
+
+The paper's worked example (Figure 1) re-expressed in the prototype's
+own run-time-loadable notation: workers that divide jobs too big for
+them, scatter the halves back into the pool with ``send``, and merge the
+partial answers through collector actors — no Python behaviors at all.
+Runs under both interpreter engines.
+"""
+
+from repro import ActorSpaceSystem, Topology
+from repro.interp import BehaviorLibrary, InterpretedBehavior
+
+POOL_SCRIPTS = """
+(behavior s-collector (remaining total answer-to)
+  (method partial (v)
+    (if (= remaining 1)
+        (begin
+          (send-to answer-to (list "partial" (+ total v)))
+          (terminate))
+        (become s-collector (- remaining 1) (+ total v) answer-to))))
+
+(behavior s-worker (grain)
+  (method job (lo hi answer-to)
+    (if (> (- hi lo) grain)
+        ; too big: divide among arbitrary pool members (Fig. 1)
+        (let ((mid (floor (/ (+ lo hi) 2)))
+              (collector (create s-collector 2 0 answer-to)))
+          (send "procpool/**" (list "job" lo mid collector))
+          (send "procpool/**" (list "job" mid hi collector)))
+        ; small enough: compute sum(lo..hi-1) right here
+        (let ((i lo) (total 0))
+          (while (< i hi)
+            (set! total (+ total i))
+            (set! i (+ i 1)))
+          (send-to answer-to (list "partial" total))))))
+
+(behavior s-client (pool-pattern lo hi)
+  (method start ()
+    (send pool-pattern (list "job" lo hi (self))))
+  (method partial (v)
+    (print "result:" v)))
+"""
+
+
+def run_pool(engine: str, workers: int = 6, lo: int = 0, hi: int = 5000):
+    system = ActorSpaceSystem(topology=Topology.lan(3), seed=13)
+    library = BehaviorLibrary()
+    library.load(POOL_SCRIPTS)
+    for i in range(workers):
+        worker = system.create_actor(
+            InterpretedBehavior(library, library.get("s-worker"), [512],
+                                engine=engine),
+            node=i % 3)
+        system.make_visible(worker, f"procpool/w{i}")
+    system.run()
+    client = system.create_actor(
+        InterpretedBehavior(library, library.get("s-client"),
+                            ["procpool/**", lo, hi], engine=engine))
+    system.send_to(client, ["start"])
+    system.run()
+    output = system.actor_record(client).behavior.output
+    expected = sum(range(lo, hi))
+    return output, expected, system.clock.now
+
+
+def main() -> None:
+    print(__doc__)
+    for engine in ("tree", "bytecode"):
+        output, expected, t = run_pool(engine)
+        print(f"[{engine:8s}] {output[0] if output else '(no answer)'}  "
+              f"(expected {expected})  virtual time {t:.2f}")
+    print(
+        "\nReading: divide-and-conquer, collectors, and dynamic pool\n"
+        "membership are all expressed in the paradigm's own coordination\n"
+        "primitives from inside the script language — the prototype of\n"
+        "section 7 can host the application of section 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Branch-and-bound TSP with broadcast lower bounds (paper section 5.3).
+
+Run:  python examples/tsp_search.py
+
+Search workers each own a slice of the tour tree.  When any worker finds
+a better complete tour it broadcasts the new bound to ``searchers/**`` in
+the search actorSpace; every other worker prunes against it.  The table
+compares total search-tree nodes expanded with sharing on and off.
+"""
+
+from repro import ActorSpaceSystem, Topology
+from repro.apps.tsp import run_tsp
+from repro.util import TextTable
+
+
+def main() -> None:
+    print(__doc__)
+    table = TextTable(
+        ["cities", "workers", "bounds shared", "nodes expanded",
+         "bound broadcasts", "found optimum"],
+        title="TSP branch-and-bound: the value of broadcasting bounds",
+    )
+    for n_cities in (9, 10, 11):
+        for share in (True, False):
+            system = ActorSpaceSystem(topology=Topology.lan(4), seed=7)
+            result = run_tsp(system, n_cities=n_cities, workers=4,
+                             instance_seed=123, share_bounds=share)
+            table.add_row([
+                n_cities, result.workers, "yes" if share else "no",
+                result.nodes_expanded, result.bound_broadcasts,
+                result.found_optimum,
+            ])
+    print(table)
+    print(
+        "\nReading: both variants find the optimum, but sharing bounds over\n"
+        "broadcast prunes a large fraction of the tree — one broadcast\n"
+        "reaches every current searcher without the sender knowing who or\n"
+        "how many they are."
+    )
+
+
+if __name__ == "__main__":
+    main()

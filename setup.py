@@ -1,0 +1,5 @@
+"""Legacy setup shim: the build environment has no `wheel` package, so
+`pip install -e .` falls back to this via `setup.py develop`."""
+from setuptools import setup
+
+setup()

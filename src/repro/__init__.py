@@ -1,0 +1,85 @@
+"""Reproduction of *ActorSpace: An Open Distributed Programming Paradigm*
+(Gul Agha & Christian J. Callsen, PPOPP 1993).
+
+The package provides:
+
+* ``repro.core`` — the ActorSpace semantics (patterns, visibility,
+  capabilities, managers, GC) as pure, runtime-independent model logic;
+* ``repro.runtime`` — a deterministic discrete-event simulation of the
+  paper's section-7 architecture (coordinators, bus, nodes, transports);
+* ``repro.interp`` — the prototype's small behavior-script interpreter;
+* ``repro.baselines`` — the section-3 comparison systems (Linda, name
+  server, static groups, Concurrent Aggregates);
+* ``repro.apps`` — the applications used by the examples and experiments.
+
+Quickstart::
+
+    from repro import ActorSpaceSystem, Topology
+
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=1)
+
+    def greeter(ctx, message):
+        print("hello,", message.payload)
+
+    actor = system.create_actor(greeter, node=1)
+    system.make_visible(actor, "services/greeter")
+    system.send("services/*", "world")
+    system.run()
+"""
+
+from repro.core import (
+    ANY,
+    ANYWHERE,
+    ActorAddress,
+    ActorContext,
+    ActorSpaceError,
+    Arbitration,
+    AttributePath,
+    Behavior,
+    Capability,
+    CapabilityError,
+    CyclePolicy,
+    Destination,
+    FunctionBehavior,
+    Message,
+    NoMatchError,
+    Pattern,
+    SpaceAddress,
+    SpaceManager,
+    UnmatchedPolicy,
+    VisibilityCycleError,
+    parse_destination,
+    parse_pattern,
+)
+from repro.runtime import ActorSpaceSystem, LatencyModel, Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "ANYWHERE",
+    "ActorAddress",
+    "ActorContext",
+    "ActorSpaceError",
+    "ActorSpaceSystem",
+    "Arbitration",
+    "AttributePath",
+    "Behavior",
+    "Capability",
+    "CapabilityError",
+    "CyclePolicy",
+    "Destination",
+    "FunctionBehavior",
+    "LatencyModel",
+    "Message",
+    "NoMatchError",
+    "Pattern",
+    "SpaceAddress",
+    "SpaceManager",
+    "Topology",
+    "UnmatchedPolicy",
+    "VisibilityCycleError",
+    "parse_destination",
+    "parse_pattern",
+    "__version__",
+]

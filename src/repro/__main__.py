@@ -1,0 +1,104 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart scenario inline (no file paths needed).
+``examples``
+    List the example scripts shipped in ``examples/``.
+``experiments``
+    List the experiment benchmarks and what each reproduces.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import sys
+
+EXPERIMENTS = [
+    ("E1", "Fig. 1 / §6", "dynamic process pool", "test_bench_e1_process_pool"),
+    ("E2", "§5.3", "send() load-balances replicas", "test_bench_e2_load_balance"),
+    ("E3", "§5.3", "broadcast bounds prune TSP", "test_bench_e3_tsp"),
+    ("E4", "§6", "nested spaces localize traffic", "test_bench_e4_nesting"),
+    ("E5", "§3", "ActorSpace vs Linda", "test_bench_e5_linda"),
+    ("E6", "§5.6", "unmatched-message policies", "test_bench_e6_suspension"),
+    ("E7", "§5.7", "cycle prevention cost", "test_bench_e7_cycles"),
+    ("E8", "§5.5", "garbage collection", "test_bench_e8_gc"),
+    ("E9", "Fig. 3 / §7.3", "coordinator-bus coherence", "test_bench_e9_bus"),
+    ("E10", "§5.1/§7.1", "pattern matching at scale", "test_bench_e10_matching"),
+    ("E11", "§1/§5.3", "replication for reliability", "test_bench_e11_reliability"),
+    ("E12", "§1", "software repository retrieval", "test_bench_e12_repository"),
+    ("E13", "Fig. 2 / §7.2", "interpreter pipeline", "test_bench_e13_interp"),
+    ("E14", "§1", "diffusion scheduling", "test_bench_e14_diffusion"),
+    ("E15", "§8", "monitoring daemons", "test_bench_e15_daemons"),
+    ("E16", "§5.3", "cost of ordering broadcasts", "test_bench_e16_ordering"),
+    ("E17", "(modern)", "patterns vs topic pub/sub", "test_bench_e17_pubsub"),
+]
+
+EXAMPLES = [
+    ("quickstart.py", "the paradigm in five scenes"),
+    ("process_pool.py", "Figure 1: masterless divide-and-conquer"),
+    ("tsp_search.py", "bound broadcasting prunes search"),
+    ("replicated_service.py", "load balance + crash tolerance"),
+    ("software_repository.py", "interface-attribute retrieval"),
+    ("script_actors.py", "the behavior-script interpreter"),
+    ("linda_vs_actorspace.py", "suspension vs polling"),
+    ("contract_net.py", "open expert marketplace"),
+]
+
+
+def _demo() -> int:
+    from repro import ActorSpaceSystem, Topology
+
+    print("ActorSpace demo: pattern-directed coordination on a 3-node LAN\n")
+    system = ActorSpaceSystem(topology=Topology.lan(3), seed=0)
+
+    def worker(name):
+        def behavior(ctx, message):
+            print(f"  [{name}] handled {message.payload!r} at t={ctx.now:.3f}")
+        return behavior
+
+    for i in range(3):
+        addr = system.create_actor(worker(f"w{i}"), node=i)
+        system.make_visible(addr, f"pool/w{i}")
+    system.run()
+    print("send('pool/*') x3 — one arbitrary worker each:")
+    for i in range(3):
+        system.send("pool/*", ("job", i))
+    system.run()
+    print("broadcast('pool/**') — everyone:")
+    system.broadcast("pool/**", "shutdown-warning")
+    system.run()
+    print(f"\nreplicas coherent: {system.replicas_coherent()}  "
+          f"virtual time: {system.clock.now:.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    command = args[0] if args else "help"
+    if command == "demo":
+        return _demo()
+    if command == "examples":
+        print("Example scripts (run with: python examples/<name>):")
+        for name, blurb in EXAMPLES:
+            print(f"  {name:26s} {blurb}")
+        return 0
+    if command == "experiments":
+        print("Experiments (run with: pytest benchmarks/<file>.py "
+              "--benchmark-only -s):")
+        for exp, anchor, blurb, target in EXPERIMENTS:
+            print(f"  {exp:4s} {anchor:14s} {blurb:34s} {target}")
+        return 0
+    if command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    print(__doc__)
+    return 0 if command in ("help", "-h", "--help") else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Applications from the paper, used by the examples and experiments."""
+
+from .contract_net import ContractManager, ContractNetResult, Contractor, Task, run_contract_net
+from .diffusion import DiffusionRunResult, GridProcessor, run_diffusion
+from .process_pool import (
+    Job,
+    MergeCollector,
+    PoolClient,
+    PoolRunResult,
+    PoolWorker,
+    expected_result,
+    run_process_pool,
+)
+from .replicated import (
+    ReplicaServer,
+    ReplicatedRunResult,
+    RequestClient,
+    run_replicated_service,
+)
+from .repository import (
+    ClassFactory,
+    RepositoryClient,
+    RepositoryHandle,
+    build_repository,
+    implements,
+    interface_desc,
+    query_all,
+    query_one,
+)
+from .tsp import (
+    TspCollector,
+    TspRunResult,
+    TspWorker,
+    held_karp,
+    random_instance,
+    run_tsp,
+)
+
+__all__ = [
+    "ClassFactory",
+    "ContractManager",
+    "ContractNetResult",
+    "Contractor",
+    "Task",
+    "run_contract_net",
+    "DiffusionRunResult",
+    "GridProcessor",
+    "Job",
+    "MergeCollector",
+    "PoolClient",
+    "PoolRunResult",
+    "PoolWorker",
+    "ReplicaServer",
+    "ReplicatedRunResult",
+    "RepositoryClient",
+    "RepositoryHandle",
+    "RequestClient",
+    "TspCollector",
+    "TspRunResult",
+    "TspWorker",
+    "build_repository",
+    "expected_result",
+    "held_karp",
+    "implements",
+    "interface_desc",
+    "query_all",
+    "query_one",
+    "random_instance",
+    "run_diffusion",
+    "run_process_pool",
+    "run_replicated_service",
+    "run_tsp",
+]

@@ -1,0 +1,183 @@
+"""Contract-net task allocation over ActorSpace patterns.
+
+The introduction motivates ActorSpace with "coordinating autonomous
+software systems which may, for example, consist of active processes,
+distributed databases, and intelligent problem-solving experts" — the
+open-systems setting in which the classic contract-net protocol lives.
+This app expresses contract net *entirely* through the paradigm's
+primitives, which is the point of the exercise:
+
+1. a **manager** announces a task with
+   ``broadcast("experts/<skill>/**@market", announcement)`` — it neither
+   knows nor cares who the experts currently are;
+2. visible **contractors** whose attributes match reply with bids
+   (point-to-point, to the announcement's reply address);
+3. the manager awards the contract to the best bid received within the
+   bidding window and the winner executes and reports.
+
+Because eligibility is an *attribute*, experts join, leave, and retrain
+(``change_attributes``) without any registry traffic; announcements sent
+when no expert matches simply suspend until one arrives (section 5.6) —
+open-system late binding for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.actor import ActorContext, Behavior
+from repro.core.messages import Destination, Message
+from repro.runtime.system import ActorSpaceSystem
+
+_task_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Task:
+    """A task to be contracted out."""
+
+    skill: str
+    size: float
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+
+class Contractor(Behavior):
+    """An expert: bids its current estimated completion time; executes wins.
+
+    Parameters
+    ----------
+    skills:
+        Skill atoms this expert advertises (its visibility attributes are
+        ``experts/<skill>/<name>``).
+    speed:
+        Work units per virtual time unit.
+    """
+
+    def __init__(self, name: str, skills: list[str], speed: float = 1.0):
+        self.name = name
+        self.skills = list(skills)
+        self.speed = speed
+        self.busy_until = 0.0
+        self.bids_made = 0
+        self.tasks_done: list[int] = []
+
+    def attributes(self) -> list[str]:
+        return [f"experts/{skill}/{self.name}" for skill in self.skills]
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind, *rest = message.payload
+        if kind == "announce":
+            (task,) = rest
+            self.bids_made += 1
+            eta = max(ctx.now, self.busy_until) + task.size / self.speed
+            ctx.send_to(message.reply_to,
+                        ("bid", task.task_id, eta, ctx.self_address))
+        elif kind == "award":
+            (task,) = rest
+            start = max(ctx.now, self.busy_until)
+            self.busy_until = start + task.size / self.speed
+            ctx.schedule(self.busy_until - ctx.now,
+                         ("finish", task, message.reply_to))
+        elif kind == "finish":
+            task, manager = rest
+            self.tasks_done.append(task.task_id)
+            if manager is not None:
+                ctx.send_to(manager, ("done", task.task_id, self.name, ctx.now))
+        else:
+            raise ValueError(f"contractor got {message.payload!r}")
+
+
+class ContractManager(Behavior):
+    """Announces tasks, collects bids for a window, awards to the best."""
+
+    def __init__(self, market, tasks: list[Task], bid_window: float = 0.5):
+        self.market = market
+        self.queue = list(tasks)
+        self.bid_window = bid_window
+        #: task_id -> list of (eta, bidder address)
+        self.bids: dict[int, list[tuple[float, object]]] = {}
+        self.awards: dict[int, object] = {}
+        self.completions: dict[int, tuple[str, float]] = {}
+        self.unawarded: list[int] = []
+
+    def on_start(self, ctx: ActorContext) -> None:
+        ctx.schedule(0.0, ("next-task",))
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind, *rest = message.payload
+        if kind == "next-task":
+            if self.queue:
+                task = self.queue.pop(0)
+                self.bids[task.task_id] = []
+                ctx.broadcast(
+                    Destination(f"experts/{task.skill}/**", self.market),
+                    ("announce", task),
+                    reply_to=ctx.self_address,
+                )
+                ctx.schedule(self.bid_window, ("close-bidding", task))
+        elif kind == "bid":
+            task_id, eta, bidder = rest
+            if task_id in self.bids and task_id not in self.awards:
+                self.bids[task_id].append((eta, bidder))
+        elif kind == "close-bidding":
+            (task,) = rest
+            bids = self.bids.get(task.task_id, [])
+            if bids:
+                _eta, winner = min(bids, key=lambda b: (b[0], str(b[1])))
+                self.awards[task.task_id] = winner
+                ctx.send_to(winner, ("award", task), reply_to=ctx.self_address)
+            else:
+                self.unawarded.append(task.task_id)
+            ctx.schedule(0.0, ("next-task",))
+        elif kind == "done":
+            task_id, name, finished_at = rest
+            self.completions[task_id] = (name, finished_at)
+        else:
+            raise ValueError(f"manager got {message.payload!r}")
+
+
+@dataclass
+class ContractNetResult:
+    """Metrics from one contract-net run."""
+
+    completed: dict[int, tuple[str, float]]
+    unawarded: list[int]
+    bids_per_task: dict[int, int]
+    per_contractor: dict[str, int]
+    makespan: float
+
+
+def run_contract_net(
+    system: ActorSpaceSystem,
+    contractors: list[tuple[str, list[str], float]],
+    tasks: list[Task],
+    bid_window: float = 0.5,
+) -> ContractNetResult:
+    """Drive a contract-net run.
+
+    ``contractors`` is a list of ``(name, skills, speed)``.
+    """
+    market = system.create_space(attributes="market")
+    node_count = system.topology.node_count
+    behaviors: list[Contractor] = []
+    for i, (name, skills, speed) in enumerate(contractors):
+        behavior = Contractor(name, skills, speed)
+        addr = system.create_actor(behavior, node=i % node_count, space=market)
+        system.make_visible(addr, behavior.attributes(), market)
+        behaviors.append(behavior)
+    system.run()
+
+    manager = ContractManager(market, tasks, bid_window=bid_window)
+    system.create_actor(manager, node=0)
+    start = system.clock.now
+    system.run()
+    per_contractor = {b.name: len(b.tasks_done) for b in behaviors}
+    return ContractNetResult(
+        completed=dict(manager.completions),
+        unawarded=list(manager.unawarded),
+        bids_per_task={tid: len(bs) for tid, bs in manager.bids.items()},
+        per_contractor=per_contractor,
+        makespan=(max((t for _n, t in manager.completions.values()),
+                      default=start) - start),
+    )

@@ -1,0 +1,257 @@
+"""The dynamic process pool of section 6 (Figure 1).
+
+"The client starts the data-processing by sending a message to an
+arbitrary processor inside the ActorSpace ProcPool and a return address
+for answers. ... The first processor which receives the job may decide
+that the job is too large to handle; it then divides the job into
+smaller subjobs, sends them to one of the other actors in its
+neighborhood processor pool and waits for the partial answers. ...
+By letting the processors divide the job as the problem is analyzed, we
+remove a bottleneck around a master process ... And by using patterns,
+the number of processors allocated to the task can be adjusted during
+execution — without having to stop the system."
+
+The job model is a divisible numeric task: ``Job(lo, hi)`` asks for an
+associative reduction over ``[lo, hi)`` (sum of ``f(i)``), with a
+``grain`` below which a worker computes directly.  Compute cost is
+modelled in virtual time (each worker is a serial processor: concurrent
+jobs queue), so pool size and dynamic arrivals visibly change makespan —
+exactly the Figure-1 scenario.
+
+The workers never know the pool size; everything is ``send('*@pool')``.
+Division replies flow through per-split merge collectors, so there is no
+master: the division tree *is* the coordination structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actor import ActorContext, Behavior
+from repro.core.messages import Destination, Message
+from repro.runtime.system import ActorSpaceSystem
+
+
+@dataclass(frozen=True)
+class Job:
+    """A divisible reduction task over the integer range ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    def split(self, parts: int) -> list["Job"]:
+        """Split into up to ``parts`` non-empty contiguous subjobs."""
+        parts = max(1, min(parts, self.size))
+        step = self.size // parts
+        bounds = [self.lo + i * step for i in range(parts)] + [self.hi]
+        return [Job(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+    def compute(self) -> int:
+        """The leaf computation: sum of squares over the range."""
+        # Closed form keeps leaf evaluation O(1) in host time while the
+        # *virtual* cost below models the real work.
+        n_hi, n_lo = self.hi - 1, self.lo - 1
+
+        def s(n: int) -> int:
+            return n * (n + 1) * (2 * n + 1) // 6 if n >= 0 else 0
+
+        return s(n_hi) - s(n_lo)
+
+
+def expected_result(job: Job) -> int:
+    """Ground truth for verification."""
+    return job.compute()
+
+
+class MergeCollector(Behavior):
+    """Accumulates ``parts`` partial sums, then forwards the total.
+
+    One collector is created per division; its address is the reply
+    target of the subjobs.  This is what removes the master bottleneck:
+    merging is as distributed as dividing.
+    """
+
+    def __init__(self, parts: int, answer_to, tag: str = "result"):
+        self.remaining = parts
+        self.total = 0
+        self.answer_to = answer_to
+        self.tag = tag
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind, value = message.payload
+        assert kind == "partial", f"collector got {message.payload!r}"
+        self.total += value
+        self.remaining -= 1
+        if self.remaining == 0:
+            ctx.send_to(self.answer_to, (self.tag, self.total))
+            ctx.terminate()
+
+
+class PoolWorker(Behavior):
+    """One processor in the pool.
+
+    Parameters
+    ----------
+    pool:
+        The actorSpace (address) whose ``*`` pattern reaches the
+        neighbourhood processors — the worker's ``MyNighbrProcs``.
+    grain:
+        Jobs of at most this size are computed directly.
+    fanout:
+        How many subjobs a division produces.
+    cost_per_item:
+        Virtual compute time per range item at a leaf.
+    """
+
+    def __init__(self, pool, grain: int = 64, fanout: int = 4,
+                 cost_per_item: float = 0.001):
+        self.pool = pool
+        self.grain = grain
+        self.fanout = fanout
+        self.cost_per_item = cost_per_item
+        self.busy_until = 0.0
+        self.jobs_processed = 0
+        self.divisions = 0
+        self.leaves = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind, *rest = message.payload
+        if kind == "job":
+            job, answer_to = rest
+            self.jobs_processed += 1
+            if job.size > self.grain:
+                self._divide(ctx, job, answer_to)
+            else:
+                self._compute_leaf(ctx, job, answer_to)
+        elif kind == "deliver":
+            # A leaf finished "computing": emit the partial result.
+            answer_to, value = rest
+            ctx.send_to(answer_to, ("partial", value))
+        else:
+            raise ValueError(f"pool worker got {message.payload!r}")
+
+    def _divide(self, ctx: ActorContext, job: Job, answer_to) -> None:
+        """Too big: split and scatter to arbitrary pool members."""
+        self.divisions += 1
+        # A division must strictly shrink the job or the pool forwards it
+        # forever: two parts minimum, whatever fanout was configured.
+        subjobs = job.split(max(2, self.fanout))
+        collector = ctx.create(MergeCollector(len(subjobs), answer_to, tag="partial"))
+        for sub in subjobs:
+            # send(*@MyNighbrProcs, subjobs[i], self) — the paper's line;
+            # the paper's * "matches any attribute", which is our '**'.
+            ctx.send(Destination("**", self.pool), ("job", sub, collector))
+
+    def _compute_leaf(self, ctx: ActorContext, job: Job, answer_to) -> None:
+        """Small enough: compute serially on this processor."""
+        self.leaves += 1
+        cost = job.size * self.cost_per_item
+        start = max(ctx.now, self.busy_until)
+        self.busy_until = start + cost
+        ctx.schedule(self.busy_until - ctx.now, ("deliver", answer_to, job.compute()))
+
+
+class PoolClient(Behavior):
+    """The client of Figure 1: injects the job, waits for the answer."""
+
+    def __init__(self, pool, job: Job):
+        self.pool = pool
+        self.job = job
+        self.result: int | None = None
+        self.finished_at: float | None = None
+
+    def on_start(self, ctx: ActorContext) -> None:
+        # send(*@ProcPool, job, self)
+        ctx.send(Destination("**", self.pool), ("job", self.job, ctx.self_address))
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind, value = message.payload
+        if kind == "partial":  # top-level answer arrives as one partial
+            self.result = value
+            self.finished_at = ctx.now
+
+
+@dataclass
+class PoolRunResult:
+    """Metrics from one process-pool run."""
+
+    result: int
+    expected: int
+    makespan: float
+    worker_jobs: list[int]
+    divisions: int
+    leaves: int
+    pool_size_final: int
+
+    @property
+    def correct(self) -> bool:
+        return self.result == self.expected
+
+
+def run_process_pool(
+    system: ActorSpaceSystem,
+    workers: int,
+    job_size: int = 4096,
+    grain: int = 64,
+    fanout: int = 4,
+    cost_per_item: float = 0.001,
+    arrivals: list[tuple[float, int]] | None = None,
+    spread_nodes: bool = True,
+) -> PoolRunResult:
+    """Drive the Figure-1 scenario on ``system``.
+
+    ``arrivals`` is a list of ``(virtual_time, count)`` — newly arriving
+    processors that join the pool mid-run (the lighter circles of the
+    figure).  Workers are placed round-robin across nodes when
+    ``spread_nodes`` is set.
+    """
+    node_count = system.topology.node_count
+    pool = system.create_space(attributes="procpool")
+    worker_behaviors: list[PoolWorker] = []
+
+    def add_worker(index: int) -> None:
+        behavior = PoolWorker(pool, grain=grain, fanout=fanout,
+                              cost_per_item=cost_per_item)
+        node = index % node_count if spread_nodes else 0
+        address = system.create_actor(behavior, node=node, space=pool)
+        system.make_visible(address, f"proc/p{index}", pool)
+        worker_behaviors.append(behavior)
+
+    for i in range(workers):
+        add_worker(i)
+    # Let the pool's visibility registrations propagate before the client
+    # arrives: the pool pre-exists the job in the Figure-1 scenario.
+    system.run()
+
+    job = Job(0, job_size)
+    client_behavior = PoolClient(pool, job)
+    client = system.create_actor(client_behavior, node=0)
+
+    # Schedule mid-run arrivals (driver-level events), relative to the
+    # moment the job is injected.
+    start = system.clock.now
+    next_index = workers
+    for when, count in arrivals or []:
+        def arrive(n=count):
+            nonlocal next_index
+            for _ in range(n):
+                add_worker(next_index)
+                next_index += 1
+
+        system.events.schedule(start + when, arrive)
+
+    system.run()
+    assert client_behavior.result is not None, "pool run did not complete"
+    return PoolRunResult(
+        result=client_behavior.result,
+        expected=expected_result(job),
+        makespan=(client_behavior.finished_at or system.clock.now) - start,
+        worker_jobs=[w.jobs_processed for w in worker_behaviors],
+        divisions=sum(w.divisions for w in worker_behaviors),
+        leaves=sum(w.leaves for w in worker_behaviors),
+        pool_size_final=len(worker_behaviors),
+    )

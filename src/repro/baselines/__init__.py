@@ -1,0 +1,36 @@
+"""Section-3 comparison systems, built on the same simulated substrate.
+
+Each baseline runs on the identical event loop, network model, and tracer
+as ActorSpace itself, so experiment E5 (and the churn variants of E1/E2)
+compare message counts and latencies like-for-like.
+"""
+
+from .aggregates import Aggregate, AggregateSystem, HierarchyError
+from .groups import EmptyGroupError, GroupRegistry, UnknownGroupError
+from .linda import (
+    ANY,
+    BlockingConsumer,
+    PollingConsumer,
+    TupleSpaceBehavior,
+    matches,
+)
+from .nameserver import LookupThenSendClient, NameServerBehavior
+from .pubsub import FilteringSubscriber, TopicBrokerBehavior
+
+__all__ = [
+    "ANY",
+    "Aggregate",
+    "AggregateSystem",
+    "BlockingConsumer",
+    "EmptyGroupError",
+    "GroupRegistry",
+    "HierarchyError",
+    "LookupThenSendClient",
+    "NameServerBehavior",
+    "FilteringSubscriber",
+    "TopicBrokerBehavior",
+    "PollingConsumer",
+    "TupleSpaceBehavior",
+    "UnknownGroupError",
+    "matches",
+]

@@ -1,0 +1,207 @@
+"""A Linda tuple space on the same simulated substrate (paper section 3).
+
+The paper positions ActorSpace against Linda [8, 16]: "in Linda and its
+variants, processes must actively poll a tuple space and specify the type
+of tuple they want to retrieve", with three consequences the E5
+experiment measures or demonstrates:
+
+1. polling costs messages and latency (``inp``/``rdp`` retry loops);
+2. "communication cannot be made secure against arbitrary readers" —
+   any process may ``in`` (consume) any matching tuple;
+3. race conditions between concurrent consumers.
+
+The tuple space is itself an actor (a central kernel on one node), so
+Linda programs and ActorSpace programs run on the *same* event loop,
+network model, and tracer — message counts and latencies are directly
+comparable.
+
+Protocol (payloads to the tuple-space actor):
+
+* ``("out", tup)`` — deposit a tuple (no reply);
+* ``("in", template)`` / ``("rd", template)`` — blocking take/read: the
+  kernel replies ``("tuple", tup)`` when a match exists, queueing the
+  request otherwise;
+* ``("inp", template)`` / ``("rdp", template)`` — non-blocking probe: the
+  kernel replies immediately with ``("tuple", tup)`` or ``("no-match",
+  template)`` — the primitive behind the polling idiom.
+
+Templates are tuples whose fields are concrete values, the :data:`ANY`
+wildcard, or a Python type (matches by ``isinstance``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.actor import ActorContext, Behavior
+from repro.core.messages import Message
+
+
+class _AnyToken:
+    """Wildcard template field."""
+
+    def __repr__(self):
+        return "ANY"
+
+
+#: Matches any value in a template field.
+ANY = _AnyToken()
+
+
+def matches(template: tuple, candidate: tuple) -> bool:
+    """Linda template matching: arity plus per-field value/type/wildcard."""
+    if len(template) != len(candidate):
+        return False
+    for want, have in zip(template, candidate):
+        if want is ANY:
+            continue
+        if isinstance(want, type):
+            if not isinstance(have, want):
+                return False
+            continue
+        if want != have:
+            return False
+    return True
+
+
+class TupleSpaceBehavior(Behavior):
+    """The Linda kernel: holds tuples, serves out/in/rd/inp/rdp.
+
+    Blocking requests queue in arrival order; each ``out`` first tries to
+    satisfy the oldest compatible waiter (``in`` consumes, ``rd`` does
+    not), which reproduces Linda's first-match, kernel-arbitrated
+    semantics — including the consume races the paper criticizes.
+    """
+
+    def __init__(self):
+        self.tuples: list[tuple] = []
+        #: Waiting blocking requests: (kind, template, reply_to).
+        self.waiting: deque[tuple[str, tuple, Any]] = deque()
+        self.ops = {"out": 0, "in": 0, "rd": 0, "inp": 0, "rdp": 0}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _find(self, template: tuple) -> int | None:
+        for i, tup in enumerate(self.tuples):
+            if matches(template, tup):
+                return i
+        return None
+
+    def _reply(self, ctx: ActorContext, to, payload) -> None:
+        if to is not None:
+            ctx.send_to(to, payload)
+
+    # -- protocol ------------------------------------------------------------------
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        op, *rest = message.payload
+        reply_to = message.reply_to
+        if op == "out":
+            self.ops["out"] += 1
+            (tup,) = rest
+            self._deposit(ctx, tuple(tup))
+        elif op in ("in", "rd"):
+            self.ops[op] += 1
+            (template,) = rest
+            idx = self._find(tuple(template))
+            if idx is None:
+                self.waiting.append((op, tuple(template), reply_to))
+            else:
+                tup = self.tuples[idx]
+                if op == "in":
+                    del self.tuples[idx]
+                self._reply(ctx, reply_to, ("tuple", tup))
+        elif op in ("inp", "rdp"):
+            self.ops[op] += 1
+            (template,) = rest
+            idx = self._find(tuple(template))
+            if idx is None:
+                self._reply(ctx, reply_to, ("no-match", tuple(template)))
+            else:
+                tup = self.tuples[idx]
+                if op == "inp":
+                    del self.tuples[idx]
+                self._reply(ctx, reply_to, ("tuple", tup))
+        elif op == "count":
+            self._reply(ctx, reply_to, ("count", len(self.tuples)))
+        else:
+            raise ValueError(f"unknown tuple-space op {op!r}")
+
+    def _deposit(self, ctx: ActorContext, tup: tuple) -> None:
+        """Add a tuple, first serving the oldest compatible blocked waiter."""
+        remaining: deque[tuple[str, tuple, Any]] = deque()
+        consumed = False
+        while self.waiting:
+            kind, template, reply_to = self.waiting.popleft()
+            if not consumed and matches(template, tup):
+                self._reply(ctx, reply_to, ("tuple", tup))
+                if kind == "in":
+                    consumed = True
+                # rd waiters keep draining against the same tuple
+            else:
+                remaining.append((kind, template, reply_to))
+        self.waiting = remaining
+        if not consumed:
+            self.tuples.append(tup)
+
+
+class PollingConsumer(Behavior):
+    """A Linda client that polls with ``inp`` until a match appears.
+
+    This is the retry idiom the paper contrasts with ActorSpace's
+    suspended sends: each failed probe costs a request/response round
+    trip.  On success the consumer reports ``("got", tuple, polls)`` to
+    its monitor and stops.
+    """
+
+    def __init__(self, space_addr, template: tuple, poll_interval: float,
+                 monitor=None):
+        self.space_addr = space_addr
+        self.template = tuple(template)
+        self.poll_interval = poll_interval
+        self.monitor = monitor
+        self.polls = 0
+        self.result: tuple | None = None
+
+    def on_start(self, ctx: ActorContext) -> None:
+        self._probe(ctx)
+
+    def _probe(self, ctx: ActorContext) -> None:
+        self.polls += 1
+        ctx.send_to(self.space_addr, ("inp", self.template),
+                    reply_to=ctx.self_address)
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        tag, *rest = message.payload
+        if tag == "tuple":
+            self.result = rest[0]
+            if self.monitor is not None:
+                ctx.send_to(self.monitor, ("got", rest[0], self.polls))
+            ctx.terminate()
+        elif tag == "no-match":
+            ctx.schedule(self.poll_interval, ("poll",))
+        elif tag == "poll":
+            self._probe(ctx)
+
+
+class BlockingConsumer(Behavior):
+    """A Linda client using a blocking ``in`` (kernel-queued, no polling)."""
+
+    def __init__(self, space_addr, template: tuple, monitor=None):
+        self.space_addr = space_addr
+        self.template = tuple(template)
+        self.monitor = monitor
+        self.result: tuple | None = None
+
+    def on_start(self, ctx: ActorContext) -> None:
+        ctx.send_to(self.space_addr, ("in", self.template),
+                    reply_to=ctx.self_address)
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        tag, *rest = message.payload
+        if tag == "tuple":
+            self.result = rest[0]
+            if self.monitor is not None:
+                ctx.send_to(self.monitor, ("got", rest[0], 1))
+            ctx.terminate()

@@ -1,0 +1,113 @@
+"""A global naming service: the classic open-systems baseline (section 3).
+
+"Open systems which use explicit references to objects and message
+passing as coordination primitives usually offer a global naming service
+to which all objects have a reference.  This naming service can then be
+queried for other references ... Objects may register themselves if they
+want other objects to send messages to them."
+
+The name server is an actor; clients must (1) register under a string
+name, (2) look a name up — one full round trip — and only then (3) send
+to the returned address.  Compared with ActorSpace's one-hop pattern send
+this costs an extra round trip per first contact and cannot express
+"one of whichever servers currently match" without the server's help
+(lookup returns the registrar's choice, not the system's).
+
+Protocol payloads:
+
+* ``("register", name, addr)`` — bind; replies ``("ok", name)``;
+* ``("unregister", name)`` — unbind; replies ``("ok", name)``;
+* ``("lookup", name)`` — replies ``("addr", name, addr)`` or
+  ``("unknown", name)``;
+* ``("list", prefix)`` — replies ``("names", [names...])`` (directory
+  scan; the closest analogue to a pattern query, and still returns names
+  rather than delivering messages).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.actor import ActorContext, Behavior
+from repro.core.messages import Message
+
+
+class NameServerBehavior(Behavior):
+    """The naming-service actor."""
+
+    def __init__(self):
+        self.names: dict[str, Any] = {}
+        self.lookups = 0
+        self.registrations = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        op, *rest = message.payload
+        reply_to = message.reply_to
+        if op == "register":
+            name, addr = rest
+            self.names[name] = addr
+            self.registrations += 1
+            if reply_to is not None:
+                ctx.send_to(reply_to, ("ok", name))
+        elif op == "unregister":
+            (name,) = rest
+            self.names.pop(name, None)
+            if reply_to is not None:
+                ctx.send_to(reply_to, ("ok", name))
+        elif op == "lookup":
+            (name,) = rest
+            self.lookups += 1
+            addr = self.names.get(name)
+            if reply_to is not None:
+                if addr is None:
+                    ctx.send_to(reply_to, ("unknown", name))
+                else:
+                    ctx.send_to(reply_to, ("addr", name, addr))
+        elif op == "list":
+            (prefix,) = rest
+            found = sorted(n for n in self.names if n.startswith(prefix))
+            if reply_to is not None:
+                ctx.send_to(reply_to, ("names", found))
+        else:
+            raise ValueError(f"unknown name-server op {op!r}")
+
+
+class LookupThenSendClient(Behavior):
+    """A client that resolves a name, then sends its payload directly.
+
+    Reports ``("sent", name, hops)`` to the monitor after dispatching,
+    where ``hops`` counts the messages this client needed (lookup request
+    + reply + payload = 3, versus 1 for an ActorSpace pattern send).
+    """
+
+    def __init__(self, nameserver, name: str, payload: Any, monitor=None):
+        self.nameserver = nameserver
+        self.name = name
+        self.payload = payload
+        self.monitor = monitor
+        self.hops = 0
+
+    def on_start(self, ctx: ActorContext) -> None:
+        self.hops += 1
+        ctx.send_to(self.nameserver, ("lookup", self.name),
+                    reply_to=ctx.self_address)
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        tag, *rest = message.payload
+        if tag == "addr":
+            self.hops += 1  # the lookup reply
+            _name, addr = rest
+            self.hops += 1  # the payload itself
+            ctx.send_to(addr, self.payload, reply_to=ctx.self_address)
+            if self.monitor is not None:
+                ctx.send_to(self.monitor, ("sent", self.name, self.hops))
+            ctx.terminate()
+        elif tag == "unknown":
+            self.hops += 1  # the (negative) lookup reply
+            # The name is not (yet) bound: the client's only option is to
+            # retry later — a polling loop, unlike ActorSpace suspension.
+            ctx.schedule(0.5, ("retry",))
+        elif tag == "retry":
+            self.hops += 1  # the retried lookup request
+            ctx.send_to(self.nameserver, ("lookup", self.name),
+                        reply_to=ctx.self_address)

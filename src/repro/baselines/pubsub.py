@@ -1,0 +1,93 @@
+"""Topic-based publish/subscribe: the modern approximation baseline.
+
+Today's closest mainstream analogue of pattern-directed group addressing
+is topic pub/sub.  The essential difference: a **topic is an exact
+string** agreed between publisher and subscriber, whereas an ActorSpace
+pattern is *evaluated against attributes* at send time.  Multi-facet
+addressing ("all sensors in building 2, any floor") therefore forces a
+topic design decision — pre-create one topic per facet combination (topic
+explosion, and publishers must enumerate the slice), or use coarse topics
+and filter at the subscriber (wasted deliveries).  Experiment E17
+measures both against one ActorSpace pattern.
+
+The broker is an actor on the shared substrate (like the Linda kernel),
+so message counts and latencies are directly comparable.
+
+Protocol payloads to the broker:
+
+* ``("subscribe", topic)`` — ``reply_to`` becomes a subscriber;
+* ``("unsubscribe", topic)``;
+* ``("publish", topic, payload)`` — forwarded as
+  ``("event", topic, payload)`` to every *exact* subscriber of ``topic``;
+  unknown topics are dropped (counted).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.actor import ActorContext, Behavior
+from repro.core.messages import Message
+
+
+class TopicBrokerBehavior(Behavior):
+    """A minimal exact-match topic broker."""
+
+    def __init__(self):
+        self.subscribers: dict[str, list] = defaultdict(list)
+        self.published = 0
+        self.forwarded = 0
+        self.dropped_no_topic = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        op, *rest = message.payload
+        if op == "subscribe":
+            (topic,) = rest
+            subs = self.subscribers[topic]
+            if message.reply_to is not None and message.reply_to not in subs:
+                subs.append(message.reply_to)
+        elif op == "unsubscribe":
+            (topic,) = rest
+            if message.reply_to is not None:
+                try:
+                    self.subscribers[topic].remove(message.reply_to)
+                except ValueError:
+                    pass
+        elif op == "publish":
+            topic, payload = rest
+            self.published += 1
+            subs = self.subscribers.get(topic, ())
+            if not subs:
+                self.dropped_no_topic += 1
+            for subscriber in subs:
+                self.forwarded += 1
+                ctx.send_to(subscriber, ("event", topic, payload))
+        else:
+            raise ValueError(f"unknown broker op {op!r}")
+
+    @property
+    def topic_count(self) -> int:
+        """Topics with at least one live subscriber."""
+        return sum(1 for subs in self.subscribers.values() if subs)
+
+
+class FilteringSubscriber(Behavior):
+    """A subscriber on coarse topics that filters events client-side.
+
+    ``wanted(payload) -> bool`` decides relevance; irrelevant events are
+    counted as waste — the traffic a finer addressing scheme would never
+    have sent.
+    """
+
+    def __init__(self, wanted):
+        self.wanted = wanted
+        self.accepted: list = []
+        self.wasted = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind, _topic, payload = message.payload
+        assert kind == "event"
+        if self.wanted(payload):
+            self.accepted.append(payload)
+        else:
+            self.wasted += 1

@@ -1,0 +1,146 @@
+"""Core ActorSpace semantics: the paper's contribution, runtime-independent.
+
+Everything in this package is pure model logic — values, registries,
+policies — with no event loop or network.  The ``repro.runtime`` package
+executes these semantics on a simulated distributed system.
+"""
+
+from .actor import ActorContext, Behavior, FunctionBehavior, as_behavior
+from .actorspace import RegistryEntry, SpaceRecord
+from .addresses import (
+    ActorAddress,
+    AddressFactory,
+    MailAddress,
+    SpaceAddress,
+    is_actor_address,
+    is_space_address,
+)
+from .atoms import EMPTY_PATH, AttributePath, as_path, as_paths
+from .capabilities import Capability, CapabilityIssuer, authorize
+from .daemons import (
+    AttributeDaemon,
+    ConstraintRule,
+    install_daemon,
+    predicate_rule,
+    queue_depth_observation,
+    threshold_rule,
+)
+from .errors import (
+    ActorSpaceError,
+    AttributeSyntaxError,
+    CapabilityError,
+    InterpreterError,
+    NoMatchError,
+    NotAnActorError,
+    NotASpaceError,
+    PatternSyntaxError,
+    SpaceDestroyedError,
+    TransportError,
+    UnknownAddressError,
+    VisibilityCycleError,
+)
+from .gc import GarbageCollector, GcReport, scan_addresses
+from .lattice import BOTTOM, TOP, And, Desc, Has, Or, join, meet, subsumes
+from .manager import (
+    Arbitration,
+    CyclePolicy,
+    SpaceManager,
+    UnmatchedPolicy,
+    default_manager,
+)
+from .matching import (
+    MatchStats,
+    group_size,
+    resolve_actors,
+    resolve_destination,
+    resolve_destination_spaces,
+    resolve_spaces,
+)
+from .ordering import OrderedGroup, OrderedReceiver, SerializerBehavior
+from .messages import Destination, Envelope, Message, Mode, Port, parse_destination
+from .tagging import forward_once, forward_to, has_cycle, seen_by_me, via_chain
+from .patterns import ANY, ANYWHERE, Pattern, literal_pattern, parse_pattern
+from .visibility import Directory
+
+__all__ = [
+    "ANY",
+    "AttributeDaemon",
+    "ConstraintRule",
+    "install_daemon",
+    "predicate_rule",
+    "queue_depth_observation",
+    "threshold_rule",
+    "ANYWHERE",
+    "ActorAddress",
+    "ActorContext",
+    "ActorSpaceError",
+    "AddressFactory",
+    "And",
+    "Arbitration",
+    "AttributePath",
+    "AttributeSyntaxError",
+    "BOTTOM",
+    "Behavior",
+    "Capability",
+    "CapabilityError",
+    "CapabilityIssuer",
+    "CyclePolicy",
+    "Desc",
+    "Destination",
+    "Directory",
+    "EMPTY_PATH",
+    "Envelope",
+    "FunctionBehavior",
+    "GarbageCollector",
+    "GcReport",
+    "Has",
+    "InterpreterError",
+    "MailAddress",
+    "MatchStats",
+    "Message",
+    "Mode",
+    "NoMatchError",
+    "NotAnActorError",
+    "NotASpaceError",
+    "OrderedGroup",
+    "OrderedReceiver",
+    "SerializerBehavior",
+    "Or",
+    "Pattern",
+    "PatternSyntaxError",
+    "Port",
+    "RegistryEntry",
+    "SpaceAddress",
+    "SpaceDestroyedError",
+    "SpaceManager",
+    "SpaceRecord",
+    "TOP",
+    "TransportError",
+    "UnknownAddressError",
+    "UnmatchedPolicy",
+    "VisibilityCycleError",
+    "as_behavior",
+    "as_path",
+    "as_paths",
+    "authorize",
+    "forward_once",
+    "forward_to",
+    "has_cycle",
+    "seen_by_me",
+    "via_chain",
+    "default_manager",
+    "group_size",
+    "is_actor_address",
+    "is_space_address",
+    "join",
+    "literal_pattern",
+    "meet",
+    "parse_destination",
+    "parse_pattern",
+    "resolve_actors",
+    "resolve_destination",
+    "resolve_destination_spaces",
+    "resolve_spaces",
+    "scan_addresses",
+    "subsumes",
+]

@@ -1,0 +1,278 @@
+"""Actors: behaviors, ``become``, and the actor-side context API.
+
+The actor primitives (paper section 4):
+
+* ``create`` — make an actor from a behavior description and parameters;
+* ``send to`` — asynchronous message to a known mail address;
+* ``become`` — replace the actor's behavior for subsequent messages.
+
+ActorSpace adds the pattern-directed primitives (section 5): ``send`` /
+``broadcast`` with ``pattern@space`` destinations, ``create_actorspace``,
+``make_visible`` / ``make_invisible`` / ``change_attributes``, and
+``new_capability``.  Actors reach *all* of these through the
+:class:`ActorContext` handed to their behavior on each message — the
+behavior code itself never touches the runtime directly, which is what
+lets the same behavior run on any node (and is the moral equivalent of
+the prototype's ActorInterface).
+
+A behavior is either:
+
+* a subclass of :class:`Behavior` implementing ``receive``, or
+* any callable ``fn(ctx, message)`` (wrapped by :class:`FunctionBehavior`).
+
+``become`` accepts a new behavior; per the actor model it takes effect for
+the *next* message, not the remainder of the current one.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable
+
+from .addresses import ActorAddress, MailAddress, SpaceAddress
+from .atoms import AttributePath
+from .capabilities import Capability
+from .mailbox import Mailbox
+from .messages import Destination, Message
+from .patterns import Pattern
+
+
+class ActorContext(abc.ABC):
+    """The API surface an actor may use while processing a message.
+
+    Concrete contexts are provided by the node coordinator; behaviors must
+    treat this object as ephemeral (valid only during the current
+    ``receive`` call).
+    """
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def self_address(self) -> ActorAddress:
+        """This actor's own mail address (``self`` in the paper's examples)."""
+
+    @property
+    @abc.abstractmethod
+    def host_space(self) -> SpaceAddress:
+        """The actorSpace this actor was created in (section 7.1)."""
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current virtual time."""
+
+    # -- classic actor primitives ---------------------------------------------
+
+    @abc.abstractmethod
+    def create(
+        self,
+        behavior: "Behavior | Callable",
+        *args: Any,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+        node: int | None = None,
+        **kwargs: Any,
+    ) -> ActorAddress:
+        """Create a new actor; returns its fresh mail address.
+
+        ``space`` selects the host actorSpace (defaults to the creator's);
+        ``capability`` binds a key controlling the new actor's visibility;
+        ``node`` optionally pins placement (defaults to the creator's node).
+        """
+
+    @abc.abstractmethod
+    def send_to(self, target: ActorAddress, payload: Any, *,
+                reply_to: ActorAddress | None = None,
+                headers: dict | None = None) -> None:
+        """Point-to-point asynchronous send to an explicit mail address."""
+
+    @abc.abstractmethod
+    def become(self, behavior: "Behavior | Callable", *args: Any, **kwargs: Any) -> None:
+        """Replace this actor's behavior, effective from the next message."""
+
+    # -- ActorSpace primitives ---------------------------------------------------
+
+    @abc.abstractmethod
+    def send(self, destination: "Destination | str", payload: Any, *,
+             reply_to: ActorAddress | None = None,
+             headers: dict | None = None) -> None:
+        """Pattern-directed send: one matching actor, chosen by the system."""
+
+    @abc.abstractmethod
+    def broadcast(self, destination: "Destination | str", payload: Any, *,
+                  reply_to: ActorAddress | None = None,
+                  headers: dict | None = None) -> None:
+        """Pattern-directed broadcast: every matching actor receives it."""
+
+    @abc.abstractmethod
+    def create_actorspace(
+        self,
+        capability: Capability | None = None,
+        *,
+        space: SpaceAddress | None = None,
+        attributes: "Iterable[AttributePath | str] | AttributePath | str | None" = None,
+    ) -> SpaceAddress:
+        """Create a new actorSpace; returns its unique mail address.
+
+        ``capability`` authenticates future visibility operations inside
+        the new space.  If ``attributes`` is given the new space is also
+        made visible under them in ``space`` (defaulting to the creator's
+        host space) as a convenience.
+        """
+
+    @abc.abstractmethod
+    def make_visible(
+        self,
+        target: MailAddress,
+        attributes: "Iterable[AttributePath | str] | AttributePath | str",
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+    ) -> None:
+        """Subject ``target`` to pattern matching in ``space`` under ``attributes``."""
+
+    @abc.abstractmethod
+    def make_invisible(
+        self,
+        target: MailAddress,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+    ) -> None:
+        """Remove ``target`` from pattern matching in ``space``."""
+
+    @abc.abstractmethod
+    def change_attributes(
+        self,
+        target: MailAddress,
+        attributes: "Iterable[AttributePath | str] | AttributePath | str",
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+    ) -> None:
+        """Replace the attributes under which ``target`` is visible in ``space``."""
+
+    @abc.abstractmethod
+    def new_capability(self) -> Capability:
+        """Mint a fresh unforgeable capability (section 5.4)."""
+
+    # -- misc ----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def terminate(self) -> None:
+        """Mark this actor finished; it will accept no further messages."""
+
+    @abc.abstractmethod
+    def schedule(self, delay: float, payload: Any) -> None:
+        """Send ``payload`` to *self* after ``delay`` units of virtual time."""
+
+
+class Behavior(abc.ABC):
+    """A behavior description: the code + state an actor runs per message."""
+
+    @abc.abstractmethod
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        """Process one message.  All effects go through ``ctx``."""
+
+    def on_start(self, ctx: ActorContext) -> None:
+        """Hook run once when an actor is created with this behavior.
+
+        The default does nothing.  ``become`` does *not* re-run it.
+        """
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+class FunctionBehavior(Behavior):
+    """Adapter turning a plain callable ``fn(ctx, message)`` into a behavior."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[ActorContext, Message], None]):
+        if not callable(fn):
+            raise TypeError(f"behavior function must be callable, got {fn!r}")
+        self.fn = fn
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        self.fn(ctx, message)
+
+    def __repr__(self):
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"<FunctionBehavior {name}>"
+
+
+def as_behavior(behavior: "Behavior | Callable", *args: Any, **kwargs: Any) -> Behavior:
+    """Coerce ``behavior`` to a :class:`Behavior` instance.
+
+    Accepts a ``Behavior`` instance (args must then be empty), a
+    ``Behavior`` subclass (instantiated with the given args), or a plain
+    callable (wrapped; args must be empty).
+    """
+    if isinstance(behavior, Behavior):
+        if args or kwargs:
+            raise TypeError("args given with an already-instantiated Behavior")
+        return behavior
+    if isinstance(behavior, type) and issubclass(behavior, Behavior):
+        return behavior(*args, **kwargs)
+    if callable(behavior):
+        if args or kwargs:
+            raise TypeError("args given with a function behavior")
+        return FunctionBehavior(behavior)
+    raise TypeError(f"not a behavior: {behavior!r}")
+
+
+class ActorRecord:
+    """The runtime's record of one live actor (internal).
+
+    Holds the current behavior, the mailbox, and lifecycle flags.  This is
+    deliberately separate from :class:`Behavior` (pure user code) and from
+    the address (a pure value): the record is the *only* mutable runtime
+    state per actor.
+    """
+
+    __slots__ = (
+        "address",
+        "behavior",
+        "pending_behavior",
+        "mailbox",
+        "node",
+        "host_space",
+        "capability",
+        "terminated",
+        "processed_count",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        address: ActorAddress,
+        behavior: Behavior,
+        node: int,
+        host_space: SpaceAddress,
+        capability: Capability | None = None,
+        created_at: float = 0.0,
+    ):
+        self.address = address
+        self.behavior = behavior
+        #: Behavior staged by ``become``, installed before the next message.
+        self.pending_behavior: Behavior | None = None
+        self.mailbox = Mailbox()
+        self.node = node
+        self.host_space = host_space
+        self.capability = capability
+        self.terminated = False
+        self.processed_count = 0
+        self.created_at = created_at
+
+    def stage_become(self, behavior: Behavior) -> None:
+        """Stage ``behavior`` to take effect for the next message."""
+        self.pending_behavior = behavior
+
+    def install_pending(self) -> None:
+        """Install a staged behavior (called by the scheduler between messages)."""
+        if self.pending_behavior is not None:
+            self.behavior = self.pending_behavior
+            self.pending_behavior = None
+
+    def __repr__(self):
+        flags = " terminated" if self.terminated else ""
+        return f"<ActorRecord {self.address!r} {self.behavior!r}{flags}>"

@@ -1,0 +1,209 @@
+"""Atoms and attribute paths.
+
+The prototype described in section 7.1 of the paper represents attributes as
+*concatenations of atoms*, combined with a special ``/`` operator "much as
+is the case with file names in a conventional file-system such as ... the
+UNIX file-system".  This module provides that representation:
+
+* an **atom** is a non-empty string that contains none of the reserved
+  pattern metacharacters;
+* an :class:`AttributePath` is an immutable sequence of atoms, rendered as
+  ``atom/atom/...``;
+* paths compose with ``/`` (:meth:`AttributePath.__truediv__`), which is how
+  the attributes of nested actorSpaces combine with the attributes of the
+  actors visible inside them to form *structured attributes*.
+
+Attribute paths are pure values: hashable, ordered, and free of any
+reference to the runtime, so they can be stored in registries, carried in
+messages, and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator
+
+from .errors import AttributeSyntaxError
+
+#: Characters that may never appear inside an atom.  ``/`` is the path
+#: separator; the rest are pattern metacharacters (see ``patterns.py``)
+#: reserved so that any attribute path is also a valid (self-matching)
+#: pattern.
+RESERVED_CHARS = frozenset("/*?[]{}~ \t\n")
+
+
+def is_valid_atom(text: str) -> bool:
+    """Return ``True`` when ``text`` may be used as an attribute atom."""
+    if not isinstance(text, str) or not text:
+        return False
+    return not any(ch in RESERVED_CHARS for ch in text)
+
+
+def check_atom(text: str) -> str:
+    """Validate ``text`` as an atom, returning it unchanged.
+
+    Raises
+    ------
+    AttributeSyntaxError
+        If ``text`` is empty or contains a reserved character.
+    """
+    if not isinstance(text, str):
+        raise AttributeSyntaxError(f"atom must be a string, got {type(text).__name__}")
+    if not text:
+        raise AttributeSyntaxError("atom must be non-empty")
+    bad = sorted(set(text) & RESERVED_CHARS)
+    if bad:
+        raise AttributeSyntaxError(f"atom {text!r} contains reserved characters {bad}")
+    return text
+
+
+@total_ordering
+class AttributePath:
+    """An immutable path of atoms, e.g. ``services/print/color``.
+
+    Instances may be built from a ``/``-separated string, from an iterable
+    of atoms, or by joining existing paths with the ``/`` operator::
+
+        AttributePath("services/print")
+        AttributePath(["services", "print"])
+        AttributePath("services") / "print"
+
+    The empty path (``AttributePath(())``) is permitted as an identity for
+    ``/`` — it arises when a space with no attribute prefix contributes
+    nothing to a structured attribute — but cannot be produced from a
+    string (the empty string is rejected, as are leading/trailing slashes).
+    """
+
+    __slots__ = ("_atoms", "_hash")
+
+    def __init__(self, source: "AttributePath | str | Iterable[str]" = ()):
+        if isinstance(source, AttributePath):
+            atoms = source._atoms
+        elif isinstance(source, str):
+            if not source:
+                raise AttributeSyntaxError("attribute path must be non-empty")
+            atoms = tuple(check_atom(part) for part in source.split("/"))
+        else:
+            atoms = tuple(check_atom(part) for part in source)
+        self._atoms: tuple[str, ...] = atoms
+        self._hash = hash(atoms)
+
+    # -- value semantics ----------------------------------------------------
+
+    @property
+    def atoms(self) -> tuple[str, ...]:
+        """The atoms of this path, in order."""
+        return self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._atoms)
+
+    def __getitem__(self, index):
+        result = self._atoms[index]
+        if isinstance(index, slice):
+            return AttributePath(result)
+        return result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AttributePath):
+            return self._atoms == other._atoms
+        if isinstance(other, str):
+            try:
+                return self._atoms == AttributePath(other)._atoms
+            except AttributeSyntaxError:
+                return False
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, AttributePath):
+            return self._atoms < other._atoms
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return "/".join(self._atoms)
+
+    def __repr__(self) -> str:
+        return f"AttributePath({str(self)!r})"
+
+    def __bool__(self) -> bool:
+        return bool(self._atoms)
+
+    # -- path algebra ---------------------------------------------------------
+
+    def __truediv__(self, other: "AttributePath | str") -> "AttributePath":
+        """Concatenate two paths: the structured-attribute combinator ``/``."""
+        if isinstance(other, str):
+            other = AttributePath(other)
+        if not isinstance(other, AttributePath):
+            return NotImplemented
+        return AttributePath(self._atoms + other._atoms)
+
+    def startswith(self, prefix: "AttributePath | str") -> bool:
+        """Return ``True`` when ``prefix`` is a (non-strict) prefix of this path."""
+        if isinstance(prefix, str):
+            prefix = AttributePath(prefix)
+        n = len(prefix._atoms)
+        return self._atoms[:n] == prefix._atoms
+
+    def relative_to(self, prefix: "AttributePath | str") -> "AttributePath":
+        """Strip ``prefix`` from this path.
+
+        Raises
+        ------
+        ValueError
+            If ``prefix`` is not actually a prefix of this path.
+        """
+        if isinstance(prefix, str):
+            prefix = AttributePath(prefix)
+        if not self.startswith(prefix):
+            raise ValueError(f"{self!r} does not start with {prefix!r}")
+        return AttributePath(self._atoms[len(prefix._atoms):])
+
+    @property
+    def parent(self) -> "AttributePath":
+        """The path with the final atom removed (empty path for length-1 paths)."""
+        return AttributePath(self._atoms[:-1])
+
+    @property
+    def name(self) -> str:
+        """The final atom of the path.
+
+        Raises
+        ------
+        IndexError
+            If the path is empty.
+        """
+        return self._atoms[-1]
+
+
+#: The empty attribute path — identity element of ``/``.
+EMPTY_PATH = AttributePath(())
+
+
+def as_path(value: "AttributePath | str | Iterable[str]") -> AttributePath:
+    """Coerce ``value`` to an :class:`AttributePath` (idempotent)."""
+    if isinstance(value, AttributePath):
+        return value
+    return AttributePath(value)
+
+
+def as_paths(values) -> frozenset[AttributePath]:
+    """Coerce a single attribute or an iterable of attributes to a frozenset.
+
+    Actors may be registered under several attributes at once (a property
+    list in the sense of section 5 of the paper); this helper normalises the
+    common call shapes::
+
+        as_paths("a/b")              -> {AttributePath("a/b")}
+        as_paths(["a/b", "c"])       -> {AttributePath("a/b"), AttributePath("c")}
+        as_paths(AttributePath("a")) -> {AttributePath("a")}
+    """
+    if isinstance(values, (AttributePath, str)):
+        return frozenset({as_path(values)})
+    return frozenset(as_path(v) for v in values)

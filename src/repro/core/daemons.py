@@ -1,0 +1,229 @@
+"""Monitoring daemons: the section-8 manager extension.
+
+"More powerful managers could use daemons to monitor actors in an
+actorSpace and update attributes in order to maintain specified
+coordination constraints."
+
+A :class:`AttributeDaemon` periodically observes every actor visible in
+one actorSpace and rewrites the *managed suffix* of its attributes from a
+policy function.  Actors keep their stable identity attributes; the
+daemon appends derived ones (``.../load/low``, ``.../state/draining``)
+that senders can match on — coordination constraints become ordinary
+destination patterns.
+
+Because actorSpaces are passive and actors are encapsulated ("actors ...
+should not be sent arbitrary bookkeeping messages", section 5.7), the
+daemon runs with *manager privilege*: it holds the capability for the
+space and performs ``change_attributes`` through the ordinary replicated
+operation stream, so its updates are totally ordered with everyone
+else's.
+
+The module also provides :class:`ConstraintRule` helpers for the common
+cases (thresholded metrics, predicates) and a :func:`load_metric` that
+reads the same queue-depth signal the ``LEAST_LOADED`` arbitration uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .actor import ActorContext, Behavior
+from .addresses import ActorAddress, SpaceAddress
+from .atoms import AttributePath, as_path
+from .capabilities import Capability
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import ActorSpaceSystem
+
+
+@dataclass(frozen=True)
+class ConstraintRule:
+    """One managed attribute: a name plus a classifier over observations.
+
+    ``classify(observation) -> str | None`` returns the value atom to
+    publish under ``prefix`` (e.g. ``low``/``high``), or ``None`` to
+    publish nothing for this actor.
+    """
+
+    prefix: str
+    classify: Callable[[dict], str | None]
+
+    def derived(self, observation: dict) -> AttributePath | None:
+        value = self.classify(observation)
+        if value is None:
+            return None
+        return as_path(self.prefix) / value
+
+
+def threshold_rule(prefix: str, metric: str, low_max: float,
+                   high_min: float | None = None) -> ConstraintRule:
+    """Classify a numeric metric into ``low`` / ``mid`` / ``high`` atoms.
+
+    ``high_min`` defaults to ``low_max`` (two bands, no ``mid``).
+    """
+    cut_high = low_max if high_min is None else high_min
+
+    def classify(observation: dict) -> str | None:
+        value = observation.get(metric)
+        if value is None:
+            return None
+        if value <= low_max:
+            return "low"
+        if value > cut_high:
+            return "high"
+        return "mid"
+
+    return ConstraintRule(prefix, classify)
+
+
+def predicate_rule(prefix: str, value: str,
+                   predicate: Callable[[dict], bool]) -> ConstraintRule:
+    """Publish ``prefix/value`` exactly when ``predicate`` holds."""
+
+    def classify(observation: dict) -> str | None:
+        return value if predicate(observation) else None
+
+    return ConstraintRule(prefix, classify)
+
+
+class AttributeDaemon(Behavior):
+    """An actor that maintains derived attributes in one space.
+
+    Parameters
+    ----------
+    space:
+        The monitored actorSpace.
+    rules:
+        The managed attributes.
+    observe:
+        ``(system-like observer, actor-address) -> dict`` producing the
+        observation a rule classifies.  The default reads queue depth.
+    capability:
+        The manager key authorizing attribute changes in ``space``.
+    period:
+        Virtual time between sweeps.
+    managed_prefixes:
+        Attribute prefixes the daemon owns: it replaces those and only
+        those, preserving every identity attribute the actor set itself.
+        Defaults to the rules' prefixes.
+    """
+
+    def __init__(
+        self,
+        space: SpaceAddress,
+        rules: Iterable[ConstraintRule],
+        observe: Callable[["ActorSpaceSystem", ActorAddress], dict],
+        capability: Capability | None = None,
+        period: float = 0.5,
+        system: "ActorSpaceSystem | None" = None,
+        max_sweeps: int | None = None,
+    ):
+        self.space = space
+        self.rules = list(rules)
+        self.observe = observe
+        self.capability = capability
+        self.period = period
+        self.system = system  # injected by install_daemon
+        #: Retire after this many sweeps (None = run until stopped).  A
+        #: perpetual daemon keeps the event queue non-empty, so bounded
+        #: experiment drivers either set this or use ``run(until=...)``.
+        self.max_sweeps = max_sweeps
+        self.sweeps = 0
+        self.updates = 0
+        self._managed = [as_path(r.prefix) for r in self.rules]
+
+    # -- behavior protocol ------------------------------------------------------
+
+    def on_start(self, ctx: ActorContext) -> None:
+        ctx.schedule(self.period, ("sweep",))
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        kind = message.payload[0] if isinstance(message.payload, tuple) else message.payload
+        if kind == "sweep":
+            alive = self._sweep(ctx)
+            if not alive:
+                return
+            if self.max_sweeps is not None and self.sweeps >= self.max_sweeps:
+                ctx.terminate()
+            else:
+                ctx.schedule(self.period, ("sweep",))
+        elif kind == "stop":
+            ctx.terminate()
+
+    # -- the sweep ------------------------------------------------------------------
+
+    def _is_managed(self, path: AttributePath) -> bool:
+        return any(path.startswith(prefix) for prefix in self._managed)
+
+    def _sweep(self, ctx: ActorContext) -> bool:
+        """Observe every visible actor; rewrite its managed attributes.
+
+        Returns ``False`` when the daemon retired itself (space gone).
+        """
+        assert self.system is not None, "daemon not installed via install_daemon"
+        self.sweeps += 1
+        directory = self.system.coordinators[0].directory
+        if not directory.has_space(self.space):
+            ctx.terminate()
+            return False
+        rec = directory.space(self.space)
+        for entry in list(rec.actor_entries()):
+            observation = self.observe(self.system, entry.target)  # type: ignore[arg-type]
+            stable = {a for a in entry.attributes if not self._is_managed(a)}
+            derived = set()
+            for rule in self.rules:
+                path = rule.derived(observation)
+                if path is not None:
+                    derived.add(path)
+            desired = frozenset(stable | derived)
+            if desired != entry.attributes and desired:
+                self.updates += 1
+                ctx.change_attributes(entry.target, desired, self.space,
+                                      self.capability)
+        return True
+
+    def __repr__(self):
+        return f"<AttributeDaemon space={self.space!r} rules={len(self.rules)}>"
+
+
+def queue_depth_observation(system: "ActorSpaceSystem",
+                            address: ActorAddress) -> dict:
+    """Default observation: pending + in-flight messages for the actor."""
+    record = system.coordinators[address.node].actors.get(address)
+    queued = record.mailbox.pending if record is not None else 0
+    en_route = sum(
+        1 for e in system.in_flight.values() if e.target == address
+    )
+    processed = record.processed_count if record is not None else 0
+    return {"queue": queued + en_route, "processed": processed}
+
+
+def install_daemon(
+    system: "ActorSpaceSystem",
+    space: SpaceAddress,
+    rules: Iterable[ConstraintRule],
+    capability: Capability | None = None,
+    period: float = 0.5,
+    observe: Callable[["ActorSpaceSystem", ActorAddress], dict] | None = None,
+    node: int = 0,
+    max_sweeps: int | None = None,
+) -> ActorAddress:
+    """Create and start an :class:`AttributeDaemon` for ``space``.
+
+    Returns the daemon's mail address (send ``"stop"`` to retire it).
+    A running daemon keeps the event queue non-empty; drivers that rely
+    on ``system.run()`` draining to quiescence should pass ``max_sweeps``
+    or use ``system.run(until=...)``.
+    """
+    daemon = AttributeDaemon(
+        space,
+        rules,
+        observe or queue_depth_observation,
+        capability=capability,
+        period=period,
+        system=system,
+        max_sweeps=max_sweeps,
+    )
+    return system.create_actor(daemon, node=node)

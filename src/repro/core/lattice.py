@@ -1,0 +1,269 @@
+"""The description lattice over attribute expressions.
+
+Section 5 of the paper notes that "attributes may be generalized and
+specialized through conjunction and disjunction.  Thus attributes may be
+embedded in a description lattice" (citing Attardi & Simi's Omega system).
+This module provides that algebra:
+
+* :class:`Desc` — an attribute *description*: a positive boolean
+  combination (``And`` / ``Or``) of atom-level patterns.
+* A description **denotes** the set of attribute paths satisfying it; the
+  lattice order is denotation inclusion, approximated syntactically by
+  :func:`subsumes` (sound, and complete for the And/Or/literal fragment).
+* ``meet`` (conjunction — specialization) and ``join`` (disjunction —
+  generalization) with :data:`TOP` (matches everything) and
+  :data:`BOTTOM` (matches nothing) as extrema.
+
+The runtime itself registers actors under plain *sets* of attribute paths
+(a set acts as the disjunction of its elements when matched by a single
+pattern: any one advertised attribute may satisfy the pattern).  The
+lattice layer is used by applications that reason about interfaces — for
+example the software-repository experiment (E12) stores class interface
+descriptions and answers subsumption queries against query descriptions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .atoms import AttributePath, as_path
+from .patterns import Pattern, parse_pattern
+
+
+class Desc:
+    """Base class of attribute descriptions.  Instances are immutable."""
+
+    __slots__ = ()
+
+    def satisfied_by(self, attributes: Iterable[AttributePath | str]) -> bool:
+        """Does the given set of advertised attribute paths satisfy this description?"""
+        paths = [as_path(a) for a in attributes]
+        return self._sat(paths)
+
+    def _sat(self, paths: list[AttributePath]) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- algebra -------------------------------------------------------------
+
+    def __and__(self, other: "Desc") -> "Desc":
+        return meet(self, other)
+
+    def __or__(self, other: "Desc") -> "Desc":
+        return join(self, other)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Top(Desc):
+    """The top of the lattice: satisfied by any attribute set (even empty)."""
+
+    __slots__ = ()
+
+    def _sat(self, paths):
+        return True
+
+    def _key(self):
+        return ()
+
+    def __repr__(self):
+        return "TOP"
+
+
+class Bottom(Desc):
+    """The bottom of the lattice: satisfied by nothing."""
+
+    __slots__ = ()
+
+    def _sat(self, paths):
+        return False
+
+    def _key(self):
+        return ()
+
+    def __repr__(self):
+        return "BOTTOM"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+class Has(Desc):
+    """Atomic description: *some advertised attribute matches this pattern*."""
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: "Pattern | str | AttributePath"):
+        object.__setattr__(self, "pattern", parse_pattern(pattern))
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("Desc values are immutable")
+
+    def _sat(self, paths):
+        return any(self.pattern.matches(p) for p in paths)
+
+    def _key(self):
+        return self.pattern
+
+    def __repr__(self):
+        return f"Has({str(self.pattern)!r})"
+
+
+class And(Desc):
+    """Conjunction — specializes: all operands must be satisfied."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Desc]):
+        object.__setattr__(self, "operands", _flatten(And, operands))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Desc values are immutable")
+
+    def _sat(self, paths):
+        return all(op._sat(paths) for op in self.operands)
+
+    def _key(self):
+        return self.operands
+
+    def __repr__(self):
+        return "And(" + ", ".join(map(repr, self.operands)) + ")"
+
+
+class Or(Desc):
+    """Disjunction — generalizes: any operand satisfied suffices."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Desc]):
+        object.__setattr__(self, "operands", _flatten(Or, operands))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Desc values are immutable")
+
+    def _sat(self, paths):
+        return any(op._sat(paths) for op in self.operands)
+
+    def _key(self):
+        return self.operands
+
+    def __repr__(self):
+        return "Or(" + ", ".join(map(repr, self.operands)) + ")"
+
+
+def _flatten(cls, operands: Iterable[Desc]) -> frozenset[Desc]:
+    """Flatten nested same-kind operands and dedupe (associativity/idempotence)."""
+    out: set[Desc] = set()
+    for op in operands:
+        if not isinstance(op, Desc):
+            op = Has(op)  # convenience: strings/patterns lift to Has
+        if isinstance(op, cls):
+            out.update(op.operands)
+        else:
+            out.add(op)
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# Lattice operations
+# ---------------------------------------------------------------------------
+
+
+def meet(*descs: Desc) -> Desc:
+    """Greatest lower bound: the conjunction of the given descriptions."""
+    ops = [d for d in descs if not isinstance(d, Top)]
+    if any(isinstance(d, Bottom) for d in ops):
+        return BOTTOM
+    if not ops:
+        return TOP
+    if len(ops) == 1:
+        return ops[0]
+    return And(ops)
+
+
+def join(*descs: Desc) -> Desc:
+    """Least upper bound: the disjunction of the given descriptions."""
+    ops = [d for d in descs if not isinstance(d, Bottom)]
+    if any(isinstance(d, Top) for d in ops):
+        return TOP
+    if not ops:
+        return BOTTOM
+    if len(ops) == 1:
+        return ops[0]
+    return Or(ops)
+
+
+def subsumes(general: Desc, specific: Desc) -> bool:
+    """Sound syntactic test that ``specific`` entails ``general``.
+
+    ``subsumes(g, s)`` is ``True`` only when every attribute set satisfying
+    ``s`` also satisfies ``g`` (``s`` lies at or below ``g`` in the
+    lattice).  The test is complete on the And/Or/Has fragment with *equal*
+    leaf patterns; pattern-level containment is checked only for literal
+    patterns (where it is decidable by equality) and the trivial wildcards.
+    """
+    if isinstance(general, Top) or isinstance(specific, Bottom):
+        return True
+    if isinstance(specific, Top):
+        return isinstance(general, Top) or _leafless_top(general)
+    if isinstance(general, Bottom):
+        return _leafless_bottom(specific)
+    # Disjunction on the specific side: every branch must be subsumed.
+    if isinstance(specific, Or):
+        return all(subsumes(general, s) for s in specific.operands)
+    # Conjunction on the general side: every conjunct must be entailed.
+    if isinstance(general, And):
+        return all(subsumes(g, specific) for g in general.operands)
+    # Conjunction on the specific side: some conjunct suffices.
+    if isinstance(specific, And):
+        return any(subsumes(general, s) for s in specific.operands)
+    # Disjunction on the general side: some branch suffices.
+    if isinstance(general, Or):
+        return any(subsumes(g, specific) for g in general.operands)
+    assert isinstance(general, Has) and isinstance(specific, Has)
+    return _pattern_subsumes(general.pattern, specific.pattern)
+
+
+def _leafless_top(d: Desc) -> bool:
+    """True when ``d`` is equivalent to TOP by structure alone."""
+    if isinstance(d, Top):
+        return True
+    if isinstance(d, And):
+        return all(_leafless_top(op) for op in d.operands)
+    if isinstance(d, Or):
+        return any(_leafless_top(op) for op in d.operands)
+    return False
+
+
+def _leafless_bottom(d: Desc) -> bool:
+    """True when ``d`` is equivalent to BOTTOM by structure alone."""
+    if isinstance(d, Bottom):
+        return True
+    if isinstance(d, Or):
+        return all(_leafless_bottom(op) for op in d.operands)
+    if isinstance(d, And):
+        return any(_leafless_bottom(op) for op in d.operands)
+    return False
+
+
+def _pattern_subsumes(general: Pattern, specific: Pattern) -> bool:
+    """Sound containment check between two leaf patterns.
+
+    Complete when ``specific`` is literal (then it is a membership test);
+    otherwise falls back to equality and the universal wildcard.
+    """
+    if general == specific:
+        return True
+    if specific.is_literal:
+        return general.matches(specific.literal_path)
+    # ``**`` matches every attribute path.
+    if len(general.matchers) == 1 and general.has_multi:
+        return True
+    return False

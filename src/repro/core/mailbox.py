@@ -1,0 +1,107 @@
+"""Per-actor mailboxes with the prototype's three ports.
+
+Section 7.2: "The executing actors are supplied with three different
+message ports, each of which has a different purpose.  The Behavior-port
+is used for sending the actor its next behavior.  The Invocation-port is
+used for sending the actor any messages sent to it using send or
+broadcast.  The RPC-port is used when an actor performs a system call
+that expects a return value."
+
+The mailbox preserves arrival order *within* a port (the runtime's
+scheduler is what makes cross-message arrival order nondeterministic, by
+delivering with randomized latencies).  Behavior messages take priority
+over invocations: an actor must install its next behavior before it can
+meaningfully process the next invocation — this implements the actor
+model's rule that ``become`` determines the behavior used for the *next*
+message.  RPC replies are matched by request id rather than drained in
+order, because an actor may have several system calls outstanding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .errors import MailboxClosedError
+from .messages import Envelope, Port
+
+
+class Mailbox:
+    """Three-port message queue for one executing actor."""
+
+    __slots__ = ("_behavior", "_invocation", "_rpc", "_closed", "delivered_count")
+
+    def __init__(self):
+        self._behavior: deque[Envelope] = deque()
+        self._invocation: deque[Envelope] = deque()
+        self._rpc: dict[Any, Envelope] = {}
+        self._closed = False
+        #: Total envelopes ever enqueued (accounting for fairness tests).
+        self.delivered_count = 0
+
+    # -- enqueue ---------------------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Enqueue ``envelope`` on the port it names.
+
+        Raises
+        ------
+        MailboxClosedError
+            If the actor has terminated.
+        """
+        if self._closed:
+            raise MailboxClosedError(f"mailbox closed; dropped {envelope!r}")
+        self.delivered_count += 1
+        if envelope.port is Port.BEHAVIOR:
+            self._behavior.append(envelope)
+        elif envelope.port is Port.RPC:
+            key = envelope.message.headers.get("rpc_id", envelope.envelope_id)
+            self._rpc[key] = envelope
+        else:
+            self._invocation.append(envelope)
+
+    # -- dequeue -----------------------------------------------------------------
+
+    def next_ready(self) -> Envelope | None:
+        """Dequeue the next processable envelope, or ``None`` if idle.
+
+        Behavior messages outrank invocations; RPC replies are not
+        returned here (they are claimed by :meth:`take_rpc`).
+        """
+        if self._behavior:
+            return self._behavior.popleft()
+        if self._invocation:
+            return self._invocation.popleft()
+        return None
+
+    def take_rpc(self, rpc_id: Any) -> Envelope | None:
+        """Claim the RPC reply for ``rpc_id`` if it has arrived."""
+        return self._rpc.pop(rpc_id, None)
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of envelopes waiting on any port."""
+        return len(self._behavior) + len(self._invocation) + len(self._rpc)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.pending == 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> list[Envelope]:
+        """Close the mailbox; return (and discard) any still-queued mail."""
+        self._closed = True
+        leftovers = list(self._behavior) + list(self._invocation) + list(self._rpc.values())
+        self._behavior.clear()
+        self._invocation.clear()
+        self._rpc.clear()
+        return leftovers
+
+    def __repr__(self):
+        state = "closed" if self._closed else f"{self.pending} pending"
+        return f"<Mailbox {state}>"

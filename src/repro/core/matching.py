@@ -1,0 +1,183 @@
+"""Scoped pattern resolution, including nested-space descent.
+
+"Abstractly, each actorSpace maps a pattern to a set of actor mail
+addresses by matching on its list of registered attributes of visible
+actors" (paper section 5.1).  With nesting, "the attributes of actorSpaces
+and actors may be combined to form a structured attribute (with a special
+combination operator '/')" (section 7.1) — so a pattern ``a/b/c`` resolved
+in space ``S`` matches:
+
+* an actor visible in ``S`` under attribute ``a/b/c`` itself, or
+* an actor visible under ``b/c`` inside a space visible in ``S`` under
+  ``a``, and so on recursively.
+
+The resolver works with *residual patterns*: descending into a space
+visible under attribute prefix ``p`` rewrites the pattern to the set of
+residuals ``pattern.after_prefix(p)`` (several may arise from ``**``).
+Because the visibility relation over spaces is a DAG (section 5.7), the
+descent terminates; a visited-set additionally dedupes shared substructure
+so each ``(space, residual)`` pair is expanded once.
+
+The same machinery resolves pattern-based *space* specifications: "the
+actorSpace specification ... may itself be pattern based" (section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .addresses import ActorAddress, SpaceAddress
+from .messages import Destination
+from .patterns import Pattern, parse_pattern
+from .visibility import Directory
+
+
+class MatchStats:
+    """Counters filled in by a resolution (feeds experiment E10)."""
+
+    __slots__ = ("entries_examined", "spaces_descended", "residuals_generated")
+
+    def __init__(self):
+        self.entries_examined = 0
+        self.spaces_descended = 0
+        self.residuals_generated = 0
+
+    def __repr__(self):
+        return (
+            f"<MatchStats examined={self.entries_examined} "
+            f"descended={self.spaces_descended} residuals={self.residuals_generated}>"
+        )
+
+
+def resolve_actors(
+    directory: Directory,
+    pattern: "Pattern | str",
+    space: SpaceAddress,
+    stats: MatchStats | None = None,
+) -> set[ActorAddress]:
+    """All actor mail addresses matching ``pattern`` in ``space``.
+
+    This is the group-membership function behind both ``send`` (which then
+    picks one member) and ``broadcast`` (which fans out to all).
+    """
+    pattern = parse_pattern(pattern)
+    results: set[ActorAddress] = set()
+    _walk(directory, pattern, space, results, None, set(), stats)
+    return results
+
+
+def resolve_spaces(
+    directory: Directory,
+    pattern: "Pattern | str",
+    space: SpaceAddress,
+    stats: MatchStats | None = None,
+) -> set[SpaceAddress]:
+    """All actorSpace addresses matching ``pattern`` in ``space``.
+
+    Used to resolve the ``@space`` part of a destination when it is itself
+    a pattern; matching considers spaces visible in ``space``, recursively
+    through structured attributes, exactly like actor resolution.
+    """
+    pattern = parse_pattern(pattern)
+    results: set[SpaceAddress] = set()
+    _walk(directory, pattern, space, None, results, set(), stats)
+    return results
+
+
+def _walk(
+    directory: Directory,
+    pattern: Pattern,
+    space: SpaceAddress,
+    actor_results: set[ActorAddress] | None,
+    space_results: set[SpaceAddress] | None,
+    visited: set[tuple[SpaceAddress, Pattern]],
+    stats: MatchStats | None,
+) -> None:
+    """Expand one ``(space, pattern)`` state of the descent."""
+    key = (space, pattern)
+    if key in visited:
+        return
+    visited.add(key)
+    if not directory.has_space(space):
+        return
+    rec = directory.space(space)
+    # Literal-prefix fast path: a pattern beginning with a literal atom
+    # can only match entries indexed under that atom (E10c measures the
+    # saving).  Wildcard-first patterns must scan the registry.
+    prefix = pattern.literal_prefix
+    candidates = (
+        rec.entries_with_first_atom(prefix[0]) if prefix else rec.entries()
+    )
+    for entry in candidates:
+        if stats is not None:
+            stats.entries_examined += 1
+        if entry.is_space:
+            target_space: SpaceAddress = entry.target  # type: ignore[assignment]
+            for attr in entry.attributes:
+                # Direct match on the space itself (space-valued queries).
+                if space_results is not None and pattern.matches(attr):
+                    space_results.add(target_space)
+                # Descend with residual patterns through this attribute.
+                residuals = pattern.after_prefix(attr)
+                if stats is not None:
+                    stats.residuals_generated += len(residuals)
+                for residual in residuals:
+                    if stats is not None:
+                        stats.spaces_descended += 1
+                    _walk(
+                        directory,
+                        residual,
+                        target_space,
+                        actor_results,
+                        space_results,
+                        visited,
+                        stats,
+                    )
+        else:
+            if actor_results is not None and any(
+                pattern.matches(attr) for attr in entry.attributes
+            ):
+                actor_results.add(entry.target)  # type: ignore[arg-type]
+
+
+def resolve_destination_spaces(
+    directory: Directory,
+    destination: Destination,
+    host_space: SpaceAddress,
+) -> list[SpaceAddress]:
+    """Resolve the ``@space`` part of a destination to concrete spaces.
+
+    * explicit :class:`SpaceAddress` — used as is;
+    * ``None`` — the sender's host space (section 7.1 default);
+    * a pattern — every matching space visible from the host space.
+
+    Destroyed/unknown explicit spaces yield an empty list (the message
+    will be handled by the manager's unmatched policy).
+    """
+    spec = destination.space
+    if spec is None:
+        return [host_space] if directory.has_space(host_space) else []
+    if isinstance(spec, SpaceAddress):
+        return [spec] if directory.has_space(spec) else []
+    assert isinstance(spec, Pattern)
+    return sorted(resolve_spaces(directory, spec, host_space))
+
+
+def resolve_destination(
+    directory: Directory,
+    destination: Destination,
+    host_space: SpaceAddress,
+    stats: MatchStats | None = None,
+) -> set[ActorAddress]:
+    """Full destination resolution: spaces first, then actors in each."""
+    receivers: set[ActorAddress] = set()
+    for space in resolve_destination_spaces(directory, destination, host_space):
+        receivers |= resolve_actors(directory, destination.pattern, space, stats)
+    return receivers
+
+
+def group_size(
+    directory: Directory, pattern: "Pattern | str", space: SpaceAddress
+) -> int:
+    """Convenience: how many actors currently form the group ``pattern@space``."""
+    return len(resolve_actors(directory, pattern, space))

@@ -1,0 +1,135 @@
+"""Sequenced group communication: the section-5.3 recipe, packaged.
+
+The paradigm deliberately does not order broadcasts: "broadcasts may be
+received by two actors in a different order and point to point messages
+may be interleaved between two broadcasts."  When an application wants a
+total order on one group's traffic, the paper gives the recipe: "sending
+all messages that are to be broadcast to a special actor whose sole
+purpose is to receive messages from group members, and then broadcast
+these serially to the group using some agreed upon protocol (cf.
+sequenced send in the actor language HAL)".
+
+This module packages both halves of that protocol:
+
+* :class:`SerializerBehavior` — the special actor: stamps each posted
+  payload with a group sequence number and broadcasts it;
+* :class:`OrderedReceiver` — a behavior decorator for group members: a
+  hold-back buffer that releases stamped messages to the wrapped behavior
+  strictly in sequence (two broadcasts fired back-to-back may still
+  arrive inverted at one member — the stamp, not the network, defines the
+  order);
+* :class:`OrderedGroup` — driver-side convenience wiring the two.
+
+Unstamped messages pass through the receiver untouched, so a member can
+take part in ordered *and* ordinary traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .actor import ActorContext, Behavior, as_behavior
+from .addresses import ActorAddress, SpaceAddress
+from .messages import Destination, Message
+
+#: Header marking a serializer-stamped message.
+_STAMP = "ordered_seq"
+_GROUP = "ordered_group"
+
+
+class SerializerBehavior(Behavior):
+    """The group's serializer: posts in, stamped broadcasts out.
+
+    Post payloads with ``ctx.send_to(serializer, payload)``; every member
+    matching ``destination`` receives the payload wrapped with a sequence
+    stamp that :class:`OrderedReceiver` understands.
+    """
+
+    def __init__(self, destination: "Destination | str", group_id: str = "g"):
+        self.destination = destination
+        self.group_id = group_id
+        self.next_seq = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        ctx.broadcast(
+            self.destination,
+            message.payload,
+            reply_to=message.reply_to,
+            headers={_STAMP: seq, _GROUP: self.group_id},
+        )
+
+
+class OrderedReceiver(Behavior):
+    """Hold-back decorator releasing stamped messages in sequence.
+
+    Wraps any behavior.  Stamped messages (from a matching serializer)
+    are buffered until their predecessors have been delivered; everything
+    else is forwarded immediately.  The wrapped behavior sees ordinary
+    :class:`Message` objects and never learns about the protocol.
+    """
+
+    def __init__(self, inner: "Behavior | Any", group_id: str = "g"):
+        self.inner = as_behavior(inner)
+        self.group_id = group_id
+        self.expected = 0
+        self._buffer: dict[int, Message] = {}
+        #: Stamped messages that arrived out of order (accounting).
+        self.reordered = 0
+
+    def on_start(self, ctx: ActorContext) -> None:
+        self.inner.on_start(ctx)
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        headers = message.headers
+        if headers.get(_GROUP) != self.group_id or _STAMP not in headers:
+            self.inner.receive(ctx, message)
+            return
+        seq = headers[_STAMP]
+        if seq != self.expected:
+            self.reordered += 1
+        self._buffer[seq] = message
+        while self.expected in self._buffer:
+            ready = self._buffer.pop(self.expected)
+            self.expected += 1
+            self.inner.receive(ctx, ready)
+
+    @property
+    def held_back(self) -> int:
+        """Messages currently waiting for a predecessor."""
+        return len(self._buffer)
+
+    def __repr__(self):
+        return f"<OrderedReceiver expecting={self.expected} inner={self.inner!r}>"
+
+
+class OrderedGroup:
+    """Driver-side wiring for one totally-ordered group.
+
+    >>> group = OrderedGroup(system, "team/*")          # doctest: +SKIP
+    ... member = system.create_actor(group.member(my_behavior))
+    ... system.make_visible(member, "team/m1")
+    ... group.post("first"); group.post("second")       # ordered for all
+    """
+
+    def __init__(
+        self,
+        system,
+        destination: "Destination | str",
+        group_id: str = "g",
+        node: int = 0,
+    ):
+        self.system = system
+        self.group_id = group_id
+        self.serializer: ActorAddress = system.create_actor(
+            SerializerBehavior(destination, group_id), node=node
+        )
+
+    def member(self, behavior: "Behavior | Any") -> OrderedReceiver:
+        """Wrap a member behavior for this group's ordered traffic."""
+        return OrderedReceiver(behavior, self.group_id)
+
+    def post(self, payload: Any, *, reply_to: ActorAddress | None = None) -> None:
+        """Submit a payload for ordered broadcast to the group."""
+        self.system.send_to(self.serializer, payload, reply_to=reply_to)

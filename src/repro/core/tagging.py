@@ -1,0 +1,90 @@
+"""Message tagging: the section-5.7 alternative cycle defence, app-level.
+
+"An alternate strategy is to tag messages and compare tags with those of
+previously sent messages.  This may offer a way of trapping cycles of
+messages simply forwarded by actors as well."
+
+The space-manager ``CyclePolicy.TAGGING`` traps *routing*-level loops by
+hop budget; this module supplies the *application*-level half the quote
+points at: actors that forward messages stamp them with their own
+address, and refuse to forward a message that already carries their
+stamp.  A two-actor forwarding loop then dies after one round instead of
+spinning forever.
+
+Usage inside a behavior::
+
+    from repro.core.tagging import forward_once, seen_by_me
+
+    def relay(ctx, message):
+        if seen_by_me(ctx, message):
+            return                       # trapped: we already forwarded this
+        forward_once(ctx, "peers/*", message)
+
+``forward_once`` preserves the full ``via`` chain, so diagnostics can see
+the loop's shape; :func:`via_chain` extracts it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .actor import ActorContext
+from .addresses import ActorAddress
+from .messages import Destination, Message
+
+#: Header key carrying the list of forwarders' addresses.
+VIA = "via"
+
+
+def via_chain(message: Message) -> tuple[ActorAddress, ...]:
+    """The addresses that have forwarded this message, oldest first."""
+    return tuple(message.headers.get(VIA, ()))
+
+
+def seen_by_me(ctx: ActorContext, message: Message) -> bool:
+    """Has *this* actor already forwarded this message?"""
+    return ctx.self_address in via_chain(message)
+
+
+def has_cycle(message: Message) -> bool:
+    """Does the via chain already contain a repeat (any forwarder twice)?"""
+    chain = via_chain(message)
+    return len(set(chain)) != len(chain)
+
+
+def forward_once(
+    ctx: ActorContext,
+    destination: "Destination | str",
+    message: Message,
+    *,
+    broadcast: bool = False,
+) -> bool:
+    """Forward ``message`` pattern-wise unless this actor already did.
+
+    Returns ``True`` when forwarded, ``False`` when trapped.  The sender's
+    address is appended to the ``via`` chain; ``reply_to`` is preserved so
+    the eventual receiver can still answer the originator.
+    """
+    if seen_by_me(ctx, message):
+        return False
+    headers = dict(message.headers)
+    headers[VIA] = list(via_chain(message)) + [ctx.self_address]
+    send = ctx.broadcast if broadcast else ctx.send
+    send(destination, message.payload, reply_to=message.reply_to,
+         headers=headers)
+    return True
+
+
+def forward_to(
+    ctx: ActorContext,
+    target: ActorAddress,
+    message: Message,
+) -> bool:
+    """Point-to-point variant of :func:`forward_once`."""
+    if seen_by_me(ctx, message):
+        return False
+    headers = dict(message.headers)
+    headers[VIA] = list(via_chain(message)) + [ctx.self_address]
+    ctx.send_to(target, message.payload, reply_to=message.reply_to,
+                headers=headers)
+    return True

@@ -1,0 +1,278 @@
+"""The visibility directory: all spaces, their registries, and the DAG.
+
+This module is the single-copy semantics of ActorSpace visibility.  The
+distributed runtime replicates one :class:`Directory` per node coordinator
+and keeps the replicas coherent by applying visibility operations in the
+total order imposed by the coordinator bus (paper section 7.3); the logic
+here is deliberately independent of the replication machinery so it can be
+tested exhaustively on its own.
+
+Responsibilities:
+
+* track every actorSpace record, and which entities are visible where;
+* enforce capability checks on ``make_visible`` / ``make_invisible`` /
+  ``change_attributes`` (section 5.4);
+* enforce acyclicity of the space-visibility relation (section 5.7): "we
+  do not allow an actorSpace to be made visible in itself, or recursively
+  in any contained actorSpace.  This avoids cycles in the directed acyclic
+  graph defined by the visibility relation";
+* answer reverse queries (which spaces contain X?) for garbage collection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .actorspace import RegistryEntry, SpaceRecord
+from .addresses import MailAddress, SpaceAddress, is_space_address
+from .atoms import AttributePath, as_paths
+from .capabilities import Capability, authorize
+from .errors import (
+    CapabilityError,
+    SpaceDestroyedError,
+    UnknownAddressError,
+    VisibilityCycleError,
+)
+
+
+class Directory:
+    """All actorSpace registries plus the visibility DAG over spaces."""
+
+    __slots__ = ("_spaces", "_containers", "_known_capabilities", "_op_count")
+
+    def __init__(self):
+        self._spaces: dict[SpaceAddress, SpaceRecord] = {}
+        #: Reverse index: target address -> set of spaces it is visible in.
+        self._containers: dict[MailAddress, set[SpaceAddress]] = {}
+        #: Capability required to change each *entity's* own visibility,
+        #: recorded at creation time (section 5.4 binds capabilities to
+        #: actors and spaces, not only to spaces).
+        self._known_capabilities: dict[MailAddress, Capability | None] = {}
+        self._op_count = 0
+
+    # -- space lifecycle ---------------------------------------------------------
+
+    def add_space(self, record: SpaceRecord) -> None:
+        """Register a newly created actorSpace."""
+        if record.address in self._spaces:
+            raise ValueError(f"duplicate space {record.address!r}")
+        self._spaces[record.address] = record
+        self._known_capabilities.setdefault(record.address, record.capability)
+        self._op_count += 1
+
+    def bind_capability(self, target: MailAddress, capability: Capability | None) -> None:
+        """Record the capability bound to ``target`` at its creation."""
+        self._known_capabilities[target] = capability
+
+    def space(self, address: SpaceAddress) -> SpaceRecord:
+        """Look up a live space record.
+
+        Raises
+        ------
+        UnknownAddressError / SpaceDestroyedError
+        """
+        rec = self._spaces.get(address)
+        if rec is None:
+            raise UnknownAddressError(f"no such actorSpace: {address!r}")
+        if rec.destroyed:
+            raise SpaceDestroyedError(f"{address!r} has been destroyed")
+        return rec
+
+    def has_space(self, address: SpaceAddress) -> bool:
+        rec = self._spaces.get(address)
+        return rec is not None and not rec.destroyed
+
+    def spaces(self) -> Iterator[SpaceRecord]:
+        """Iterate over live space records."""
+        return (r for r in self._spaces.values() if not r.destroyed)
+
+    def destroy_space(self, address: SpaceAddress) -> None:
+        """Explicitly destroy a space (section 7.1); members survive."""
+        rec = self.space(address)
+        for entry in rec.destroy():
+            holders = self._containers.get(entry.target)
+            if holders:
+                holders.discard(address)
+        # The space may itself have been visible elsewhere; evict it.
+        for holder in list(self._containers.get(address, ())):
+            holder_rec = self._spaces.get(holder)
+            if holder_rec is not None and not holder_rec.destroyed:
+                holder_rec.unregister(address)
+        self._containers.pop(address, None)
+        self._op_count += 1
+
+    # -- capability discipline ------------------------------------------------------
+
+    def _authorize(self, target: MailAddress, space_rec: SpaceRecord,
+                   capability: Capability | None) -> None:
+        """Validate a visibility operation on ``target`` within ``space_rec``.
+
+        The presented capability must satisfy *both* keys that apply: the
+        one bound to the target entity at creation, and the one bound to
+        the space (authenticating operations in that space, section 5.2).
+        Unprotected entities/spaces (no bound key) impose no requirement.
+        """
+        target_key = self._known_capabilities.get(target)
+        if not authorize(capability, target_key):
+            raise CapabilityError(
+                f"capability does not authorize visibility change of {target!r}"
+            )
+        if not authorize(capability, space_rec.capability):
+            raise CapabilityError(
+                f"capability does not authorize operations in {space_rec.address!r}"
+            )
+
+    # -- the DAG -------------------------------------------------------------------
+
+    def contained_spaces(self, space: SpaceAddress) -> Iterator[SpaceAddress]:
+        """Spaces directly visible inside ``space``."""
+        rec = self._spaces.get(space)
+        if rec is None or rec.destroyed:
+            return iter(())
+        return (e.target for e in rec.space_entries())  # type: ignore[misc]
+
+    def reaches(self, start: SpaceAddress, goal: SpaceAddress) -> bool:
+        """True when ``goal`` is ``start`` or transitively visible inside it."""
+        if start == goal:
+            return True
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for child in self.contained_spaces(current):
+                if child == goal:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    def would_cycle(self, target: MailAddress, space: SpaceAddress) -> bool:
+        """Would making ``target`` visible in ``space`` create a cycle?
+
+        Only space targets can create cycles; actors are leaves.
+        """
+        if not is_space_address(target):
+            return False
+        return self.reaches(target, space)  # type: ignore[arg-type]
+
+    # -- visibility operations --------------------------------------------------------
+
+    def make_visible(
+        self,
+        target: MailAddress,
+        attributes: "Iterable[AttributePath | str] | AttributePath | str",
+        space: SpaceAddress,
+        capability: Capability | None = None,
+        now: float = 0.0,
+        check_cycles: bool = True,
+    ) -> RegistryEntry:
+        """Subject ``target`` to pattern matching in ``space``.
+
+        Raises :class:`CapabilityError` on bad keys and
+        :class:`VisibilityCycleError` when the operation would make a space
+        visible in itself or in a space it (transitively) contains.
+        ``check_cycles=False`` selects the message-tagging alternative of
+        section 5.7 (cycles tolerated here, trapped at routing time) — used
+        by the E7 ablation via a customized manager.
+        """
+        rec = self.space(space)
+        self._authorize(target, rec, capability)
+        if check_cycles and self.would_cycle(target, space):
+            raise VisibilityCycleError(target, space)
+        entry = rec.register(target, as_paths(attributes), now)
+        self._containers.setdefault(target, set()).add(space)
+        self._op_count += 1
+        return entry
+
+    def make_invisible(
+        self,
+        target: MailAddress,
+        space: SpaceAddress,
+        capability: Capability | None = None,
+    ) -> bool:
+        """Remove ``target`` from pattern matching in ``space``.
+
+        Removing visibility in a space also removes it from "any other
+        enclosing actorSpace" (section 5.4) in the sense that structured
+        patterns entering through ``space`` no longer reach the target;
+        entries the target holds in *other* spaces are untouched.
+        """
+        rec = self.space(space)
+        self._authorize(target, rec, capability)
+        removed = rec.unregister(target)
+        if removed:
+            holders = self._containers.get(target)
+            if holders:
+                holders.discard(space)
+                if not holders:
+                    del self._containers[target]
+        self._op_count += 1
+        return removed
+
+    def change_attributes(
+        self,
+        target: MailAddress,
+        attributes: "Iterable[AttributePath | str] | AttributePath | str",
+        space: SpaceAddress,
+        capability: Capability | None = None,
+        now: float = 0.0,
+    ) -> RegistryEntry:
+        """Replace the attributes of an existing registration (section 5.4).
+
+        Raises
+        ------
+        UnknownAddressError
+            If ``target`` is not currently visible in ``space``.
+        """
+        rec = self.space(space)
+        self._authorize(target, rec, capability)
+        if target not in rec:
+            raise UnknownAddressError(
+                f"{target!r} is not visible in {space!r}; make_visible first"
+            )
+        entry = rec.register(target, as_paths(attributes), now)
+        self._op_count += 1
+        return entry
+
+    # -- reverse queries (GC support) ------------------------------------------------
+
+    def containers_of(self, target: MailAddress) -> frozenset[SpaceAddress]:
+        """The spaces in which ``target`` is currently visible."""
+        return frozenset(self._containers.get(target, ()))
+
+    def is_visible_anywhere(self, target: MailAddress) -> bool:
+        return bool(self._containers.get(target))
+
+    def purge_target(self, target: MailAddress) -> int:
+        """Remove every registration of ``target`` (used when it is collected).
+
+        Returns the number of registries it was removed from.
+        """
+        holders = self._containers.pop(target, set())
+        n = 0
+        for space in holders:
+            rec = self._spaces.get(space)
+            if rec is not None and not rec.destroyed and rec.unregister(target):
+                n += 1
+        self._known_capabilities.pop(target, None)
+        if n:
+            self._op_count += 1
+        return n
+
+    @property
+    def op_count(self) -> int:
+        """Number of mutating operations applied (replica coherence checks)."""
+        return self._op_count
+
+    def snapshot(self) -> dict:
+        """Deep value snapshot of all registries, for replica comparison."""
+        return {
+            addr: rec.snapshot()
+            for addr, rec in self._spaces.items()
+            if not rec.destroyed
+        }
+
+    def __repr__(self):
+        live = sum(1 for r in self._spaces.values() if not r.destroyed)
+        return f"<Directory {live} live spaces, {self._op_count} ops>"

@@ -1,0 +1,44 @@
+"""AST value types for the behavior-script language.
+
+The parsed representation is deliberately Lisp-like: programs are nested
+Python lists of atoms, where atoms are numbers, strings, booleans,
+``None`` (written ``nil``), and :class:`Symbol`.  Using plain lists keeps
+the evaluator a straightforward tree walk — "a parsed representation of
+the behavior specification" exactly as section 7.2 describes.
+"""
+
+from __future__ import annotations
+
+
+class Symbol(str):
+    """An interned-by-value identifier.  Subclasses ``str`` so symbol
+    tables are plain dicts; distinct from strings at the type level so
+    the evaluator can tell ``foo`` from ``"foo"``."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return f"Symbol({str.__repr__(self)})"
+
+
+def is_symbol(x: object, name: str | None = None) -> bool:
+    """Is ``x`` a symbol (optionally: the symbol ``name``)?"""
+    if not isinstance(x, Symbol):
+        return False
+    return name is None or str(x) == name
+
+
+def to_source(form: object) -> str:
+    """Render a form back to surface syntax (for error messages and tests)."""
+    if isinstance(form, list):
+        return "(" + " ".join(to_source(f) for f in form) + ")"
+    if isinstance(form, Symbol):
+        return str(form)
+    if isinstance(form, bool):
+        return "true" if form else "false"
+    if form is None:
+        return "nil"
+    if isinstance(form, str):
+        escaped = form.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(form)

@@ -1,0 +1,93 @@
+"""Lexical environments for the behavior interpreter."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import InterpreterRuntimeError
+
+
+class Env:
+    """A frame of variable bindings with a parent chain."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: dict[str, Any] | None = None, parent: "Env | None" = None):
+        self.bindings: dict[str, Any] = dict(bindings or {})
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Env | None = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise InterpreterRuntimeError(f"unbound variable: {name}")
+
+    def is_bound(self, name: str) -> bool:
+        env: Env | None = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False
+
+    def define(self, name: str, value: Any) -> None:
+        """Bind ``name`` in *this* frame (shadowing any outer binding)."""
+        self.bindings[name] = value
+
+    #: Frames with ``mutable = False`` reject define/assign (builtins).
+    mutable = True
+
+    def assign(self, name: str, value: Any) -> None:
+        """Rebind the nearest existing binding of ``name`` (``set!``)."""
+        env: Env | None = self
+        while env is not None:
+            if name in env.bindings:
+                if not env.mutable:
+                    raise InterpreterRuntimeError(
+                        f"cannot rebind builtin: {name}")
+                env.bindings[name] = value
+                return
+            env = env.parent
+        raise InterpreterRuntimeError(f"cannot set! unbound variable: {name}")
+
+    def child(self, bindings: dict[str, Any] | None = None) -> "Env":
+        return Env(bindings, parent=self)
+
+    def flatten(self) -> dict[str, Any]:
+        """All visible bindings (inner shadowing outer) — used by ``become``
+        to snapshot the state a behavior carries forward."""
+        frames = []
+        env: Env | None = self
+        while env is not None:
+            frames.append(env.bindings)
+            env = env.parent
+        merged: dict[str, Any] = {}
+        for frame in reversed(frames):
+            merged.update(frame)
+        return merged
+
+    def __repr__(self):
+        depth = 0
+        env = self.parent
+        while env is not None:
+            depth += 1
+            env = env.parent
+        return f"<Env {len(self.bindings)} bindings, depth {depth}>"
+
+
+class FrozenEnv(Env):
+    """An immutable frame — used for the shared builtins table.
+
+    Sharing one builtins frame across every invocation (instead of
+    copying ~60 bindings per message) is a large win for short methods;
+    freezing it keeps one actor's ``set!`` from rebinding a builtin for
+    everyone else.
+    """
+
+    __slots__ = ()
+    mutable = False
+
+    def define(self, name, value) -> None:
+        raise InterpreterRuntimeError(f"cannot rebind builtin frame ({name})")

@@ -1,0 +1,112 @@
+"""Tokenizer for the behavior-script language.
+
+The prototype (paper section 7) interprets "the code associated with each
+method definition" with "a small sequential interpreter", chosen over a
+compiler for "the additional flexibility of easily loading behaviors at
+run-time".  We use a compact s-expression syntax; the lexer produces a
+flat token stream the parser folds into nested forms.
+
+Token kinds: ``(``, ``)``, ``'`` (quote shorthand), strings (double
+quoted, with escapes), numbers (int/float, with signs), and symbols
+(everything else up to a delimiter).  ``;`` starts a comment to end of
+line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import InterpreterSyntaxError
+
+_DELIMS = frozenset("()' \t\n\r;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  #: "(", ")", "'", "string", "number", "symbol"
+    text: str
+    value: object  #: decoded payload for strings/numbers; text otherwise
+    line: int
+    col: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`InterpreterSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(source)
+    line, col = 1, 1
+
+    def advance(k: int = 1):
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == ";":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if ch in "()'":
+            tokens.append(Token(ch, ch, ch, line, col))
+            advance()
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance()
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                c = source[i]
+                if c == "\\":
+                    advance()
+                    if i >= n:
+                        break
+                    esc = source[i]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    advance()
+                else:
+                    chars.append(c)
+                    advance()
+            if i >= n:
+                raise InterpreterSyntaxError("unterminated string", start_line, start_col)
+            advance()  # closing quote
+            tokens.append(Token("string", '"' + "".join(chars) + '"', "".join(chars),
+                                start_line, start_col))
+            continue
+        # number or symbol
+        start_line, start_col = line, col
+        j = i
+        while j < n and source[j] not in _DELIMS and source[j] != '"':
+            j += 1
+        text = source[i:j]
+        advance(j - i)
+        value = _maybe_number(text)
+        if value is not None:
+            tokens.append(Token("number", text, value, start_line, start_col))
+        else:
+            tokens.append(Token("symbol", text, text, start_line, start_col))
+    return tokens
+
+
+def _maybe_number(text: str) -> int | float | None:
+    """Decode ``text`` as a number, or ``None`` if it is a symbol."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        # Reject symbols like "+" or "-" that float() also rejects, and
+        # things like "1e" that it accepts oddly via exceptions anyway.
+        return float(text)
+    except ValueError:
+        return None

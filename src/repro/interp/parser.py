@@ -1,0 +1,78 @@
+"""Parser: token stream to nested forms.
+
+``parse_program`` returns the list of top-level forms; ``parse_one``
+expects exactly one.  ``'x`` desugars to ``(quote x)``; the symbols
+``true``/``false``/``nil`` become Python ``True``/``False``/``None`` at
+parse time (they are constants, not bindables).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InterpreterSyntaxError
+
+from .astnodes import Symbol
+from .lexer import Token, tokenize
+
+_CONSTANTS = {"true": True, "false": False, "nil": None}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def parse_form(self):
+        if self.at_end():
+            raise InterpreterSyntaxError("unexpected end of input")
+        tok = self.next()
+        if tok.kind == "(":
+            items = []
+            while True:
+                if self.at_end():
+                    raise InterpreterSyntaxError(
+                        "unclosed '('", tok.line, tok.col
+                    )
+                if self.peek().kind == ")":
+                    self.next()
+                    return items
+                items.append(self.parse_form())
+        if tok.kind == ")":
+            raise InterpreterSyntaxError("unexpected ')'", tok.line, tok.col)
+        if tok.kind == "'":
+            return [Symbol("quote"), self.parse_form()]
+        if tok.kind in ("string", "number"):
+            return tok.value
+        assert tok.kind == "symbol"
+        if tok.text in _CONSTANTS:
+            return _CONSTANTS[tok.text]
+        return Symbol(tok.text)
+
+
+def parse_program(source: str) -> list:
+    """Parse all top-level forms in ``source``."""
+    parser = _Parser(tokenize(source))
+    forms = []
+    while not parser.at_end():
+        forms.append(parser.parse_form())
+    return forms
+
+
+def parse_one(source: str):
+    """Parse exactly one form; error on extra input."""
+    forms = parse_program(source)
+    if len(forms) != 1:
+        raise InterpreterSyntaxError(
+            f"expected exactly one form, found {len(forms)}"
+        )
+    return forms[0]

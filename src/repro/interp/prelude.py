@@ -1,0 +1,124 @@
+"""The prelude: a standard library of behavior scripts.
+
+The prototype loads behaviors at run time; this module ships the stock
+ones every system wants, written in the script language itself (they
+double as a conformance suite for the interpreter).  Load them with::
+
+    from repro.interp import BehaviorLibrary, load_prelude
+    library = load_prelude()          # or load_prelude(existing_library)
+
+Provided behaviors
+------------------
+``cell v``
+    A mutable reference: ``[get]`` replies the value to ``reply-addr``,
+    ``[put v]`` replaces it, ``[swap v]`` replaces *and* replies the old
+    value — the classic actor shared-variable.
+``accumulator total``
+    ``[add n]`` accumulates; ``[report]`` replies the total.
+``forwarder target``
+    Relays every ``[relay payload]`` to ``target`` unchanged.
+``router table-keys table-vals``
+    Content-based router: ``[route key payload]`` sends ``payload`` to the
+    pattern registered for ``key`` (parallel lists form the table).
+``ring-member next``
+    ``[token k]`` decrements ``k`` and passes the token to ``next``;
+    announces ``done`` to ``reply-addr`` when ``k`` reaches zero — the
+    classic ring latency microbenchmark.
+``registrar``
+    ``[publish attrs]`` makes *itself* visible under ``attrs`` (a
+    self-registering service, section 3's "objects may register
+    themselves" done ActorSpace-style).
+``broadcaster dest``
+    ``[tell payload]`` broadcasts ``payload`` to the stored destination
+    pattern.
+"""
+
+from __future__ import annotations
+
+from .behavior_loader import BehaviorLibrary
+
+PRELUDE_SOURCE = """
+(behavior cell (value)
+  (method get ()
+    (send-to (reply-addr) value))
+  (method put (v)
+    (become cell v))
+  (method swap (v)
+    (send-to (reply-addr) value)
+    (become cell v)))
+
+(behavior accumulator (total)
+  (method add (n)
+    (become accumulator (+ total n)))
+  (method report ()
+    (send-to (reply-addr) total)))
+
+(behavior forwarder (target)
+  (method relay (payload)
+    (send-to target payload)))
+
+(behavior router (keys dests)
+  (method route (key payload)
+    (let ((n (len keys)))
+      (define i 0)
+      (define found false)
+      (while (< i n)
+        (if (= (nth keys i) key)
+            (begin
+              (send (nth dests i) payload)
+              (set! found true)))
+        (set! i (+ i 1)))
+      (if (not found)
+          (print "router: no route for" key)))))
+
+(behavior ring-member (next)
+  (method token (k reply)
+    (if (<= k 0)
+        (send-to reply (list "done" k))
+        (send-to next (list "token" (- k 1) reply)))))
+
+(behavior registrar ()
+  (method publish (attrs)
+    (make-visible (self) attrs)))
+
+(behavior broadcaster (dest)
+  (method tell (payload)
+    (broadcast dest payload)))
+"""
+
+
+def load_prelude(library: BehaviorLibrary | None = None) -> BehaviorLibrary:
+    """Load the prelude into ``library`` (a fresh one by default)."""
+    library = library or BehaviorLibrary()
+    library.load(PRELUDE_SOURCE)
+    return library
+
+
+def build_ring(system, library: BehaviorLibrary, size: int,
+               nodes: bool = True):
+    """Construct a ring of ``size`` interpreted ``ring-member`` actors.
+
+    Returns the entry actor's address.  Members are spread across nodes
+    when ``nodes`` is set (a latency microbenchmark wants real hops).
+    """
+    from .actor_interface import InterpretedBehavior
+
+    if size < 1:
+        raise ValueError("ring needs at least one member")
+    node_count = system.topology.node_count
+    # Build backwards so each member knows its successor at create time.
+    next_addr = None
+    addresses = []
+    for i in reversed(range(size)):
+        node = i % node_count if nodes else 0
+        behavior = InterpretedBehavior(
+            library, library.get("ring-member"),
+            [next_addr],
+        )
+        next_addr = system.create_actor(behavior, node=node)
+        addresses.append(next_addr)
+    # Close the ring: the first-created member (tail) points at the head.
+    head = next_addr
+    tail_behavior = system.actor_record(addresses[0]).behavior
+    tail_behavior.state["next"] = head
+    return head

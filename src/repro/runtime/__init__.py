@@ -1,0 +1,43 @@
+"""Execution substrate: deterministic simulation of the section-7 design."""
+
+from .bus import Bus, OpKind, SequencerBus, TokenRingBus, VisibilityOp
+from .clock import VirtualClock
+from .context import RuntimeContext
+from .coordinator import Coordinator
+from .events import EventQueue
+from .network import LatencyModel, LinkKind, Network, Topology
+from .node import Node
+from .rng import RngHub
+from .system import ActorSpaceSystem
+from .tracing import LatencySample, Tracer
+from .transport import (
+    InstantTransport,
+    LossyTransport,
+    NetworkTransport,
+    Transport,
+)
+
+__all__ = [
+    "ActorSpaceSystem",
+    "Bus",
+    "Coordinator",
+    "EventQueue",
+    "InstantTransport",
+    "LatencyModel",
+    "LatencySample",
+    "LinkKind",
+    "LossyTransport",
+    "Network",
+    "NetworkTransport",
+    "Node",
+    "OpKind",
+    "RngHub",
+    "RuntimeContext",
+    "SequencerBus",
+    "TokenRingBus",
+    "Topology",
+    "Tracer",
+    "Transport",
+    "VirtualClock",
+    "VisibilityOp",
+]

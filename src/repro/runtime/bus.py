@@ -1,0 +1,285 @@
+"""The virtual coordinator bus: totally ordered visibility updates.
+
+Section 7.3: "A coordinator process uses the network connection to
+broadcast information to other coordinators in order to maintain coherence
+of the state of ActorSpace. ... the current design needs a global ordering
+on individual broadcasts between coordinators to order visibility changes
+globally, so that all nodes have the same view of visibility in ActorSpace
+(although not necessarily the same order on broadcasts to actors).  The
+broadcasting between the coordinators could, for instance, be done using
+either the Amoeba broadcast protocol or a centralized broadcaster and
+sequencer."
+
+We implement both families the paper names:
+
+* :class:`SequencerBus` — a centralized sequencer (Chang & Maxemchuk
+  style [9]): submissions travel to a sequencer node, receive a global
+  sequence number, and are fanned out to every coordinator.
+* :class:`TokenRingBus` — a rotating-token protocol (the Amoeba/token
+  family): the token visits nodes round-robin; the holder stamps and fans
+  out its pending submissions.
+
+Both guarantee: (1) a single total order of operations, identical at every
+replica, and (2) per-origin FIFO (a node's own operations apply in the
+order it issued them — required so "create space" precedes "make visible
+in that space").  Coordinators apply operations through a hold-back queue
+keyed by sequence number, so delivery-order jitter never reorders
+application.  Experiment E9 verifies coherence and compares the two
+protocols' latency/message cost.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .clock import VirtualClock
+from .events import EventQueue
+from .transport import Transport
+
+#: Event priority for bus traffic: applied before same-instant actor work,
+#: so a visibility change never races a delivery scheduled alongside it.
+BUS_PRIORITY = -1
+
+
+class OpKind(enum.Enum):
+    """The visibility-affecting operations replicated through the bus."""
+
+    ADD_SPACE = "add_space"
+    DESTROY_SPACE = "destroy_space"
+    MAKE_VISIBLE = "make_visible"
+    MAKE_INVISIBLE = "make_invisible"
+    CHANGE_ATTRIBUTES = "change_attributes"
+    BIND_CAPABILITY = "bind_capability"
+    PURGE = "purge"  #: remove a collected entity from all registries
+
+
+_op_ids = itertools.count()
+
+
+@dataclass
+class VisibilityOp:
+    """One replicated operation plus its origin bookkeeping."""
+
+    kind: OpKind
+    args: dict[str, Any]
+    origin_node: int
+    origin_seq: int = 0  #: per-origin FIFO counter, set by the submitting coordinator
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+    #: Called (only at the origin) if apply-time validation rejects the op.
+    on_rejected: Callable[[Exception], None] | None = None
+    #: Called (only at the origin) when the op applies successfully.
+    on_applied: Callable[[], None] | None = None
+
+    def __repr__(self):
+        return f"<Op #{self.op_id} {self.kind.value} from n{self.origin_node}>"
+
+
+class Bus:
+    """Base class: total-order broadcast of :class:`VisibilityOp` values.
+
+    ``deliver`` is a callback ``(node, global_seq, op)`` installed by the
+    system; implementations must invoke it exactly once per (node, op) and
+    assign each op exactly one ``global_seq`` from a gap-free sequence.
+    """
+
+    def __init__(
+        self,
+        nodes: list[int],
+        events: EventQueue,
+        clock: VirtualClock,
+        transport: Transport,
+    ):
+        if not nodes:
+            raise ValueError("bus needs at least one node")
+        self.nodes = list(nodes)
+        self.events = events
+        self.clock = clock
+        self.transport = transport
+        self.deliver: Callable[[int, int, VisibilityOp], None] | None = None
+        #: Total protocol messages exchanged (cost accounting for E9).
+        self.protocol_messages = 0
+        self.ops_sequenced = 0
+        #: The sequenced-op log: seq -> op.  Retained so a recovering
+        #: coordinator can be brought up to date (state transfer); a real
+        #: deployment would truncate it at the all-applied watermark.
+        self.log: dict[int, VisibilityOp] = {}
+
+    def submit(self, op: VisibilityOp) -> None:  # pragma: no cover - abstract
+        """Accept ``op`` from its origin coordinator for global ordering."""
+        raise NotImplementedError
+
+    def replay_to(self, node: int, from_seq: int) -> int:
+        """State transfer: redeliver every logged op >= ``from_seq`` to ``node``.
+
+        Called when a coordinator recovers from a crash; the missed ops
+        arrive with ordinary transport latency and flow through the same
+        hold-back application path, so recovery is just catching up on the
+        total order.  Returns the number of ops scheduled for replay.
+        """
+        assert self.deliver is not None, "bus not wired to a system"
+        from repro.core.errors import TransportError
+
+        source = self.nodes[0]
+        count = 0
+        for seq in sorted(s for s in self.log if s >= from_seq):
+            op = self.log[seq]
+            self.protocol_messages += 1
+            try:
+                latency = self.transport.deliver_latency(source, node)
+            except (TransportError, RuntimeError):  # pragma: no cover
+                break
+            count += 1
+            self.events.schedule(
+                self.clock.now + latency,
+                (lambda n=node, s=seq, o=op: self.deliver(n, s, o)),
+                priority=BUS_PRIORITY,
+            )
+        return count
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def _fan_out(self, seq: int, op: VisibilityOp, from_node: int) -> None:
+        """Send the sequenced op to every coordinator.
+
+        Crashed nodes are skipped; a real deployment would replay the
+        missed operations on recovery (out of scope for the experiments,
+        which never recover a coordinator).
+        """
+        assert self.deliver is not None, "bus not wired to a system"
+        from repro.core.errors import TransportError
+
+        self.log[seq] = op
+        for node in self.nodes:
+            self.protocol_messages += 1
+            try:
+                latency = self.transport.deliver_latency(from_node, node)
+            except (TransportError, RuntimeError):
+                continue
+            self.events.schedule(
+                self.clock.now + latency,
+                (lambda n=node, s=seq, o=op: self.deliver(n, s, o)),
+                priority=BUS_PRIORITY,
+            )
+
+
+class SequencerBus(Bus):
+    """Centralized broadcaster-and-sequencer (Chang & Maxemchuk [9]).
+
+    Submissions are unicast to the sequencer node, buffered there until
+    per-origin FIFO order is restored, stamped with the next global
+    sequence number, and fanned out to all nodes.
+    """
+
+    def __init__(self, nodes, events, clock, transport, sequencer_node: int | None = None):
+        super().__init__(nodes, events, clock, transport)
+        self.sequencer_node = self.nodes[0] if sequencer_node is None else sequencer_node
+        self._next_seq = 0
+        #: Per-origin FIFO reassembly at the sequencer.
+        self._expected: dict[int, int] = {}
+        self._holdback: dict[tuple[int, int], VisibilityOp] = {}
+
+    def submit(self, op: VisibilityOp) -> None:
+        self.protocol_messages += 1
+        latency = self.transport.deliver_latency(op.origin_node, self.sequencer_node)
+        self.events.schedule(
+            self.clock.now + latency,
+            lambda: self._at_sequencer(op),
+            priority=BUS_PRIORITY,
+        )
+
+    def _at_sequencer(self, op: VisibilityOp) -> None:
+        origin = op.origin_node
+        self._expected.setdefault(origin, 0)
+        self._holdback[(origin, op.origin_seq)] = op
+        # Release the contiguous run now available from this origin.
+        while (origin, self._expected[origin]) in self._holdback:
+            ready = self._holdback.pop((origin, self._expected[origin]))
+            self._expected[origin] += 1
+            seq = self._next_seq
+            self._next_seq += 1
+            self.ops_sequenced += 1
+            self._fan_out(seq, ready, self.sequencer_node)
+
+    def __repr__(self):
+        return f"<SequencerBus @n{self.sequencer_node} seq={self._next_seq}>"
+
+
+class TokenRingBus(Bus):
+    """Rotating-token total order (the Amoeba/token-protocol family).
+
+    A token circulates through the nodes in id order.  When a node holds
+    the token, all submissions that have *arrived* at that node are
+    stamped with consecutive global sequence numbers and fanned out.  The
+    token then travels to the next node after ``hold_time``.
+
+    The token "carries" the global sequence counter, which is what makes
+    the order total without a central sequencer.
+    """
+
+    def __init__(self, nodes, events, clock, transport, hold_time: float = 0.05):
+        super().__init__(nodes, events, clock, transport)
+        self.hold_time = hold_time
+        self._next_seq = 0
+        self._pending: dict[int, list[VisibilityOp]] = {n: [] for n in self.nodes}
+        self._expected: dict[int, int] = {}
+        self._holdback: dict[tuple[int, int], VisibilityOp] = {}
+        self._token_holder_index = 0
+        self._token_started = False
+
+    def submit(self, op: VisibilityOp) -> None:
+        # The op is already at its origin node; it waits for the token.
+        self._enqueue_fifo(op)
+        self._ensure_token()
+
+    def _enqueue_fifo(self, op: VisibilityOp) -> None:
+        """Restore per-origin FIFO before queuing for the token."""
+        origin = op.origin_node
+        expected = self._expected.setdefault(origin, 0)
+        self._holdback[(origin, op.origin_seq)] = op
+        while (origin, self._expected[origin]) in self._holdback:
+            ready = self._holdback.pop((origin, self._expected[origin]))
+            self._expected[origin] += 1
+            self._pending[origin].append(ready)
+
+    def _ensure_token(self) -> None:
+        if not self._token_started:
+            self._token_started = True
+            self.events.schedule(
+                self.clock.now + self.hold_time,
+                self._token_arrives,
+                priority=BUS_PRIORITY,
+            )
+
+    def _token_arrives(self) -> None:
+        holder = self.nodes[self._token_holder_index]
+        queue = self._pending[holder]
+        while queue:
+            op = queue.pop(0)
+            seq = self._next_seq
+            self._next_seq += 1
+            self.ops_sequenced += 1
+            self._fan_out(seq, op, holder)
+        # Pass the token along the ring.
+        self._token_holder_index = (self._token_holder_index + 1) % len(self.nodes)
+        next_holder = self.nodes[self._token_holder_index]
+        self.protocol_messages += 1  # the token itself is a message
+        hop = self.transport.deliver_latency(holder, next_holder)
+        # The token circulates while work is pending; it parks once idle so
+        # the event queue can drain (the next submit restarts it).
+        if self._any_pending():
+            self.events.schedule(
+                self.clock.now + hop + self.hold_time,
+                self._token_arrives,
+                priority=BUS_PRIORITY,
+            )
+        else:
+            self._token_started = False
+
+    def _any_pending(self) -> bool:
+        return any(self._pending[n] for n in self.nodes) or bool(self._holdback)
+
+    def __repr__(self):
+        return f"<TokenRingBus holder={self.nodes[self._token_holder_index]} seq={self._next_seq}>"

@@ -1,0 +1,41 @@
+"""Virtual time.
+
+The runtime is a discrete-event simulation: time is a float that only
+moves when the event queue advances it.  Keeping the clock in its own
+object (rather than a bare float on the system) lets every component hold
+a reference and observe a consistent "now" without reaching back into the
+scheduler.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises
+        ------
+        ValueError
+            If ``t`` lies in the past — the event queue must never hand
+            the clock an out-of-order timestamp; failing loudly here has
+            caught every scheduler ordering bug in development.
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot run backwards: {t} < {self._now}")
+        self._now = t
+
+    def __repr__(self):
+        return f"<VirtualClock t={self._now:.6f}>"

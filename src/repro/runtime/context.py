@@ -1,0 +1,193 @@
+"""Concrete :class:`~repro.core.actor.ActorContext` bound to the runtime.
+
+One ephemeral context is made per behavior invocation; it funnels every
+primitive to the actor's node coordinator.  Behaviors never see the
+coordinator or the system directly — the context *is* the paper's
+ActorInterface as seen from native (Python) behaviors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.actor import ActorContext, ActorRecord, Behavior, as_behavior
+from repro.core.addresses import ActorAddress, MailAddress, SpaceAddress
+from repro.core.capabilities import Capability
+from repro.core.messages import Destination, Envelope, Message, Mode, Port, parse_destination
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import ActorSpaceSystem
+
+
+def _as_destination(destination: "Destination | str") -> Destination:
+    if isinstance(destination, Destination):
+        return destination
+    return parse_destination(destination)
+
+
+class RuntimeContext(ActorContext):
+    """The live context handed to behaviors by the scheduler."""
+
+    __slots__ = ("_system", "_record")
+
+    def __init__(self, system: "ActorSpaceSystem", record: ActorRecord):
+        self._system = system
+        self._record = record
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def self_address(self) -> ActorAddress:
+        return self._record.address
+
+    @property
+    def host_space(self) -> SpaceAddress:
+        return self._record.host_space
+
+    @property
+    def now(self) -> float:
+        return self._system.clock.now
+
+    @property
+    def _coordinator(self):
+        return self._system.coordinators[self._record.node]
+
+    # -- classic actor primitives ---------------------------------------------
+
+    def create(
+        self,
+        behavior: "Behavior | Callable",
+        *args: Any,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+        node: int | None = None,
+        **kwargs: Any,
+    ) -> ActorAddress:
+        target_node = self._record.node if node is None else node
+        coordinator = self._system.coordinators[target_node]
+        return coordinator.create_actor(
+            behavior,
+            args,
+            kwargs,
+            host_space=space if space is not None else self._record.host_space,
+            capability=capability,
+            creator=self._record.address,
+        )
+
+    def send_to(self, target: ActorAddress, payload: Any, *,
+                reply_to: ActorAddress | None = None,
+                headers: dict | None = None) -> None:
+        envelope = Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=self._record.address,
+            mode=Mode.DIRECT,
+            target=target,
+            port=Port.INVOCATION,
+            sent_at=self.now,
+            origin_space=self._record.host_space,
+        )
+        self._coordinator.send_direct(envelope)
+
+    def become(self, behavior: "Behavior | Callable", *args: Any, **kwargs: Any) -> None:
+        self._record.stage_become(as_behavior(behavior, *args, **kwargs))
+
+    # -- ActorSpace primitives ---------------------------------------------------
+
+    def send(self, destination: "Destination | str", payload: Any, *,
+             reply_to: ActorAddress | None = None,
+             headers: dict | None = None) -> None:
+        envelope = Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=self._record.address,
+            mode=Mode.SEND,
+            destination=_as_destination(destination),
+            port=Port.INVOCATION,
+            sent_at=self.now,
+            origin_space=self._record.host_space,
+        )
+        self._coordinator.send_pattern(envelope)
+
+    def broadcast(self, destination: "Destination | str", payload: Any, *,
+                  reply_to: ActorAddress | None = None,
+                  headers: dict | None = None) -> None:
+        envelope = Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=self._record.address,
+            mode=Mode.BROADCAST,
+            destination=_as_destination(destination),
+            port=Port.INVOCATION,
+            sent_at=self.now,
+            origin_space=self._record.host_space,
+        )
+        self._coordinator.broadcast_pattern(envelope)
+
+    def create_actorspace(
+        self,
+        capability: Capability | None = None,
+        *,
+        space: SpaceAddress | None = None,
+        attributes=None,
+        manager_factory=None,
+    ) -> SpaceAddress:
+        address = self._coordinator.create_space(capability, manager_factory)
+        if attributes is not None:
+            parent = space if space is not None else self._record.host_space
+            self._coordinator.make_visible(address, attributes, parent, capability)
+        return address
+
+    def make_visible(
+        self,
+        target: MailAddress,
+        attributes,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+    ) -> None:
+        scope = space if space is not None else self._record.host_space
+        self._coordinator.make_visible(target, attributes, scope, capability)
+
+    def make_invisible(
+        self,
+        target: MailAddress,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+    ) -> None:
+        scope = space if space is not None else self._record.host_space
+        self._coordinator.make_invisible(target, scope, capability)
+
+    def change_attributes(
+        self,
+        target: MailAddress,
+        attributes,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+    ) -> None:
+        scope = space if space is not None else self._record.host_space
+        self._coordinator.change_attributes(target, attributes, scope, capability)
+
+    def new_capability(self) -> Capability:
+        return self._system.capabilities.new_capability()
+
+    # -- misc ----------------------------------------------------------------------
+
+    def terminate(self) -> None:
+        self._coordinator.terminate_actor(self._record.address)
+
+    def schedule(self, delay: float, payload: Any) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        system = self._system
+        record = self._record
+        envelope = Envelope(
+            message=Message(payload),
+            sender=record.address,
+            mode=Mode.DIRECT,
+            target=record.address,
+            port=Port.INVOCATION,
+            sent_at=self.now,
+            origin_space=record.host_space,
+        )
+        system.in_flight[envelope.envelope_id] = envelope
+        system.events.schedule(
+            self.now + delay,
+            lambda: system.coordinators[record.node]._deliver(envelope),
+        )

@@ -1,0 +1,577 @@
+"""Per-node coordinators: the run-time support of section 7.2.
+
+"The single-node design associates all the executing actors on a node
+with a single local coordinator. ... The Coordinator ... provides the main
+run-time support and carries out the ActorSpace coordination primitives."
+
+Each coordinator owns:
+
+* the **actor records** of every actor executing on its node;
+* a full **replica of the visibility directory**, kept coherent with the
+  other coordinators by applying :class:`~repro.runtime.bus.VisibilityOp`
+  values in the bus's total order (section 7.3) through a hold-back queue;
+* the node's **suspended** pattern messages and **persistent** broadcasts
+  (section 5.6) — held at the *origin* coordinator so each suspended
+  message is released exactly once;
+* the conservative **acquaintance graph** feeding garbage collection.
+
+Message routing needs no directory lookup: a mail address embeds its home
+node ("the coordinators automatically determine the location of an actor
+given its name"), so the coordinator forwards envelopes straight to the
+target's node through the transport.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.core.actor import ActorRecord, Behavior, as_behavior
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import (
+    ActorAddress,
+    AddressFactory,
+    MailAddress,
+    SpaceAddress,
+)
+from repro.core.capabilities import Capability
+from repro.core.errors import (
+    ActorSpaceError,
+    CapabilityError,
+    MailboxClosedError,
+    NodeDownError,
+    TransportError,
+    UnknownAddressError,
+    VisibilityCycleError,
+)
+from repro.core.gc import scan_addresses
+from repro.core.manager import SpaceManager, UnmatchedPolicy, default_manager
+from repro.core.matching import resolve_actors, resolve_destination_spaces
+from repro.core.messages import Destination, Envelope, Message, Mode, Port
+from repro.core.visibility import Directory
+
+from .bus import OpKind, VisibilityOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import ActorSpaceSystem
+
+#: Event priority for actor message processing (after bus traffic).
+ACTOR_PRIORITY = 0
+
+
+def _behavior_addresses(behavior: Behavior):
+    """Conservatively enumerate mail addresses held in a behavior's state.
+
+    Covers instance ``__dict__``, ``__slots__``, and — for function
+    behaviors — values captured in the function's closure cells: an
+    address squirrelled away in a closure must pin its target exactly
+    like one stored on an attribute.
+    """
+    if hasattr(behavior, "__dict__"):
+        yield from scan_addresses(vars(behavior))
+    for slot in getattr(type(behavior), "__slots__", ()):
+        yield from scan_addresses(getattr(behavior, slot, None))
+    fn = getattr(behavior, "fn", None)
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                yield from scan_addresses(cell.cell_contents)
+            except ValueError:  # empty cell
+                continue
+
+
+class Coordinator:
+    """Run-time support for one node."""
+
+    def __init__(self, node_id: int, system: "ActorSpaceSystem"):
+        self.node_id = node_id
+        self.system = system
+        self.addresses = AddressFactory(node_id)
+        self.directory = Directory()
+        #: Per-space policy managers (replicated: constructed from op args).
+        self.managers: dict[SpaceAddress, SpaceManager] = {}
+        self.actors: dict[ActorAddress, ActorRecord] = {}
+        #: Conservative acquaintance sets for local actors.
+        self.acquaintances: dict[ActorAddress, set[MailAddress]] = {}
+        #: Suspended pattern envelopes originated here: [(envelope,)].
+        self.suspended: list[Envelope] = []
+        #: Persistent broadcasts originated here: [(envelope, delivered_to)].
+        self.persistent: list[tuple[Envelope, set[ActorAddress]]] = []
+        #: Bus hold-back state.
+        self._next_apply_seq = 0
+        self._op_holdback: dict[int, VisibilityOp] = {}
+        self._next_origin_seq = 0
+        #: Actors with a processing event already scheduled.
+        self._processing_scheduled: set[ActorAddress] = set()
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Bus plumbing
+    # ------------------------------------------------------------------
+
+    def submit_op(self, kind: OpKind, args: dict,
+                  on_rejected: Callable[[Exception], None] | None = None,
+                  on_applied: Callable[[], None] | None = None) -> None:
+        """Send a visibility operation into the bus for global ordering."""
+        op = VisibilityOp(
+            kind=kind,
+            args=args,
+            origin_node=self.node_id,
+            origin_seq=self._next_origin_seq,
+            on_rejected=on_rejected,
+            on_applied=on_applied,
+        )
+        self._next_origin_seq += 1
+        self.system.bus.submit(op)
+
+    def on_bus_delivery(self, seq: int, op: VisibilityOp) -> None:
+        """Receive a sequenced op; apply in order via the hold-back queue."""
+        if self.crashed:
+            return
+        self._op_holdback[seq] = op
+        while self._next_apply_seq in self._op_holdback:
+            ready = self._op_holdback.pop(self._next_apply_seq)
+            self._next_apply_seq += 1
+            self._apply_op(ready)
+
+    def _apply_op(self, op: VisibilityOp) -> None:
+        """Apply one op to the local replica (deterministic across nodes)."""
+        tracer = self.system.tracer
+        tracer.visibility_ops_applied[self.node_id] += 1
+        is_origin = op.origin_node == self.node_id
+        try:
+            kind, a = op.kind, op.args
+            if kind is OpKind.ADD_SPACE:
+                record = SpaceRecord(
+                    a["address"], a.get("capability"), a.get("node", op.origin_node),
+                    created_at=self.system.clock.now,
+                )
+                self.directory.add_space(record)
+                self.managers[a["address"]] = a.get("manager_factory", default_manager)()
+            elif kind is OpKind.DESTROY_SPACE:
+                self.directory.destroy_space(a["address"])
+                self.managers.pop(a["address"], None)
+            elif kind is OpKind.MAKE_VISIBLE:
+                manager = self.managers.get(a["space"]) or default_manager()
+                self.directory.make_visible(
+                    a["target"], a["attributes"], a["space"], a.get("capability"),
+                    now=self.system.clock.now, check_cycles=manager.check_cycles,
+                )
+            elif kind is OpKind.MAKE_INVISIBLE:
+                self.directory.make_invisible(
+                    a["target"], a["space"], a.get("capability")
+                )
+            elif kind is OpKind.CHANGE_ATTRIBUTES:
+                self.directory.change_attributes(
+                    a["target"], a["attributes"], a["space"], a.get("capability"),
+                    now=self.system.clock.now,
+                )
+            elif kind is OpKind.BIND_CAPABILITY:
+                self.directory.bind_capability(a["target"], a.get("capability"))
+            elif kind is OpKind.PURGE:
+                self.directory.purge_target(a["target"])
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unknown op kind {kind}")
+        except ActorSpaceError as exc:
+            if is_origin:
+                tracer.on_dropped(f"op_rejected:{type(exc).__name__}")
+                if op.on_rejected is not None:
+                    op.on_rejected(exc)
+            return
+        if is_origin and op.on_applied is not None:
+            op.on_applied()
+        # Visibility may have grown: reconsider messages parked here.
+        if op.kind in (OpKind.MAKE_VISIBLE, OpKind.CHANGE_ATTRIBUTES, OpKind.ADD_SPACE):
+            self._recheck_parked()
+
+    # ------------------------------------------------------------------
+    # Actor lifecycle
+    # ------------------------------------------------------------------
+
+    def create_actor(
+        self,
+        behavior: Behavior | Callable,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        host_space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+        creator: ActorAddress | None = None,
+    ) -> ActorAddress:
+        """Create an actor on *this* node; returns its fresh mail address."""
+        beh = as_behavior(behavior, *args, **(kwargs or {}))
+        space = host_space if host_space is not None else self.system.root_space
+        address = self.addresses.new_actor_address()
+        record = ActorRecord(
+            address, beh, self.node_id, space, capability,
+            created_at=self.system.clock.now,
+        )
+        self.actors[address] = record
+        # Conservative acquaintances: addresses reachable from behavior state.
+        known: set[MailAddress] = set(_behavior_addresses(beh))
+        known.add(space)
+        self.acquaintances[address] = known
+        if creator is not None and creator in self.acquaintances:
+            self.acquaintances[creator].add(address)
+        if capability is not None:
+            self.submit_op(
+                OpKind.BIND_CAPABILITY,
+                {"target": address, "capability": capability},
+            )
+        ctx = self.system.make_context(record)
+        beh.on_start(ctx)
+        self._flush_context(record)
+        return address
+
+    def terminate_actor(self, address: ActorAddress) -> None:
+        """Stop an actor: close its mailbox, drop it from matching."""
+        record = self.actors.get(address)
+        if record is None or record.terminated:
+            return
+        record.terminated = True
+        record.mailbox.close()
+        # Remove from every registry; replicated so all nodes stop matching it.
+        self.submit_op(OpKind.PURGE, {"target": address})
+
+    # ------------------------------------------------------------------
+    # Space lifecycle
+    # ------------------------------------------------------------------
+
+    def create_space(
+        self,
+        capability: Capability | None = None,
+        manager_factory: Callable[[], SpaceManager] | None = None,
+    ) -> SpaceAddress:
+        """Mint a space address and replicate its creation."""
+        address = self.addresses.new_space_address()
+        self.submit_op(
+            OpKind.ADD_SPACE,
+            {
+                "address": address,
+                "capability": capability,
+                "node": self.node_id,
+                "manager_factory": manager_factory or default_manager,
+            },
+        )
+        return address
+
+    def destroy_space(self, address: SpaceAddress,
+                      on_rejected: Callable[[Exception], None] | None = None) -> None:
+        self.submit_op(OpKind.DESTROY_SPACE, {"address": address},
+                       on_rejected=on_rejected)
+
+    # ------------------------------------------------------------------
+    # Visibility primitives (validated locally when possible, then replicated)
+    # ------------------------------------------------------------------
+
+    def _precheck(self, target: MailAddress, space: SpaceAddress,
+                  capability: Capability | None, check_cycle_target: bool) -> None:
+        """Best-effort synchronous validation against the local replica.
+
+        Raises for errors that are certain given local knowledge (bad
+        capability on a locally known space, a cycle already visible
+        locally).  Races are re-validated authoritatively, in total order,
+        when the op applies at every replica.
+        """
+        if not self.directory.has_space(space):
+            return  # unknown here yet: let apply-time decide
+        rec = self.directory.space(space)
+        manager = self.managers.get(space)
+        from repro.core.capabilities import authorize
+
+        if not authorize(capability, rec.capability):
+            raise CapabilityError(
+                f"capability does not authorize operations in {space!r}"
+            )
+        if (
+            check_cycle_target
+            and (manager is None or manager.check_cycles)
+            and self.directory.would_cycle(target, space)
+        ):
+            raise VisibilityCycleError(target, space)
+
+    def make_visible(
+        self,
+        target: MailAddress,
+        attributes,
+        space: SpaceAddress,
+        capability: Capability | None = None,
+    ) -> None:
+        self._precheck(target, space, capability, check_cycle_target=True)
+        self.submit_op(
+            OpKind.MAKE_VISIBLE,
+            {
+                "target": target,
+                "attributes": attributes,
+                "space": space,
+                "capability": capability,
+            },
+        )
+
+    def make_invisible(
+        self,
+        target: MailAddress,
+        space: SpaceAddress,
+        capability: Capability | None = None,
+    ) -> None:
+        self._precheck(target, space, capability, check_cycle_target=False)
+        self.submit_op(
+            OpKind.MAKE_INVISIBLE,
+            {"target": target, "space": space, "capability": capability},
+        )
+
+    def change_attributes(
+        self,
+        target: MailAddress,
+        attributes,
+        space: SpaceAddress,
+        capability: Capability | None = None,
+    ) -> None:
+        self._precheck(target, space, capability, check_cycle_target=False)
+        self.submit_op(
+            OpKind.CHANGE_ATTRIBUTES,
+            {
+                "target": target,
+                "attributes": attributes,
+                "space": space,
+                "capability": capability,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+
+    def send_direct(self, envelope: Envelope) -> None:
+        """Point-to-point send to an explicit mail address."""
+        assert envelope.target is not None
+        self.system.tracer.on_sent(envelope.mode)
+        self._route(envelope, envelope.target)  # type: ignore[arg-type]
+
+    def send_pattern(self, envelope: Envelope) -> None:
+        """``send(pattern@space)``: resolve, arbitrate, deliver to one."""
+        assert envelope.destination is not None
+        self.system.tracer.on_sent(envelope.mode)
+        self._dispatch_pattern(envelope, first_attempt=True)
+
+    def broadcast_pattern(self, envelope: Envelope) -> None:
+        """``broadcast(pattern@space)``: resolve, deliver to all."""
+        assert envelope.destination is not None
+        self.system.tracer.on_sent(envelope.mode)
+        self._dispatch_pattern(envelope, first_attempt=True)
+
+    def _scope_spaces(self, envelope: Envelope) -> list[SpaceAddress]:
+        host = envelope.origin_space or self.system.root_space
+        return resolve_destination_spaces(self.directory, envelope.destination, host)
+
+    def _resolve(self, envelope: Envelope) -> tuple[set[ActorAddress], SpaceAddress | None]:
+        """Resolve receivers; returns (actors, primary scope space)."""
+        from repro.core.matching import MatchStats
+
+        stats = MatchStats()
+        receivers: set[ActorAddress] = set()
+        spaces = self._scope_spaces(envelope)
+        for space in spaces:
+            receivers |= resolve_actors(
+                self.directory, envelope.destination.pattern, space, stats
+            )
+        self.system.tracer.match_examined.append(stats.entries_examined)
+        return receivers, (spaces[0] if spaces else None)
+
+    def _manager_for(self, envelope: Envelope, scope: SpaceAddress | None) -> SpaceManager:
+        if scope is not None and scope in self.managers:
+            return self.managers[scope]
+        return self.managers.get(self.system.root_space) or default_manager()
+
+    def _dispatch_pattern(self, envelope: Envelope, first_attempt: bool) -> None:
+        receivers, scope = self._resolve(envelope)
+        manager = self._manager_for(envelope, scope)
+        if manager.trap_cycling(envelope):
+            self.system.tracer.on_dropped("cycle_trapped")
+            return
+        if not receivers:
+            self._handle_unmatched(envelope, manager, scope)
+            return
+        if envelope.mode is Mode.SEND:
+            choice = manager.choose_receiver(
+                sorted(receivers), self.system.rng_arbitration, self._load_of
+            )
+            self._route(envelope, choice)
+        else:
+            for target in sorted(receivers):
+                self._route(envelope.clone_for(target), target)
+            if manager.unmatched is UnmatchedPolicy.PERSISTENT:
+                # Persistent broadcasts also reach future matches.
+                self.persistent.append((envelope, set(receivers)))
+
+    def _handle_unmatched(self, envelope: Envelope, manager: SpaceManager,
+                          scope: SpaceAddress | None) -> None:
+        fate = manager.on_unmatched(envelope, scope)  # may raise NoMatchError
+        tracer = self.system.tracer
+        if fate == "discard":
+            tracer.on_dropped("unmatched_discarded")
+        elif fate == "persist":
+            tracer.on_suspended()
+            self.persistent.append((envelope, set()))
+        else:  # suspend
+            tracer.on_suspended()
+            self.suspended.append(envelope)
+
+    def _recheck_parked(self) -> None:
+        """Visibility changed: retry suspended messages, extend persistent ones."""
+        tracer = self.system.tracer
+        if self.suspended:
+            still: list[Envelope] = []
+            for envelope in self.suspended:
+                receivers, scope = self._resolve(envelope)
+                if not receivers:
+                    still.append(envelope)
+                    continue
+                manager = self._manager_for(envelope, scope)
+                tracer.on_released()
+                if envelope.mode is Mode.SEND:
+                    choice = manager.choose_receiver(
+                        sorted(receivers), self.system.rng_arbitration, self._load_of
+                    )
+                    self._route(envelope, choice)
+                else:
+                    for target in sorted(receivers):
+                        self._route(envelope.clone_for(target), target)
+                    if manager.unmatched is UnmatchedPolicy.PERSISTENT:
+                        self.persistent.append((envelope, set(receivers)))
+            self.suspended = still
+        for envelope, delivered_to in self.persistent:
+            receivers, _scope = self._resolve(envelope)
+            for target in sorted(receivers - delivered_to):
+                delivered_to.add(target)
+                tracer.persistent_deliveries += 1
+                self._route(envelope.clone_for(target), target)
+
+    def _load_of(self, address: ActorAddress) -> int:
+        """Load estimate for arbitration: queued plus in-flight messages.
+
+        A real deployment would obtain this from the monitoring daemons
+        section 8 proposes for customized managers (actors cannot be sent
+        bookkeeping messages); the simulation plays that daemon by reading
+        the queue depth and the envelopes already en route to the actor.
+        """
+        owner = self.system.coordinators[address.node]
+        record = owner.actors.get(address)
+        queued = record.mailbox.pending if record is not None else 0
+        en_route = sum(
+            1 for e in self.system.in_flight.values() if e.target == address
+        )
+        return queued + en_route
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route(self, envelope: Envelope, target: ActorAddress) -> None:
+        """Forward ``envelope`` to ``target``'s home node and schedule delivery."""
+        envelope.target = target
+        system = self.system
+        dst_node = target.node
+        envelope.hop(self.node_id)
+        kind = system.topology.link_kind(self.node_id, dst_node)
+        system.tracer.on_hop(kind)
+        try:
+            latency = system.transport.deliver_latency(self.node_id, dst_node)
+        except NodeDownError:
+            system.tracer.on_dropped("node_down")
+            return
+        except (TransportError, RuntimeError):
+            system.tracer.on_dropped("transport_failure")
+            return
+        system.in_flight[envelope.envelope_id] = envelope
+        system.events.schedule(
+            system.clock.now + latency,
+            lambda: system.coordinators[dst_node]._deliver(envelope),
+            priority=ACTOR_PRIORITY,
+        )
+
+    def _deliver(self, envelope: Envelope) -> None:
+        """Arrival at the target's node: enqueue and schedule processing."""
+        system = self.system
+        system.in_flight.pop(envelope.envelope_id, None)
+        if self.crashed:
+            system.tracer.on_dropped("node_down")
+            return
+        target: ActorAddress = envelope.target  # type: ignore[assignment]
+        record = self.actors.get(target)
+        if record is None or record.terminated:
+            system.tracer.on_dropped("dead_letter")
+            return
+        envelope.delivered_at = system.clock.now
+        envelope.hop(self.node_id)
+        try:
+            record.mailbox.deliver(envelope)
+        except MailboxClosedError:
+            system.tracer.on_dropped("dead_letter")
+            return
+        # Receiving a message extends the acquaintance set (addresses in
+        # the payload become known to the receiver).
+        known = self.acquaintances.setdefault(target, set())
+        known.update(scan_addresses(envelope.message.payload))
+        if envelope.message.reply_to is not None:
+            known.add(envelope.message.reply_to)
+        if envelope.sender is not None:
+            known.add(envelope.sender)
+        system.tracer.on_delivered(
+            envelope.mode, target, envelope.sent_at, system.clock.now,
+            envelope.trace[0] if envelope.trace else self.node_id, self.node_id,
+        )
+        self._schedule_processing(record)
+
+    def _schedule_processing(self, record: ActorRecord) -> None:
+        if record.address in self._processing_scheduled or record.terminated:
+            return
+        self._processing_scheduled.add(record.address)
+        system = self.system
+        system.events.schedule(
+            system.clock.now + system.processing_delay,
+            lambda: self._process_next(record),
+            priority=ACTOR_PRIORITY,
+        )
+
+    def _process_next(self, record: ActorRecord) -> None:
+        """Run the actor's behavior on its next ready message."""
+        self._processing_scheduled.discard(record.address)
+        if record.terminated or self.crashed:
+            return
+        record.install_pending()
+        envelope = record.mailbox.next_ready()
+        if envelope is None:
+            return
+        system = self.system
+        ctx = system.make_context(record)
+        system.tracer.on_invocation()
+        record.processed_count += 1
+        try:
+            record.behavior.receive(ctx, envelope.message)
+        except ActorSpaceError as exc:
+            # Paradigm-level failures inside a behavior kill that actor,
+            # not the simulation: report and terminate.
+            system.tracer.on_dropped(f"behavior_error:{type(exc).__name__}")
+            self.terminate_actor(record.address)
+            return
+        self._flush_context(record)
+        if not record.mailbox.is_empty and not record.terminated:
+            self._schedule_processing(record)
+
+    def _flush_context(self, record: ActorRecord) -> None:
+        """Acquaintance bookkeeping after user code ran."""
+        # Addresses the behavior stored on itself are now acquaintances;
+        # the same applies to a behavior staged with become.
+        known = self.acquaintances.setdefault(record.address, set())
+        known.update(_behavior_addresses(record.behavior))
+        if record.pending_behavior is not None:
+            known.update(_behavior_addresses(record.pending_behavior))
+
+    # ------------------------------------------------------------------
+
+    def local_actor_addresses(self) -> Iterable[ActorAddress]:
+        return self.actors.keys()
+
+    def __repr__(self):
+        return (
+            f"<Coordinator n{self.node_id} actors={len(self.actors)} "
+            f"suspended={len(self.suspended)}>"
+        )

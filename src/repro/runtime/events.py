@@ -1,0 +1,59 @@
+"""The discrete-event queue driving the simulation.
+
+Events are ``(time, priority, seq, action)`` entries in a binary heap.
+``seq`` is a monotone counter breaking ties deterministically: two events
+at the same instant run in scheduling order, never in hash order — a hard
+requirement for reproducibility.  ``priority`` orders classes of work at
+the same instant (e.g. bus deliveries before actor processing) without
+resorting to epsilon time offsets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """A deterministic time-ordered queue of zero-argument actions."""
+
+    __slots__ = ("_heap", "_counter", "scheduled_count", "executed_count")
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.scheduled_count = 0
+        self.executed_count = 0
+
+    def schedule(self, time: float, action: Callable[[], None], priority: int = 0) -> None:
+        """Enqueue ``action`` to run at virtual ``time``.
+
+        Lower ``priority`` runs first among same-time events.
+        """
+        if time != time or time == float("inf"):  # NaN / unbounded guards
+            raise ValueError(f"event time must be finite, got {time}")
+        heapq.heappush(self._heap, (time, priority, next(self._counter), action))
+        self.scheduled_count += 1
+
+    def pop(self) -> tuple[float, Callable[[], None]] | None:
+        """Remove and return the next ``(time, action)``, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        time, _prio, _seq, action = heapq.heappop(self._heap)
+        self.executed_count += 1
+        return time, action
+
+    def peek_time(self) -> float | None:
+        """The timestamp of the next event without removing it."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __repr__(self):
+        nxt = f" next@{self._heap[0][0]:.4f}" if self._heap else ""
+        return f"<EventQueue {len(self._heap)} pending{nxt}>"

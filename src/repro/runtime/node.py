@@ -1,0 +1,50 @@
+"""Nodes: the unit of placement (Fig. 2 of the paper).
+
+In the prototype a node bundles the interpreter, the ActorInterface, and
+the Coordinator.  In this runtime the coordinator carries all run-time
+state, so :class:`Node` is a thin view over one — it exists to give the
+interpreter layer (``repro.interp``) its attachment point and to expose
+node-level accounting with a stable name.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .coordinator import Coordinator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import ActorSpaceSystem
+
+
+class Node:
+    """A view of one simulated node."""
+
+    __slots__ = ("system", "node_id")
+
+    def __init__(self, system: "ActorSpaceSystem", node_id: int):
+        self.system = system
+        self.node_id = node_id
+
+    @property
+    def coordinator(self) -> Coordinator:
+        return self.system.coordinators[self.node_id]
+
+    @property
+    def cluster(self) -> int:
+        """The LAN cluster this node belongs to."""
+        return self.system.topology.cluster_of(self.node_id)
+
+    @property
+    def actor_count(self) -> int:
+        """Live (non-terminated) actors currently placed here."""
+        return sum(
+            1 for r in self.coordinator.actors.values() if not r.terminated
+        )
+
+    @property
+    def crashed(self) -> bool:
+        return self.coordinator.crashed
+
+    def __repr__(self):
+        return f"<Node {self.node_id} cluster={self.cluster} actors={self.actor_count}>"

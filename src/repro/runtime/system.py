@@ -1,0 +1,401 @@
+"""The system facade: boot a simulated ActorSpace world and drive it.
+
+:class:`ActorSpaceSystem` wires together the whole architecture of
+section 7 — one coordinator per node (Fig. 2), a virtual coordinator bus
+(Fig. 3), a globally visible root actorSpace (section 7.1) — over the
+deterministic discrete-event substrate.  The application driver plays the
+paper's *manager* role: it holds capabilities, creates actors and spaces,
+injects external messages, and can run privileged operations such as
+garbage collection or node crashes (failure injection).
+
+Typical use::
+
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=7)
+    worker = system.create_actor(WorkerBehavior(), node=1)
+    system.make_visible(worker, "workers/w1", system.root_space)
+    system.send("workers/*", payload={"job": 42})
+    system.run()
+
+``run()`` executes events until the queue drains (quiescence) or a limit
+is hit; virtual time then tells you how long the computation "took".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.actor import ActorRecord, Behavior
+from repro.core.addresses import ActorAddress, MailAddress, SpaceAddress
+from repro.core.capabilities import Capability, CapabilityIssuer
+from repro.core.gc import GarbageCollector, GcReport, scan_addresses
+from repro.core.manager import SpaceManager
+from repro.core.messages import Destination, Envelope, Message, Mode, Port, parse_destination
+from repro.core.visibility import Directory
+
+from .bus import Bus, SequencerBus, TokenRingBus
+from .clock import VirtualClock
+from .context import RuntimeContext
+from .coordinator import Coordinator
+from .events import EventQueue
+from .network import LatencyModel, Network, Topology
+from .rng import RngHub
+from .tracing import Tracer
+from .transport import LossyTransport, NetworkTransport, Transport
+
+
+class ActorSpaceSystem:
+    """A complete simulated ActorSpace deployment.
+
+    Parameters
+    ----------
+    topology:
+        Node/cluster layout (default: a single node).
+    seed:
+        Master seed for every random stream in the run.
+    latency_model:
+        Link-class latencies (default :class:`LatencyModel`).
+    bus:
+        ``"sequencer"`` (default) or ``"token-ring"`` — the total-order
+        protocol for visibility changes (section 7.3; ablated in E9).
+    processing_delay:
+        Virtual time consumed scheduling each behavior invocation; zero
+        keeps semantics-only tests instantaneous.
+    loss:
+        Per-attempt message loss probability (failure injection); the
+        transport retransmits, preserving eventual delivery.
+    keep_samples:
+        Record per-delivery latency samples (disable for very large runs).
+    root_manager_factory:
+        Manager policies for the root space (default: paper defaults).
+    """
+
+    def __init__(
+        self,
+        topology: Topology | None = None,
+        seed: int = 0,
+        latency_model: LatencyModel | None = None,
+        bus: str = "sequencer",
+        processing_delay: float = 0.0,
+        loss: float = 0.0,
+        keep_samples: bool = True,
+        root_manager_factory: Callable[[], SpaceManager] | None = None,
+    ):
+        self.topology = topology or Topology.single()
+        self.rng = RngHub(seed)
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.tracer = Tracer(keep_samples=keep_samples)
+        self.network = Network(self.topology, latency_model, self.rng.stream("latency"))
+        base_transport: Transport = NetworkTransport(self.network)
+        self._network_transport = base_transport
+        if loss > 0.0:
+            base_transport = LossyTransport(base_transport, loss, self.rng.stream("loss"))
+        self.transport: Transport = base_transport
+        self.capabilities = CapabilityIssuer(self.rng.stream("capabilities"))
+        self.rng_arbitration = self.rng.stream("arbitration")
+        self.processing_delay = processing_delay
+        #: Envelopes scheduled but not yet delivered (pins GC roots).
+        self.in_flight: dict[int, Envelope] = {}
+        #: External handles pinned as GC roots by the driver.
+        self._held_roots: set[MailAddress] = set()
+
+        self.coordinators: list[Coordinator] = [
+            Coordinator(n, self) for n in self.topology.nodes
+        ]
+        nodes = list(self.topology.nodes)
+        if bus == "sequencer":
+            self.bus: Bus = SequencerBus(nodes, self.events, self.clock, self.transport)
+        elif bus == "token-ring":
+            self.bus = TokenRingBus(nodes, self.events, self.clock, self.transport)
+        else:
+            raise ValueError(f"unknown bus protocol {bus!r}")
+        self.bus.deliver = lambda node, seq, op: self.coordinators[node].on_bus_delivery(seq, op)
+
+        # Bootstrap the globally visible root actorSpace (section 7.1)
+        # identically in every replica, outside the bus: it must exist
+        # before the first operation can be ordered.
+        from repro.core.actorspace import SpaceRecord
+
+        self.root_space: SpaceAddress = self.coordinators[0].addresses.new_space_address()
+        factory = root_manager_factory or SpaceManager
+        for coordinator in self.coordinators:
+            coordinator.directory.add_space(SpaceRecord(self.root_space, None, 0))
+            coordinator.managers[self.root_space] = factory()
+        # The root is globally visible by construction; it is therefore a
+        # permanent GC root (which is exactly why section 7.1 adds explicit
+        # space destruction).
+        self._held_roots.add(self.root_space)
+
+    # ------------------------------------------------------------------
+    # Driver-level (manager-role) API
+    # ------------------------------------------------------------------
+
+    def new_capability(self) -> Capability:
+        """Mint a fresh unforgeable capability."""
+        return self.capabilities.new_capability()
+
+    def create_actor(
+        self,
+        behavior: "Behavior | Callable",
+        *args: Any,
+        node: int = 0,
+        space: SpaceAddress | None = None,
+        capability: Capability | None = None,
+        **kwargs: Any,
+    ) -> ActorAddress:
+        """Create an actor from outside the system (driver/manager role)."""
+        address = self.coordinators[node].create_actor(
+            behavior, args, kwargs,
+            host_space=space if space is not None else self.root_space,
+            capability=capability,
+        )
+        self._held_roots.add(address)
+        return address
+
+    def create_space(
+        self,
+        capability: Capability | None = None,
+        node: int = 0,
+        manager_factory: Callable[[], SpaceManager] | None = None,
+        attributes=None,
+        parent: SpaceAddress | None = None,
+    ) -> SpaceAddress:
+        """Create an actorSpace; optionally make it visible under ``attributes``."""
+        address = self.coordinators[node].create_space(capability, manager_factory)
+        self._held_roots.add(address)
+        if attributes is not None:
+            self.coordinators[node].make_visible(
+                address, attributes, parent if parent is not None else self.root_space,
+                capability,
+            )
+        return address
+
+    def destroy_space(self, address: SpaceAddress, node: int = 0) -> None:
+        """Explicitly destroy a space (section 7.1)."""
+        self.coordinators[node].destroy_space(address)
+
+    def make_visible(self, target, attributes, space: SpaceAddress | None = None,
+                     capability: Capability | None = None, node: int = 0) -> None:
+        self.coordinators[node].make_visible(
+            target, attributes, space if space is not None else self.root_space, capability
+        )
+
+    def make_invisible(self, target, space: SpaceAddress | None = None,
+                       capability: Capability | None = None, node: int = 0) -> None:
+        self.coordinators[node].make_invisible(
+            target, space if space is not None else self.root_space, capability
+        )
+
+    def change_attributes(self, target, attributes, space: SpaceAddress | None = None,
+                          capability: Capability | None = None, node: int = 0) -> None:
+        self.coordinators[node].change_attributes(
+            target, attributes, space if space is not None else self.root_space, capability
+        )
+
+    # -- external messaging --------------------------------------------------------
+
+    def send_to(self, target: ActorAddress, payload: Any, *,
+                reply_to: ActorAddress | None = None, node: int = 0,
+                headers: dict | None = None) -> None:
+        """Direct external send (e.g. the initial job injection)."""
+        envelope = Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=None, mode=Mode.DIRECT, target=target,
+            port=Port.INVOCATION, sent_at=self.clock.now,
+            origin_space=self.root_space,
+        )
+        self.coordinators[node].send_direct(envelope)
+
+    def send(self, destination: "Destination | str", payload: Any, *,
+             reply_to: ActorAddress | None = None, node: int = 0,
+             headers: dict | None = None) -> None:
+        """External pattern-directed send resolved at ``node``'s replica."""
+        dest = destination if isinstance(destination, Destination) else parse_destination(destination)
+        envelope = Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=None, mode=Mode.SEND, destination=dest,
+            port=Port.INVOCATION, sent_at=self.clock.now,
+            origin_space=self.root_space,
+        )
+        self.coordinators[node].send_pattern(envelope)
+
+    def broadcast(self, destination: "Destination | str", payload: Any, *,
+                  reply_to: ActorAddress | None = None, node: int = 0,
+                  headers: dict | None = None) -> None:
+        """External pattern-directed broadcast."""
+        dest = destination if isinstance(destination, Destination) else parse_destination(destination)
+        envelope = Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=None, mode=Mode.BROADCAST, destination=dest,
+            port=Port.INVOCATION, sent_at=self.clock.now,
+            origin_space=self.root_space,
+        )
+        self.coordinators[node].broadcast_pattern(envelope)
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until quiescence, ``until``, or ``max_events``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        executed = 0
+        while self.events:
+            next_time = self.events.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                if until > self.clock.now:
+                    self.clock.advance_to(until)
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            popped = self.events.pop()
+            if popped is None:  # pragma: no cover - guarded by `while`
+                break
+            time, action = popped
+            if time > self.clock.now:
+                self.clock.advance_to(time)
+            # An event scheduled in the (virtual) past — e.g. a driver
+            # hook armed after the clock already passed its time — fires
+            # immediately at the current instant.
+            action()
+            executed += 1
+        return self.clock.now
+
+    def step(self) -> bool:
+        """Execute a single event; returns False when the queue is empty."""
+        popped = self.events.pop()
+        if popped is None:
+            return False
+        time, action = popped
+        if time > self.clock.now:
+            self.clock.advance_to(time)
+        action()
+        return True
+
+    @property
+    def idle(self) -> bool:
+        """True when no events remain (the system is quiescent)."""
+        return not self.events
+
+    # -- failure injection -------------------------------------------------------
+
+    def crash_node(self, node: int) -> None:
+        """Hard-crash a node: its actors stop, messages to it are lost."""
+        self.coordinators[node].crashed = True
+        self._network_transport.crash_node(node)  # type: ignore[attr-defined]
+
+    def recover_node(self, node: int) -> None:
+        """Bring a crashed node back (its actors remain dead).
+
+        The recovering coordinator missed every visibility op fanned out
+        while it was down; the bus replays them from its log (state
+        transfer), after which the replica reconverges with the others.
+        """
+        self.coordinators[node].crashed = False
+        self._network_transport.recover_node(node)  # type: ignore[attr-defined]
+        self.bus.replay_to(node, self.coordinators[node]._next_apply_seq)
+
+    # -- introspection -------------------------------------------------------------
+
+    def actor_record(self, address: ActorAddress) -> ActorRecord | None:
+        return self.coordinators[address.node].actors.get(address)
+
+    def directory_of(self, node: int = 0) -> Directory:
+        """One node's visibility replica (node 0 by convention)."""
+        return self.coordinators[node].directory
+
+    def resolve(self, pattern, space: SpaceAddress | None = None,
+                node: int = 0) -> list[ActorAddress]:
+        """Who would ``send(pattern@space)`` currently consider? (sorted)
+
+        Pure introspection against ``node``'s replica — no message moves.
+        Useful for assertions, monitoring dashboards, and the examples.
+        """
+        from repro.core.matching import resolve_actors
+
+        scope = space if space is not None else self.root_space
+        return sorted(
+            resolve_actors(self.coordinators[node].directory, pattern, scope)
+        )
+
+    def visible_attributes(self, target: MailAddress,
+                           space: SpaceAddress | None = None,
+                           node: int = 0) -> frozenset:
+        """The attributes ``target`` is visible under in ``space`` (or empty)."""
+        scope = space if space is not None else self.root_space
+        directory = self.coordinators[node].directory
+        if not directory.has_space(scope):
+            return frozenset()
+        entry = directory.space(scope).lookup(target)
+        return entry.attributes if entry is not None else frozenset()
+
+    def replicas_coherent(self) -> bool:
+        """Do all directory replicas currently agree?  (Run to quiescence first.)"""
+        snapshots = [c.directory.snapshot() for c in self.coordinators if not c.crashed]
+        return all(s == snapshots[0] for s in snapshots[1:])
+
+    def make_context(self, record: ActorRecord) -> RuntimeContext:
+        return RuntimeContext(self, record)
+
+    # -- GC ---------------------------------------------------------------------------
+
+    def hold(self, address: MailAddress) -> None:
+        """Pin ``address`` as an external GC root."""
+        self._held_roots.add(address)
+
+    def release(self, address: MailAddress) -> None:
+        """Drop the external root pin on ``address``."""
+        self._held_roots.discard(address)
+
+    def collect_garbage(self, delete: bool = True) -> GcReport:
+        """Run a collection cycle over the whole system (driver privilege).
+
+        Marks from the held roots and in-flight messages, per section 5.5.
+        With ``delete=True`` collected actors are terminated and purged
+        from every registry, and collected spaces destroyed.
+        """
+        acquaintances: dict[ActorAddress, set[MailAddress]] = {}
+        all_actors: list[ActorAddress] = []
+        active: list[ActorAddress] = []
+        for coordinator in self.coordinators:
+            for address, record in coordinator.actors.items():
+                if record.terminated:
+                    continue
+                all_actors.append(address)
+                if not record.mailbox.is_empty:
+                    active.append(address)
+            acquaintances.update(coordinator.acquaintances)
+        in_flight: set[MailAddress] = set()
+        for envelope in self.in_flight.values():
+            if envelope.target is not None:
+                in_flight.add(envelope.target)
+            if envelope.sender is not None:
+                in_flight.add(envelope.sender)
+            in_flight.update(scan_addresses(envelope.message.payload))
+            if envelope.message.reply_to is not None:
+                in_flight.add(envelope.message.reply_to)
+
+        directory = self.coordinators[0].directory
+        collector = GarbageCollector(directory, acquaintances)
+        report = collector.collect(
+            roots=set(self._held_roots),
+            all_actors=all_actors,
+            active_actors=active,
+            in_flight=in_flight,
+        )
+        if delete:
+            for address in report.collected_actors:
+                self.coordinators[address.node].terminate_actor(address)
+            for space in report.collected_spaces:
+                if space != self.root_space:
+                    self.coordinators[0].destroy_space(space)
+        return report
+
+    def __repr__(self):
+        total = sum(len(c.actors) for c in self.coordinators)
+        return (
+            f"<ActorSpaceSystem nodes={self.topology.node_count} actors={total} "
+            f"t={self.clock.now:.4f}>"
+        )

@@ -1,0 +1,143 @@
+"""Trace and accounting layer.
+
+Every experiment in EXPERIMENTS.md is computed from the counters and
+samples gathered here, so the tracer is deliberately boring: plain
+counters, plain lists, no I/O.  The system owns exactly one tracer;
+coordinators and the scheduler report into it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.addresses import ActorAddress
+from repro.core.messages import Mode
+
+from .network import LinkKind
+
+
+@dataclass
+class LatencySample:
+    """One end-to-end message delivery."""
+
+    mode: Mode
+    sent_at: float
+    delivered_at: float
+    src_node: int
+    dst_node: int
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class Tracer:
+    """Counters and samples describing one run."""
+
+    def __init__(self, keep_samples: bool = True):
+        self.keep_samples = keep_samples
+        #: Envelopes entering the system, by mode.
+        self.sent: Counter = Counter()
+        #: Envelope deliveries, by mode (a broadcast counts once per receiver).
+        self.delivered: Counter = Counter()
+        #: Hops by link kind, as routed (locality accounting).
+        self.hops: Counter = Counter()
+        #: Messages per receiving actor (load-balance accounting).
+        self.received_by: Counter = Counter()
+        #: Pattern messages that found no match and were suspended.
+        self.suspended_count = 0
+        #: Suspended messages later released by a visibility change.
+        self.released_count = 0
+        #: Messages dropped: dict reason -> count (dead letters, cycles...).
+        self.dropped: Counter = Counter()
+        #: Persistent-broadcast deliveries to late-arriving actors.
+        self.persistent_deliveries = 0
+        #: Behavior invocations executed.
+        self.invocations = 0
+        #: End-to-end latency samples (optional; large runs disable them).
+        self.samples: list[LatencySample] = []
+        #: Pattern-resolution work: entries examined, per resolution.
+        self.match_examined: list[int] = []
+        #: Visibility operations applied per node replica (coherence checks).
+        self.visibility_ops_applied: Counter = Counter()
+        #: Time series the experiments can append to: name -> [(t, value)].
+        self.series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    # -- recording -------------------------------------------------------------
+
+    def on_sent(self, mode: Mode) -> None:
+        self.sent[mode] += 1
+
+    def on_delivered(
+        self,
+        mode: Mode,
+        receiver: ActorAddress,
+        sent_at: float,
+        delivered_at: float,
+        src_node: int,
+        dst_node: int,
+    ) -> None:
+        self.delivered[mode] += 1
+        self.received_by[receiver] += 1
+        if self.keep_samples:
+            self.samples.append(
+                LatencySample(mode, sent_at, delivered_at, src_node, dst_node)
+            )
+
+    def on_hop(self, kind: LinkKind) -> None:
+        self.hops[kind] += 1
+
+    def on_suspended(self) -> None:
+        self.suspended_count += 1
+
+    def on_released(self, n: int = 1) -> None:
+        self.released_count += n
+
+    def on_dropped(self, reason: str) -> None:
+        self.dropped[reason] += 1
+
+    def on_invocation(self) -> None:
+        self.invocations += 1
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Append a point to the named time series."""
+        self.series[name].append((t, value))
+
+    # -- summaries ----------------------------------------------------------------
+
+    def latency_stats(self, mode: Mode | None = None) -> dict:
+        """Mean/p50/p95/max latency over recorded samples."""
+        import numpy as np
+
+        values = [
+            s.latency for s in self.samples if mode is None or s.mode is mode
+        ]
+        if not values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        arr = np.asarray(values)
+        return {
+            "count": len(values),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "max": float(arr.max()),
+        }
+
+    def load_distribution(self, receivers=None) -> list[int]:
+        """Per-receiver delivery counts (optionally restricted to a set)."""
+        if receivers is None:
+            return sorted(self.received_by.values())
+        return [self.received_by.get(r, 0) for r in receivers]
+
+    def hop_summary(self) -> dict[str, int]:
+        return {k.value: self.hops.get(k, 0) for k in LinkKind}
+
+    def reset(self) -> None:
+        """Clear everything (between benchmark phases on a reused system)."""
+        self.__init__(keep_samples=self.keep_samples)
+
+    def __repr__(self):
+        total_sent = sum(self.sent.values())
+        total_dlv = sum(self.delivered.values())
+        return f"<Tracer sent={total_sent} delivered={total_dlv} suspended={self.suspended_count}>"

@@ -1,0 +1,15 @@
+"""Shared utilities: table rendering and summary statistics."""
+
+from .stats import chi_square_uniform, coefficient_of_variation, gini, summarize
+from .tables import TextTable
+from .timeline import render_load_bars, render_timeline
+
+__all__ = [
+    "TextTable",
+    "chi_square_uniform",
+    "coefficient_of_variation",
+    "gini",
+    "render_load_bars",
+    "render_timeline",
+    "summarize",
+]

@@ -1,0 +1,82 @@
+"""ASCII space-time diagrams from the tracer's latency samples.
+
+Turns a run's recorded deliveries into a per-node message timeline — the
+quickest way to *see* locality (E4), suspension release bursts (E6), or
+load imbalance, straight in a terminal.  Purely presentational: reads the
+tracer, writes a string.
+
+Example output::
+
+    t=0.00                                         t=2.41
+    node 0 |s--d----s------d-------------------------|
+    node 1 |---d-------du--------------d--------------|
+    node 2 |------du------------d---------------------|
+            s=sent here   d=delivered here   u=suspension release
+
+Each column is one time bucket; a cell shows the most interesting event
+class that happened on that node in that bucket.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.tracing import Tracer
+
+
+def render_timeline(
+    tracer: Tracer,
+    node_count: int,
+    width: int = 72,
+    t_start: float | None = None,
+    t_end: float | None = None,
+) -> str:
+    """Render the tracer's samples as a per-node ASCII timeline.
+
+    ``width`` is the number of time buckets.  Returns a multi-line
+    string; empty tracers render an explanatory stub.
+    """
+    samples = tracer.samples
+    if not samples:
+        return "(no latency samples recorded — construct the system with keep_samples=True)"
+    lo = t_start if t_start is not None else min(s.sent_at for s in samples)
+    hi = t_end if t_end is not None else max(s.delivered_at for s in samples)
+    if hi <= lo:
+        hi = lo + 1e-9
+    span = hi - lo
+
+    def bucket(t: float) -> int:
+        b = int((t - lo) / span * (width - 1))
+        return max(0, min(width - 1, b))
+
+    # Priority per cell: delivery beats send beats empty.
+    grid = [[" "] * width for _ in range(node_count)]
+    for sample in samples:
+        sb = bucket(sample.sent_at)
+        db = bucket(sample.delivered_at)
+        if 0 <= sample.src_node < node_count and grid[sample.src_node][sb] == " ":
+            grid[sample.src_node][sb] = "s"
+        if 0 <= sample.dst_node < node_count:
+            grid[sample.dst_node][db] = "d"
+
+    label_width = len(f"node {node_count - 1}")
+    lines = [
+        f"{'':{label_width}}  t={lo:.2f}{'':{max(0, width - len(f'{lo:.2f}') - len(f'{hi:.2f}') - 4)}}t={hi:.2f}"
+    ]
+    for node in range(node_count):
+        row = "".join(grid[node])
+        lines.append(f"{f'node {node}':{label_width}} |{row}|")
+    lines.append(f"{'':{label_width}}  s=sent from here   d=delivered here")
+    return "\n".join(lines)
+
+
+def render_load_bars(
+    counts: dict, width: int = 40, title: str = "deliveries per receiver"
+) -> str:
+    """Horizontal bar chart of per-receiver delivery counts."""
+    if not counts:
+        return "(no deliveries recorded)"
+    peak = max(counts.values()) or 1
+    lines = [title]
+    for key in sorted(counts, key=lambda k: (-counts[k], str(k))):
+        bar = "#" * max(1, int(counts[key] / peak * width))
+        lines.append(f"  {str(key):16s} {bar} {counts[key]}")
+    return "\n".join(lines)

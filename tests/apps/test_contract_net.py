@@ -1,0 +1,82 @@
+"""Tests: contract-net allocation over patterns."""
+
+import pytest
+
+from repro.apps.contract_net import Task, run_contract_net
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def system(seed=0, nodes=4):
+    return ActorSpaceSystem(topology=Topology.lan(nodes), seed=seed)
+
+
+STANDARD_CONTRACTORS = [
+    ("ada", ["solve", "verify"], 2.0),
+    ("bob", ["solve"], 1.0),
+    ("cyd", ["verify"], 1.5),
+]
+
+
+class TestContractNet:
+    def test_all_tasks_complete(self):
+        tasks = [Task("solve", 1.0) for _ in range(4)]
+        result = run_contract_net(system(), STANDARD_CONTRACTORS, tasks)
+        assert len(result.completed) == 4
+        assert result.unawarded == []
+
+    def test_only_matching_skills_bid(self):
+        tasks = [Task("verify", 1.0)]
+        result = run_contract_net(system(), STANDARD_CONTRACTORS, tasks)
+        # ada and cyd have "verify"; bob does not.
+        assert result.bids_per_task[tasks[0].task_id] == 2
+        assert result.per_contractor["bob"] == 0
+
+    def test_fastest_idle_expert_wins(self):
+        tasks = [Task("solve", 2.0)]
+        result = run_contract_net(system(), STANDARD_CONTRACTORS, tasks)
+        winner, _t = result.completed[tasks[0].task_id]
+        assert winner == "ada"  # speed 2.0 beats bob's 1.0
+
+    def test_load_spreads_when_winner_busy(self):
+        """Bids reflect busy_until: with equal speeds, the queued winner
+        of task 1 loses task 2 to the idle peer."""
+        peers = [("eve", ["solve"], 1.0), ("fay", ["solve"], 1.0)]
+        tasks = [Task("solve", 4.0) for _ in range(2)]
+        result = run_contract_net(system(), peers, tasks, bid_window=0.5)
+        winners = {result.completed[t.task_id][0] for t in tasks}
+        assert winners == {"eve", "fay"}
+
+    def test_no_expert_means_unawarded(self):
+        tasks = [Task("translate", 1.0)]
+        result = run_contract_net(system(), STANDARD_CONTRACTORS, tasks)
+        assert result.unawarded == [tasks[0].task_id]
+        assert result.completed == {}
+
+    def test_skill_patterns_are_open(self):
+        """A contractor added with a new skill serves later tasks; no
+        registry changes, just visibility."""
+        sys_ = system()
+        from repro.apps.contract_net import Contractor
+
+        tasks = [Task("solve", 1.0)]
+        result = run_contract_net(sys_, STANDARD_CONTRACTORS + [
+            ("dee", ["solve"], 10.0)], tasks)
+        assert result.completed[tasks[0].task_id][0] == "dee"
+
+    def test_deterministic(self):
+        tasks = [Task("solve", 1.5), Task("verify", 1.0)]
+        a = run_contract_net(system(seed=3), STANDARD_CONTRACTORS,
+                             [Task("solve", 1.5), Task("verify", 1.0)])
+        b = run_contract_net(system(seed=3), STANDARD_CONTRACTORS,
+                             [Task("solve", 1.5), Task("verify", 1.0)])
+        assert a.per_contractor == b.per_contractor
+        assert a.makespan == b.makespan
+
+    def test_makespan_positive_and_bounded(self):
+        tasks = [Task("solve", 1.0) for _ in range(3)]
+        result = run_contract_net(system(), STANDARD_CONTRACTORS, tasks)
+        assert result.makespan > 0
+        # 3 tasks of size 1 at combined speed 3: well under 10 even with
+        # bidding windows.
+        assert result.makespan < 10

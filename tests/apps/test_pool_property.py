@@ -1,0 +1,48 @@
+"""Property test: the process pool computes correctly for any parameters.
+
+The divide-and-conquer protocol (split, scatter via patterns, merge via
+collectors) must produce the exact reduction for *every* combination of
+job size, grain, fanout, and pool size — including degenerate corners
+(grain >= job, fanout 1, single worker).  hypothesis sweeps the space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.process_pool import Job, run_process_pool
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+@given(
+    job_size=st.integers(1, 400),
+    grain=st.integers(1, 200),
+    fanout=st.integers(1, 6),
+    workers=st.integers(1, 6),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_pool_always_computes_the_exact_reduction(job_size, grain, fanout,
+                                                  workers, seed):
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=seed)
+    result = run_process_pool(
+        system, workers=workers, job_size=job_size, grain=grain,
+        fanout=fanout, cost_per_item=0.0001,
+    )
+    assert result.correct, (
+        f"pool returned {result.result}, expected {result.expected} "
+        f"(size={job_size} grain={grain} fanout={fanout} workers={workers})"
+    )
+
+
+@given(parts=st.integers(1, 20), lo=st.integers(0, 100),
+       size=st.integers(1, 500))
+@settings(max_examples=100)
+def test_split_partitions_exactly(parts, lo, size):
+    job = Job(lo, lo + size)
+    pieces = job.split(parts)
+    assert pieces[0].lo == job.lo and pieces[-1].hi == job.hi
+    assert all(p.size > 0 for p in pieces)
+    for a, b in zip(pieces, pieces[1:]):
+        assert a.hi == b.lo
+    assert sum(p.compute() for p in pieces) == job.compute()

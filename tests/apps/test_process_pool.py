@@ -1,0 +1,88 @@
+"""Tests: the section-6 dynamic process pool."""
+
+import pytest
+
+from repro.apps.process_pool import Job, expected_result, run_process_pool
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+class TestJob:
+    def test_split_covers_range_exactly(self):
+        job = Job(0, 100)
+        parts = job.split(4)
+        assert parts[0].lo == 0 and parts[-1].hi == 100
+        assert sum(p.size for p in parts) == 100
+        for a, b in zip(parts, parts[1:]):
+            assert a.hi == b.lo
+
+    def test_split_more_parts_than_items(self):
+        parts = Job(0, 2).split(10)
+        assert len(parts) == 2
+
+    def test_compute_closed_form_matches_bruteforce(self):
+        job = Job(3, 17)
+        assert job.compute() == sum(i * i for i in range(3, 17))
+
+    def test_compute_from_zero(self):
+        assert Job(0, 5).compute() == 0 + 1 + 4 + 9 + 16
+
+
+def run(workers, seed=0, job_size=512, **kw):
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=seed)
+    return run_process_pool(system, workers=workers, job_size=job_size,
+                            grain=32, **kw)
+
+
+class TestPoolRuns:
+    def test_single_worker_correct(self):
+        result = run(1)
+        assert result.correct
+
+    def test_many_workers_correct_and_distributed(self):
+        result = run(8)
+        assert result.correct
+        assert sum(1 for j in result.worker_jobs if j > 0) >= 4
+
+    def test_makespan_improves_with_pool_size(self):
+        # A big enough job that compute dominates coordination latency.
+        slow = run(1, job_size=4096).makespan
+        fast = run(8, job_size=4096).makespan
+        assert fast < slow
+
+    def test_client_never_addresses_a_worker(self):
+        """The client uses only the pattern; removing a worker's identity
+        (changing the attribute names) must not matter."""
+        system = ActorSpaceSystem(topology=Topology.lan(4), seed=0)
+        result = run_process_pool(system, workers=4, job_size=256, grain=32)
+        assert result.correct
+
+    def test_mid_run_arrivals_participate(self):
+        # Arrivals land while plenty of leaf work is still being scattered.
+        result = run(2, job_size=4096, arrivals=[(0.05, 6)])
+        assert result.correct
+        assert result.pool_size_final == 8
+        late_jobs = result.worker_jobs[2:]
+        assert any(j > 0 for j in late_jobs), "late arrivals never got work"
+
+    def test_arrivals_shorten_makespan(self):
+        without = run(2, job_size=4096)
+        with_arrivals = run(2, job_size=4096, arrivals=[(0.05, 6)])
+        assert with_arrivals.makespan <= without.makespan
+
+    def test_division_tree_counted(self):
+        result = run(4)
+        # 512/32 = 16 leaves with fanout 4: two levels of division.
+        assert result.leaves == 16
+        assert result.divisions == 5
+
+    def test_deterministic_given_seed(self):
+        a = run(4, seed=9)
+        b = run(4, seed=9)
+        assert a.makespan == b.makespan
+        assert a.worker_jobs == b.worker_jobs
+
+    def test_seeds_change_distribution(self):
+        a = run(4, seed=1)
+        b = run(4, seed=2)
+        assert a.worker_jobs != b.worker_jobs

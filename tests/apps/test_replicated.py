@@ -1,0 +1,72 @@
+"""Tests: replicated services (load balance + reliability)."""
+
+import pytest
+
+from repro.apps.replicated import run_replicated_service
+from repro.core.manager import Arbitration
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.util import chi_square_uniform
+
+
+def run(replicas, seed=0, **kw):
+    system = ActorSpaceSystem(topology=Topology.lan(9), seed=seed)
+    return run_replicated_service(system, replicas=replicas, **kw)
+
+
+class TestLoadBalance:
+    def test_all_requests_answered(self):
+        result = run(4, requests=100)
+        assert result.success_rate == 1.0
+        assert sum(result.per_replica) == 100
+
+    def test_distribution_near_uniform(self):
+        result = run(8, requests=400)
+        # Chi-square for 7 dof at p=0.001 is ~24.3; random assignment
+        # should sit far below.
+        assert chi_square_uniform(result.per_replica) < 25
+
+    def test_every_replica_participates(self):
+        result = run(8, requests=400)
+        assert all(c > 0 for c in result.per_replica)
+
+    def test_makespan_scales_down(self):
+        one = run(1, requests=200).makespan
+        eight = run(8, requests=200).makespan
+        assert eight < one / 2
+
+    def test_round_robin_is_perfectly_even(self):
+        result = run(4, requests=100, arbitration=Arbitration.ROUND_ROBIN)
+        assert result.per_replica == [25, 25, 25, 25]
+
+
+class TestReliability:
+    def test_crashes_lose_requests_without_retry(self):
+        result = run(8, requests=200, crash_replicas=4, crash_after=0.4,
+                     seed=11)
+        assert result.success_rate < 1.0
+
+    def test_retry_recovers(self):
+        base = run(8, requests=200, crash_replicas=4, crash_after=0.4, seed=11)
+        retry = run(8, requests=200, crash_replicas=4, crash_after=0.4,
+                    timeout=0.5, seed=11)
+        assert retry.success_rate > base.success_rate
+        assert retry.success_rate > 0.95
+        assert retry.retries_used > 0
+
+    def test_no_crash_needs_no_retries(self):
+        result = run(4, requests=100, timeout=5.0)
+        assert result.retries_used == 0
+        assert result.success_rate == 1.0
+
+    def test_all_replicas_down_gives_up(self):
+        result = run(2, requests=50, crash_replicas=2, crash_after=0.05,
+                     timeout=0.3)
+        assert result.success_rate < 1.0  # nobody can answer
+
+
+class TestMultipleClients:
+    def test_clients_split_requests(self):
+        result = run(4, requests=120, clients=3)
+        assert result.requests == 120
+        assert result.success_rate == 1.0

@@ -1,0 +1,125 @@
+"""Tests: the software repository and diffusion scheduling apps."""
+
+import numpy as np
+import pytest
+
+from repro.apps.diffusion import run_diffusion
+from repro.apps.repository import (
+    build_repository,
+    implements,
+    interface_desc,
+    query_all,
+    query_one,
+)
+from repro.core.lattice import Has
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def repo_system(count=120, seed=0):
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=seed)
+    handle = build_repository(system, class_count=count, seed=seed)
+    return system, handle
+
+
+class TestRepository:
+    def test_population_is_deterministic(self):
+        _s1, h1 = repo_system(seed=3)
+        _s2, h2 = repo_system(seed=3)
+        assert sorted(h1.factories) == sorted(h2.factories)
+
+    def test_query_one_returns_single_instance(self):
+        system, handle = repo_system()
+        query_one(system, handle, "collections/**")
+        system.run()
+        assert len(handle.client.instances) == 1
+        name = handle.client.instances[0][0]
+        assert name.startswith("collections.")
+
+    def test_query_one_respects_pattern(self):
+        system, handle = repo_system()
+        query_one(system, handle, "io/stream/*")
+        system.run()
+        assert handle.client.instances[0][0].startswith("io.stream.")
+
+    def test_query_all_enumerates_namespace(self):
+        system, handle = repo_system()
+        query_all(system, handle, "math/**")
+        system.run()
+        found = {name for name, _ifaces in handle.client.classes}
+        expected = {n for n in handle.factories if n.startswith("math.")}
+        assert found == expected
+
+    def test_factory_instantiation_counted(self):
+        system, handle = repo_system()
+        query_one(system, handle, "ui/**")
+        system.run()
+        assert sum(f.instantiations for f in handle.factories.values()) == 1
+
+    def test_unmatched_query_suspends_until_class_published(self):
+        """Open repository: a query for a not-yet-published interface is
+        answered when the class arrives (run-time extension)."""
+        system, handle = repo_system(count=10)
+        query_one(system, handle, "brand-new/thing")
+        system.run()
+        assert handle.client.instances == []
+        from repro.apps.repository import ClassFactory
+
+        factory = ClassFactory("brand.new.v1", ["brand-new/thing"])
+        addr = system.create_actor(factory, space=handle.space)
+        system.make_visible(addr, "brand-new/thing", handle.space)
+        system.run()
+        assert [i[0] for i in handle.client.instances] == ["brand.new.v1"]
+
+    def test_lattice_view_of_interfaces(self):
+        system, handle = repo_system()
+        name, factory = next(iter(handle.factories.items()))
+        exact = interface_desc(factory.interfaces)
+        assert implements(factory, exact)
+        assert implements(factory, Has(factory.interfaces[0]))
+        assert not implements(factory, Has("nonexistent/iface"))
+
+
+class TestDiffusion:
+    def run(self, diffuse, seed=0, **kw):
+        system = ActorSpaceSystem(topology=Topology.lan(4), seed=seed)
+        kw.setdefault("rows", 3)
+        kw.setdefault("cols", 3)
+        kw.setdefault("hot_units", 36)
+        kw.setdefault("max_time", 40)
+        return run_diffusion(system, diffuse=diffuse, **kw)
+
+    def test_all_work_completes(self):
+        for diffuse in (True, False):
+            result = self.run(diffuse)
+            assert result.completed == result.injected
+
+    def test_diffusion_spreads_load(self):
+        result = self.run(True)
+        assert result.transfers > 0
+        # Find a sample with work outstanding and check spread.
+        mid = next((loads for _t, loads in result.load_series
+                    if 0 < sum(loads) <= 30), None)
+        assert mid is not None
+        assert sum(1 for l in mid if l > 0) > 1
+
+    def test_no_diffusion_keeps_hot_spot(self):
+        result = self.run(False)
+        assert result.transfers == 0
+        for _t, loads in result.load_series:
+            assert all(l == 0 for l in loads[1:])  # only the corner works
+
+    def test_diffusion_shortens_makespan(self):
+        with_d = self.run(True)
+        without = self.run(False)
+        assert with_d.makespan is not None and without.makespan is not None
+        assert with_d.makespan < without.makespan
+
+    def test_variance_decays_with_diffusion(self):
+        result = self.run(True)
+        early = result.variance_at(1)
+        # Find last sample with outstanding work.
+        busy = [i for i, (_t, loads) in enumerate(result.load_series)
+                if sum(loads) > 0]
+        late = result.variance_at(busy[-1]) if busy else 0.0
+        assert late <= early

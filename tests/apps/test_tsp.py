@@ -1,0 +1,69 @@
+"""Tests: branch-and-bound TSP with bound broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tsp import held_karp, random_instance, run_tsp
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+class TestInstanceAndOracle:
+    def test_instance_is_symmetric_with_zero_diagonal(self):
+        d = random_instance(8, seed=1)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0)
+
+    def test_instance_deterministic(self):
+        assert np.allclose(random_instance(6, 3), random_instance(6, 3))
+
+    def test_held_karp_on_square(self):
+        # Four corners of a unit square: optimal tour is the perimeter (4).
+        pts = np.array([[0, 0], [0, 1], [1, 1], [1, 0]], dtype=float)
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff**2).sum(-1))
+        assert held_karp(dist) == pytest.approx(4.0)
+
+    def test_held_karp_trivial_sizes(self):
+        assert held_karp(np.zeros((1, 1))) == 0.0
+        d = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert held_karp(d) == pytest.approx(4.0)
+
+
+def run(workers=4, share=True, n=9, seed=0, instance_seed=5):
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=seed)
+    return run_tsp(system, n_cities=n, workers=workers,
+                   instance_seed=instance_seed, share_bounds=share)
+
+
+class TestSearch:
+    def test_finds_optimum_with_sharing(self):
+        assert run(share=True).found_optimum
+
+    def test_finds_optimum_without_sharing(self):
+        assert run(share=False).found_optimum
+
+    def test_sharing_prunes_nodes(self):
+        shared = run(share=True)
+        isolated = run(share=False)
+        assert shared.nodes_expanded < isolated.nodes_expanded
+        assert shared.bound_broadcasts > 0
+        assert isolated.bound_broadcasts == 0
+
+    def test_bounds_heard_by_peers(self):
+        result = run(share=True)
+        assert result.bounds_heard > 0
+
+    def test_single_worker(self):
+        result = run(workers=1)
+        assert result.found_optimum
+
+    def test_more_workers_than_branches(self):
+        result = run(workers=12, n=8)
+        assert result.found_optimum
+
+    def test_deterministic(self):
+        a = run(seed=4)
+        b = run(seed=4)
+        assert a.nodes_expanded == b.nodes_expanded
+        assert a.best_cost == b.best_cost

@@ -1,0 +1,49 @@
+"""Tests: TSP chunked search scheduling details."""
+
+from repro.apps.tsp import run_tsp
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def run(chunk, share=True, seed=0):
+    system = ActorSpaceSystem(topology=Topology.lan(4), seed=seed)
+    return run_tsp(system, n_cities=9, workers=4, instance_seed=11,
+                   share_bounds=share, chunk=chunk)
+
+
+class TestChunking:
+    def test_chunk_size_does_not_affect_correctness(self):
+        for chunk in (10, 100, 5000):
+            assert run(chunk).found_optimum
+
+    def test_small_chunks_hear_more_bounds(self):
+        """Finer interleaving gives bound broadcasts more chances to land
+        mid-search (they cannot arrive inside one chunk)."""
+        fine = run(chunk=20)
+        coarse = run(chunk=5000)
+        assert fine.bounds_heard >= coarse.bounds_heard
+
+    def test_isolated_single_worker_equals_sequential_search(self):
+        """One worker with no sharing is plain sequential B&B: the node
+        count must be independent of chunking."""
+        a = run(chunk=10, share=False)
+        b = run(chunk=5000, share=False)
+        one_a = ActorSpaceSystem(topology=Topology.lan(4), seed=0)
+        # (single-worker case: chunking irrelevant to expansion count)
+        from repro.apps.tsp import run_tsp as rt
+
+        w1_small = rt(one_a, n_cities=9, workers=1, instance_seed=11,
+                      share_bounds=False, chunk=10)
+        one_b = ActorSpaceSystem(topology=Topology.lan(4), seed=0)
+        w1_big = rt(one_b, n_cities=9, workers=1, instance_seed=11,
+                    share_bounds=False, chunk=5000)
+        assert w1_small.nodes_expanded == w1_big.nodes_expanded
+
+    def test_worker_cap_at_branch_count(self):
+        result = run(chunk=100)
+        assert result.workers == 4
+        big = ActorSpaceSystem(topology=Topology.lan(4), seed=0)
+        from repro.apps.tsp import run_tsp as rt
+
+        capped = rt(big, n_cities=6, workers=50, instance_seed=11)
+        assert capped.workers == 5  # n_cities - 1

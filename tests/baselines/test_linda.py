@@ -1,0 +1,136 @@
+"""Tests: the Linda tuple-space baseline."""
+
+from repro.baselines.linda import (
+    ANY,
+    BlockingConsumer,
+    PollingConsumer,
+    TupleSpaceBehavior,
+    matches,
+)
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+class TestMatching:
+    def test_exact_values(self):
+        assert matches(("a", 1), ("a", 1))
+        assert not matches(("a", 1), ("a", 2))
+
+    def test_arity_must_agree(self):
+        assert not matches(("a",), ("a", 1))
+
+    def test_wildcard(self):
+        assert matches(("a", ANY), ("a", 99))
+
+    def test_type_fields(self):
+        assert matches(("a", int), ("a", 5))
+        assert not matches(("a", int), ("a", "five"))
+        assert matches((str, ANY), ("x", None))
+
+
+def build():
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+    space = system.create_actor(TupleSpaceBehavior(), node=0)
+    return system, space
+
+
+def kernel(system, space):
+    return system.actor_record(space).behavior
+
+
+class TestKernel:
+    def test_out_then_inp(self):
+        system, space = build()
+        got = []
+        probe = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.send_to(space, ("out", ("job", 1)))
+        system.run()
+        system.send_to(space, ("inp", ("job", ANY)), reply_to=probe)
+        system.run()
+        assert got == [("tuple", ("job", 1))]
+        assert kernel(system, space).tuples == []  # consumed
+
+    def test_rdp_does_not_consume(self):
+        system, space = build()
+        got = []
+        probe = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.send_to(space, ("out", ("job", 1)))
+        system.run()
+        system.send_to(space, ("rdp", ("job", ANY)), reply_to=probe)
+        system.run()
+        assert got[0][0] == "tuple"
+        assert kernel(system, space).tuples == [("job", 1)]
+
+    def test_inp_miss_replies_no_match(self):
+        system, space = build()
+        got = []
+        probe = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.send_to(space, ("inp", ("nope", ANY)), reply_to=probe)
+        system.run()
+        assert got == [("no-match", ("nope", ANY))]
+
+    def test_blocking_in_waits_for_out(self):
+        system, space = build()
+        got = []
+        probe = system.create_actor(lambda ctx, m: got.append((ctx.now, m.payload)))
+        system.send_to(space, ("in", ("data", ANY)), reply_to=probe)
+        system.run()
+        assert got == []  # still blocked in the kernel
+        system.send_to(space, ("out", ("data", 9)))
+        system.run()
+        assert got[0][1] == ("tuple", ("data", 9))
+
+    def test_in_consumes_exactly_once_under_contention(self):
+        """The Linda race: two blocked `in`s, one tuple — one winner."""
+        system, space = build()
+        got = []
+        for i in range(2):
+            probe = system.create_actor(
+                lambda ctx, m, i=i: got.append((i, m.payload)))
+            system.send_to(space, ("in", ("prize", ANY)), reply_to=probe)
+        system.run()
+        system.send_to(space, ("out", ("prize", 1)))
+        system.run()
+        assert len(got) == 1  # exactly one consumer got it
+
+    def test_rd_waiters_all_served_by_one_out(self):
+        system, space = build()
+        got = []
+        for i in range(3):
+            probe = system.create_actor(
+                lambda ctx, m, i=i: got.append(i))
+            system.send_to(space, ("rd", ("news", ANY)), reply_to=probe)
+        system.run()
+        system.send_to(space, ("out", ("news", "flash")))
+        system.run()
+        assert sorted(got) == [0, 1, 2]
+        assert kernel(system, space).tuples == [("news", "flash")]
+
+
+class TestConsumers:
+    def test_polling_consumer_costs_scale_with_delay(self):
+        def polls_for(delay):
+            system = ActorSpaceSystem(topology=Topology.lan(2), seed=1)
+            space = system.create_actor(TupleSpaceBehavior(), node=0)
+            consumer = PollingConsumer(space, ("r", ANY), poll_interval=0.5)
+            system.create_actor(consumer, node=1)
+            system.events.schedule(
+                delay, lambda: system.send_to(space, ("out", ("r", 1))))
+            system.run()
+            assert consumer.result == ("r", 1)
+            return consumer.polls
+
+        assert polls_for(10.0) > polls_for(1.0) > 0
+
+    def test_blocking_consumer_needs_one_request(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=1)
+        space = system.create_actor(TupleSpaceBehavior(), node=0)
+        got = []
+        monitor = system.create_actor(lambda ctx, m: got.append(m.payload))
+        consumer = BlockingConsumer(space, ("r", ANY), monitor=monitor)
+        system.create_actor(consumer, node=1)
+        system.events.schedule(
+            5.0, lambda: system.send_to(space, ("out", ("r", 2))))
+        system.run()
+        assert consumer.result == ("r", 2)
+        assert got == [("got", ("r", 2), 1)]

@@ -1,0 +1,189 @@
+"""Tests: name server, static groups, and Concurrent Aggregates baselines."""
+
+import pytest
+
+from repro.baselines.aggregates import AggregateSystem, HierarchyError
+from repro.baselines.groups import EmptyGroupError, GroupRegistry, UnknownGroupError
+from repro.baselines.nameserver import LookupThenSendClient, NameServerBehavior
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def system_with_recorder(nodes=3, seed=0):
+    system = ActorSpaceSystem(topology=Topology.lan(nodes), seed=seed)
+    got = []
+    recorder = system.create_actor(lambda ctx, m: got.append(m.payload), node=1)
+    return system, recorder, got
+
+
+class TestNameServer:
+    def test_register_lookup_roundtrip(self):
+        system, target, got = system_with_recorder()
+        ns = system.create_actor(NameServerBehavior(), node=0)
+        probe_got = []
+        probe = system.create_actor(lambda ctx, m: probe_got.append(m.payload))
+        system.send_to(ns, ("register", "svc.print", target), reply_to=probe)
+        system.run()
+        system.send_to(ns, ("lookup", "svc.print"), reply_to=probe)
+        system.run()
+        assert ("ok", "svc.print") in probe_got
+        assert ("addr", "svc.print", target) in probe_got
+
+    def test_lookup_unknown(self):
+        system, _t, _g = system_with_recorder()
+        ns = system.create_actor(NameServerBehavior(), node=0)
+        probe_got = []
+        probe = system.create_actor(lambda ctx, m: probe_got.append(m.payload))
+        system.send_to(ns, ("lookup", "ghost"), reply_to=probe)
+        system.run()
+        assert probe_got == [("unknown", "ghost")]
+
+    def test_list_by_prefix(self):
+        system, target, _g = system_with_recorder()
+        ns = system.create_actor(NameServerBehavior(), node=0)
+        for name in ("svc.a", "svc.b", "other.c"):
+            system.send_to(ns, ("register", name, target))
+        system.run()
+        probe_got = []
+        probe = system.create_actor(lambda ctx, m: probe_got.append(m.payload))
+        system.send_to(ns, ("list", "svc."), reply_to=probe)
+        system.run()
+        assert probe_got == [("names", ["svc.a", "svc.b"])]
+
+    def test_lookup_then_send_costs_three_messages(self):
+        system, target, got = system_with_recorder()
+        ns = system.create_actor(NameServerBehavior(), node=0)
+        system.send_to(ns, ("register", "svc.x", target))
+        system.run()
+        monitor_got = []
+        monitor = system.create_actor(lambda ctx, m: monitor_got.append(m.payload))
+        system.create_actor(
+            LookupThenSendClient(ns, "svc.x", ("hi",), monitor=monitor), node=2)
+        system.run()
+        assert got == [("hi",)]
+        assert monitor_got == [("sent", "svc.x", 3)]
+
+    def test_unbound_name_forces_retry_polling(self):
+        system, target, got = system_with_recorder()
+        ns = system.create_actor(NameServerBehavior(), node=0)
+        client = LookupThenSendClient(ns, "late.svc", ("payload",))
+        system.create_actor(client, node=2)
+        system.run(until=2.0)
+        assert got == []  # still unbound: client is polling
+        system.send_to(ns, ("register", "late.svc", target))
+        system.run()
+        assert got == [("payload",)]
+        assert client.hops > 3  # polling cost exceeded the happy path
+
+
+class TestGroups:
+    def test_membership_and_cast(self):
+        system, target, got = system_with_recorder()
+        reg = GroupRegistry(system)
+        reg.create_group("g")
+        reg.join("g", target)
+        assert reg.members("g") == [target]
+        reg.group_cast("g", "to-all")
+        system.run()
+        assert got == ["to-all"]
+
+    def test_group_send_round_robin(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        counts = [0, 0]
+        addrs = [
+            system.create_actor(lambda ctx, m, i=i: counts.__setitem__(
+                i, counts[i] + 1))
+            for i in range(2)
+        ]
+        reg = GroupRegistry(system)
+        reg.create_group("g")
+        for a in addrs:
+            reg.join("g", a)
+        for _ in range(6):
+            reg.group_send("g", "x", policy="round-robin")
+        system.run()
+        assert counts == [3, 3]
+
+    def test_empty_and_unknown_groups_fail_fast(self):
+        system = ActorSpaceSystem(seed=0)
+        reg = GroupRegistry(system)
+        with pytest.raises(UnknownGroupError):
+            reg.group_send("nope", 1)
+        reg.create_group("g")
+        with pytest.raises(EmptyGroupError):
+            reg.group_send("g", 1)
+        with pytest.raises(EmptyGroupError):
+            reg.group_cast("g", 1)
+
+    def test_membership_ops_counted(self):
+        system = ActorSpaceSystem(seed=0)
+        reg = GroupRegistry(system)
+        reg.create_group("g")
+        a = system.create_actor(lambda ctx, m: None)
+        reg.join("g", a)
+        reg.leave("g", a)
+        reg.delete_group("g")
+        assert reg.membership_ops == 4
+
+    def test_duplicate_group_rejected(self):
+        system = ActorSpaceSystem(seed=0)
+        reg = GroupRegistry(system)
+        reg.create_group("g")
+        with pytest.raises(ValueError):
+            reg.create_group("g")
+
+
+class TestAggregates:
+    def test_strict_hierarchy_enforced(self):
+        system = ActorSpaceSystem(seed=0)
+        ag = AggregateSystem(system)
+        a, b, c = ag.create("a"), ag.create("b"), ag.create("c")
+        a.add_child(b)
+        with pytest.raises(HierarchyError):
+            c.add_child(b)  # b already has a parent: no overlap allowed
+        with pytest.raises(HierarchyError):
+            b.add_child(a)  # cycle
+
+    def test_detach_allows_reattachment(self):
+        system = ActorSpaceSystem(seed=0)
+        ag = AggregateSystem(system)
+        a, b, c = ag.create("a"), ag.create("b"), ag.create("c")
+        a.add_child(b)
+        b.detach()
+        c.add_child(b)
+        assert b.parent is c
+
+    def test_recursive_delivery(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        got = []
+        ag = AggregateSystem(system)
+        parent, child = ag.create("p"), ag.create("c")
+        parent.add_child(child)
+        for i in range(2):
+            addr = system.create_actor(
+                lambda ctx, m, i=i: got.append(("p", i, m.payload)))
+            parent.add_member(addr)
+        addr = system.create_actor(lambda ctx, m: got.append(("c", m.payload)))
+        child.add_member(addr)
+        assert ag.deliver_all("p", "hi") == 3  # members + descendants
+        system.run()
+        assert len(got) == 3
+
+    def test_deliver_one_hits_exactly_one(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=3)
+        got = []
+        ag = AggregateSystem(system)
+        root = ag.create("root")
+        for i in range(4):
+            addr = system.create_actor(lambda ctx, m, i=i: got.append(i))
+            root.add_member(addr)
+        ag.deliver_one("root", "x")
+        system.run()
+        assert len(got) == 1
+
+    def test_empty_aggregate_fails(self):
+        system = ActorSpaceSystem(seed=0)
+        ag = AggregateSystem(system)
+        ag.create("e")
+        with pytest.raises(HierarchyError):
+            ag.deliver_one("e", 1)

@@ -1,0 +1,86 @@
+"""Tests: the topic pub/sub baseline."""
+
+from repro.baselines.pubsub import FilteringSubscriber, TopicBrokerBehavior
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def build():
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+    broker_behavior = TopicBrokerBehavior()
+    broker = system.create_actor(broker_behavior, node=0)
+    return system, broker, broker_behavior
+
+
+class TestBroker:
+    def test_publish_to_subscribers(self):
+        system, broker, bb = build()
+        got = []
+        sub = system.create_actor(lambda ctx, m: got.append(m.payload), node=1)
+        system.send_to(broker, ("subscribe", "news"), reply_to=sub)
+        system.run()
+        system.send_to(broker, ("publish", "news", "flash"))
+        system.run()
+        assert got == [("event", "news", "flash")]
+
+    def test_exact_topic_match_only(self):
+        system, broker, bb = build()
+        got = []
+        sub = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.send_to(broker, ("subscribe", "news.sports"), reply_to=sub)
+        system.run()
+        # No wildcards: "news" is a different topic entirely.
+        system.send_to(broker, ("publish", "news", "x"))
+        system.run()
+        assert got == []
+        assert bb.dropped_no_topic == 1
+
+    def test_unsubscribe(self):
+        system, broker, bb = build()
+        got = []
+        sub = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.send_to(broker, ("subscribe", "t"), reply_to=sub)
+        system.run()
+        system.send_to(broker, ("unsubscribe", "t"), reply_to=sub)
+        system.run()
+        system.send_to(broker, ("publish", "t", 1))
+        system.run()
+        assert got == []
+        assert bb.topic_count == 0
+
+    def test_duplicate_subscribe_is_idempotent(self):
+        system, broker, bb = build()
+        got = []
+        sub = system.create_actor(lambda ctx, m: got.append(m.payload))
+        for _ in range(3):
+            system.send_to(broker, ("subscribe", "t"), reply_to=sub)
+        system.run()
+        system.send_to(broker, ("publish", "t", "once"))
+        system.run()
+        assert len(got) == 1
+
+    def test_counters(self):
+        system, broker, bb = build()
+        sub = system.create_actor(lambda ctx, m: None)
+        system.send_to(broker, ("subscribe", "a"), reply_to=sub)
+        system.run()
+        system.send_to(broker, ("publish", "a", 1))
+        system.send_to(broker, ("publish", "ghost", 2))
+        system.run()
+        assert bb.published == 2
+        assert bb.forwarded == 1
+        assert bb.dropped_no_topic == 1
+
+
+class TestFilteringSubscriber:
+    def test_accepts_and_counts_waste(self):
+        system, broker, bb = build()
+        sub = FilteringSubscriber(lambda payload: payload == "mine")
+        addr = system.create_actor(sub, node=1)
+        system.send_to(broker, ("subscribe", "shared"), reply_to=addr)
+        system.run()
+        system.send_to(broker, ("publish", "shared", "mine"))
+        system.send_to(broker, ("publish", "shared", "other"))
+        system.run()
+        assert sub.accepted == ["mine"]
+        assert sub.wasted == 1

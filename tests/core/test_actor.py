@@ -1,0 +1,89 @@
+"""Unit tests: behaviors, become staging, actor records."""
+
+import pytest
+
+from repro.core.actor import (
+    ActorRecord,
+    Behavior,
+    FunctionBehavior,
+    as_behavior,
+)
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.messages import Message
+
+
+class Ping(Behavior):
+    def __init__(self, label="ping"):
+        self.label = label
+        self.seen = []
+
+    def receive(self, ctx, message):
+        self.seen.append(message.payload)
+
+
+class TestAsBehavior:
+    def test_instance_passthrough(self):
+        b = Ping()
+        assert as_behavior(b) is b
+
+    def test_instance_with_args_rejected(self):
+        with pytest.raises(TypeError):
+            as_behavior(Ping(), "extra")
+
+    def test_class_instantiation(self):
+        b = as_behavior(Ping, "custom")
+        assert isinstance(b, Ping)
+        assert b.label == "custom"
+
+    def test_callable_wrapping(self):
+        calls = []
+        b = as_behavior(lambda ctx, m: calls.append(m))
+        assert isinstance(b, FunctionBehavior)
+        b.receive(None, Message("hi"))
+        assert len(calls) == 1
+
+    def test_callable_with_args_rejected(self):
+        with pytest.raises(TypeError):
+            as_behavior(lambda ctx, m: None, 1)
+
+    def test_noncallable_rejected(self):
+        with pytest.raises(TypeError):
+            as_behavior(42)
+
+    def test_function_behavior_requires_callable(self):
+        with pytest.raises(TypeError):
+            FunctionBehavior("nope")
+
+
+class TestActorRecord:
+    def _record(self):
+        return ActorRecord(
+            ActorAddress(0, 0), Ping(), node=0, host_space=SpaceAddress(0, 99)
+        )
+
+    def test_become_takes_effect_only_on_install(self):
+        rec = self._record()
+        old = rec.behavior
+        new = Ping("new")
+        rec.stage_become(new)
+        assert rec.behavior is old  # not yet!
+        rec.install_pending()
+        assert rec.behavior is new
+        assert rec.pending_behavior is None
+
+    def test_install_without_pending_is_noop(self):
+        rec = self._record()
+        b = rec.behavior
+        rec.install_pending()
+        assert rec.behavior is b
+
+    def test_last_become_wins(self):
+        rec = self._record()
+        rec.stage_become(Ping("a"))
+        final = Ping("b")
+        rec.stage_become(final)
+        rec.install_pending()
+        assert rec.behavior is final
+
+    def test_on_start_default_is_noop(self):
+        Ping().on_start(None)  # must not raise

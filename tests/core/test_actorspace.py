@@ -1,0 +1,109 @@
+"""Unit tests: space records and registries."""
+
+import pytest
+
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.atoms import AttributePath
+from repro.core.errors import SpaceDestroyedError
+
+
+def record():
+    return SpaceRecord(SpaceAddress(0, 0))
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        rec = record()
+        actor = ActorAddress(0, 1)
+        entry = rec.register(actor, "a/b", now=2.0)
+        assert entry.attributes == frozenset({AttributePath("a/b")})
+        assert entry.registered_at == 2.0
+        assert rec.lookup(actor) is entry
+        assert actor in rec
+        assert rec.size == 1
+
+    def test_register_multiple_attributes(self):
+        rec = record()
+        entry = rec.register(ActorAddress(0, 1), ["a", "b/c"])
+        assert len(entry.attributes) == 2
+
+    def test_reregister_replaces(self):
+        rec = record()
+        actor = ActorAddress(0, 1)
+        rec.register(actor, "old")
+        rec.register(actor, "new")
+        assert rec.lookup(actor).attributes == frozenset({AttributePath("new")})
+        assert rec.size == 1
+
+    def test_unregister(self):
+        rec = record()
+        actor = ActorAddress(0, 1)
+        rec.register(actor, "x")
+        assert rec.unregister(actor)
+        assert not rec.unregister(actor)
+        assert rec.lookup(actor) is None
+
+    def test_entry_kind_iteration(self):
+        rec = record()
+        rec.register(ActorAddress(0, 1), "a")
+        rec.register(SpaceAddress(0, 2), "s")
+        assert [e.target for e in rec.actor_entries()] == [ActorAddress(0, 1)]
+        assert [e.target for e in rec.space_entries()] == [SpaceAddress(0, 2)]
+        assert len(list(rec.entries())) == 2
+
+    def test_entry_is_space_flag(self):
+        rec = record()
+        assert rec.register(SpaceAddress(0, 2), "s").is_space
+        assert not rec.register(ActorAddress(0, 1), "a").is_space
+
+
+class TestDestroy:
+    def test_destroy_evicts_but_reports_members(self):
+        rec = record()
+        rec.register(ActorAddress(0, 1), "a")
+        rec.register(ActorAddress(0, 2), "b")
+        evicted = rec.destroy()
+        assert len(evicted) == 2
+        assert rec.destroyed
+        assert rec.size == 0
+
+    def test_operations_after_destroy_raise(self):
+        rec = record()
+        rec.destroy()
+        with pytest.raises(SpaceDestroyedError):
+            rec.register(ActorAddress(0, 1), "a")
+        with pytest.raises(SpaceDestroyedError):
+            rec.unregister(ActorAddress(0, 1))
+
+    def test_first_atom_index_tracks_registrations(self):
+        rec = record()
+        a, b = ActorAddress(0, 1), ActorAddress(0, 2)
+        rec.register(a, ["svc/print", "misc/a"])
+        rec.register(b, "svc/scan")
+        assert {e.target for e in rec.entries_with_first_atom("svc")} == {a, b}
+        assert {e.target for e in rec.entries_with_first_atom("misc")} == {a}
+        assert list(rec.entries_with_first_atom("ghost")) == []
+
+    def test_first_atom_index_updates_on_reregister(self):
+        rec = record()
+        a = ActorAddress(0, 1)
+        rec.register(a, "old/name")
+        rec.register(a, "new/name")
+        assert list(rec.entries_with_first_atom("old")) == []
+        assert [e.target for e in rec.entries_with_first_atom("new")] == [a]
+
+    def test_first_atom_index_updates_on_unregister(self):
+        rec = record()
+        a = ActorAddress(0, 1)
+        rec.register(a, "svc/x")
+        rec.unregister(a)
+        assert list(rec.entries_with_first_atom("svc")) == []
+
+    def test_snapshot_is_value_copy(self):
+        rec = record()
+        actor = ActorAddress(0, 1)
+        rec.register(actor, "a")
+        snap = rec.snapshot()
+        rec.register(actor, "b")
+        assert snap[actor] == frozenset({AttributePath("a")})

@@ -1,0 +1,130 @@
+"""Unit tests: atoms and attribute paths."""
+
+import pytest
+
+from repro.core.atoms import (
+    EMPTY_PATH,
+    AttributePath,
+    as_path,
+    as_paths,
+    check_atom,
+    is_valid_atom,
+)
+from repro.core.errors import AttributeSyntaxError
+
+
+class TestAtomValidation:
+    def test_simple_atoms_are_valid(self):
+        for atom in ("a", "print", "node-1", "v1.2", "x_y", "UPPER"):
+            assert is_valid_atom(atom)
+
+    def test_reserved_characters_rejected(self):
+        for bad in ("a/b", "a*", "a?", "a[b]", "{a}", "~x", "a b", "a\tb", "a\nb"):
+            assert not is_valid_atom(bad)
+
+    def test_empty_and_nonstring_rejected(self):
+        assert not is_valid_atom("")
+        assert not is_valid_atom(123)
+        assert not is_valid_atom(None)
+
+    def test_check_atom_raises_with_offending_chars(self):
+        with pytest.raises(AttributeSyntaxError) as err:
+            check_atom("a*b")
+        assert "*" in str(err.value)
+
+    def test_check_atom_returns_value(self):
+        assert check_atom("ok") == "ok"
+
+
+class TestAttributePath:
+    def test_from_string(self):
+        p = AttributePath("a/b/c")
+        assert p.atoms == ("a", "b", "c")
+        assert str(p) == "a/b/c"
+        assert len(p) == 3
+
+    def test_from_iterable(self):
+        assert AttributePath(["x", "y"]) == AttributePath("x/y")
+
+    def test_copy_constructor_is_idempotent(self):
+        p = AttributePath("a/b")
+        assert AttributePath(p) == p
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(AttributeSyntaxError):
+            AttributePath("")
+
+    def test_leading_trailing_slash_rejected(self):
+        with pytest.raises(AttributeSyntaxError):
+            AttributePath("/a")
+        with pytest.raises(AttributeSyntaxError):
+            AttributePath("a/")
+        with pytest.raises(AttributeSyntaxError):
+            AttributePath("a//b")
+
+    def test_equality_with_strings(self):
+        assert AttributePath("a/b") == "a/b"
+        assert AttributePath("a/b") != "a/c"
+        assert AttributePath("a/b") != "not//valid"
+
+    def test_hashable_and_usable_in_sets(self):
+        s = {AttributePath("a/b"), AttributePath("a/b"), AttributePath("c")}
+        assert len(s) == 2
+
+    def test_ordering_is_lexicographic_on_atoms(self):
+        paths = sorted([AttributePath("b"), AttributePath("a/z"), AttributePath("a")])
+        assert [str(p) for p in paths] == ["a", "a/z", "b"]
+
+    def test_truediv_concatenates(self):
+        assert AttributePath("a") / "b/c" == AttributePath("a/b/c")
+        assert AttributePath("a") / AttributePath("b") == AttributePath("a/b")
+
+    def test_empty_path_is_identity(self):
+        assert EMPTY_PATH / "a" == AttributePath("a")
+        assert AttributePath("a") / EMPTY_PATH == AttributePath("a")
+        assert not EMPTY_PATH
+        assert len(EMPTY_PATH) == 0
+
+    def test_startswith_and_relative_to(self):
+        p = AttributePath("a/b/c")
+        assert p.startswith("a")
+        assert p.startswith("a/b")
+        assert p.startswith(p)
+        assert not p.startswith("b")
+        assert p.relative_to("a") == AttributePath("b/c")
+        with pytest.raises(ValueError):
+            p.relative_to("x")
+
+    def test_parent_and_name(self):
+        p = AttributePath("a/b/c")
+        assert p.parent == AttributePath("a/b")
+        assert p.name == "c"
+        assert AttributePath("solo").parent == EMPTY_PATH
+
+    def test_indexing_and_slicing(self):
+        p = AttributePath("a/b/c")
+        assert p[0] == "a"
+        assert p[1:] == AttributePath("b/c")
+
+    def test_iteration(self):
+        assert list(AttributePath("x/y")) == ["x", "y"]
+
+
+class TestCoercions:
+    def test_as_path(self):
+        assert as_path("a/b") == AttributePath("a/b")
+        p = AttributePath("z")
+        assert as_path(p) is p
+
+    def test_as_paths_single(self):
+        assert as_paths("a/b") == frozenset({AttributePath("a/b")})
+        assert as_paths(AttributePath("a")) == frozenset({AttributePath("a")})
+
+    def test_as_paths_iterable(self):
+        got = as_paths(["a", "b/c", AttributePath("d")])
+        assert got == frozenset(
+            {AttributePath("a"), AttributePath("b/c"), AttributePath("d")}
+        )
+
+    def test_as_paths_dedupes(self):
+        assert len(as_paths(["a", "a"])) == 1

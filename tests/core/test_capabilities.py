@@ -1,0 +1,80 @@
+"""Unit tests: capabilities (unforgeable keys, section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.capabilities import Capability, CapabilityIssuer, authorize
+
+
+def issuer(seed=0):
+    return CapabilityIssuer(np.random.default_rng(seed))
+
+
+class TestCapability:
+    def test_equality_by_token(self):
+        a = Capability(42)
+        assert a == Capability(42)
+        assert a != Capability(43)
+        assert hash(a) == hash(Capability(42))
+
+    def test_copy_compares_equal(self):
+        a = issuer().new_capability()
+        assert a.copy() == a
+        assert a.copy() is not a
+
+    def test_token_bounds(self):
+        with pytest.raises(ValueError):
+            Capability(-1)
+        with pytest.raises(ValueError):
+            Capability(1 << 128)
+        with pytest.raises(ValueError):
+            Capability("not-an-int")
+
+    def test_repr_does_not_leak_full_token(self):
+        cap = Capability((1 << 128) - 1)
+        assert f"{cap.token:x}" not in repr(cap)
+
+
+class TestIssuer:
+    def test_caps_are_unique(self):
+        iss = issuer()
+        caps = [iss.new_capability() for _ in range(500)]
+        assert len({c.token for c in caps}) == 500
+        assert iss.issued_count == 500
+
+    def test_deterministic_given_seed(self):
+        a_iss, b_iss = issuer(7), issuer(7)
+        a = [a_iss.new_capability() for _ in range(5)]
+        b = [b_iss.new_capability() for _ in range(5)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert issuer(1).new_capability() != issuer(2).new_capability()
+
+    def test_was_issued(self):
+        iss = issuer()
+        cap = iss.new_capability()
+        assert iss.was_issued(cap)
+        assert iss.was_issued(cap.copy())
+
+    def test_forged_capability_not_recognized(self):
+        """Unforgeability: guessing tokens does not produce issued keys."""
+        iss = issuer(3)
+        for _ in range(100):
+            iss.new_capability()
+        attacker_rng = np.random.default_rng(999)
+        for _ in range(1000):
+            guess = Capability(int(attacker_rng.integers(0, 1 << 62)))
+            assert not iss.was_issued(guess)
+
+
+class TestAuthorize:
+    def test_unprotected_accepts_anything(self):
+        assert authorize(None, None)
+        assert authorize(Capability(1), None)
+
+    def test_protected_requires_equal_key(self):
+        key = Capability(99)
+        assert authorize(Capability(99), key)
+        assert not authorize(Capability(98), key)
+        assert not authorize(None, key)

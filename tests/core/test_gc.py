@@ -1,0 +1,169 @@
+"""Unit + property tests: garbage collection (section 5.5)."""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.gc import GarbageCollector, scan_addresses
+from repro.core.visibility import Directory
+
+
+def actors(n):
+    return [ActorAddress(0, i) for i in range(n)]
+
+
+def directory_with(spaces):
+    d = Directory()
+    for s in spaces:
+        d.add_space(SpaceRecord(s))
+    return d
+
+
+class TestScanAddresses:
+    def test_finds_addresses_in_containers(self):
+        a, b = ActorAddress(0, 1), SpaceAddress(0, 2)
+        payload = {"x": [a, (1, {b})], 2: "noise"}
+        assert set(scan_addresses(payload)) == {a, b}
+
+    def test_dataclass_fields_scanned(self):
+        @dataclass
+        class Carrier:
+            dest: ActorAddress
+            note: str
+
+        a = ActorAddress(0, 5)
+        assert set(scan_addresses(Carrier(a, "hi"))) == {a}
+
+    def test_addresses_hook_honoured(self):
+        a = ActorAddress(0, 9)
+
+        class Opaque:
+            def __addresses__(self):
+                return [a]
+
+        assert set(scan_addresses(Opaque())) == {a}
+
+    def test_opaque_without_hook_yields_nothing(self):
+        assert list(scan_addresses(object())) == []
+
+    def test_depth_bounded(self):
+        nested = ActorAddress(0, 1)
+        for _ in range(50):
+            nested = [nested]
+        assert list(scan_addresses(nested)) == []  # beyond depth cap
+
+
+class TestMark:
+    def test_roots_and_acquaintances_are_live(self):
+        a = actors(4)
+        d = directory_with([])
+        gc = GarbageCollector(d, {a[0]: {a[1]}, a[1]: {a[2]}})
+        live, _spaces = gc.mark(roots=[a[0]])
+        assert live == {a[0], a[1], a[2]}
+
+    def test_visible_members_of_live_space_are_live(self):
+        a = actors(2)
+        s = SpaceAddress(0, 100)
+        d = directory_with([s])
+        d.make_visible(a[0], "x", s)
+        gc = GarbageCollector(d, {})
+        live, spaces = gc.mark(roots=[s])
+        assert a[0] in live and s in spaces
+        assert a[1] not in live
+
+    def test_nested_spaces_propagate(self):
+        a = actors(1)
+        s0, s1 = SpaceAddress(0, 100), SpaceAddress(0, 101)
+        d = directory_with([s0, s1])
+        d.make_visible(s1, "sub", s0)
+        d.make_visible(a[0], "x", s1)
+        gc = GarbageCollector(d, {})
+        live, spaces = gc.mark(roots=[s0])
+        assert spaces == {s0, s1}
+        assert live == {a[0]}
+
+    def test_in_flight_messages_pin(self):
+        a = actors(2)
+        gc = GarbageCollector(directory_with([]), {})
+        live, _ = gc.mark(roots=[], in_flight=[a[1]])
+        assert a[1] in live
+
+
+class TestCollect:
+    def test_unreachable_inactive_actor_collected(self):
+        a = actors(3)
+        gc = GarbageCollector(directory_with([]), {a[0]: {a[1]}})
+        report = gc.collect(roots=[a[0]], all_actors=a)
+        assert report.collected_actors == {a[2]}
+        assert a[1] in report.live_actors
+
+    def test_active_actor_reaching_live_computation_kept(self):
+        """Section 5.5's refinement: unreachable-but-active actors that can
+        still send into the live computation are retained."""
+        a = actors(3)
+        # a2 is unreachable from the root but knows a1 (which is live) and
+        # has pending work.
+        gc = GarbageCollector(directory_with([]), {a[0]: {a[1]}, a[2]: {a[1]}})
+        report = gc.collect(roots=[a[0]], all_actors=a, active_actors=[a[2]])
+        assert a[2] in report.kept_active
+        assert a[2] not in report.collected_actors
+
+    def test_active_actor_with_no_route_to_live_collected(self):
+        a = actors(3)
+        gc = GarbageCollector(directory_with([]), {a[0]: {a[1]}, a[2]: set()})
+        report = gc.collect(roots=[a[0]], all_actors=a, active_actors=[a[2]])
+        assert a[2] in report.collected_actors
+
+    def test_unreachable_space_collected_without_inverse_reachability(self):
+        s_live, s_dead = SpaceAddress(0, 100), SpaceAddress(0, 101)
+        d = directory_with([s_live, s_dead])
+        gc = GarbageCollector(d, {})
+        report = gc.collect(roots=[s_live], all_actors=[])
+        assert report.collected_spaces == {s_dead}
+
+    def test_visible_actor_pinned_until_container_dies(self):
+        a = actors(1)
+        s = SpaceAddress(0, 100)
+        d = directory_with([s])
+        d.make_visible(a[0], "x", s)
+        gc = GarbageCollector(d, {})
+        # Space is a root: the actor is pinned.
+        assert gc.collect(roots=[s], all_actors=a).collected_actors == set()
+        # Space unreferenced: both go.
+        report = gc.collect(roots=[], all_actors=a)
+        assert report.collected_actors == {a[0]}
+        assert report.collected_spaces == {s}
+
+
+# -- property test: GC soundness -------------------------------------------------
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30),
+    st.sets(st.integers(0, 9), max_size=3),
+)
+@settings(max_examples=200)
+def test_gc_never_collects_reachable(edges, root_ids):
+    """No actor reachable from a root is ever collected."""
+    a = actors(10)
+    acquaintances: dict = {}
+    for src, dst in edges:
+        acquaintances.setdefault(a[src], set()).add(a[dst])
+    gc = GarbageCollector(directory_with([]), acquaintances)
+    roots = [a[i] for i in root_ids]
+    report = gc.collect(roots=roots, all_actors=a)
+
+    # Independent reachability computation.
+    reachable = set(roots)
+    frontier = list(roots)
+    while frontier:
+        node = frontier.pop()
+        for nxt in acquaintances.get(node, ()):
+            if nxt not in reachable:
+                reachable.add(nxt)
+                frontier.append(nxt)
+    assert reachable.isdisjoint(report.collected_actors)
+    assert reachable <= report.live_actors

@@ -1,0 +1,182 @@
+"""Unit + property tests: the description lattice."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Has,
+    Or,
+    Top,
+    join,
+    meet,
+    subsumes,
+)
+
+
+class TestSatisfaction:
+    def test_has_matches_any_advertised_attribute(self):
+        d = Has("services/print")
+        assert d.satisfied_by(["services/print", "other"])
+        assert not d.satisfied_by(["services/scan"])
+
+    def test_has_with_wildcards(self):
+        d = Has("services/*")
+        assert d.satisfied_by(["services/print"])
+        assert not d.satisfied_by(["misc"])
+
+    def test_and_requires_all(self):
+        d = And([Has("a"), Has("b")])
+        assert d.satisfied_by(["a", "b", "c"])
+        assert not d.satisfied_by(["a"])
+
+    def test_or_requires_any(self):
+        d = Or([Has("a"), Has("b")])
+        assert d.satisfied_by(["b"])
+        assert not d.satisfied_by(["c"])
+
+    def test_top_and_bottom(self):
+        assert TOP.satisfied_by([])
+        assert TOP.satisfied_by(["x"])
+        assert not BOTTOM.satisfied_by(["x"])
+
+    def test_operators_build_combinations(self):
+        d = Has("a") & Has("b") | Has("c")
+        assert d.satisfied_by(["c"])
+        assert d.satisfied_by(["a", "b"])
+        assert not d.satisfied_by(["a"])
+
+    def test_strings_lift_to_has_inside_combinators(self):
+        d = And(["a", "b"])
+        assert d.satisfied_by(["a", "b"])
+
+
+class TestAlgebra:
+    def test_flattening_and_idempotence(self):
+        assert And([And([Has("a"), Has("b")]), Has("c")]) == And(
+            [Has("a"), Has("b"), Has("c")]
+        )
+        assert And([Has("a"), Has("a")]) == And([Has("a")])
+
+    def test_meet_simplifications(self):
+        assert meet(TOP, Has("a")) == Has("a")
+        assert isinstance(meet(BOTTOM, Has("a")), Bottom)
+        assert isinstance(meet(), Top)
+        assert meet(Has("a")) == Has("a")
+
+    def test_join_simplifications(self):
+        assert join(BOTTOM, Has("a")) == Has("a")
+        assert isinstance(join(TOP, Has("a")), Top)
+        assert isinstance(join(), Bottom)
+
+    def test_desc_values_are_immutable(self):
+        d = Has("a")
+        with pytest.raises(AttributeError):
+            d.pattern = None
+
+    def test_equality_is_structural(self):
+        assert Has("a") == Has("a")
+        assert Or([Has("a"), Has("b")]) == Or([Has("b"), Has("a")])
+        assert And([Has("a")]) != Or([Has("a")])
+
+
+class TestSubsumption:
+    def test_top_subsumes_everything(self):
+        for d in (TOP, BOTTOM, Has("a"), And([Has("a"), Has("b")])):
+            assert subsumes(TOP, d)
+
+    def test_everything_subsumes_bottom(self):
+        for d in (TOP, Has("a"), Or([Has("a")])):
+            assert subsumes(d, BOTTOM)
+
+    def test_reflexive_on_leaves(self):
+        assert subsumes(Has("a/b"), Has("a/b"))
+
+    def test_general_pattern_subsumes_literal(self):
+        assert subsumes(Has("services/*"), Has("services/print"))
+        assert not subsumes(Has("services/print"), Has("services/*"))
+
+    def test_and_on_specific_side(self):
+        # a ∧ b is more specific than a.
+        assert subsumes(Has("a"), And([Has("a"), Has("b")]))
+        assert not subsumes(And([Has("a"), Has("b")]), Has("a"))
+
+    def test_or_on_general_side(self):
+        assert subsumes(Or([Has("a"), Has("b")]), Has("a"))
+        assert not subsumes(Has("a"), Or([Has("a"), Has("b")]))
+
+    def test_or_specific_requires_all_branches(self):
+        assert subsumes(Or([Has("a"), Has("b")]), Or([Has("a"), Has("b")]))
+        assert not subsumes(Has("a"), Or([Has("a"), Has("b")]))
+
+    def test_anywhere_subsumes_any_pattern(self):
+        assert subsumes(Has("**"), Has("x/*/y"))
+
+
+# -- property tests -------------------------------------------------------------
+
+atom = st.text(string.ascii_lowercase, min_size=1, max_size=3)
+leaf = atom.map(Has)
+
+
+def descs(depth=2):
+    if depth == 0:
+        return st.one_of(leaf, st.just(TOP), st.just(BOTTOM))
+    sub = descs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.just(TOP),
+        st.just(BOTTOM),
+        st.lists(sub, min_size=1, max_size=3).map(And),
+        st.lists(sub, min_size=1, max_size=3).map(Or),
+    )
+
+
+attr_sets = st.lists(atom, min_size=0, max_size=5)
+
+
+@given(descs(), descs(), attr_sets)
+@settings(max_examples=300)
+def test_subsumption_is_sound(general, specific, attrs):
+    """If g subsumes s, every attribute set satisfying s satisfies g."""
+    if subsumes(general, specific) and specific.satisfied_by(attrs):
+        assert general.satisfied_by(attrs)
+
+
+@given(descs(), descs(), attr_sets)
+@settings(max_examples=300)
+def test_meet_is_conjunction(d1, d2, attrs):
+    both = meet(d1, d2)
+    assert both.satisfied_by(attrs) == (
+        d1.satisfied_by(attrs) and d2.satisfied_by(attrs)
+    )
+
+
+@given(descs(), descs(), attr_sets)
+@settings(max_examples=300)
+def test_join_is_disjunction(d1, d2, attrs):
+    either = join(d1, d2)
+    assert either.satisfied_by(attrs) == (
+        d1.satisfied_by(attrs) or d2.satisfied_by(attrs)
+    )
+
+
+@given(descs())
+def test_meet_with_top_is_identity(d):
+    assert meet(TOP, d) == d or isinstance(d, Top)
+
+
+@given(descs(), attr_sets)
+@settings(max_examples=200)
+def test_self_subsumption_never_contradicts_satisfaction(d, attrs):
+    # subsumes(d, d) may be False for syntactically distinct-but-equal
+    # forms, but must never be True while breaking soundness; check the
+    # reflexive case it does claim.
+    if subsumes(d, d) and d.satisfied_by(attrs):
+        assert d.satisfied_by(attrs)

@@ -1,0 +1,81 @@
+"""Unit tests: the three-port mailbox (section 7.2)."""
+
+import pytest
+
+from repro.core.addresses import ActorAddress
+from repro.core.errors import MailboxClosedError
+from repro.core.mailbox import Mailbox
+from repro.core.messages import Envelope, Message, Mode, Port
+
+
+def env(port=Port.INVOCATION, payload="x", rpc_id=None):
+    headers = {"rpc_id": rpc_id} if rpc_id is not None else {}
+    return Envelope(
+        message=Message(payload, headers=headers),
+        sender=ActorAddress(0, 0),
+        mode=Mode.DIRECT,
+        target=ActorAddress(0, 1),
+        port=port,
+    )
+
+
+class TestDeliveryAndOrder:
+    def test_invocations_fifo(self):
+        mb = Mailbox()
+        for i in range(3):
+            mb.deliver(env(payload=i))
+        got = [mb.next_ready().message.payload for _ in range(3)]
+        assert got == [0, 1, 2]
+
+    def test_behavior_port_outranks_invocation(self):
+        mb = Mailbox()
+        mb.deliver(env(payload="inv"))
+        mb.deliver(env(port=Port.BEHAVIOR, payload="next-behavior"))
+        assert mb.next_ready().message.payload == "next-behavior"
+        assert mb.next_ready().message.payload == "inv"
+
+    def test_empty_returns_none(self):
+        assert Mailbox().next_ready() is None
+
+    def test_pending_counts_all_ports(self):
+        mb = Mailbox()
+        mb.deliver(env())
+        mb.deliver(env(port=Port.BEHAVIOR))
+        mb.deliver(env(port=Port.RPC, rpc_id="r1"))
+        assert mb.pending == 3
+        assert not mb.is_empty
+
+    def test_delivered_count_accumulates(self):
+        mb = Mailbox()
+        for _ in range(5):
+            mb.deliver(env())
+        mb.next_ready()
+        assert mb.delivered_count == 5
+
+
+class TestRpcPort:
+    def test_rpc_claimed_by_id_not_order(self):
+        mb = Mailbox()
+        mb.deliver(env(port=Port.RPC, payload="first", rpc_id="a"))
+        mb.deliver(env(port=Port.RPC, payload="second", rpc_id="b"))
+        assert mb.take_rpc("b").message.payload == "second"
+        assert mb.take_rpc("a").message.payload == "first"
+        assert mb.take_rpc("a") is None
+
+    def test_rpc_not_returned_by_next_ready(self):
+        mb = Mailbox()
+        mb.deliver(env(port=Port.RPC, rpc_id="x"))
+        assert mb.next_ready() is None
+
+
+class TestClose:
+    def test_close_returns_leftovers_and_blocks_delivery(self):
+        mb = Mailbox()
+        mb.deliver(env(payload=1))
+        mb.deliver(env(port=Port.RPC, rpc_id="r"))
+        leftovers = mb.close()
+        assert len(leftovers) == 2
+        assert mb.closed
+        assert mb.is_empty
+        with pytest.raises(MailboxClosedError):
+            mb.deliver(env())

@@ -1,0 +1,113 @@
+"""Unit tests: messages, destinations, envelopes."""
+
+import pytest
+
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.errors import PatternSyntaxError
+from repro.core.messages import (
+    Destination,
+    Envelope,
+    Message,
+    Mode,
+    Port,
+    parse_destination,
+)
+from repro.core.patterns import Pattern, parse_pattern
+
+
+class TestDestination:
+    def test_pattern_with_explicit_space_address(self):
+        space = SpaceAddress(0, 7)
+        d = Destination("a/*", space)
+        assert d.pattern == parse_pattern("a/*")
+        assert d.space == space
+
+    def test_space_defaults_to_none(self):
+        assert Destination("a").space is None
+
+    def test_space_as_pattern_text(self):
+        d = Destination("a", "pools/*")
+        assert isinstance(d.space, Pattern)
+        assert d.space.matches("pools/p1")
+
+    def test_rejects_garbage_space(self):
+        with pytest.raises(PatternSyntaxError):
+            Destination("a", 3.14)
+
+    def test_equality(self):
+        s = SpaceAddress(0, 1)
+        assert Destination("a/*", s) == Destination("a/*", s)
+        assert Destination("a/*", s) != Destination("a/*", SpaceAddress(0, 2))
+        assert Destination("a") == Destination("a")
+
+
+class TestParseDestination:
+    def test_plain_pattern(self):
+        d = parse_destination("services/*")
+        assert d.space is None
+        assert d.pattern.matches("services/x")
+
+    def test_pattern_at_space(self):
+        d = parse_destination("workers/**@pools/main")
+        assert isinstance(d.space, Pattern)
+        assert d.space.matches("pools/main")
+
+    def test_rejects_empty_sides(self):
+        for bad in ("@x", "x@", "@", ""):
+            with pytest.raises(PatternSyntaxError):
+                parse_destination(bad)
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_destination(None)
+
+
+class TestMessage:
+    def test_ids_are_unique(self):
+        a, b = Message(1), Message(2)
+        assert a.message_id != b.message_id
+
+    def test_defaults(self):
+        m = Message("payload")
+        assert m.reply_to is None
+        assert m.headers == {}
+
+
+class TestEnvelope:
+    def _envelope(self, **kw):
+        defaults = dict(
+            message=Message("x"),
+            sender=ActorAddress(0, 0),
+            mode=Mode.BROADCAST,
+            destination=Destination("a/*"),
+            sent_at=1.0,
+        )
+        defaults.update(kw)
+        return Envelope(**defaults)
+
+    def test_defaults(self):
+        e = self._envelope()
+        assert e.port is Port.INVOCATION
+        assert e.delivered_at is None
+        assert e.trace == []
+
+    def test_hop_records_nodes(self):
+        e = self._envelope()
+        e.hop(0)
+        e.hop(3)
+        assert e.trace == [0, 3]
+
+    def test_clone_for_is_independent(self):
+        e = self._envelope()
+        e.hop(1)
+        target = ActorAddress(2, 5)
+        c = e.clone_for(target)
+        assert c.target == target
+        assert c.message is e.message  # payload shared, not copied
+        assert c.trace == [1]
+        c.hop(9)
+        assert e.trace == [1]  # original unaffected
+        assert c.envelope_id != e.envelope_id
+
+    def test_envelope_ids_unique(self):
+        assert self._envelope().envelope_id != self._envelope().envelope_id

@@ -1,0 +1,219 @@
+"""Unit tests: the pattern language (regular expressions over atoms)."""
+
+import pytest
+
+from repro.core.atoms import AttributePath
+from repro.core.errors import PatternSyntaxError
+from repro.core.patterns import (
+    ANY,
+    ANYWHERE,
+    AnyAtom,
+    AnySequence,
+    LiteralAtom,
+    Pattern,
+    RegexAtom,
+    literal_pattern,
+    parse_atom_pattern,
+    parse_pattern,
+)
+
+
+class TestAtomPatternParsing:
+    def test_literal(self):
+        m = parse_atom_pattern("print")
+        assert isinstance(m, LiteralAtom)
+        assert m.matches("print")
+        assert not m.matches("printer")
+
+    def test_star_is_any_single(self):
+        assert isinstance(parse_atom_pattern("*"), AnyAtom)
+
+    def test_double_star_is_sequence(self):
+        assert isinstance(parse_atom_pattern("**"), AnySequence)
+
+    def test_glob_becomes_regex(self):
+        m = parse_atom_pattern("node-?")
+        assert isinstance(m, RegexAtom)
+        assert m.matches("node-1")
+        assert m.matches("node-x")
+        assert not m.matches("node-10")
+
+    def test_glob_star_within_atom(self):
+        m = parse_atom_pattern("serv*")
+        assert m.matches("serv")
+        assert m.matches("service")
+        assert not m.matches("xserv")
+
+    def test_character_class(self):
+        m = parse_atom_pattern("v[0-9]")
+        assert m.matches("v7")
+        assert not m.matches("va")
+
+    def test_negated_character_class(self):
+        m = parse_atom_pattern("v[!0-9]")
+        assert m.matches("va")
+        assert not m.matches("v3")
+
+    def test_alternation_braces(self):
+        m = parse_atom_pattern("{gif,png}")
+        assert m.matches("gif")
+        assert m.matches("png")
+        assert not m.matches("jpg")
+
+    def test_raw_regex_with_tilde(self):
+        m = parse_atom_pattern("~wor(ker|d)s?")
+        assert m.matches("worker")
+        assert m.matches("words")
+        assert not m.matches("world")
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_atom_pattern("~(unclosed")
+
+    def test_unterminated_class_raises(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_atom_pattern("a[bc")
+
+    def test_unterminated_braces_raises(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_atom_pattern("{a,b")
+
+    def test_empty_raises(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_atom_pattern("")
+
+
+class TestPatternMatching:
+    @pytest.mark.parametrize(
+        "pattern,path,expected",
+        [
+            ("a/b/c", "a/b/c", True),
+            ("a/b/c", "a/b", False),
+            ("a/b/c", "a/b/c/d", False),
+            ("*", "anything", True),
+            ("*", "two/atoms", False),
+            ("a/*", "a/b", True),
+            ("a/*", "a/b/c", False),
+            ("a/*/c", "a/x/c", True),
+            ("a/*/c", "a/x/y/c", False),
+            ("**", "a", True),
+            ("**", "a/b/c/d", True),
+            ("a/**", "a", True),  # ** matches the empty sequence
+            ("a/**", "a/b", True),
+            ("a/**", "a/b/c", True),
+            ("**/c", "c", True),
+            ("**/c", "a/b/c", True),
+            ("**/c", "a/b", False),
+            ("a/**/c", "a/c", True),
+            ("a/**/c", "a/x/c", True),
+            ("a/**/c", "a/x/y/c", True),
+            ("a/**/c", "a/x/y", False),
+            ("**/b/**", "a/b/c", True),
+            ("**/b/**", "b", True),
+            ("serv*/p?", "service/p1", True),
+            ("serv*/p?", "server/p12", False),
+        ],
+    )
+    def test_matches(self, pattern, path, expected):
+        assert parse_pattern(pattern).matches(path) is expected
+
+    def test_matches_accepts_attribute_path_objects(self):
+        assert parse_pattern("a/*").matches(AttributePath("a/b"))
+
+    def test_consecutive_double_stars(self):
+        p = parse_pattern("**/**")
+        assert p.matches("a")
+        assert p.matches("a/b/c")
+
+
+class TestPatternClassification:
+    def test_literal_detection(self):
+        assert parse_pattern("a/b").is_literal
+        assert not parse_pattern("a/*").is_literal
+        assert not parse_pattern("a/b?").is_literal
+
+    def test_literal_path_roundtrip(self):
+        assert parse_pattern("a/b").literal_path == AttributePath("a/b")
+        with pytest.raises(ValueError):
+            parse_pattern("a/*").literal_path
+
+    def test_literal_prefix(self):
+        assert parse_pattern("a/b/*/d").literal_prefix == ("a", "b")
+        assert parse_pattern("*/a").literal_prefix == ()
+        assert parse_pattern("a/b").literal_prefix == ("a", "b")
+
+    def test_min_length_and_has_multi(self):
+        assert parse_pattern("a/*/c").min_length == 3
+        assert parse_pattern("a/**").min_length == 1
+        assert parse_pattern("a/**").has_multi
+        assert not parse_pattern("a/*").has_multi
+
+
+class TestResiduals:
+    def test_literal_residual(self):
+        [r] = parse_pattern("a/b/c").after_prefix("a")
+        assert str(r) == "b/c"
+
+    def test_no_residual_on_mismatch(self):
+        assert parse_pattern("a/b").after_prefix("x") == []
+
+    def test_full_consumption_leaves_nothing(self):
+        # "a/b" consumed entirely: no non-empty residual remains.
+        assert parse_pattern("a/b").after_prefix("a/b") == []
+
+    def test_doublestar_residuals_branch(self):
+        residuals = [r for r in parse_pattern("a/**/c").after_prefix("a")]
+        # "**/c" subsumes the zero-absorption case: it matches "c" itself.
+        assert {str(r) for r in residuals} == {"**/c"}
+        assert any(r.matches("c") for r in residuals)
+        assert any(r.matches("x/y/c") for r in residuals)
+
+    def test_doublestar_absorbs_prefix(self):
+        residuals = [r for r in parse_pattern("**/c").after_prefix("x/y")]
+        assert {str(r) for r in residuals} == {"**/c"}
+        assert any(r.matches("c") for r in residuals)
+
+    def test_matches_prefix(self):
+        p = parse_pattern("a/b/c")
+        assert p.matches_prefix("a")
+        assert p.matches_prefix("a/b")
+        assert not p.matches_prefix("a/b/c")  # no strict extension matches
+        assert not p.matches_prefix("b")
+
+    def test_matches_prefix_with_doublestar(self):
+        p = parse_pattern("a/**")
+        assert p.matches_prefix("a")
+        assert p.matches_prefix("a/b")  # a/b/c still matches
+
+
+class TestParsing:
+    def test_idempotent_coercion(self):
+        p = parse_pattern("a/*")
+        assert parse_pattern(p) is p
+
+    def test_from_attribute_path(self):
+        p = parse_pattern(AttributePath("a/b"))
+        assert p.is_literal and str(p) == "a/b"
+
+    def test_rejects_bad_shapes(self):
+        for bad in ("", "/a", "a/", 42, None):
+            with pytest.raises(PatternSyntaxError):
+                parse_pattern(bad)
+
+    def test_equality_and_hash(self):
+        assert parse_pattern("a/*") == parse_pattern("a/*")
+        assert hash(parse_pattern("a/*")) == hash(parse_pattern("a/*"))
+        assert parse_pattern("a/*") != parse_pattern("a/**")
+
+    def test_constants(self):
+        assert ANY.matches("x")
+        assert not ANY.matches("x/y")
+        assert ANYWHERE.matches("x/y/z")
+
+    def test_literal_pattern_helper(self):
+        assert literal_pattern("a/b").matches("a/b")
+        assert not literal_pattern("a/b").matches("a/c")
+
+    def test_empty_matcher_list_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            Pattern([])

@@ -1,0 +1,90 @@
+"""Property-based tests for the pattern engine (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import AttributePath
+from repro.core.patterns import parse_pattern
+
+atoms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+paths = st.lists(atoms, min_size=1, max_size=5).map(AttributePath)
+
+
+def pattern_texts():
+    """Patterns mixing literals, *, ** and simple globs."""
+    atom_pattern = st.one_of(
+        atoms,
+        st.just("*"),
+        st.just("**"),
+        atoms.map(lambda a: a[:1] + "*"),
+        atoms.map(lambda a: a + "?"),
+    )
+    return st.lists(atom_pattern, min_size=1, max_size=5).map("/".join)
+
+
+@given(paths)
+def test_every_path_matches_itself_as_literal_pattern(path):
+    assert parse_pattern(path).matches(path)
+
+
+@given(paths)
+def test_anywhere_matches_everything(path):
+    assert parse_pattern("**").matches(path)
+
+
+@given(pattern_texts(), paths)
+@settings(max_examples=300)
+def test_min_length_is_sound(pattern_text, path):
+    pattern = parse_pattern(pattern_text)
+    if pattern.matches(path):
+        assert len(path) >= pattern.min_length
+
+
+@given(pattern_texts(), paths)
+@settings(max_examples=300)
+def test_without_multi_length_must_equal(pattern_text, path):
+    pattern = parse_pattern(pattern_text)
+    if not pattern.has_multi and pattern.matches(path):
+        assert len(path) == len(pattern.matchers)
+
+
+@given(pattern_texts(), paths, paths)
+@settings(max_examples=300)
+def test_residuals_are_exact(pattern_text, prefix, suffix):
+    """path = prefix ++ suffix matches iff some residual of prefix matches suffix.
+
+    This is the defining property of ``after_prefix``, which the
+    nested-space descent relies on for correctness.
+    """
+    pattern = parse_pattern(pattern_text)
+    combined = prefix / suffix
+    via_residuals = any(r.matches(suffix) for r in pattern.after_prefix(prefix))
+    assert via_residuals == pattern.matches(combined)
+
+
+@given(pattern_texts(), paths)
+@settings(max_examples=300)
+def test_matches_prefix_iff_some_extension_matches(pattern_text, prefix):
+    """matches_prefix must agree with an explicit (bounded) witness search."""
+    pattern = parse_pattern(pattern_text)
+    claimed = pattern.matches_prefix(prefix)
+    residuals = pattern.after_prefix(prefix)
+    # Soundness direction: a non-empty residual is a recipe for a witness.
+    assert claimed == bool(residuals)
+
+
+@given(pattern_texts())
+def test_pattern_text_roundtrip_is_stable(pattern_text):
+    p1 = parse_pattern(pattern_text)
+    p2 = parse_pattern(str(p1))
+    assert p1 == p2
+
+
+@given(paths, paths)
+def test_literal_prefix_residual_concatenation(prefix, suffix):
+    """A literal pattern's residual after its own prefix is its suffix."""
+    pattern = parse_pattern(prefix / suffix)
+    residuals = pattern.after_prefix(prefix)
+    assert any(r.matches(suffix) for r in residuals)

@@ -1,0 +1,195 @@
+"""Unit + property tests: the visibility directory and its DAG invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.capabilities import Capability
+from repro.core.errors import (
+    CapabilityError,
+    SpaceDestroyedError,
+    UnknownAddressError,
+    VisibilityCycleError,
+)
+from repro.core.visibility import Directory
+
+
+def make_directory(n_spaces=3, capability=None):
+    d = Directory()
+    spaces = [SpaceAddress(0, i) for i in range(n_spaces)]
+    for s in spaces:
+        d.add_space(SpaceRecord(s, capability))
+    return d, spaces
+
+
+class TestSpaceLifecycle:
+    def test_add_and_lookup(self):
+        d, (s0, *_rest) = make_directory()
+        assert d.has_space(s0)
+        assert d.space(s0).address == s0
+
+    def test_duplicate_add_rejected(self):
+        d, (s0, *_r) = make_directory()
+        with pytest.raises(ValueError):
+            d.add_space(SpaceRecord(s0))
+
+    def test_unknown_space_raises(self):
+        d, _ = make_directory()
+        with pytest.raises(UnknownAddressError):
+            d.space(SpaceAddress(9, 9))
+
+    def test_destroy_space(self):
+        d, (s0, s1, _s2) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a", s0)
+        d.make_visible(s1, "sub", s0)
+        d.destroy_space(s0)
+        assert not d.has_space(s0)
+        with pytest.raises(SpaceDestroyedError):
+            d.space(s0)
+        # Members survive and reverse index is cleaned.
+        assert d.containers_of(actor) == frozenset()
+        assert d.containers_of(s1) == frozenset()
+
+    def test_destroying_member_space_removes_it_from_holders(self):
+        d, (s0, s1, _s2) = make_directory()
+        d.make_visible(s1, "sub", s0)
+        d.destroy_space(s1)
+        assert s1 not in d.space(s0)
+
+
+class TestVisibilityOps:
+    def test_make_visible_and_reverse_index(self):
+        d, (s0, s1, _s2) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a/b", s0)
+        d.make_visible(actor, "c", s1)
+        assert d.containers_of(actor) == frozenset({s0, s1})
+        assert d.is_visible_anywhere(actor)
+
+    def test_make_invisible(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a", s0)
+        assert d.make_invisible(actor, s0)
+        assert not d.make_invisible(actor, s0)
+        assert not d.is_visible_anywhere(actor)
+
+    def test_change_attributes_requires_registration(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        with pytest.raises(UnknownAddressError):
+            d.change_attributes(actor, "x", s0)
+        d.make_visible(actor, "a", s0)
+        d.change_attributes(actor, ["x", "y"], s0)
+        assert len(d.space(s0).lookup(actor).attributes) == 2
+
+    def test_purge_target_removes_everywhere(self):
+        d, (s0, s1, _s2) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a", s0)
+        d.make_visible(actor, "b", s1)
+        assert d.purge_target(actor) == 2
+        assert actor not in d.space(s0)
+        assert actor not in d.space(s1)
+
+
+class TestCapabilities:
+    def test_space_capability_enforced(self):
+        key = Capability(7)
+        d, (s0, *_r) = make_directory(capability=key)
+        actor = ActorAddress(0, 10)
+        with pytest.raises(CapabilityError):
+            d.make_visible(actor, "a", s0)
+        with pytest.raises(CapabilityError):
+            d.make_visible(actor, "a", s0, Capability(8))
+        d.make_visible(actor, "a", s0, key)
+
+    def test_target_capability_enforced(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        key = Capability(5)
+        d.bind_capability(actor, key)
+        with pytest.raises(CapabilityError):
+            d.make_visible(actor, "a", s0)
+        d.make_visible(actor, "a", s0, key)
+        with pytest.raises(CapabilityError):
+            d.make_invisible(actor, s0, None)
+        d.make_invisible(actor, s0, key)
+
+    def test_one_key_can_guard_both(self):
+        key = Capability(9)
+        d = Directory()
+        s = SpaceAddress(0, 0)
+        d.add_space(SpaceRecord(s, key))
+        actor = ActorAddress(0, 1)
+        d.bind_capability(actor, key)
+        d.make_visible(actor, "a", s, key)  # one key satisfies both checks
+
+
+class TestCycles:
+    def test_self_visibility_rejected(self):
+        d, (s0, *_r) = make_directory()
+        with pytest.raises(VisibilityCycleError):
+            d.make_visible(s0, "me", s0)
+
+    def test_two_step_cycle_rejected(self):
+        d, (s0, s1, _s2) = make_directory()
+        d.make_visible(s1, "down", s0)  # s0 contains s1
+        with pytest.raises(VisibilityCycleError):
+            d.make_visible(s0, "up", s1)  # would close the loop
+
+    def test_three_step_cycle_rejected(self):
+        d, (s0, s1, s2) = make_directory()
+        d.make_visible(s1, "x", s0)
+        d.make_visible(s2, "y", s1)
+        with pytest.raises(VisibilityCycleError):
+            d.make_visible(s0, "z", s2)
+
+    def test_diamond_is_allowed(self):
+        """Spaces may overlap arbitrarily — only cycles are banned."""
+        d, (s0, s1, s2) = make_directory()
+        d.make_visible(s2, "via-a", s0)
+        d.make_visible(s2, "via-b", s1)  # two parents: fine (not a tree!)
+        d.make_visible(s1, "link", s0)   # diamond closes: still acyclic
+
+    def test_actors_never_cycle(self):
+        d, (s0, *_r) = make_directory()
+        assert not d.would_cycle(ActorAddress(0, 10), s0)
+
+    def test_check_cycles_false_permits_cycle(self):
+        """The message-tagging alternative (section 5.7) skips the check."""
+        d, (s0, s1, _s2) = make_directory()
+        d.make_visible(s1, "down", s0)
+        d.make_visible(s0, "up", s1, check_cycles=False)
+        assert d.reaches(s0, s1) and d.reaches(s1, s0)
+
+
+# -- property test: the DAG invariant under arbitrary op sequences ---------------
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=40),
+       st.randoms())
+@settings(max_examples=200)
+def test_dag_invariant_under_arbitrary_ops(edges, pyrandom):
+    """make_visible either succeeds or raises; the graph stays acyclic."""
+    d = Directory()
+    spaces = [SpaceAddress(0, i) for i in range(6)]
+    for s in spaces:
+        d.add_space(SpaceRecord(s))
+    for child_i, parent_i in edges:
+        try:
+            d.make_visible(spaces[child_i], "e", spaces[parent_i])
+        except VisibilityCycleError:
+            pass
+        if pyrandom.random() < 0.2 and edges:
+            # interleave removals: they can only relax the graph
+            a, b = edges[pyrandom.randrange(len(edges))]
+            d.make_invisible(spaces[a], spaces[b])
+    # Acyclicity: no space reaches itself through a nonempty path.
+    for s in spaces:
+        for child in d.contained_spaces(s):
+            assert not d.reaches(child, s), f"cycle via {s} -> {child}"

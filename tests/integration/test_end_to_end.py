@@ -1,0 +1,151 @@
+"""Integration: full multi-node scenarios exercising the whole stack."""
+
+from repro.core.actor import Behavior
+from repro.core.messages import Destination
+from repro.runtime.network import LinkKind, Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+class Collector(Behavior):
+    def __init__(self):
+        self.items = []
+
+    def receive(self, ctx, message):
+        self.items.append(message.payload)
+
+
+class TestRequestReplyPipeline:
+    def test_three_stage_pipeline_across_nodes(self):
+        """client -> parser -> worker -> client, all pattern-addressed."""
+        system = ActorSpaceSystem(topology=Topology.lan(3), seed=1)
+        results = Collector()
+        results_addr = system.create_actor(results, node=0)
+
+        def worker(ctx, message):
+            op, value, reply = message.payload
+            ctx.send_to(reply, ("result", value * 2))
+
+        def parser(ctx, message):
+            text, reply = message.payload
+            ctx.send("stage/worker", ("compute", int(text), reply))
+
+        w = system.create_actor(worker, node=2)
+        p = system.create_actor(parser, node=1)
+        system.make_visible(w, "stage/worker")
+        system.make_visible(p, "stage/parser")
+        system.run()
+        system.send("stage/parser", ("21", results_addr))
+        system.run()
+        assert results.items == [("result", 42)]
+
+
+class TestNestedSpacesScenario:
+    def _build_wan(self):
+        """Two LANs; each has a local pool inside a global 'regions' space."""
+        system = ActorSpaceSystem(topology=Topology.wan(2, 2), seed=3)
+        regions = system.create_space(attributes="regions")
+        east = system.create_space()
+        west = system.create_space()
+        system.run()
+        system.make_visible(east, "east", regions)
+        system.make_visible(west, "west", regions)
+        pools = {"east": east, "west": west}
+        workers = {"east": [], "west": []}
+        for region, base in (("east", 0), ("west", 2)):
+            for i in range(2):
+                c = Collector()
+                addr = system.create_actor(c, node=base + i, space=pools[region])
+                system.make_visible(addr, f"w{i}", pools[region])
+                workers[region].append(c)
+        system.run()
+        return system, regions, workers
+
+    def test_structured_pattern_reaches_nested_actor(self):
+        system, regions, workers = self._build_wan()
+        system.broadcast(Destination("east/**", regions), "east-only")
+        system.run()
+        assert all(c.items == ["east-only"] for c in workers["east"])
+        assert all(c.items == [] for c in workers["west"])
+
+    def test_global_broadcast_reaches_both_regions(self):
+        system, regions, workers = self._build_wan()
+        system.broadcast(Destination("*/w0", regions), "leaders")
+        system.run()
+        assert workers["east"][0].items == ["leaders"]
+        assert workers["west"][0].items == ["leaders"]
+        assert workers["east"][1].items == []
+
+    def test_localized_traffic_avoids_wan(self):
+        """Section 6: distribution localized within a LAN stays off WAN links."""
+        system, regions, workers = self._build_wan()
+        system.run()
+        system.tracer.hops.clear()
+        # A node-0 actor sends within its own LAN's pool only.
+        east_space = None
+        d = system.directory_of(0)
+        for entry in d.space(regions).space_entries():
+            if "east" in {str(a) for a in entry.attributes}:
+                east_space = entry.target
+        sender_done = []
+
+        def sender(ctx, message):
+            ctx.send(Destination("w0", east_space), "local-job")
+            sender_done.append(True)
+
+        s = system.create_actor(sender, node=0)
+        system.send_to(s, "go")
+        system.run()
+        assert system.tracer.hops.get(LinkKind.WAN, 0) == 0
+
+
+class TestChurn:
+    def test_workers_join_and_leave_under_load(self):
+        system = ActorSpaceSystem(topology=Topology.lan(4), seed=5)
+        collectors = []
+
+        def add_worker(i):
+            c = Collector()
+            addr = system.create_actor(c, node=i % 4)
+            system.make_visible(addr, f"pool/w{i}")
+            collectors.append((addr, c))
+
+        for i in range(3):
+            add_worker(i)
+        system.run()
+        for i in range(30):
+            system.send("pool/*", ("req", i))
+        # Mid-stream: drop one worker, add two more.
+        system.events.schedule(0.05, lambda: system.make_invisible(
+            collectors[0][0], system.root_space))
+        system.events.schedule(0.06, lambda: add_worker(3))
+        system.events.schedule(0.06, lambda: add_worker(4))
+        system.run()
+        for i in range(30, 60):
+            system.send("pool/*", ("req", i))
+        system.run()
+        received = sum(len(c.items) for _a, c in collectors)
+        assert received == 60  # nothing lost across the churn
+        late = sum(len(c.items) for _a, c in collectors[3:])
+        assert late > 0  # newcomers actually served
+
+
+class TestOpenSystemRoles:
+    def test_manager_reconfigures_service_without_client_changes(self):
+        """Section 2's manager role: swap the backing server behind a
+        pattern while clients keep sending."""
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=8)
+        old, new = Collector(), Collector()
+        old_addr = system.create_actor(old, node=0)
+        new_addr = system.create_actor(new, node=1)
+        system.make_visible(old_addr, "api/v1")
+        system.run()
+        system.send("api/*", "first")
+        system.run()
+        # Manager swaps implementations.
+        system.make_invisible(old_addr, system.root_space)
+        system.make_visible(new_addr, "api/v1")
+        system.run()
+        system.send("api/*", "second")
+        system.run()
+        assert old.items == ["first"]
+        assert new.items == ["second"]

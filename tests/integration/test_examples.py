@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts keep running and telling their story.
+
+Each fast example is executed in a subprocess; the test asserts a clean
+exit and a signature line of its expected output.  (The slow sweeps —
+process_pool, tsp_search, replicated_service — are exercised through
+their underlying app modules in tests/apps/ instead.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "replicas coherent across nodes: True"),
+    ("script_actors.py", "count = 15"),
+    ("contract_net.py", "Expert load"),
+    ("linda_vs_actorspace.py", "ActorSpace suspend"),
+    ("software_repository.py", "class factories"),
+    ("diffusion_grid.py", "makespan"),
+]
+
+
+@pytest.mark.parametrize("script,signature", FAST_EXAMPLES)
+def test_example_runs_clean(script, signature):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert signature in result.stdout
+
+
+def test_cli_demo_runs_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "demo"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "replicas coherent: True" in result.stdout
+
+
+def test_cli_listings():
+    for command, needle in (("examples", "quickstart.py"),
+                            ("experiments", "E9"),
+                            ("version", ".")):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", command],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert needle in result.stdout
+
+    bad = subprocess.run(
+        [sys.executable, "-m", "repro", "frobnicate"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert bad.returncode == 1

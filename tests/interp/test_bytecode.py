@@ -1,0 +1,241 @@
+"""Tests: the byte-compiler and VM (section 7's planned extension).
+
+Includes the cross-engine equivalence property: random programs evaluate
+to the same value under the tree-walker and the bytecode VM.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InterpreterRuntimeError
+from repro.interp import BehaviorLibrary, InterpretedBehavior
+from repro.interp.compiler import compile_body
+from repro.interp.evaluator import Evaluator, base_env
+from repro.interp.parser import parse_one
+from repro.interp.vm import VM
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+class NullBridge:
+    def __init__(self):
+        self.printed = []
+        self.calls = []
+
+    def __getattr__(self, name):
+        def record(*args):
+            self.calls.append((name, args))
+            if name == "emit":
+                self.printed.append(args[0])
+            if name == "now":
+                return 1.5
+            if name in ("self_address", "host_space", "reply_addr"):
+                return f"<{name}>"
+            if name in ("create", "create_actorspace", "new_capability"):
+                return f"<{name}>"
+            return None
+
+        return record
+
+
+def run_tree(src, bridge=None):
+    return Evaluator(bridge or NullBridge()).run_body(
+        [parse_one(src)], base_env())
+
+
+def run_vm(src, bridge=None):
+    code = compile_body([parse_one(src)])
+    return VM(bridge or NullBridge()).run(code, base_env())
+
+
+EXPRESSIONS = [
+    "(+ 1 2 3)",
+    "(- 10 (/ 8 2))",
+    "(if (> 3 2) 'yes 'no)",
+    "(if false 1)",
+    "(let ((x 2) (y (* x 3))) (+ x y))",
+    "(begin 1 2 (list 3 4))",
+    "(and 1 2 3)",
+    "(and 1 false 3)",
+    "(and)",
+    "(or false nil 7)",
+    "(or false nil)",
+    "(or)",
+    "(begin (define n 0) (while (< n 5) (set! n (+ n 1))) n)",
+    "(begin (define acc 0) (for x (list 1 2 3) (set! acc (+ acc x))) acc)",
+    "(begin (define total 0) (for x (range 4) (for y (range x) (set! total (+ total 1)))) total)",
+    "'(a 1 (b 2))",
+    "(str \"n=\" (+ 1 1))",
+    "(nth (reverse (list 1 2 3)) 0)",
+    "(let ((x 1)) (let ((x 2)) x))",
+    "(while false 1)",
+    "(contains? (append (list 1) (list 2)) 2)",
+]
+
+
+class TestCrossEngineFixedCases:
+    @pytest.mark.parametrize("src", EXPRESSIONS)
+    def test_same_result(self, src):
+        assert run_tree(src) == run_vm(src)
+
+    @pytest.mark.parametrize("src", [
+        "(/ 1 0)",
+        "(head (list))",
+        "unbound",
+        "(1 2)",
+        "(set! ghost 1)",
+        "(for x 42 x)",
+    ])
+    def test_same_errors(self, src):
+        with pytest.raises(InterpreterRuntimeError):
+            run_tree(src)
+        with pytest.raises(InterpreterRuntimeError):
+            run_vm(src)
+
+    def test_effects_agree(self):
+        src = '(begin (print "a" 1) (send-to (self) (list 1)) (schedule 1 2))'
+        tree_bridge, vm_bridge = NullBridge(), NullBridge()
+        run_tree(src, tree_bridge)
+        run_vm(src, vm_bridge)
+        assert tree_bridge.calls == vm_bridge.calls
+        assert tree_bridge.printed == vm_bridge.printed
+
+    def test_vm_fuel_limit(self):
+        code = compile_body([parse_one("(while true 1)")])
+        with pytest.raises(InterpreterRuntimeError):
+            VM(NullBridge(), max_steps=500).run(code, base_env())
+
+
+# -- property: random programs agree ---------------------------------------------
+
+
+def exprs(depth=3):
+    ints = st.integers(-20, 20)
+    if depth == 0:
+        return st.one_of(ints, st.just("x"), st.just("y"),
+                         st.just(True), st.just(False))
+    sub = exprs(depth - 1)
+    binop = st.sampled_from(["+", "-", "*", "max", "min"])
+    cmp_ = st.sampled_from(["<", ">", "=", "<=", ">="])
+    return st.one_of(
+        ints,
+        st.just("x"),
+        st.just("y"),
+        st.tuples(binop, sub, sub).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        st.tuples(cmp_, sub, sub).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"(if {t[0]} {t[1]} {t[2]})"),
+        st.tuples(sub, sub).map(lambda t: f"(and {t[0]} {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"(or {t[0]} {t[1]})"),
+        st.tuples(sub, sub).map(
+            lambda t: f"(let ((x {t[0]})) {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"(begin {t[0]} {t[1]})"),
+        st.tuples(sub).map(lambda t: f"(list {t[0]} 1)"),
+    )
+
+
+@given(exprs())
+@settings(max_examples=400, deadline=None)
+def test_engines_agree_on_random_programs(src_inner):
+    src = f"(let ((x 3) (y 5)) {src_inner})"
+    try:
+        expected = run_tree(src)
+        failed = False
+    except InterpreterRuntimeError:
+        failed = True
+    if failed:
+        with pytest.raises(InterpreterRuntimeError):
+            run_vm(src)
+    else:
+        assert run_vm(src) == expected
+
+
+# -- end-to-end: bytecode actors in the runtime --------------------------------------
+
+
+COUNTER = """
+(behavior counter (count)
+  (method incr (by) (become counter (+ count by)))
+  (method query () (send-to (reply-addr) count)))
+"""
+
+
+class TestBytecodeActors:
+    def test_counter_runs_compiled(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        lib = BehaviorLibrary()
+        lib.load(COUNTER)
+        actor = system.create_actor(
+            InterpretedBehavior(lib, lib.get("counter"), [0],
+                                engine="bytecode"))
+        got = []
+        probe = system.create_actor(lambda ctx, m: got.append(m.payload))
+        for _ in range(3):
+            system.send_to(actor, ["incr", 4])
+            system.run()
+        system.send_to(actor, ["query"], reply_to=probe)
+        system.run()
+        assert got == [12]
+        # become preserved the engine across behavior replacement.
+        assert system.actor_record(actor).behavior.engine == "bytecode"
+
+    def test_engine_inherited_by_created_children(self):
+        system = ActorSpaceSystem(seed=0)
+        lib = BehaviorLibrary()
+        lib.load("""
+        (behavior parent ()
+          (method go () (create child 1)))
+        (behavior child (v)
+          (method noop () v))
+        """)
+        parent = system.create_actor(
+            InterpretedBehavior(lib, lib.get("parent"), [], engine="bytecode"))
+        system.send_to(parent, ["go"])
+        system.run()
+        children = [
+            r.behavior for c in system.coordinators
+            for r in c.actors.values()
+            if isinstance(r.behavior, InterpretedBehavior)
+            and r.behavior.definition.name == "child"
+        ]
+        assert children and all(b.engine == "bytecode" for b in children)
+
+    def test_hot_reload_invalidates_code_cache(self):
+        system = ActorSpaceSystem(seed=0)
+        lib = BehaviorLibrary()
+        lib.load("(behavior b () (method m () (print \"v1\")))")
+        actor = system.create_actor(
+            InterpretedBehavior(lib, lib.get("b"), [], engine="bytecode"))
+        system.send_to(actor, ["m"])
+        system.run()
+        lib.load("(behavior b () (method m () (print \"v2\")))")
+        fresh = system.create_actor(
+            InterpretedBehavior(lib, lib.get("b"), [], engine="bytecode"))
+        system.send_to(fresh, ["m"])
+        system.run()
+        out_old = system.actor_record(actor).behavior.output
+        out_new = system.actor_record(fresh).behavior.output
+        assert out_old == ["v1"]
+        assert out_new == ["v2"]
+
+    def test_unknown_engine_rejected(self):
+        lib = BehaviorLibrary()
+        lib.load(COUNTER)
+        with pytest.raises(ValueError):
+            InterpretedBehavior(lib, lib.get("counter"), [0], engine="jit")
+
+    def test_prelude_runs_under_bytecode(self):
+        from repro.interp.prelude import load_prelude
+
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        lib = load_prelude()
+        got = []
+        probe = system.create_actor(lambda ctx, m: got.append(m.payload))
+        cell = system.create_actor(
+            InterpretedBehavior(lib, lib.get("cell"), [7], engine="bytecode"))
+        system.send_to(cell, ["swap", 9], reply_to=probe)
+        system.run()
+        system.send_to(cell, ["get"], reply_to=probe)
+        system.run()
+        assert got == [7, 9]

@@ -1,0 +1,97 @@
+"""Compiler/VM details not covered by the cross-engine property."""
+
+import pytest
+
+from repro.core.errors import InterpreterRuntimeError
+from repro.interp import BehaviorLibrary
+from repro.interp.compiler import OPCODES, compile_body
+from repro.interp.evaluator import base_env
+from repro.interp.parser import parse_one, parse_program
+from repro.interp.vm import VM
+
+
+class NullBridge:
+    def __getattr__(self, name):
+        return lambda *a: None
+
+
+def run(src):
+    return VM(NullBridge()).run(compile_body([parse_one(src)]), base_env())
+
+
+class TestCompilation:
+    def test_empty_body_yields_nil(self):
+        assert VM(NullBridge()).run(compile_body([]), base_env()) is None
+
+    def test_quote_is_fresh_per_execution(self):
+        """Mutating a quoted list must not poison later executions."""
+        code = compile_body([parse_one("(cons 0 '(1 2))")])
+        vm = VM(NullBridge())
+        assert vm.run(code, base_env()) == [0, 1, 2]
+        assert vm.run(code, base_env()) == [0, 1, 2]
+
+    def test_let_scopes_do_not_leak(self):
+        src = "(begin (define x 1) (let ((x 9)) x) x)"
+        assert run(src) == 1
+
+    def test_nested_for_loops(self):
+        src = ("(begin (define pairs 0)"
+               " (for a (range 3) (for b (range 3)"
+               "   (set! pairs (+ pairs 1))))"
+               " pairs)")
+        assert run(src) == 9
+
+    def test_compile_errors_surface_at_compile_time(self):
+        for bad in ("(if)", "(let (x) 1)", "(set! 1 2)", "(become 42)",
+                    "(send-to 1)", "()"):
+            with pytest.raises(InterpreterRuntimeError):
+                compile_body([parse_one(bad)])
+
+    def test_builtin_rebinding_rejected_in_both_engines(self):
+        from repro.interp.evaluator import Evaluator
+
+        src = "(set! + 42)"
+        with pytest.raises(InterpreterRuntimeError):
+            run(src)
+        with pytest.raises(InterpreterRuntimeError):
+            Evaluator(NullBridge()).run_body([parse_one(src)], base_env())
+
+    def test_shadowing_a_builtin_locally_is_allowed(self):
+        # define creates a new binding in the local frame: fine.
+        assert run("(begin (define max 5) max)") == 5
+
+    def test_all_mnemonics_map_to_distinct_ranges(self):
+        assert len(set(OPCODES.values())) == len(set(OPCODES.values()))
+        assert all(isinstance(v, int) for v in OPCODES.values())
+
+    def test_code_repr_and_len(self):
+        code = compile_body([parse_one("(+ 1 2)")])
+        assert len(code) >= 3
+        assert "Code" in repr(code)
+
+
+class TestCacheBehavior:
+    def test_compiled_cache_is_per_method(self):
+        lib = BehaviorLibrary()
+        lib.load("""
+        (behavior b ()
+          (method one () 1)
+          (method two () 2))
+        """)
+        definition = lib.get("b")
+        c1 = lib.compiled("b", definition.method("one"))
+        c2 = lib.compiled("b", definition.method("two"))
+        assert c1 is not c2
+        assert lib.compiled("b", definition.method("one")) is c1
+
+    def test_reload_drops_only_that_behavior(self):
+        lib = BehaviorLibrary()
+        lib.load("""
+        (behavior keep () (method m () 1))
+        (behavior swap () (method m () 1))
+        """)
+        kept = lib.compiled("keep", lib.get("keep").method("m"))
+        swapped = lib.compiled("swap", lib.get("swap").method("m"))
+        lib.load("(behavior swap () (method m () 2))")
+        assert lib.compiled("keep", lib.get("keep").method("m")) is kept
+        assert lib.compiled("swap", lib.get("swap").method("m")) is not swapped

@@ -1,0 +1,90 @@
+"""Unit tests: lexer and parser of the behavior-script language."""
+
+import pytest
+
+from repro.core.errors import InterpreterSyntaxError
+from repro.interp.astnodes import Symbol, to_source
+from repro.interp.lexer import tokenize
+from repro.interp.parser import parse_one, parse_program
+
+
+class TestLexer:
+    def test_kinds(self):
+        kinds = [t.kind for t in tokenize("(foo 1 2.5 \"s\" 'x)")]
+        assert kinds == ["(", "symbol", "number", "number", "string", "'",
+                         "symbol", ")"]
+
+    def test_numbers(self):
+        toks = tokenize("42 -7 3.14 -0.5")
+        assert [t.value for t in toks] == [42, -7, 3.14, -0.5]
+        assert isinstance(toks[0].value, int)
+        assert isinstance(toks[2].value, float)
+
+    def test_symbols_with_punctuation(self):
+        toks = tokenize("+ - <= set! empty? a/b")
+        assert all(t.kind == "symbol" for t in toks)
+
+    def test_string_escapes(self):
+        [t] = tokenize(r'"a\nb\"c\\d"')
+        assert t.value == 'a\nb"c\\d'
+
+    def test_unterminated_string(self):
+        with pytest.raises(InterpreterSyntaxError):
+            tokenize('"oops')
+
+    def test_comments_ignored(self):
+        toks = tokenize("1 ; comment here\n2")
+        assert [t.value for t in toks] == [1, 2]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestParser:
+    def test_nested_lists(self):
+        form = parse_one("(a (b 1) (c (d)))")
+        assert form == [Symbol("a"), [Symbol("b"), 1], [Symbol("c"), [Symbol("d")]]]
+
+    def test_constants(self):
+        assert parse_one("(x true false nil)") == [Symbol("x"), True, False, None]
+
+    def test_quote_sugar(self):
+        assert parse_one("'foo") == [Symbol("quote"), Symbol("foo")]
+        assert parse_one("'(a b)") == [Symbol("quote"), [Symbol("a"), Symbol("b")]]
+
+    def test_program_returns_all_forms(self):
+        assert len(parse_program("(a) (b) (c)")) == 3
+
+    def test_unclosed_paren(self):
+        with pytest.raises(InterpreterSyntaxError):
+            parse_one("(a (b)")
+
+    def test_stray_close(self):
+        with pytest.raises(InterpreterSyntaxError):
+            parse_one(")")
+
+    def test_parse_one_rejects_extra(self):
+        with pytest.raises(InterpreterSyntaxError):
+            parse_one("(a) (b)")
+
+    def test_empty_input(self):
+        assert parse_program("   ; just a comment") == []
+        with pytest.raises(InterpreterSyntaxError):
+            parse_one("")
+
+
+class TestToSource:
+    @pytest.mark.parametrize("src", [
+        "(a b c)",
+        "(if (> x 1) 2 3)",
+        '(print "hi there")',
+        "(let ((x 1)) (+ x 2))",
+    ])
+    def test_roundtrip(self, src):
+        form = parse_one(src)
+        assert parse_one(to_source(form)) == form
+
+    def test_constant_rendering(self):
+        assert to_source(parse_one("(x true nil)")) == "(x true nil)"

@@ -1,0 +1,149 @@
+"""Tests: the script-language prelude."""
+
+import pytest
+
+from repro.interp import BehaviorLibrary, InterpretedBehavior
+from repro.interp.prelude import PRELUDE_SOURCE, build_ring, load_prelude
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+@pytest.fixture()
+def world():
+    system = ActorSpaceSystem(topology=Topology.lan(3), seed=0)
+    library = load_prelude()
+    got = []
+    probe = system.create_actor(lambda ctx, m: got.append(m.payload))
+    return system, library, probe, got
+
+
+def spawn(system, library, name, args, node=0):
+    return system.create_actor(
+        InterpretedBehavior(library, library.get(name), args), node=node)
+
+
+class TestPrelude:
+    def test_loads_all_behaviors(self):
+        library = load_prelude()
+        for name in ("cell", "accumulator", "forwarder", "router",
+                     "ring-member", "registrar", "broadcaster"):
+            assert name in library
+
+    def test_load_into_existing_library(self):
+        library = BehaviorLibrary()
+        library.load("(behavior mine () (method m () 1))")
+        load_prelude(library)
+        assert "mine" in library and "cell" in library
+
+    def test_cell_get_put_swap(self, world):
+        system, library, probe, got = world
+        cell = spawn(system, library, "cell", [10])
+        system.send_to(cell, ["get"], reply_to=probe)
+        system.run()
+        system.send_to(cell, ["put", 20])
+        system.run()
+        system.send_to(cell, ["swap", 30], reply_to=probe)
+        system.run()
+        system.send_to(cell, ["get"], reply_to=probe)
+        system.run()
+        assert got == [10, 20, 30]
+
+    def test_accumulator(self, world):
+        system, library, probe, got = world
+        acc = spawn(system, library, "accumulator", [0])
+        for n in (1, 2, 3, 4):
+            system.send_to(acc, ["add", n])
+            system.run()
+        system.send_to(acc, ["report"], reply_to=probe)
+        system.run()
+        assert got == [10]
+
+    def test_forwarder(self, world):
+        system, library, probe, got = world
+        fwd = spawn(system, library, "forwarder", [probe], node=1)
+        system.send_to(fwd, ["relay", ["payload", 7]])
+        system.run()
+        assert got == [["payload", 7]]
+
+    def test_router_routes_by_key(self, world):
+        system, library, probe, got = world
+        a_got, b_got = [], []
+        a = system.create_actor(lambda ctx, m: a_got.append(m.payload))
+        b = system.create_actor(lambda ctx, m: b_got.append(m.payload))
+        system.make_visible(a, "sinks/a")
+        system.make_visible(b, "sinks/b")
+        system.run()
+        router = spawn(system, library, "router",
+                       [["alpha", "beta"], ["sinks/a", "sinks/b"]])
+        system.send_to(router, ["route", "beta", "to-b"])
+        system.send_to(router, ["route", "alpha", "to-a"])
+        system.run()
+        assert a_got == ["to-a"] and b_got == ["to-b"]
+
+    def test_router_reports_missing_route(self, world):
+        system, library, probe, got = world
+        router = spawn(system, library, "router", [["k"], ["sinks/x"]])
+        system.send_to(router, ["route", "other", "lost"])
+        system.run()
+        behavior = system.actor_record(router).behavior
+        assert any("no route" in line for line in behavior.output)
+
+    def test_registrar_self_publishes(self, world):
+        system, library, probe, got = world
+        reg = spawn(system, library, "registrar", [])
+        system.send_to(reg, ["publish", "svc/self-made"])
+        system.run()
+        system.send("svc/self-made", ["publish", "svc/again"])
+        system.run()  # reachable via its self-published attribute
+        entry = system.directory_of(0).space(system.root_space).lookup(reg)
+        assert entry is not None
+
+    def test_broadcaster(self, world):
+        system, library, probe, got = world
+        listeners = []
+        for i in range(3):
+            l_got = []
+            addr = system.create_actor(
+                lambda ctx, m, g=l_got: g.append(m.payload), node=i)
+            system.make_visible(addr, f"aud/l{i}")
+            listeners.append(l_got)
+        system.run()
+        caster = spawn(system, library, "broadcaster", ["aud/*"])
+        system.send_to(caster, ["tell", "news"])
+        system.run()
+        assert all(l == ["news"] for l in listeners)
+
+
+class TestRing:
+    def test_token_completes_circuits(self, world):
+        system, library, probe, got = world
+        head = build_ring(system, library, size=5)
+        system.send_to(head, ["token", 12, probe])
+        system.run()
+        assert got == [["done", 0]]
+
+    def test_ring_of_one(self, world):
+        system, library, probe, got = world
+        head = build_ring(system, library, size=1)
+        system.send_to(head, ["token", 3, probe])
+        system.run()
+        assert got == [["done", 0]]
+
+    def test_invalid_size(self, world):
+        system, library, _probe, _got = world
+        with pytest.raises(ValueError):
+            build_ring(system, library, size=0)
+
+    def test_latency_grows_with_hops(self):
+        def circuit_time(hops):
+            system = ActorSpaceSystem(topology=Topology.lan(3), seed=2)
+            library = load_prelude()
+            done = []
+            probe = system.create_actor(lambda ctx, m: done.append(ctx.now))
+            head = build_ring(system, library, size=6)
+            start = system.clock.now
+            system.send_to(head, ["token", hops, probe])
+            system.run()
+            return done[0] - start
+
+        assert circuit_time(24) > circuit_time(6)

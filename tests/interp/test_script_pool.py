@@ -1,0 +1,39 @@
+"""Integration: the §6 pool expressed in the script language itself."""
+
+import pytest
+
+# The example doubles as the implementation; import its driver.
+import importlib.util
+import pathlib
+import sys
+
+_spec = importlib.util.spec_from_file_location(
+    "script_pool_example",
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "script_pool.py",
+)
+script_pool = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(script_pool)
+
+
+@pytest.mark.parametrize("engine", ["tree", "bytecode"])
+def test_script_pool_computes_correctly(engine):
+    output, expected, _t = script_pool.run_pool(engine, workers=4,
+                                                lo=0, hi=3000)
+    assert output == [f"result: {expected}"]
+
+
+def test_engines_agree_on_timing_and_answer():
+    """Same seed, same coordination: the engines differ only in host
+    speed, not in virtual-time behaviour."""
+    out_tree, exp, t_tree = script_pool.run_pool("tree", workers=4,
+                                                 lo=0, hi=3000)
+    out_vm, _exp, t_vm = script_pool.run_pool("bytecode", workers=4,
+                                              lo=0, hi=3000)
+    assert out_tree == out_vm
+    assert t_tree == t_vm
+
+
+def test_single_worker_pool_still_terminates():
+    output, expected, _t = script_pool.run_pool("tree", workers=1,
+                                                lo=0, hi=2000)
+    assert output == [f"result: {expected}"]

@@ -1,0 +1,67 @@
+"""Tests: the system's introspection API (resolve / visible_attributes)."""
+
+from repro.core.atoms import AttributePath
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def build():
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+    a = system.create_actor(lambda ctx, m: None, node=0)
+    b = system.create_actor(lambda ctx, m: None, node=1)
+    system.make_visible(a, "svc/a")
+    system.make_visible(b, ["svc/b", "aux/b"])
+    system.run()
+    return system, a, b
+
+
+class TestResolve:
+    def test_resolves_sorted_matches(self):
+        system, a, b = build()
+        assert system.resolve("svc/*") == sorted([a, b])
+        assert system.resolve("svc/a") == [a]
+        assert system.resolve("aux/*") == [b]
+        assert system.resolve("none/*") == []
+
+    def test_resolve_is_pure(self):
+        system, a, b = build()
+        before = sum(system.tracer.sent.values())
+        system.resolve("svc/*")
+        assert sum(system.tracer.sent.values()) == before
+
+    def test_resolve_in_named_space(self):
+        system, a, b = build()
+        space = system.create_space()
+        system.run()
+        system.make_visible(a, "inner", space)
+        system.run()
+        assert system.resolve("inner", space) == [a]
+        assert system.resolve("inner") == []
+
+    def test_resolve_against_specific_replica(self):
+        system, a, b = build()
+        assert system.resolve("svc/*", node=1) == sorted([a, b])
+
+
+class TestVisibleAttributes:
+    def test_returns_registered_attributes(self):
+        system, a, b = build()
+        attrs = system.visible_attributes(b)
+        assert attrs == frozenset(
+            {AttributePath("svc/b"), AttributePath("aux/b")}
+        )
+
+    def test_unregistered_target_is_empty(self):
+        system, a, b = build()
+        c = system.create_actor(lambda ctx, m: None)
+        assert system.visible_attributes(c) == frozenset()
+
+    def test_destroyed_space_is_empty(self):
+        system, a, b = build()
+        space = system.create_space()
+        system.run()
+        system.make_visible(a, "x", space)
+        system.run()
+        system.destroy_space(space)
+        system.run()
+        assert system.visible_attributes(a, space) == frozenset()

@@ -1,0 +1,200 @@
+"""Edge-case tests: node views, system options, tracer, context guards."""
+
+import pytest
+
+from repro.core.messages import Destination, Mode
+from repro.runtime.network import LatencyModel, LinkKind, Topology
+from repro.runtime.node import Node
+from repro.runtime.system import ActorSpaceSystem
+
+
+class TestNodeView:
+    def test_counts_and_cluster(self):
+        system = ActorSpaceSystem(topology=Topology.wan(2, 2), seed=0)
+        node = Node(system, 2)
+        assert node.cluster == 1
+        assert node.actor_count == 0
+        system.create_actor(lambda ctx, m: None, node=2)
+        assert node.actor_count == 1
+        assert not node.crashed
+        system.crash_node(2)
+        assert node.crashed
+
+    def test_terminated_actors_not_counted(self):
+        system = ActorSpaceSystem(seed=0)
+        addr = system.create_actor(lambda ctx, m: None)
+        node = Node(system, 0)
+        assert node.actor_count == 1
+        system.coordinators[0].terminate_actor(addr)
+        assert node.actor_count == 0
+
+    def test_coordinator_accessor(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        assert Node(system, 1).coordinator is system.coordinators[1]
+
+
+class TestSystemOptions:
+    def test_bad_bus_name_rejected(self):
+        with pytest.raises(ValueError):
+            ActorSpaceSystem(bus="carrier-pigeon")
+
+    def test_processing_delay_consumes_time(self):
+        def finish_time(delay):
+            system = ActorSpaceSystem(seed=0, processing_delay=delay)
+            addr = system.create_actor(lambda ctx, m: None)
+            for i in range(5):
+                system.send_to(addr, i)
+            return system.run()
+
+        assert finish_time(0.1) > finish_time(0.0)
+
+    def test_keep_samples_false_suppresses_samples(self):
+        system = ActorSpaceSystem(seed=0, keep_samples=False)
+        addr = system.create_actor(lambda ctx, m: None)
+        system.send_to(addr, "x")
+        system.run()
+        assert system.tracer.samples == []
+        assert sum(system.tracer.delivered.values()) == 1  # still counted
+
+    def test_custom_latency_model(self):
+        slow = LatencyModel(lan=5.0, jitter=0.0)
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0,
+                                  latency_model=slow)
+        got = []
+        addr = system.create_actor(lambda ctx, m: got.append(ctx.now), node=1)
+        system.send_to(addr, "x")
+        system.run()
+        assert got[0] == pytest.approx(5.0)
+
+    def test_same_seed_same_run(self):
+        def trace():
+            system = ActorSpaceSystem(topology=Topology.lan(3), seed=99)
+            order = []
+            for i in range(3):
+                addr = system.create_actor(
+                    lambda ctx, m, i=i: order.append((i, round(ctx.now, 9))),
+                    node=i)
+                system.make_visible(addr, f"g/m{i}")
+            system.run()
+            for i in range(9):
+                system.send("g/*", i)
+            system.run()
+            return order
+
+        assert trace() == trace()
+
+    def test_step_executes_one_event(self):
+        system = ActorSpaceSystem(seed=0)
+        addr = system.create_actor(lambda ctx, m: None)
+        system.send_to(addr, "x")
+        before = system.events.executed_count
+        assert system.step()
+        assert system.events.executed_count == before + 1
+        while system.step():
+            pass
+        assert not system.step()
+
+
+class TestContextGuards:
+    def test_negative_schedule_rejected(self):
+        system = ActorSpaceSystem(seed=0)
+        errors = []
+
+        def behavior(ctx, message):
+            try:
+                ctx.schedule(-1.0, "nope")
+            except ValueError as e:
+                errors.append(e)
+
+        addr = system.create_actor(behavior)
+        system.send_to(addr, "go")
+        system.run()
+        assert len(errors) == 1
+
+    def test_context_identity_properties(self):
+        system = ActorSpaceSystem(seed=0)
+        seen = {}
+
+        def behavior(ctx, message):
+            seen["self"] = ctx.self_address
+            seen["host"] = ctx.host_space
+            seen["now"] = ctx.now
+
+        addr = system.create_actor(behavior)
+        system.send_to(addr, "x")
+        system.run()
+        assert seen["self"] == addr
+        assert seen["host"] == system.root_space
+        assert seen["now"] >= 0
+
+    def test_actor_created_space_is_heritable(self):
+        """An actor created inside a space hosts its children there too."""
+        system = ActorSpaceSystem(seed=0)
+        space = system.create_space()
+        system.run()
+        hosts = []
+
+        def child(ctx, message):
+            hosts.append(ctx.host_space)
+
+        def parent(ctx, message):
+            addr = ctx.create(child)
+            ctx.send_to(addr, "check")
+
+        p = system.create_actor(parent, space=space)
+        system.send_to(p, "go")
+        system.run()
+        assert hosts == [space]
+
+    def test_pattern_space_destination_from_actor(self):
+        system = ActorSpaceSystem(seed=0)
+        pool = system.create_space(attributes="pools/main")
+        system.run()
+        got = []
+        worker = system.create_actor(lambda ctx, m: got.append(m.payload),
+                                     space=pool)
+        system.make_visible(worker, "w1", pool)
+        system.run()
+
+        def sender(ctx, message):
+            # The @space part given as a pattern, resolved in the host space.
+            ctx.send(Destination("w1", "pools/*"), "via-pattern-space")
+
+        s = system.create_actor(sender)
+        system.send_to(s, "go")
+        system.run()
+        assert got == ["via-pattern-space"]
+
+
+class TestTracerExtras:
+    def test_series_recording(self):
+        system = ActorSpaceSystem(seed=0)
+        system.tracer.record("queue-depth", 1.0, 5)
+        system.tracer.record("queue-depth", 2.0, 3)
+        assert system.tracer.series["queue-depth"] == [(1.0, 5.0), (2.0, 3.0)]
+
+    def test_hop_summary_keys(self):
+        system = ActorSpaceSystem(topology=Topology.wan(1, 1), seed=0)
+        addr = system.create_actor(lambda ctx, m: None, node=1)
+        system.send_to(addr, "x")
+        system.run()
+        summary = system.tracer.hop_summary()
+        assert set(summary) == {"local", "lan", "wan"}
+        assert summary["wan"] == 1
+
+    def test_reset_preserves_keep_samples(self):
+        system = ActorSpaceSystem(seed=0, keep_samples=False)
+        system.tracer.reset()
+        assert system.tracer.keep_samples is False
+
+    def test_latency_stats_filter_by_mode(self):
+        system = ActorSpaceSystem(seed=0)
+        addr = system.create_actor(lambda ctx, m: None)
+        system.make_visible(addr, "a")
+        system.run()
+        system.send_to(addr, 1)
+        system.broadcast("a", 2)
+        system.run()
+        assert system.tracer.latency_stats(Mode.DIRECT)["count"] == 1
+        assert system.tracer.latency_stats(Mode.BROADCAST)["count"] == 1
+        assert system.tracer.latency_stats()["count"] == 2

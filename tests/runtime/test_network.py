@@ -1,0 +1,73 @@
+"""Unit tests: topology and latency model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.network import LatencyModel, LinkKind, Network, Topology
+
+
+class TestTopology:
+    def test_single(self):
+        t = Topology.single()
+        assert t.node_count == 1
+        assert t.link_kind(0, 0) is LinkKind.LOCAL
+
+    def test_lan(self):
+        t = Topology.lan(4)
+        assert t.node_count == 4
+        assert t.cluster_count == 1
+        assert t.link_kind(0, 3) is LinkKind.LAN
+        assert t.link_kind(2, 2) is LinkKind.LOCAL
+
+    def test_wan(self):
+        t = Topology.wan(2, 3)
+        assert t.node_count == 5
+        assert t.cluster_of(0) == 0
+        assert t.cluster_of(1) == 0
+        assert t.cluster_of(2) == 1
+        assert t.link_kind(0, 1) is LinkKind.LAN
+        assert t.link_kind(1, 2) is LinkKind.WAN
+        assert t.cluster_nodes(1) == [2, 3, 4]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([])
+        with pytest.raises(ValueError):
+            Topology([0])
+
+
+class TestLatencyModel:
+    def test_class_ordering(self):
+        m = LatencyModel()
+        assert m.local < m.lan < m.wan
+
+    def test_sample_within_jitter_bounds(self):
+        m = LatencyModel(jitter=0.25)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            v = m.sample(LinkKind.LAN, rng)
+            assert 0.75 * m.lan <= v <= 1.25 * m.lan
+
+    def test_zero_jitter_is_exact(self):
+        m = LatencyModel(jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert m.sample(LinkKind.WAN, rng) == m.wan
+
+
+class TestNetwork:
+    def test_latency_counts_hops_by_kind(self):
+        net = Network(Topology.wan(2, 2), rng=np.random.default_rng(0))
+        net.latency(0, 1)  # LAN
+        net.latency(0, 2)  # WAN
+        net.latency(3, 3)  # LOCAL
+        assert net.hop_counts[LinkKind.LAN] == 1
+        assert net.hop_counts[LinkKind.WAN] == 1
+        assert net.hop_counts[LinkKind.LOCAL] == 1
+        net.reset_counts()
+        assert sum(net.hop_counts.values()) == 0
+
+    def test_wan_latency_dominates_lan(self):
+        net = Network(Topology.wan(2, 2), rng=np.random.default_rng(1))
+        lan = np.mean([net.latency(0, 1) for _ in range(100)])
+        wan = np.mean([net.latency(0, 2) for _ in range(100)])
+        assert wan > 5 * lan

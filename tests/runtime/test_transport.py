@@ -1,0 +1,84 @@
+"""Unit tests: transports, loss, crash injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NodeDownError
+from repro.runtime.network import Network, Topology
+from repro.runtime.transport import (
+    InstantTransport,
+    LossyTransport,
+    NetworkTransport,
+)
+
+
+def network_transport():
+    return NetworkTransport(Network(Topology.lan(3), rng=np.random.default_rng(0)))
+
+
+class TestInstantTransport:
+    def test_fixed_latency(self):
+        t = InstantTransport(0.5)
+        assert t.try_deliver(0, 1) == 0.5
+        assert t.deliver_latency(0, 1) == 0.5
+
+
+class TestNetworkTransport:
+    def test_delivery_uses_network(self):
+        t = network_transport()
+        assert t.deliver_latency(0, 1) > 0
+        assert t.attempts == 1
+
+    def test_crash_blocks_delivery(self):
+        t = network_transport()
+        t.crash_node(2)
+        with pytest.raises(NodeDownError):
+            t.deliver_latency(0, 2)
+        with pytest.raises(NodeDownError):
+            t.deliver_latency(2, 0)
+        t.recover_node(2)
+        assert t.deliver_latency(0, 2) > 0
+
+    def test_try_deliver_counts_drops_for_crashed(self):
+        t = network_transport()
+        t.crash_node(1)
+        assert t.try_deliver(0, 1) is None
+        assert t.drops == 1
+
+
+class TestLossyTransport:
+    def test_loss_rate_is_respected(self):
+        inner = InstantTransport(0.1)
+        t = LossyTransport(inner, 0.5, np.random.default_rng(0))
+        results = [t.try_deliver(0, 1) for _ in range(1000)]
+        drop_rate = sum(r is None for r in results) / len(results)
+        assert 0.4 < drop_rate < 0.6
+
+    def test_retransmission_guarantees_delivery(self):
+        """Eventual delivery (section 5.6) survives heavy loss."""
+        t = LossyTransport(InstantTransport(0.1), 0.9, np.random.default_rng(1))
+        for _ in range(50):
+            total = t.deliver_latency(0, 1)
+            assert total >= 0.1  # at least the successful attempt
+
+    def test_retries_add_latency(self):
+        rng = np.random.default_rng(2)
+        lossless = InstantTransport(0.1)
+        lossy = LossyTransport(InstantTransport(0.1), 0.8, rng)
+        base = np.mean([lossless.deliver_latency(0, 1) for _ in range(200)])
+        noisy = np.mean([lossy.deliver_latency(0, 1) for _ in range(200)])
+        assert noisy > base
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LossyTransport(InstantTransport(), 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            LossyTransport(InstantTransport(), -0.1, np.random.default_rng(0))
+
+    def test_total_loss_raises_after_max_retries(self):
+        class BlackHole(InstantTransport):
+            def try_deliver(self, src, dst):
+                return None
+
+        with pytest.raises(RuntimeError):
+            BlackHole().deliver_latency(0, 1, max_retries=5)

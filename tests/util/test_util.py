@@ -1,0 +1,76 @@
+"""Tests: table rendering and statistics helpers."""
+
+import pytest
+
+from repro.util.stats import (
+    chi_square_uniform,
+    coefficient_of_variation,
+    gini,
+    summarize,
+)
+from repro.util.tables import TextTable
+
+
+class TestTextTable:
+    def test_renders_aligned_columns(self):
+        t = TextTable(["name", "value"], title="demo")
+        t.add_row(["alpha", 1])
+        t.add_row(["b", 123.456])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[2] and "value" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all body lines equal width
+
+    def test_float_formatting(self):
+        t = TextTable(["x"])
+        t.add_row([0.00001234])
+        t.add_row([1234567.0])
+        t.add_row([1.5])
+        body = t.render()
+        assert "1.23e-05" in body
+        assert "1.23e+06" in body
+        assert "1.5" in body
+
+    def test_row_width_checked(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4])
+        assert s["count"] == 4
+        assert s["mean"] == 2.5
+        assert s["min"] == 1 and s["max"] == 4
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+    def test_chi_square_uniform_zero_for_perfect(self):
+        assert chi_square_uniform([10, 10, 10]) == 0.0
+
+    def test_chi_square_grows_with_skew(self):
+        assert chi_square_uniform([30, 0, 0]) > chi_square_uniform([12, 9, 9])
+
+    def test_chi_square_degenerate(self):
+        assert chi_square_uniform([]) == 0.0
+        assert chi_square_uniform([5]) == 0.0
+        assert chi_square_uniform([0, 0]) == 0.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert coefficient_of_variation([0, 10]) == 1.0
+        assert coefficient_of_variation([]) == 0.0
+
+    def test_gini_bounds(self):
+        assert gini([1, 1, 1, 1]) == pytest.approx(0.0)
+        concentrated = gini([0, 0, 0, 100])
+        assert 0.7 < concentrated <= 1.0
+        assert gini([]) == 0.0
