@@ -4,13 +4,17 @@ The prototype's patterns are regular expressions over atoms resolved
 against per-space registries.  The experiment sweeps registry size and
 pattern class (literal / one-level wildcard / glob / deep ``**`` with
 nested spaces) and reports resolutions per second plus entries examined.
+E10d adds the epoch-invalidated resolution cache: repeated resolutions
+under stable visibility (a hot group re-resolved per send) cached vs
+uncached, and E10e the churn scenarios distinguishing on-path
+invalidation from unrelated-mutation revalidation.
 """
 
 import time
 
 from repro.core.actorspace import SpaceRecord
 from repro.core.addresses import ActorAddress, SpaceAddress
-from repro.core.matching import MatchStats, resolve_actors
+from repro.core.matching import MatchStats, ResolutionCache, resolve_actors
 from repro.core.visibility import Directory
 from repro.util import TextTable
 
@@ -52,6 +56,16 @@ def _measure(d, root, pattern, repeats=30):
         result = resolve_actors(d, pattern, root, stats)
     elapsed = (time.perf_counter() - t0) / repeats
     return len(result), elapsed * 1e3, stats.entries_examined // repeats
+
+
+def _measure_cached(d, root, pattern, repeats=30):
+    cache = ResolutionCache()
+    resolve_actors(d, pattern, root, cache=cache)  # fill (one miss)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        result = resolve_actors(d, pattern, root, cache=cache)
+    elapsed = (time.perf_counter() - t0) / repeats
+    return len(result), elapsed * 1e3, cache
 
 
 PATTERNS = [
@@ -113,7 +127,56 @@ def test_bench_e10_matching(benchmark):
         ]:
             matches, ms, _ex = _measure(d, root, pattern)
             nested.add_row([n, label, matches, ms])
-    emit("e10_matching", flat, index, nested)
+
+    cached_tbl = TextTable(
+        ["registry", "pattern class", "ms uncached", "ms cached", "speedup",
+         "hits", "misses"],
+        title="E10d: resolution cache, repeated resolution, stable visibility",
+    )
+    for n in (1_000, 10_000, 100_000):
+        d, root = _registry(n)
+        repeats = 5 if n >= 100_000 else 30
+        for label, pattern in PATTERNS:
+            _m, uncached_ms, _e = _measure(d, root, pattern, repeats)
+            _m, cached_ms, cache = _measure_cached(d, root, pattern, repeats)
+            speedup = uncached_ms / cached_ms if cached_ms else float("inf")
+            cached_tbl.add_row([n, label, uncached_ms, cached_ms, speedup,
+                                cache.hits, cache.misses])
+            if n >= 10_000:
+                # Acceptance floor; in practice the hit path is a dict
+                # probe and the speedup is orders of magnitude.
+                assert speedup >= 2.0, (
+                    f"cache speedup {speedup:.2f}x < 2x for {label} at n={n}"
+                )
+
+    churn = TextTable(
+        ["registry", "churn kind", "ms/resolve", "hits", "misses",
+         "invalidations"],
+        title="E10e: one visibility op between resolutions "
+              "(on-path invalidates; unrelated revalidates by epoch)",
+    )
+    for n in (10_000,):
+        for kind in ("on-path", "unrelated"):
+            d, root = _registry(n)
+            other = SpaceAddress(3, 0)
+            d.add_space(SpaceRecord(other))
+            mutated = root if kind == "on-path" else other
+            cache = ResolutionCache()
+            resolve_actors(d, "services/kind7/*", root, cache=cache)
+            repeats, toggle = 30, ActorAddress(2, 0)
+            t0 = time.perf_counter()
+            for i in range(repeats):
+                if i % 2:
+                    d.make_invisible(toggle, mutated)
+                else:
+                    d.make_visible(toggle, "churn/x", mutated)
+                resolve_actors(d, "services/kind7/*", root, cache=cache)
+            elapsed = (time.perf_counter() - t0) / repeats
+            churn.add_row([n, kind, elapsed * 1e3, cache.hits, cache.misses,
+                           cache.invalidations])
+    emit("e10_matching", flat, index, nested, cached_tbl, churn)
 
     d, root = _registry(10_000)
-    benchmark(lambda: resolve_actors(d, "services/kind7/*", root))
+    cache = ResolutionCache()
+    resolve_actors(d, "services/kind7/*", root, cache=cache)
+    benchmark(lambda: resolve_actors(d, "services/kind7/*", root, cache=cache))

@@ -50,6 +50,7 @@ from .manager import (
 )
 from .matching import (
     MatchStats,
+    ResolutionCache,
     group_size,
     resolve_actors,
     resolve_destination,
@@ -97,6 +98,7 @@ __all__ = [
     "InterpreterError",
     "MailAddress",
     "MatchStats",
+    "ResolutionCache",
     "Message",
     "Mode",
     "NoMatchError",

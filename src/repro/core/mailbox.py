@@ -29,15 +29,22 @@ from .messages import Envelope, Port
 class Mailbox:
     """Three-port message queue for one executing actor."""
 
-    __slots__ = ("_behavior", "_invocation", "_rpc", "_closed", "delivered_count")
+    __slots__ = ("_behavior", "_invocation", "_rpc", "_closed",
+                 "delivered_count", "rpc_collisions")
 
     def __init__(self):
         self._behavior: deque[Envelope] = deque()
         self._invocation: deque[Envelope] = deque()
-        self._rpc: dict[Any, Envelope] = {}
+        #: rpc_id -> FIFO of replies.  Two replies sharing an id must both
+        #: survive: overwriting would lose one and deadlock whichever
+        #: system call is still waiting on it.
+        self._rpc: dict[Any, deque[Envelope]] = {}
         self._closed = False
         #: Total envelopes ever enqueued (accounting for fairness tests).
         self.delivered_count = 0
+        #: RPC replies that arrived while another reply with the same id
+        #: was still pending (each one queued, none dropped).
+        self.rpc_collisions = 0
 
     # -- enqueue ---------------------------------------------------------------
 
@@ -56,7 +63,12 @@ class Mailbox:
             self._behavior.append(envelope)
         elif envelope.port is Port.RPC:
             key = envelope.message.headers.get("rpc_id", envelope.envelope_id)
-            self._rpc[key] = envelope
+            queue = self._rpc.get(key)
+            if queue is None:
+                self._rpc[key] = deque((envelope,))
+            else:
+                queue.append(envelope)
+                self.rpc_collisions += 1
         else:
             self._invocation.append(envelope)
 
@@ -75,15 +87,25 @@ class Mailbox:
         return None
 
     def take_rpc(self, rpc_id: Any) -> Envelope | None:
-        """Claim the RPC reply for ``rpc_id`` if it has arrived."""
-        return self._rpc.pop(rpc_id, None)
+        """Claim the oldest RPC reply for ``rpc_id`` if one has arrived."""
+        queue = self._rpc.get(rpc_id)
+        if queue is None:
+            return None
+        envelope = queue.popleft()
+        if not queue:
+            del self._rpc[rpc_id]
+        return envelope
 
     # -- state ------------------------------------------------------------------
 
     @property
     def pending(self) -> int:
         """Number of envelopes waiting on any port."""
-        return len(self._behavior) + len(self._invocation) + len(self._rpc)
+        return (
+            len(self._behavior)
+            + len(self._invocation)
+            + sum(len(q) for q in self._rpc.values())
+        )
 
     @property
     def is_empty(self) -> bool:
@@ -96,7 +118,9 @@ class Mailbox:
     def close(self) -> list[Envelope]:
         """Close the mailbox; return (and discard) any still-queued mail."""
         self._closed = True
-        leftovers = list(self._behavior) + list(self._invocation) + list(self._rpc.values())
+        leftovers = list(self._behavior) + list(self._invocation)
+        for queue in self._rpc.values():
+            leftovers.extend(queue)
         self._behavior.clear()
         self._invocation.clear()
         self._rpc.clear()

@@ -26,26 +26,153 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from .addresses import ActorAddress, SpaceAddress
+from .addresses import ActorAddress, MailAddress, SpaceAddress
 from .messages import Destination
-from .patterns import Pattern, parse_pattern
+from .patterns import AnyAtom, AnySequence, LiteralAtom, Pattern, parse_pattern
 from .visibility import Directory
 
 
 class MatchStats:
     """Counters filled in by a resolution (feeds experiment E10)."""
 
-    __slots__ = ("entries_examined", "spaces_descended", "residuals_generated")
+    __slots__ = (
+        "entries_examined",
+        "spaces_descended",
+        "residuals_generated",
+        "cache_hits",
+        "cache_misses",
+        "cache_invalidations",
+    )
 
     def __init__(self):
         self.entries_examined = 0
         self.spaces_descended = 0
         self.residuals_generated = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
 
     def __repr__(self):
         return (
             f"<MatchStats examined={self.entries_examined} "
-            f"descended={self.spaces_descended} residuals={self.residuals_generated}>"
+            f"descended={self.spaces_descended} residuals={self.residuals_generated} "
+            f"cache={self.cache_hits}h/{self.cache_misses}m/{self.cache_invalidations}i>"
+        )
+
+
+class ResolutionCache:
+    """Memoized ``resolve_actors``/``resolve_spaces`` results with epoch
+    invalidation.
+
+    Each cached resolution records, besides its result set, the directory
+    epoch at fill time and the per-space epoch of every space *visited*
+    during the walk (its resolution path, including spaces that turned
+    out to be missing, recorded with epoch ``-1``).  Validity is checked
+    in two tiers:
+
+    1. **Global**: the directory epoch has not moved — nothing changed
+       anywhere, the entry is valid (one integer compare; this is the
+       stable-visibility fast path that E10d measures).
+    2. **Path**: the directory epoch moved, but no space on the entry's
+       resolution path did — the mutation happened somewhere this
+       resolution never looked, so the result is still exact.  The
+       global epoch is refreshed so the next lookup takes tier 1.
+
+    Why the path check is sound: the walk descends into a space only
+    through a registry entry of an already-visited space, and only when
+    the pattern has residuals for that edge's attributes.  Any mutation
+    that could alter the result therefore either edits a visited
+    registry (bumping its epoch) or is unreachable by this pattern from
+    this scope.  Spaces the walk *skipped* (no residuals) cannot
+    contribute matches no matter what is registered inside them, and a
+    skipped edge's attributes can only change by re-registering the
+    child in the visited parent.
+
+    Entries are evicted least-recently-used once ``max_entries`` is
+    exceeded.  The cache is a per-replica structure (one per coordinator
+    in the runtime): replicas apply visibility ops independently, so
+    epochs are replica-local values.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "invalidations", "_entries")
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        #: (kind, space, pattern) -> [result, dir_epoch, {space: epoch}]
+        self._entries: dict[tuple, list] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (surfaced by the runtime's tracer)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }
+
+    # -- protocol used by the resolve functions ---------------------------------
+
+    def lookup(
+        self,
+        kind: str,
+        space: SpaceAddress,
+        pattern: Pattern,
+        directory: Directory,
+        stats: MatchStats | None = None,
+    ) -> "frozenset | None":
+        key = (kind, space, pattern)
+        entry = self._entries.get(key)
+        if entry is not None:
+            result, dir_epoch, path_epochs = entry
+            if dir_epoch == directory.epoch or all(
+                directory.space_epoch(s) == e for s, e in path_epochs.items()
+            ):
+                entry[1] = directory.epoch
+                # Refresh LRU position.
+                del self._entries[key]
+                self._entries[key] = entry
+                self.hits += 1
+                if stats is not None:
+                    stats.cache_hits += 1
+                return result
+            del self._entries[key]
+            self.invalidations += 1
+            if stats is not None:
+                stats.cache_invalidations += 1
+        self.misses += 1
+        if stats is not None:
+            stats.cache_misses += 1
+        return None
+
+    def store(
+        self,
+        kind: str,
+        space: SpaceAddress,
+        pattern: Pattern,
+        directory: Directory,
+        path_spaces: "Iterable[SpaceAddress]",
+        result: "set",
+    ) -> None:
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        path_epochs = {s: directory.space_epoch(s) for s in path_spaces}
+        self._entries[(kind, space, pattern)] = [
+            frozenset(result), directory.epoch, path_epochs,
+        ]
+
+    def __repr__(self):
+        return (
+            f"<ResolutionCache {len(self._entries)} entries "
+            f"{self.hits}h/{self.misses}m/{self.invalidations}i>"
         )
 
 
@@ -54,15 +181,27 @@ def resolve_actors(
     pattern: "Pattern | str",
     space: SpaceAddress,
     stats: MatchStats | None = None,
+    cache: ResolutionCache | None = None,
 ) -> set[ActorAddress]:
     """All actor mail addresses matching ``pattern`` in ``space``.
 
     This is the group-membership function behind both ``send`` (which then
-    picks one member) and ``broadcast`` (which fans out to all).
+    picks one member) and ``broadcast`` (which fans out to all).  With a
+    ``cache``, a previously computed resolution is reused while its epoch
+    evidence holds (see :class:`ResolutionCache`).
     """
     pattern = parse_pattern(pattern)
+    if cache is not None:
+        cached = cache.lookup("actors", space, pattern, directory, stats)
+        if cached is not None:
+            return set(cached)
     results: set[ActorAddress] = set()
-    _walk(directory, pattern, space, results, None, set(), stats)
+    visited: set[tuple[SpaceAddress, Pattern]] = set()
+    _walk(directory, pattern, space, results, None, visited, stats)
+    if cache is not None:
+        cache.store(
+            "actors", space, pattern, directory, {s for s, _ in visited}, results
+        )
     return results
 
 
@@ -71,6 +210,7 @@ def resolve_spaces(
     pattern: "Pattern | str",
     space: SpaceAddress,
     stats: MatchStats | None = None,
+    cache: ResolutionCache | None = None,
 ) -> set[SpaceAddress]:
     """All actorSpace addresses matching ``pattern`` in ``space``.
 
@@ -79,8 +219,17 @@ def resolve_spaces(
     through structured attributes, exactly like actor resolution.
     """
     pattern = parse_pattern(pattern)
+    if cache is not None:
+        cached = cache.lookup("spaces", space, pattern, directory, stats)
+        if cached is not None:
+            return set(cached)
     results: set[SpaceAddress] = set()
-    _walk(directory, pattern, space, None, results, set(), stats)
+    visited: set[tuple[SpaceAddress, Pattern]] = set()
+    _walk(directory, pattern, space, None, results, visited, stats)
+    if cache is not None:
+        cache.store(
+            "spaces", space, pattern, directory, {s for s, _ in visited}, results
+        )
     return results
 
 
@@ -101,13 +250,19 @@ def _walk(
     if not directory.has_space(space):
         return
     rec = directory.space(space)
-    # Literal-prefix fast path: a pattern beginning with a literal atom
-    # can only match entries indexed under that atom (E10c measures the
-    # saving).  Wildcard-first patterns must scan the registry.
-    prefix = pattern.literal_prefix
-    candidates = (
-        rec.entries_with_first_atom(prefix[0]) if prefix else rec.entries()
-    )
+    # First-atom index fast paths (E10c measures the saving):
+    # * literal first atom — only entries indexed under that atom can match;
+    # * selective first matcher (glob/regex) — test it once per distinct
+    #   first atom and walk only the matching buckets;
+    # * `*` accepts every first atom and `**` may absorb none, so both
+    #   fall back to the full registry scan.
+    first = pattern.matchers[0]
+    if isinstance(first, LiteralAtom):
+        candidates = rec.entries_with_first_atom(first.text)
+    elif isinstance(first, (AnyAtom, AnySequence)):
+        candidates = rec.entries()
+    else:
+        candidates = rec.entries_matching_first(first)
     for entry in candidates:
         if stats is not None:
             stats.entries_examined += 1
@@ -144,6 +299,7 @@ def resolve_destination_spaces(
     directory: Directory,
     destination: Destination,
     host_space: SpaceAddress,
+    cache: ResolutionCache | None = None,
 ) -> list[SpaceAddress]:
     """Resolve the ``@space`` part of a destination to concrete spaces.
 
@@ -160,7 +316,7 @@ def resolve_destination_spaces(
     if isinstance(spec, SpaceAddress):
         return [spec] if directory.has_space(spec) else []
     assert isinstance(spec, Pattern)
-    return sorted(resolve_spaces(directory, spec, host_space))
+    return sorted(resolve_spaces(directory, spec, host_space, cache=cache))
 
 
 def resolve_destination(
@@ -168,11 +324,16 @@ def resolve_destination(
     destination: Destination,
     host_space: SpaceAddress,
     stats: MatchStats | None = None,
+    cache: ResolutionCache | None = None,
 ) -> set[ActorAddress]:
     """Full destination resolution: spaces first, then actors in each."""
     receivers: set[ActorAddress] = set()
-    for space in resolve_destination_spaces(directory, destination, host_space):
-        receivers |= resolve_actors(directory, destination.pattern, space, stats)
+    for space in resolve_destination_spaces(
+        directory, destination, host_space, cache=cache
+    ):
+        receivers |= resolve_actors(
+            directory, destination.pattern, space, stats, cache=cache
+        )
     return receivers
 
 

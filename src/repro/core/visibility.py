@@ -93,12 +93,19 @@ class Directory:
             holders = self._containers.get(entry.target)
             if holders:
                 holders.discard(address)
+                if not holders:
+                    # Empty holder sets would otherwise accumulate forever
+                    # under space churn.
+                    del self._containers[entry.target]
         # The space may itself have been visible elsewhere; evict it.
         for holder in list(self._containers.get(address, ())):
             holder_rec = self._spaces.get(holder)
             if holder_rec is not None and not holder_rec.destroyed:
                 holder_rec.unregister(address)
         self._containers.pop(address, None)
+        # The destroyed space can never authenticate again; keeping its
+        # capability binding would leak memory under churn.
+        self._known_capabilities.pop(address, None)
         self._op_count += 1
 
     # -- capability discipline ------------------------------------------------------
@@ -180,9 +187,11 @@ class Directory:
         self._authorize(target, rec, capability)
         if check_cycles and self.would_cycle(target, space):
             raise VisibilityCycleError(target, space)
+        before = rec.epoch
         entry = rec.register(target, as_paths(attributes), now)
         self._containers.setdefault(target, set()).add(space)
-        self._op_count += 1
+        if rec.epoch != before:
+            self._op_count += 1
         return entry
 
     def make_invisible(
@@ -207,7 +216,9 @@ class Directory:
                 holders.discard(space)
                 if not holders:
                     del self._containers[target]
-        self._op_count += 1
+            # Only an actual mutation moves the epoch; a no-op removal
+            # must not invalidate caches or skew the coherence counter.
+            self._op_count += 1
         return removed
 
     def change_attributes(
@@ -231,8 +242,10 @@ class Directory:
             raise UnknownAddressError(
                 f"{target!r} is not visible in {space!r}; make_visible first"
             )
+        before = rec.epoch
         entry = rec.register(target, as_paths(attributes), now)
-        self._op_count += 1
+        if rec.epoch != before:
+            self._op_count += 1
         return entry
 
     # -- reverse queries (GC support) ------------------------------------------------
@@ -264,6 +277,27 @@ class Directory:
     def op_count(self) -> int:
         """Number of mutating operations applied (replica coherence checks)."""
         return self._op_count
+
+    @property
+    def epoch(self) -> int:
+        """Directory-wide cache epoch: moves iff some resolution may have.
+
+        Derived from :attr:`op_count`, which — after the no-op audit —
+        is bumped only by operations that actually mutate visibility
+        state.  A resolution cached at epoch ``e`` is trivially still
+        valid while ``epoch == e``.
+        """
+        return self._op_count
+
+    def space_epoch(self, address: SpaceAddress) -> int:
+        """The per-registry epoch of ``address``; ``-1`` if never known.
+
+        Destroyed spaces keep their (final, bumped-at-destroy) epoch so a
+        cached resolution that saw the live space is correctly
+        invalidated.  Epochs are comparable only for the same address.
+        """
+        rec = self._spaces.get(address)
+        return rec.epoch if rec is not None else -1
 
     def snapshot(self) -> dict:
         """Deep value snapshot of all registries, for replica comparison."""

@@ -45,7 +45,12 @@ from repro.core.errors import (
 )
 from repro.core.gc import scan_addresses
 from repro.core.manager import SpaceManager, UnmatchedPolicy, default_manager
-from repro.core.matching import resolve_actors, resolve_destination_spaces
+from repro.core.matching import (
+    MatchStats,
+    ResolutionCache,
+    resolve_actors,
+    resolve_destination_spaces,
+)
 from repro.core.messages import Destination, Envelope, Message, Mode, Port
 from repro.core.visibility import Directory
 
@@ -88,6 +93,12 @@ class Coordinator:
         self.system = system
         self.addresses = AddressFactory(node_id)
         self.directory = Directory()
+        #: Memoized pattern resolutions against this node's replica,
+        #: invalidated by directory/space epochs.  Suspended and
+        #: persistent envelopes re-resolve through it, so a visibility
+        #: change that cannot affect an envelope's resolution path costs
+        #: an epoch check instead of a fresh DAG walk.
+        self.resolution_cache = ResolutionCache()
         #: Per-space policy managers (replicated: constructed from op args).
         self.managers: dict[SpaceAddress, SpaceManager] = {}
         self.actors: dict[ActorAddress, ActorRecord] = {}
@@ -361,20 +372,22 @@ class Coordinator:
 
     def _scope_spaces(self, envelope: Envelope) -> list[SpaceAddress]:
         host = envelope.origin_space or self.system.root_space
-        return resolve_destination_spaces(self.directory, envelope.destination, host)
+        return resolve_destination_spaces(
+            self.directory, envelope.destination, host,
+            cache=self.resolution_cache,
+        )
 
     def _resolve(self, envelope: Envelope) -> tuple[set[ActorAddress], SpaceAddress | None]:
         """Resolve receivers; returns (actors, primary scope space)."""
-        from repro.core.matching import MatchStats
-
         stats = MatchStats()
         receivers: set[ActorAddress] = set()
         spaces = self._scope_spaces(envelope)
         for space in spaces:
             receivers |= resolve_actors(
-                self.directory, envelope.destination.pattern, space, stats
+                self.directory, envelope.destination.pattern, space, stats,
+                cache=self.resolution_cache,
             )
-        self.system.tracer.match_examined.append(stats.entries_examined)
+        self.system.tracer.on_resolution(stats)
         return receivers, (spaces[0] if spaces else None)
 
     def _manager_for(self, envelope: Envelope, scope: SpaceAddress | None) -> SpaceManager:
@@ -417,7 +430,15 @@ class Coordinator:
             self.suspended.append(envelope)
 
     def _recheck_parked(self) -> None:
-        """Visibility changed: retry suspended messages, extend persistent ones."""
+        """Visibility changed: retry suspended messages, extend persistent ones.
+
+        Every parked envelope re-resolves through the resolution cache,
+        which keeps its last-known result keyed on the epochs of the
+        spaces its previous walk visited.  An envelope whose resolution
+        path did not move therefore costs one cache probe here, not a
+        fresh recursive walk — the visibility change that woke us cannot
+        have changed its answer.
+        """
         tracer = self.system.tracer
         if self.suspended:
             still: list[Envelope] = []

@@ -312,13 +312,27 @@ class ActorSpaceSystem:
 
         Pure introspection against ``node``'s replica — no message moves.
         Useful for assertions, monitoring dashboards, and the examples.
+        Goes through the node's resolution cache, exactly like a real
+        dispatch would.
         """
         from repro.core.matching import resolve_actors
 
+        coordinator = self.coordinators[node]
         scope = space if space is not None else self.root_space
         return sorted(
-            resolve_actors(self.coordinators[node].directory, pattern, scope)
+            resolve_actors(coordinator.directory, pattern, scope,
+                           cache=coordinator.resolution_cache)
         )
+
+    def resolution_cache_stats(self, node: int | None = None) -> dict:
+        """Resolution-cache counters, per node or summed across nodes."""
+        if node is not None:
+            return self.coordinators[node].resolution_cache.stats()
+        total = {"hits": 0, "misses": 0, "invalidations": 0, "entries": 0}
+        for coordinator in self.coordinators:
+            for key, value in coordinator.resolution_cache.stats().items():
+                total[key] += value
+        return total
 
     def visible_attributes(self, target: MailAddress,
                            space: SpaceAddress | None = None,

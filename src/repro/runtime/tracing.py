@@ -59,6 +59,11 @@ class Tracer:
         self.samples: list[LatencySample] = []
         #: Pattern-resolution work: entries examined, per resolution.
         self.match_examined: list[int] = []
+        #: Resolution-cache accounting, aggregated over every coordinator
+        #: resolution (send/broadcast dispatch and parked-message rechecks).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
         #: Visibility operations applied per node replica (coherence checks).
         self.visibility_ops_applied: Counter = Counter()
         #: Time series the experiments can append to: name -> [(t, value)].
@@ -100,6 +105,13 @@ class Tracer:
     def on_invocation(self) -> None:
         self.invocations += 1
 
+    def on_resolution(self, stats) -> None:
+        """Fold one resolution's :class:`~repro.core.matching.MatchStats` in."""
+        self.match_examined.append(stats.entries_examined)
+        self.cache_hits += stats.cache_hits
+        self.cache_misses += stats.cache_misses
+        self.cache_invalidations += stats.cache_invalidations
+
     def record(self, name: str, t: float, value: float) -> None:
         """Append a point to the named time series."""
         self.series[name].append((t, value))
@@ -132,6 +144,16 @@ class Tracer:
 
     def hop_summary(self) -> dict[str, int]:
         return {k.value: self.hops.get(k, 0) for k in LinkKind}
+
+    def cache_summary(self) -> dict[str, float]:
+        """Resolution-cache counters plus the overall hit rate."""
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidations": self.cache_invalidations,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+        }
 
     def reset(self) -> None:
         """Clear everything (between benchmark phases on a reused system)."""

@@ -16,7 +16,7 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from repro.core.actorspace import SpaceRecord
 from repro.core.addresses import ActorAddress, SpaceAddress
 from repro.core.errors import VisibilityCycleError
-from repro.core.matching import resolve_actors
+from repro.core.matching import ResolutionCache, resolve_actors
 from repro.core.patterns import parse_pattern
 from repro.core.visibility import Directory
 
@@ -92,6 +92,10 @@ class DirectoryMachine(RuleBasedStateMachine):
         super().__init__()
         self.directory = Directory()
         self.model = ReferenceModel()
+        #: One long-lived cache across every op the machine performs:
+        #: a stale entry surviving an op it should not survive shows up
+        #: as a divergence from the reference model.
+        self.cache = ResolutionCache()
         self.spaces = [SpaceAddress(0, i) for i in range(N_SPACES)]
         self.actors = [ActorAddress(1, i) for i in range(N_ACTORS)]
         for s in self.spaces:
@@ -145,6 +149,13 @@ class DirectoryMachine(RuleBasedStateMachine):
                 want = self.model.resolve(pattern, space)
                 assert got == want, (
                     f"pattern {pattern} in {space}: real={got} ref={want}"
+                )
+                cached = resolve_actors(
+                    self.directory, pattern, space, cache=self.cache
+                )
+                assert cached == want, (
+                    f"stale cache: pattern {pattern} in {space}: "
+                    f"cached={cached} ref={want}"
                 )
 
 

@@ -79,3 +79,40 @@ class TestClose:
         assert mb.is_empty
         with pytest.raises(MailboxClosedError):
             mb.deliver(env())
+
+
+class TestRpcCollisions:
+    """Two replies sharing an rpc_id must both survive (regression:
+    `deliver` used to overwrite the pending reply, deadlocking the
+    waiting actor)."""
+
+    def test_colliding_replies_queue_fifo(self):
+        mb = Mailbox()
+        mb.deliver(env(port=Port.RPC, payload="first", rpc_id="a"))
+        mb.deliver(env(port=Port.RPC, payload="second", rpc_id="a"))
+        assert mb.rpc_collisions == 1
+        assert mb.take_rpc("a").message.payload == "first"
+        assert mb.take_rpc("a").message.payload == "second"
+        assert mb.take_rpc("a") is None
+
+    def test_collision_counter_and_delivered_count(self):
+        mb = Mailbox()
+        for _ in range(3):
+            mb.deliver(env(port=Port.RPC, rpc_id="dup"))
+        assert mb.delivered_count == 3
+        assert mb.rpc_collisions == 2
+        assert mb.pending == 3
+
+    def test_no_collision_across_distinct_ids(self):
+        mb = Mailbox()
+        mb.deliver(env(port=Port.RPC, rpc_id="a"))
+        mb.deliver(env(port=Port.RPC, rpc_id="b"))
+        assert mb.rpc_collisions == 0
+
+    def test_close_drains_queued_rpc_replies(self):
+        mb = Mailbox()
+        mb.deliver(env(port=Port.RPC, payload=1, rpc_id="a"))
+        mb.deliver(env(port=Port.RPC, payload=2, rpc_id="a"))
+        leftovers = mb.close()
+        assert len(leftovers) == 2
+        assert mb.is_empty

@@ -1,0 +1,300 @@
+"""Unit + randomized tests: the epoch-invalidated resolution cache.
+
+The cache memoizes ``resolve_actors``/``resolve_spaces`` keyed on
+``(space, pattern)`` and revalidates on two tiers of epoch evidence:
+the directory-wide epoch (nothing changed at all) and the per-space
+epochs of the resolution path (nothing changed *where this resolution
+looked*).  These tests pin the hit/miss/invalidation protocol, every
+invalidation rule, and — via randomized op sequences — equivalence with
+a fresh uncached walk.
+"""
+
+import random
+
+import pytest
+
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.matching import (
+    MatchStats,
+    ResolutionCache,
+    resolve_actors,
+    resolve_destination,
+    resolve_spaces,
+)
+from repro.core.messages import Destination
+from repro.core.patterns import parse_pattern
+from repro.core.visibility import Directory
+
+
+def make_directory(n_spaces=3):
+    d = Directory()
+    spaces = [SpaceAddress(0, i) for i in range(n_spaces)]
+    for s in spaces:
+        d.add_space(SpaceRecord(s))
+    return d, spaces
+
+
+class TestHitMissProtocol:
+    def test_repeat_resolution_hits(self):
+        d, (root, *_r) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc/print", root)
+        cache = ResolutionCache()
+        stats = MatchStats()
+        first = resolve_actors(d, "svc/*", root, stats, cache=cache)
+        second = resolve_actors(d, "svc/*", root, stats, cache=cache)
+        assert first == second == {a}
+        assert (cache.hits, cache.misses, cache.invalidations) == (1, 1, 0)
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+
+    def test_hit_does_not_rewalk(self):
+        d, (root, *_r) = make_directory()
+        for i in range(20):
+            d.make_visible(ActorAddress(1, i), f"svc/inst{i}", root)
+        cache = ResolutionCache()
+        resolve_actors(d, "svc/*", root, cache=cache)
+        stats = MatchStats()
+        resolve_actors(d, "svc/*", root, stats, cache=cache)
+        assert stats.entries_examined == 0
+
+    def test_cached_result_is_a_copy(self):
+        d, (root, *_r) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "x", root)
+        cache = ResolutionCache()
+        got = resolve_actors(d, "x", root, cache=cache)
+        got.add(ActorAddress(9, 9))
+        assert resolve_actors(d, "x", root, cache=cache) == {a}
+
+    def test_distinct_patterns_and_scopes_cached_separately(self):
+        d, (s0, s1, _s2) = make_directory()
+        a, b = ActorAddress(1, 0), ActorAddress(1, 1)
+        d.make_visible(a, "x", s0)
+        d.make_visible(b, "x", s1)
+        cache = ResolutionCache()
+        assert resolve_actors(d, "x", s0, cache=cache) == {a}
+        assert resolve_actors(d, "x", s1, cache=cache) == {b}
+        assert resolve_actors(d, "*", s0, cache=cache) == {a}
+        assert cache.misses == 3 and cache.hits == 0
+        assert len(cache) == 3
+
+    def test_actor_and_space_resolutions_do_not_collide(self):
+        d, (root, _s1, _s2) = make_directory()
+        sub = SpaceAddress(0, 9)
+        d.add_space(SpaceRecord(sub))
+        d.make_visible(sub, "x", root)
+        d.make_visible(ActorAddress(1, 0), "x", root)
+        cache = ResolutionCache()
+        assert resolve_actors(d, "x", root, cache=cache) == {ActorAddress(1, 0)}
+        assert resolve_spaces(d, "x", root, cache=cache) == {sub}
+
+    def test_lru_eviction_bounds_entries(self):
+        d, (root, *_r) = make_directory()
+        d.make_visible(ActorAddress(1, 0), "a", root)
+        cache = ResolutionCache(max_entries=4)
+        for i in range(10):
+            resolve_actors(d, f"p{i}", root, cache=cache)
+        assert len(cache) == 4
+        # Oldest entries were evicted: re-resolving them misses again.
+        before = cache.misses
+        resolve_actors(d, "p0", root, cache=cache)
+        assert cache.misses == before + 1
+
+
+class TestInvalidationRules:
+    def _cached(self, d, root, pattern="svc/*"):
+        cache = ResolutionCache()
+        resolve_actors(d, pattern, root, cache=cache)
+        return cache
+
+    def test_make_visible_on_path_invalidates(self):
+        d, (root, *_r) = make_directory()
+        a, b = ActorAddress(1, 0), ActorAddress(1, 1)
+        d.make_visible(a, "svc/a", root)
+        cache = self._cached(d, root)
+        d.make_visible(b, "svc/b", root)
+        assert resolve_actors(d, "svc/*", root, cache=cache) == {a, b}
+        assert cache.invalidations == 1
+
+    def test_make_invisible_on_path_invalidates(self):
+        d, (root, *_r) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc/a", root)
+        cache = self._cached(d, root)
+        d.make_invisible(a, root)
+        assert resolve_actors(d, "svc/*", root, cache=cache) == set()
+
+    def test_change_attributes_on_path_invalidates(self):
+        d, (root, *_r) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc/a", root)
+        cache = self._cached(d, root)
+        d.change_attributes(a, "other/a", root)
+        assert resolve_actors(d, "svc/*", root, cache=cache) == set()
+
+    def test_destroy_space_on_path_invalidates(self):
+        d, (root, _s1, _s2) = make_directory()
+        sub = SpaceAddress(0, 9)
+        d.add_space(SpaceRecord(sub))
+        d.make_visible(sub, "dept", root)
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "kind/a", sub)
+        cache = ResolutionCache()
+        assert resolve_actors(d, "dept/kind/*", root, cache=cache) == {a}
+        d.destroy_space(sub)
+        assert resolve_actors(d, "dept/kind/*", root, cache=cache) == set()
+
+    def test_mutation_in_nested_space_invalidates_outer_scope(self):
+        d, (root, _s1, _s2) = make_directory()
+        sub = SpaceAddress(0, 9)
+        d.add_space(SpaceRecord(sub))
+        d.make_visible(sub, "dept", root)
+        cache = ResolutionCache()
+        assert resolve_actors(d, "dept/**", root, cache=cache) == set()
+        # The mutation touches only `sub`, but `sub` is on the path.
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "kind/a", sub)
+        assert resolve_actors(d, "dept/**", root, cache=cache) == {a}
+
+    def test_space_added_after_dangling_reference_invalidates(self):
+        # A space entry may reference an address the directory has not
+        # seen yet (bus races); resolution through it finds nothing.
+        # Creating the space later must invalidate, even though no
+        # *visited live* registry changed.
+        d, (root, *_r) = make_directory()
+        ghost = SpaceAddress(7, 7)
+        d.make_visible(ghost, "dept", root)
+        cache = ResolutionCache()
+        assert resolve_actors(d, "dept/*", root, cache=cache) == set()
+        d.add_space(SpaceRecord(ghost))
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc", ghost)
+        assert resolve_actors(d, "dept/*", root, cache=cache) == {a}
+
+    def test_unrelated_space_mutation_revalidates_without_rewalk(self):
+        d, (root, other, _s2) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc/a", root)
+        cache = self._cached(d, root)
+        # Mutate a space the cached walk never visited.
+        d.make_visible(ActorAddress(1, 1), "noise", other)
+        stats = MatchStats()
+        assert resolve_actors(d, "svc/*", root, stats, cache=cache) == {a}
+        assert stats.cache_hits == 1
+        assert stats.entries_examined == 0
+        assert cache.invalidations == 0
+        # The global epoch was refreshed: the next lookup is tier-1 again.
+        stats2 = MatchStats()
+        resolve_actors(d, "svc/*", root, stats2, cache=cache)
+        assert stats2.cache_hits == 1
+
+    def test_noop_make_invisible_keeps_cache_valid(self):
+        d, (root, *_r) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc/a", root)
+        cache = self._cached(d, root)
+        epoch = d.epoch
+        d.make_invisible(ActorAddress(9, 9), root)  # absent: no-op
+        assert d.epoch == epoch
+        stats = MatchStats()
+        resolve_actors(d, "svc/*", root, stats, cache=cache)
+        assert stats.cache_hits == 1 and cache.invalidations == 0
+
+    def test_noop_change_attributes_keeps_cache_valid(self):
+        d, (root, *_r) = make_directory()
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "svc/a", root)
+        cache = self._cached(d, root)
+        epoch = d.epoch
+        d.change_attributes(a, "svc/a", root)  # identical attributes
+        assert d.epoch == epoch
+        stats = MatchStats()
+        resolve_actors(d, "svc/*", root, stats, cache=cache)
+        assert stats.cache_hits == 1 and cache.invalidations == 0
+
+
+class TestDestinationResolution:
+    def test_pattern_space_spec_uses_cache(self):
+        d, (root, _s1, _s2) = make_directory()
+        sub = SpaceAddress(0, 9)
+        d.add_space(SpaceRecord(sub))
+        d.make_visible(sub, "pool", root)
+        a = ActorAddress(1, 0)
+        d.make_visible(a, "worker", sub)
+        dest = Destination(parse_pattern("*"), parse_pattern("pool"))
+        cache = ResolutionCache()
+        assert resolve_destination(d, dest, root, cache=cache) == {a}
+        hits_before = cache.hits
+        assert resolve_destination(d, dest, root, cache=cache) == {a}
+        # Both the space-spec and the per-space actor resolutions hit.
+        assert cache.hits >= hits_before + 2
+
+
+PANEL = [
+    parse_pattern(p)
+    for p in ("a", "a/b", "a/*", "*/b", "**", "a/**", "**/c", "*", "a/*/c",
+              "[ab]", "[ab]/c", "{a,b}/*")
+]
+
+
+class TestRandomizedEquivalence:
+    """Cached resolution must equal a fresh walk after *any* op sequence."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_ops_cached_equals_fresh(self, seed):
+        rng = random.Random(seed)
+        d = Directory()
+        spaces = [SpaceAddress(0, i) for i in range(4)]
+        actors = [ActorAddress(1, i) for i in range(6)]
+        alive = []
+        for s in spaces:
+            d.add_space(SpaceRecord(s))
+            alive.append(s)
+        cache = ResolutionCache()
+        atoms = ["a", "b", "c"]
+
+        def random_attr():
+            return "/".join(
+                rng.choice(atoms) for _ in range(rng.randint(1, 3))
+            )
+
+        for _step in range(120):
+            op = rng.random()
+            try:
+                if op < 0.45:
+                    d.make_visible(rng.choice(actors), random_attr(),
+                                   rng.choice(alive))
+                elif op < 0.65:
+                    d.make_invisible(rng.choice(actors), rng.choice(alive))
+                elif op < 0.80:
+                    d.make_visible(rng.choice(spaces), random_attr(),
+                                   rng.choice(alive))
+                elif op < 0.90:
+                    d.change_attributes(rng.choice(actors), random_attr(),
+                                        rng.choice(alive))
+                elif op < 0.95 and len(alive) > 1:
+                    victim = rng.choice(alive)
+                    d.destroy_space(victim)
+                    alive.remove(victim)
+                else:
+                    fresh = SpaceAddress(0, len(spaces) + _step)
+                    d.add_space(SpaceRecord(fresh))
+                    spaces.append(fresh)
+                    alive.append(fresh)
+            except Exception:
+                # Cycle/capability/unknown errors are fine: the point is
+                # the cache, not the op's preconditions.
+                pass
+            pattern = rng.choice(PANEL)
+            scope = rng.choice(alive)
+            cached = resolve_actors(d, pattern, scope, cache=cache)
+            fresh_result = resolve_actors(d, pattern, scope)
+            assert cached == fresh_result, (
+                f"step {_step}: {pattern} @ {scope}: "
+                f"cached={cached} fresh={fresh_result}"
+            )
+            cached_spaces = resolve_spaces(d, pattern, scope, cache=cache)
+            fresh_spaces = resolve_spaces(d, pattern, scope)
+            assert cached_spaces == fresh_spaces
+        assert cache.hits > 0  # the scenario actually exercised reuse

@@ -193,3 +193,95 @@ def test_dag_invariant_under_arbitrary_ops(edges, pyrandom):
     for s in spaces:
         for child in d.contained_spaces(s):
             assert not d.reaches(child, s), f"cycle via {s} -> {child}"
+
+
+class TestChurnHygiene:
+    """Regressions: space churn must not leak reverse-index or capability
+    state, and no-op operations must not move the epoch."""
+
+    def test_destroy_space_purges_empty_holder_sets(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a", s0)
+        d.destroy_space(s0)
+        assert actor not in d._containers
+        assert s0 not in d._containers
+
+    def test_destroy_space_keeps_nonempty_holder_sets(self):
+        d, (s0, s1, _s2) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a", s0)
+        d.make_visible(actor, "a", s1)
+        d.destroy_space(s0)
+        assert d.containers_of(actor) == frozenset({s1})
+
+    def test_destroy_space_drops_capability_binding(self):
+        d = Directory()
+        cap = Capability(123)
+        s0 = SpaceAddress(0, 0)
+        d.add_space(SpaceRecord(s0, cap))
+        assert s0 in d._known_capabilities
+        d.destroy_space(s0)
+        assert s0 not in d._known_capabilities
+
+    def test_space_churn_does_not_grow_directory_state(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        for i in range(50):
+            sub = SpaceAddress(1, i)
+            cap = Capability(i)
+            d.add_space(SpaceRecord(sub, cap))
+            d.make_visible(sub, "sub", s0, capability=cap)
+            d.make_visible(actor, "a", sub, capability=cap)
+            d.destroy_space(sub)
+        assert d.containers_of(actor) == frozenset()
+        assert len(d._containers) == 0
+        # Only the three base spaces keep capability bindings.
+        assert len(d._known_capabilities) == 3
+
+    def test_noop_make_invisible_does_not_bump_op_count(self):
+        d, (s0, *_r) = make_directory()
+        before = d.op_count
+        assert d.make_invisible(ActorAddress(0, 99), s0) is False
+        assert d.op_count == before
+
+    def test_noop_change_attributes_does_not_bump_op_count(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, ["a/b", "c"], s0)
+        before = d.op_count
+        d.change_attributes(actor, ["c", "a/b"], s0)  # same set, reordered
+        assert d.op_count == before
+
+    def test_noop_make_visible_does_not_bump_op_count(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        d.make_visible(actor, "a", s0)
+        before = d.op_count
+        d.make_visible(actor, "a", s0)
+        assert d.op_count == before
+
+    def test_real_mutations_do_bump_epoch(self):
+        d, (s0, *_r) = make_directory()
+        actor = ActorAddress(0, 10)
+        e0 = d.epoch
+        d.make_visible(actor, "a", s0)
+        e1 = d.epoch
+        assert e1 > e0
+        d.change_attributes(actor, "b", s0)
+        e2 = d.epoch
+        assert e2 > e1
+        d.make_invisible(actor, s0)
+        assert d.epoch > e2
+
+    def test_space_epoch_tracks_registry_mutations(self):
+        d, (s0, s1, _s2) = make_directory()
+        actor = ActorAddress(0, 10)
+        before = d.space_epoch(s0)
+        d.make_visible(actor, "a", s0)
+        assert d.space_epoch(s0) > before
+        assert d.space_epoch(s1) == 0  # untouched
+        assert d.space_epoch(SpaceAddress(9, 9)) == -1  # never known
+        destroyed_before = d.space_epoch(s0)
+        d.destroy_space(s0)
+        assert d.space_epoch(s0) > destroyed_before

@@ -449,3 +449,73 @@ class TestTracing:
         system.send_to(addr, 2)
         system.run()
         assert system.tracer.load_distribution([addr]) == [2]
+
+
+class TestResolutionCache:
+    """The per-coordinator resolution cache, observed through the facade."""
+
+    def test_repeated_sends_hit_the_cache(self):
+        system = lan()
+        r = Recorder()
+        w = system.create_actor(r, node=0)
+        system.make_visible(w, "workers/w1")
+        system.run()
+        for _ in range(5):
+            system.send("workers/*", payload="job")
+        system.run()
+        stats = system.resolution_cache_stats(node=0)
+        assert stats["hits"] >= 4
+        assert system.tracer.cache_hits >= 4
+        assert [p for _t, p in r.received] == ["job"] * 5
+
+    def test_visibility_change_invalidates_then_rehits(self):
+        system = lan()
+        a, b = Recorder(), Recorder()
+        wa = system.create_actor(a, node=0)
+        system.make_visible(wa, "workers/a")
+        system.run()
+        system.broadcast("workers/*", payload=1)
+        system.run()
+        wb = system.create_actor(b, node=0)
+        system.make_visible(wb, "workers/b")
+        system.run()
+        system.broadcast("workers/*", payload=2)
+        system.run()
+        assert [p for _t, p in a.received] == [1, 2]
+        assert [p for _t, p in b.received] == [2]
+        assert system.resolution_cache_stats()["invalidations"] >= 1
+
+    def test_suspended_send_released_with_cache_in_the_loop(self):
+        system = lan()
+        system.send("late/*", payload="waiting")
+        system.run()
+        assert system.tracer.suspended_count == 1
+        r = Recorder()
+        w = system.create_actor(r, node=1)
+        system.make_visible(w, "late/w")
+        system.run()
+        assert [p for _t, p in r.received] == ["waiting"]
+        assert system.tracer.released_count == 1
+
+    def test_introspective_resolve_uses_cache(self):
+        system = lan()
+        r = Recorder()
+        w = system.create_actor(r, node=0)
+        system.make_visible(w, "svc/a")
+        system.run()
+        assert system.resolve("svc/*") == [w]
+        before = system.resolution_cache_stats(node=0)["hits"]
+        assert system.resolve("svc/*") == [w]
+        assert system.resolution_cache_stats(node=0)["hits"] == before + 1
+
+    def test_replicas_stay_coherent_with_caching(self):
+        system = lan(nodes=3)
+        addrs = []
+        for n in range(3):
+            r = Recorder()
+            addrs.append(system.create_actor(r, node=n))
+            system.make_visible(addrs[-1], f"svc/n{n}", node=n)
+        system.run()
+        assert system.replicas_coherent()
+        for n in range(3):
+            assert system.resolve("svc/*", node=n) == sorted(addrs)
