@@ -14,7 +14,11 @@ both makespan and tail latency over blind random choice.
 """
 
 from repro.core.actor import Behavior
-from repro.core.daemons import install_daemon, threshold_rule
+from repro.core.daemons import (
+    install_daemon,
+    install_event_daemon,
+    threshold_rule,
+)
 from repro.core.messages import Destination, Message
 from repro.runtime.network import Topology
 from repro.runtime.system import ActorSpaceSystem
@@ -46,8 +50,10 @@ class UnevenReplica(Behavior):
                 ctx.send_to(reply_to, ("response", rid))
 
 
-def _run(daemon_steered):
-    system = ActorSpaceSystem(topology=Topology.lan(5), seed=SEED)
+def _run(mode):
+    """One E15 configuration: ``blind``, ``poll``, or ``event`` steering."""
+    system = ActorSpaceSystem(topology=Topology.lan(5), seed=SEED,
+                              trace=(mode == "event"))
     key = system.new_capability()
     space = system.create_space(capability=key)
     system.run()
@@ -59,10 +65,16 @@ def _run(daemon_steered):
         system.make_visible(addr, f"work/r{i}", space, capability=key)
         replicas.append(behavior)
     system.run()
-    if daemon_steered:
+    event_daemon = None
+    if mode == "poll":
         install_daemon(system, space,
                        [threshold_rule("load", "queue", low_max=1)],
                        capability=key, period=0.1, max_sweeps=600)
+        system.run(until=system.clock.now + 0.3)
+    elif mode == "event":
+        event_daemon = install_event_daemon(
+            system, space, [threshold_rule("load", "queue", low_max=1)],
+            capability=key)
         system.run(until=system.clock.now + 0.3)
 
     responses = {}
@@ -78,7 +90,7 @@ def _run(daemon_steered):
 
     client_addr = system.create_actor(client, node=0)
     start = system.clock.now
-    pattern = "load/low" if daemon_steered else "work/**"
+    pattern = "work/**" if mode == "blind" else "load/low"
     for rid in range(REQUESTS):
         send_times[rid] = start + rid * 0.01
 
@@ -88,6 +100,8 @@ def _run(daemon_steered):
 
         system.events.schedule(send_times[rid], fire)
     system.run()
+    if event_daemon is not None:
+        event_daemon.close()
     lat = summarize(responses.values())
     return {
         "answered": len(responses),
@@ -95,22 +109,24 @@ def _run(daemon_steered):
         "mean": lat["mean"],
         "p95": lat["p95"],
         "per_replica": [r.handled for r in replicas],
+        "daemon_updates": system.metrics.counter("daemon_updates_total").value,
     }
 
 
 def test_bench_e15_daemons(benchmark):
     table = TextTable(
         ["clients address", "answered", "makespan", "mean latency",
-         "p95 latency", "per-replica (fast,fast,slow,slow)"],
+         "p95 latency", "per-replica (fast,fast,slow,slow)", "daemon updates"],
         title="E15: daemon-maintained load attributes vs blind choice — "
               "2 fast + 2 slow replicas, 150 requests",
     )
-    for steered, label in ((False, "work/** (blind random)"),
-                           (True, "load/low (daemon-steered)")):
-        r = _run(steered)
+    for mode, label in (("blind", "work/** (blind random)"),
+                        ("poll", "load/low (polling daemon)"),
+                        ("event", "load/low (event-driven daemon)")):
+        r = _run(mode)
         table.add_row([
             label, r["answered"], r["makespan"], r["mean"], r["p95"],
-            str(r["per_replica"]),
+            str(r["per_replica"]), r["daemon_updates"],
         ])
     emit("e15_daemons", table)
-    benchmark(lambda: _run(True))
+    benchmark(lambda: _run("poll"))

@@ -83,6 +83,54 @@ def test_bench_visibility_op_throughput(benchmark):
     assert benchmark(run) == 500
 
 
+def _e10_style_workload(trace: bool) -> tuple[float, int]:
+    """The E10 pattern-matching load; returns (host seconds, events emitted)."""
+    import time
+
+    start = time.perf_counter()
+    system = _system(keep_samples=False, trace=trace)
+    for i in range(100):
+        addr = system.create_actor(lambda ctx, m: None, node=i % 4)
+        system.make_visible(addr, f"svc/kind{i % 10}/i{i}")
+    system.run()
+    for i in range(1000):
+        system.send(f"svc/kind{i % 10}/*", i)
+    system.run()
+    assert sum(system.tracer.delivered.values()) == 1000
+    return time.perf_counter() - start, system.event_log.emitted_count
+
+
+def test_tracing_disabled_overhead_guard():
+    """The flight-recorder guard: tracing off must cost (nearly) nothing.
+
+    With ``trace=False`` every hook pays one attribute check and emits no
+    events; the median run time of the E10-style workload must stay
+    within 5% of... nothing to compare against at runtime, so the guard
+    asserts the two properties that bound the overhead: (1) the disabled
+    path emits zero events, and (2) it is no slower than the fully
+    instrumented path plus 5% slack — if disabled ever approaches or
+    exceeds enabled cost, the cheap path has silently grown work.
+    """
+    import statistics
+
+    # Warm-up (imports, caches), then interleave to decorrelate drift.
+    _e10_style_workload(trace=False)
+    disabled, enabled = [], []
+    for _ in range(3):
+        t_off, events_off = _e10_style_workload(trace=False)
+        t_on, events_on = _e10_style_workload(trace=True)
+        assert events_off == 0, "disabled tracing must emit no events"
+        assert events_on > 1000, "enabled tracing should record the run"
+        disabled.append(t_off)
+        enabled.append(t_on)
+    t_disabled = statistics.median(disabled)
+    t_enabled = statistics.median(enabled)
+    assert t_disabled <= t_enabled * 1.05, (
+        f"tracing-off path too slow: {t_disabled:.4f}s vs "
+        f"{t_enabled:.4f}s instrumented (limit: +5%)"
+    )
+
+
 def test_bench_actor_creation(benchmark):
     """2000 actor creations with acquaintance scanning."""
 

@@ -51,7 +51,14 @@ from repro.core import (
     parse_destination,
     parse_pattern,
 )
-from repro.runtime import ActorSpaceSystem, LatencyModel, Topology
+from repro.runtime import (
+    ActorSpaceSystem,
+    EventLog,
+    JsonlSink,
+    LatencyModel,
+    MetricsRegistry,
+    Topology,
+)
 
 __version__ = "1.0.0"
 
@@ -69,9 +76,12 @@ __all__ = [
     "CapabilityError",
     "CyclePolicy",
     "Destination",
+    "EventLog",
     "FunctionBehavior",
+    "JsonlSink",
     "LatencyModel",
     "Message",
+    "MetricsRegistry",
     "NoMatchError",
     "Pattern",
     "SpaceAddress",

@@ -8,6 +8,9 @@ Commands
     List the example scripts shipped in ``examples/``.
 ``experiments``
     List the experiment benchmarks and what each reproduces.
+``trace <example> [--out FILE]``
+    Run an example with the flight recorder on and export a Chrome
+    ``trace_event`` file (open in chrome://tracing or Perfetto).
 ``version``
     Print the package version.
 """
@@ -15,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
 EXPERIMENTS = [
     ("E1", "Fig. 1 / §6", "dynamic process pool", "test_bench_e1_process_pool"),
@@ -75,6 +79,89 @@ def _demo() -> int:
     return 0
 
 
+def examples_dir() -> Path:
+    """The shipped ``examples/`` directory (repo layout)."""
+    return Path(__file__).resolve().parents[2] / "examples"
+
+
+def experiments_drift() -> tuple[list[str], list[str]]:
+    """Compare the EXPERIMENTS table against ``benchmarks/`` on disk.
+
+    Returns ``(missing, untracked)``: table entries with no benchmark
+    file, and ``test_bench_e*.py`` files absent from the table.  Both
+    empty means the table is in sync (the CI drift check asserts this).
+    """
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    listed = {target for _, _, _, target in EXPERIMENTS}
+    on_disk = {p.stem for p in bench_dir.glob("test_bench_e*.py")}
+    missing = sorted(listed - on_disk)
+    untracked = sorted(on_disk - listed)
+    return missing, untracked
+
+
+def _trace(args: list[str]) -> int:
+    """Run an example under the flight recorder; export a Chrome trace."""
+    import runpy
+
+    from repro.runtime.eventlog import chrome_trace, validate_chrome_trace
+    from repro.runtime.system import ActorSpaceSystem
+
+    if not args or args[0].startswith("-"):
+        print("usage: python -m repro trace <example.py> [--out FILE]",
+              file=sys.stderr)
+        return 2
+    script = Path(args[0])
+    if not script.exists():
+        candidate = examples_dir() / script.name
+        if candidate.exists():
+            script = candidate
+        else:
+            print(f"trace: no such example: {args[0]}", file=sys.stderr)
+            return 2
+    out = Path("run.trace.json")
+    if "--out" in args:
+        idx = args.index("--out")
+        if idx + 1 >= len(args):
+            print("trace: --out needs a file argument", file=sys.stderr)
+            return 2
+        out = Path(args[idx + 1])
+
+    # Force the flight recorder on for every system the example builds,
+    # whatever arguments the script itself passes.
+    systems: list[ActorSpaceSystem] = []
+    original_init = ActorSpaceSystem.__init__
+
+    def traced_init(self, *a, **kw):
+        kw["trace"] = True
+        original_init(self, *a, **kw)
+        systems.append(self)
+
+    ActorSpaceSystem.__init__ = traced_init
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        ActorSpaceSystem.__init__ = original_init
+
+    if not systems:
+        print("trace: the example never constructed an ActorSpaceSystem",
+              file=sys.stderr)
+        return 1
+    events = [e for system in systems for e in system.event_log]
+    events.sort(key=lambda e: (e.t, e.seq))
+    trace = chrome_trace(events)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems[:10]:
+            print(f"trace: invalid output: {problem}", file=sys.stderr)
+        return 1
+    import json
+
+    out.write_text(json.dumps(trace))
+    print(f"trace: {len(events)} events from {len(systems)} system(s) "
+          f"-> {out} ({len(trace['traceEvents'])} trace records)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     command = args[0] if args else "help"
@@ -91,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
         for exp, anchor, blurb, target in EXPERIMENTS:
             print(f"  {exp:4s} {anchor:14s} {blurb:34s} {target}")
         return 0
+    if command == "trace":
+        return _trace(args[1:])
     if command == "version":
         from repro import __version__
 

@@ -20,7 +20,9 @@ from .capabilities import Capability, CapabilityIssuer, authorize
 from .daemons import (
     AttributeDaemon,
     ConstraintRule,
+    EventDrivenDaemon,
     install_daemon,
+    install_event_daemon,
     predicate_rule,
     queue_depth_observation,
     threshold_rule,
@@ -67,7 +69,9 @@ __all__ = [
     "ANY",
     "AttributeDaemon",
     "ConstraintRule",
+    "EventDrivenDaemon",
     "install_daemon",
+    "install_event_daemon",
     "predicate_rule",
     "queue_depth_observation",
     "threshold_rule",

@@ -169,6 +169,7 @@ class AttributeDaemon(Behavior):
             ctx.terminate()
             return False
         rec = directory.space(self.space)
+        sweep_updates = 0
         for entry in list(rec.actor_entries()):
             observation = self.observe(self.system, entry.target)  # type: ignore[arg-type]
             stable = {a for a in entry.attributes if not self._is_managed(a)}
@@ -180,8 +181,14 @@ class AttributeDaemon(Behavior):
             desired = frozenset(stable | derived)
             if desired != entry.attributes and desired:
                 self.updates += 1
+                sweep_updates += 1
                 ctx.change_attributes(entry.target, desired, self.space,
                                       self.capability)
+        if sweep_updates:
+            self.system.tracer.on_daemon_fired(
+                0, self.system.clock.now, self.space, sweep_updates,
+                kind="poll",
+            )
         return True
 
     def __repr__(self):
@@ -198,6 +205,137 @@ def queue_depth_observation(system: "ActorSpaceSystem",
     )
     processed = record.processed_count if record is not None else 0
     return {"queue": queued + en_route, "processed": processed}
+
+
+class EventDrivenDaemon:
+    """A section-8 daemon driven by the flight recorder's event stream.
+
+    Where :class:`AttributeDaemon` *polls* every ``period`` — observing
+    every visible actor whether or not anything changed — this daemon
+    subscribes to the system's :class:`~repro.runtime.eventlog.EventLog`
+    and re-classifies an actor exactly when its observable state moved:
+    on ``enqueued`` (mail arrived; queue-up edge) and ``invoked`` (a
+    message left the mailbox for processing; queue-down edge).  Between
+    those edges the queue depth cannot change, so event triggering loses
+    nothing relative to polling while doing no idle work.
+
+    Requires the system to be constructed with ``trace=True`` (or an
+    explicit event log); updates flow through the same replicated
+    ``change_attributes`` stream as the polling daemon's, so they stay
+    totally ordered with everyone else's visibility changes.
+
+    The daemon is a plain subscriber, not an actor: it represents the
+    *manager's* monitoring infrastructure, which the paper places outside
+    the actor population.  Call :meth:`close` to detach it.
+    """
+
+    def __init__(
+        self,
+        system: "ActorSpaceSystem",
+        space: SpaceAddress,
+        rules: Iterable[ConstraintRule],
+        capability: Capability | None = None,
+        observe: Callable[["ActorSpaceSystem", ActorAddress], dict] | None = None,
+    ):
+        if not system.event_log.enabled:
+            raise ValueError(
+                "EventDrivenDaemon needs the flight recorder: construct the "
+                "system with trace=True (or install an enabled EventLog)"
+            )
+        self.system = system
+        self.space = space
+        self.rules = list(rules)
+        self.capability = capability
+        self.observe = observe or queue_depth_observation
+        #: Events that concerned an actor visible in the monitored space.
+        self.reactions = 0
+        #: Attribute rewrites actually issued.
+        self.updates = 0
+        self._managed = [as_path(r.prefix) for r in self.rules]
+        #: Last attribute set *submitted* per target.  Replicas apply ops
+        #: with bus latency, so comparing desired attributes against the
+        #: applied entry would race our own in-flight updates and skip
+        #: the final corrective rewrite when edges arrive in a burst.
+        self._last_desired: dict[ActorAddress, frozenset] = {}
+        self._unsubscribe = system.event_log.subscribe(self._on_event)
+        self._closed = False
+        # Prime the derived attributes for actors already in the space:
+        # until the first mailbox edge fires there would otherwise be no
+        # ``load/...`` attributes for senders to match on.
+        directory = system.coordinators[0].directory
+        if directory.has_space(space):
+            for entry in list(directory.space(space).actor_entries()):
+                if isinstance(entry.target, ActorAddress):
+                    self._reclassify(entry.target, entry)
+
+    def close(self) -> None:
+        """Detach from the event stream (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._unsubscribe()
+
+    def _is_managed(self, path: AttributePath) -> bool:
+        return any(path.startswith(prefix) for prefix in self._managed)
+
+    def _on_event(self, event) -> None:
+        if event.kind not in ("enqueued", "invoked"):
+            return
+        target = event.data.get("receiver") or event.data.get("actor")
+        if not isinstance(target, ActorAddress):
+            return
+        directory = self.system.coordinators[0].directory
+        if not directory.has_space(self.space):
+            self.close()
+            return
+        entry = directory.space(self.space).lookup(target)
+        if entry is None:
+            return
+        self.reactions += 1
+        self._reclassify(target, entry)
+
+    def _reclassify(self, target: ActorAddress, entry) -> None:
+        observation = self.observe(self.system, target)
+        stable = {a for a in entry.attributes if not self._is_managed(a)}
+        derived = set()
+        for rule in self.rules:
+            path = rule.derived(observation)
+            if path is not None:
+                derived.add(path)
+        desired = frozenset(stable | derived)
+        current = self._last_desired.get(target, entry.attributes)
+        if desired != current and desired:
+            self.updates += 1
+            self._last_desired[target] = desired
+            self.system.change_attributes(target, desired, self.space,
+                                          self.capability)
+            self.system.tracer.on_daemon_fired(
+                0, self.system.clock.now, self.space, 1, kind="event",
+            )
+
+    def __repr__(self):
+        state = "closed" if self._closed else "live"
+        return (
+            f"<EventDrivenDaemon space={self.space!r} {state} "
+            f"reactions={self.reactions} updates={self.updates}>"
+        )
+
+
+def install_event_daemon(
+    system: "ActorSpaceSystem",
+    space: SpaceAddress,
+    rules: Iterable[ConstraintRule],
+    capability: Capability | None = None,
+    observe: Callable[["ActorSpaceSystem", ActorAddress], dict] | None = None,
+) -> EventDrivenDaemon:
+    """Attach an :class:`EventDrivenDaemon` to ``space``.
+
+    The event-driven twin of :func:`install_daemon`: no period — it
+    reacts to the flight recorder's mailbox edges instead of sweeping.
+    Returns the daemon; call its :meth:`~EventDrivenDaemon.close` to
+    retire it.
+    """
+    return EventDrivenDaemon(system, space, rules, capability=capability,
+                             observe=observe)
 
 
 def install_daemon(

@@ -159,6 +159,13 @@ class Envelope:
     trace: list of node hops, appended by the routing layer (used by the
         locality experiments to count LAN vs WAN hops).
     origin_space: the host space of the sender, for relative resolution.
+    trace_id: the root envelope of this envelope's causal tree.  A fresh
+        envelope roots its own tree (``trace_id == envelope_id``); an
+        envelope created while processing another (a reply, a fan-out
+        clone) inherits the cause's ``trace_id``.
+    parent_id: the envelope whose processing created this one (``None``
+        for causal roots).  The flight recorder follows these links to
+        reconstruct end-to-end message histories.
     """
 
     message: Message
@@ -172,6 +179,12 @@ class Envelope:
     trace: list[int] = field(default_factory=list)
     origin_space: SpaceAddress | None = None
     envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
+    trace_id: int | None = None
+    parent_id: int | None = None
+
+    def __post_init__(self):
+        if self.trace_id is None:
+            self.trace_id = self.envelope_id
 
     def hop(self, node: int) -> None:
         """Record passage through ``node`` (routing bookkeeping)."""
@@ -182,7 +195,8 @@ class Envelope:
 
         Broadcast fan-out happens at resolution time; each receiver gets
         its own envelope so per-receiver delivery times and traces stay
-        independent.
+        independent.  The clone joins the original's causal tree with
+        the original as its parent.
         """
         return Envelope(
             message=self.message,
@@ -194,6 +208,8 @@ class Envelope:
             sent_at=self.sent_at,
             trace=list(self.trace),
             origin_space=self.origin_space,
+            trace_id=self.trace_id,
+            parent_id=self.envelope_id,
         )
 
     def __repr__(self):

@@ -4,7 +4,22 @@ from .bus import Bus, OpKind, SequencerBus, TokenRingBus, VisibilityOp
 from .clock import VirtualClock
 from .context import RuntimeContext
 from .coordinator import Coordinator
+from .eventlog import (
+    EventLog,
+    JsonlSink,
+    TraceEvent,
+    chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
 from .events import EventQueue
+from .metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    LabeledCounter,
+    MetricsRegistry,
+)
 from .network import LatencyModel, LinkKind, Network, Topology
 from .node import Node
 from .rng import RngHub
@@ -21,7 +36,15 @@ __all__ = [
     "ActorSpaceSystem",
     "Bus",
     "Coordinator",
+    "CounterMetric",
+    "EventLog",
     "EventQueue",
+    "GaugeMetric",
+    "HistogramMetric",
+    "JsonlSink",
+    "LabeledCounter",
+    "MetricsRegistry",
+    "TraceEvent",
     "InstantTransport",
     "LatencyModel",
     "LatencySample",
@@ -38,6 +61,9 @@ __all__ = [
     "Topology",
     "Tracer",
     "Transport",
+    "chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
     "VirtualClock",
     "VisibilityOp",
 ]

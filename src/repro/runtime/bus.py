@@ -99,6 +99,9 @@ class Bus:
         self.clock = clock
         self.transport = transport
         self.deliver: Callable[[int, int, VisibilityOp], None] | None = None
+        #: The system's flight recorder, wired after construction; the bus
+        #: emits ``bus_sequenced`` events when it assigns global order.
+        self.event_log = None
         #: Total protocol messages exchanged (cost accounting for E9).
         self.protocol_messages = 0
         self.ops_sequenced = 0
@@ -152,6 +155,12 @@ class Bus:
         from repro.core.errors import TransportError
 
         self.log[seq] = op
+        if self.event_log is not None and self.event_log.enabled:
+            self.event_log.emit(
+                "bus_sequenced", self.clock.now, from_node, None,
+                global_seq=seq, op=op.kind.value, origin_node=op.origin_node,
+                origin_seq=op.origin_seq,
+            )
         for node in self.nodes:
             self.protocol_messages += 1
             try:

@@ -26,13 +26,30 @@ def _as_destination(destination: "Destination | str") -> Destination:
 
 
 class RuntimeContext(ActorContext):
-    """The live context handed to behaviors by the scheduler."""
+    """The live context handed to behaviors by the scheduler.
 
-    __slots__ = ("_system", "_record")
+    ``cause`` is the envelope whose processing created this context (or
+    ``None`` for ``on_start`` hooks and driver calls); envelopes sent
+    through the context join its causal tree, which is what lets the
+    flight recorder chain a delivery back to the external send that
+    ultimately triggered it.
+    """
 
-    def __init__(self, system: "ActorSpaceSystem", record: ActorRecord):
+    __slots__ = ("_system", "_record", "_cause")
+
+    def __init__(self, system: "ActorSpaceSystem", record: ActorRecord,
+                 cause: "Envelope | None" = None):
         self._system = system
         self._record = record
+        self._cause = cause
+
+    @property
+    def _trace_id(self):
+        return self._cause.trace_id if self._cause is not None else None
+
+    @property
+    def _parent_id(self):
+        return self._cause.envelope_id if self._cause is not None else None
 
     # -- identity ---------------------------------------------------------------
 
@@ -85,6 +102,8 @@ class RuntimeContext(ActorContext):
             port=Port.INVOCATION,
             sent_at=self.now,
             origin_space=self._record.host_space,
+            trace_id=self._trace_id,
+            parent_id=self._parent_id,
         )
         self._coordinator.send_direct(envelope)
 
@@ -104,6 +123,8 @@ class RuntimeContext(ActorContext):
             port=Port.INVOCATION,
             sent_at=self.now,
             origin_space=self._record.host_space,
+            trace_id=self._trace_id,
+            parent_id=self._parent_id,
         )
         self._coordinator.send_pattern(envelope)
 
@@ -118,6 +139,8 @@ class RuntimeContext(ActorContext):
             port=Port.INVOCATION,
             sent_at=self.now,
             origin_space=self._record.host_space,
+            trace_id=self._trace_id,
+            parent_id=self._parent_id,
         )
         self._coordinator.broadcast_pattern(envelope)
 
@@ -185,7 +208,15 @@ class RuntimeContext(ActorContext):
             port=Port.INVOCATION,
             sent_at=self.now,
             origin_space=record.host_space,
+            trace_id=self._trace_id,
+            parent_id=self._parent_id,
         )
+        log = system.tracer.log
+        if log.enabled:
+            # Event-only: scheduled self-messages never counted as sends,
+            # but the recorder must still root their causal chain.
+            log.emit("sent", self.now, record.node, envelope,
+                     mode=Mode.DIRECT.value, scheduled=True)
         system.in_flight[envelope.envelope_id] = envelope
         system.events.schedule(
             self.now + delay,

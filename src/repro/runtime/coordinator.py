@@ -148,7 +148,7 @@ class Coordinator:
     def _apply_op(self, op: VisibilityOp) -> None:
         """Apply one op to the local replica (deterministic across nodes)."""
         tracer = self.system.tracer
-        tracer.visibility_ops_applied[self.node_id] += 1
+        tracer.on_visibility_applied(self.node_id, op, t=self.system.clock.now)
         is_origin = op.origin_node == self.node_id
         try:
             kind, a = op.kind, op.args
@@ -185,7 +185,8 @@ class Coordinator:
                 raise AssertionError(f"unknown op kind {kind}")
         except ActorSpaceError as exc:
             if is_origin:
-                tracer.on_dropped(f"op_rejected:{type(exc).__name__}")
+                tracer.on_dropped(f"op_rejected:{type(exc).__name__}",
+                                  node=self.node_id, t=self.system.clock.now)
                 if op.on_rejected is not None:
                     op.on_rejected(exc)
             return
@@ -239,7 +240,14 @@ class Coordinator:
         if record is None or record.terminated:
             return
         record.terminated = True
-        record.mailbox.close()
+        leftovers = record.mailbox.close()
+        log = self.system.tracer.log
+        if log.enabled:
+            # Flight-recorder visibility for mail lost to termination
+            # (event-only: drop *counters* keep their historical meaning).
+            for envelope in leftovers:
+                log.emit("dropped", self.system.clock.now, self.node_id,
+                         envelope, reason="mailbox_closed")
         # Remove from every registry; replicated so all nodes stop matching it.
         self.submit_op(OpKind.PURGE, {"target": address})
 
@@ -355,19 +363,22 @@ class Coordinator:
     def send_direct(self, envelope: Envelope) -> None:
         """Point-to-point send to an explicit mail address."""
         assert envelope.target is not None
-        self.system.tracer.on_sent(envelope.mode)
+        self.system.tracer.on_sent(envelope.mode, envelope, node=self.node_id,
+                                   t=self.system.clock.now)
         self._route(envelope, envelope.target)  # type: ignore[arg-type]
 
     def send_pattern(self, envelope: Envelope) -> None:
         """``send(pattern@space)``: resolve, arbitrate, deliver to one."""
         assert envelope.destination is not None
-        self.system.tracer.on_sent(envelope.mode)
+        self.system.tracer.on_sent(envelope.mode, envelope, node=self.node_id,
+                                   t=self.system.clock.now)
         self._dispatch_pattern(envelope, first_attempt=True)
 
     def broadcast_pattern(self, envelope: Envelope) -> None:
         """``broadcast(pattern@space)``: resolve, deliver to all."""
         assert envelope.destination is not None
-        self.system.tracer.on_sent(envelope.mode)
+        self.system.tracer.on_sent(envelope.mode, envelope, node=self.node_id,
+                                   t=self.system.clock.now)
         self._dispatch_pattern(envelope, first_attempt=True)
 
     def _scope_spaces(self, envelope: Envelope) -> list[SpaceAddress]:
@@ -387,7 +398,8 @@ class Coordinator:
                 self.directory, envelope.destination.pattern, space, stats,
                 cache=self.resolution_cache,
             )
-        self.system.tracer.on_resolution(stats)
+        self.system.tracer.on_resolution(stats, envelope, node=self.node_id,
+                                         t=self.system.clock.now)
         return receivers, (spaces[0] if spaces else None)
 
     def _manager_for(self, envelope: Envelope, scope: SpaceAddress | None) -> SpaceManager:
@@ -399,7 +411,9 @@ class Coordinator:
         receivers, scope = self._resolve(envelope)
         manager = self._manager_for(envelope, scope)
         if manager.trap_cycling(envelope):
-            self.system.tracer.on_dropped("cycle_trapped")
+            self.system.tracer.on_dropped("cycle_trapped", envelope,
+                                          node=self.node_id,
+                                          t=self.system.clock.now)
             return
         if not receivers:
             self._handle_unmatched(envelope, manager, scope)
@@ -420,13 +434,15 @@ class Coordinator:
                           scope: SpaceAddress | None) -> None:
         fate = manager.on_unmatched(envelope, scope)  # may raise NoMatchError
         tracer = self.system.tracer
+        now = self.system.clock.now
         if fate == "discard":
-            tracer.on_dropped("unmatched_discarded")
+            tracer.on_dropped("unmatched_discarded", envelope,
+                              node=self.node_id, t=now)
         elif fate == "persist":
-            tracer.on_suspended()
+            tracer.on_suspended(envelope, node=self.node_id, t=now)
             self.persistent.append((envelope, set()))
         else:  # suspend
-            tracer.on_suspended()
+            tracer.on_suspended(envelope, node=self.node_id, t=now)
             self.suspended.append(envelope)
 
     def _recheck_parked(self) -> None:
@@ -448,7 +464,8 @@ class Coordinator:
                     still.append(envelope)
                     continue
                 manager = self._manager_for(envelope, scope)
-                tracer.on_released()
+                tracer.on_released(envelope=envelope, node=self.node_id,
+                                   t=self.system.clock.now)
                 if envelope.mode is Mode.SEND:
                     choice = manager.choose_receiver(
                         sorted(receivers), self.system.rng_arbitration, self._load_of
@@ -492,14 +509,17 @@ class Coordinator:
         dst_node = target.node
         envelope.hop(self.node_id)
         kind = system.topology.link_kind(self.node_id, dst_node)
-        system.tracer.on_hop(kind)
+        system.tracer.on_hop(kind, envelope, node=self.node_id,
+                             t=system.clock.now, dst_node=dst_node)
         try:
             latency = system.transport.deliver_latency(self.node_id, dst_node)
         except NodeDownError:
-            system.tracer.on_dropped("node_down")
+            system.tracer.on_dropped("node_down", envelope, node=self.node_id,
+                                     t=system.clock.now)
             return
         except (TransportError, RuntimeError):
-            system.tracer.on_dropped("transport_failure")
+            system.tracer.on_dropped("transport_failure", envelope,
+                                     node=self.node_id, t=system.clock.now)
             return
         system.in_flight[envelope.envelope_id] = envelope
         system.events.schedule(
@@ -513,20 +533,27 @@ class Coordinator:
         system = self.system
         system.in_flight.pop(envelope.envelope_id, None)
         if self.crashed:
-            system.tracer.on_dropped("node_down")
+            system.tracer.on_dropped("node_down", envelope, node=self.node_id,
+                                     t=system.clock.now)
             return
         target: ActorAddress = envelope.target  # type: ignore[assignment]
         record = self.actors.get(target)
         if record is None or record.terminated:
-            system.tracer.on_dropped("dead_letter")
+            system.tracer.on_dropped("dead_letter", envelope, node=self.node_id,
+                                     t=system.clock.now)
             return
         envelope.delivered_at = system.clock.now
         envelope.hop(self.node_id)
         try:
             record.mailbox.deliver(envelope)
         except MailboxClosedError:
-            system.tracer.on_dropped("dead_letter")
+            system.tracer.on_dropped("dead_letter", envelope, node=self.node_id,
+                                     t=system.clock.now)
             return
+        system.tracer.on_enqueued(envelope, node=self.node_id,
+                                  t=system.clock.now,
+                                  queue_depth=record.mailbox.pending,
+                                  receiver=target)
         # Receiving a message extends the acquaintance set (addresses in
         # the payload become known to the receiver).
         known = self.acquaintances.setdefault(target, set())
@@ -538,6 +565,7 @@ class Coordinator:
         system.tracer.on_delivered(
             envelope.mode, target, envelope.sent_at, system.clock.now,
             envelope.trace[0] if envelope.trace else self.node_id, self.node_id,
+            envelope=envelope,
         )
         self._schedule_processing(record)
 
@@ -562,15 +590,19 @@ class Coordinator:
         if envelope is None:
             return
         system = self.system
-        ctx = system.make_context(record)
-        system.tracer.on_invocation()
+        ctx = system.make_context(record, cause=envelope)
+        system.tracer.on_invocation(envelope, node=self.node_id,
+                                    t=system.clock.now, actor=record.address,
+                                    queue_depth=record.mailbox.pending)
         record.processed_count += 1
         try:
             record.behavior.receive(ctx, envelope.message)
         except ActorSpaceError as exc:
             # Paradigm-level failures inside a behavior kill that actor,
             # not the simulation: report and terminate.
-            system.tracer.on_dropped(f"behavior_error:{type(exc).__name__}")
+            system.tracer.on_dropped(f"behavior_error:{type(exc).__name__}",
+                                     envelope, node=self.node_id,
+                                     t=system.clock.now)
             self.terminate_actor(record.address)
             return
         self._flush_context(record)

@@ -46,5 +46,37 @@ class Node:
     def crashed(self) -> bool:
         return self.coordinator.crashed
 
+    @property
+    def queue_depth(self) -> int:
+        """Messages waiting in this node's live mailboxes."""
+        return sum(
+            r.mailbox.pending
+            for r in self.coordinator.actors.values()
+            if not r.terminated
+        )
+
+    @property
+    def parked_count(self) -> int:
+        """Suspended pattern messages + persistent broadcasts held here."""
+        coordinator = self.coordinator
+        return len(coordinator.suspended) + len(coordinator.persistent)
+
+    def telemetry(self) -> dict:
+        """One node's live observability snapshot (plain data).
+
+        The per-node slice of :meth:`ActorSpaceSystem.metrics_snapshot`,
+        cheap enough to poll inside a behavior or a monitoring daemon.
+        """
+        return {
+            "node": self.node_id,
+            "cluster": self.cluster,
+            "crashed": self.crashed,
+            "actors": self.actor_count,
+            "queue_depth": self.queue_depth,
+            "parked": self.parked_count,
+            "visibility_ops_applied":
+                self.system.tracer.visibility_ops_applied.get(self.node_id, 0),
+        }
+
     def __repr__(self):
         return f"<Node {self.node_id} cluster={self.cluster} actors={self.actor_count}>"

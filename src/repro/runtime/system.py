@@ -36,7 +36,9 @@ from .bus import Bus, SequencerBus, TokenRingBus
 from .clock import VirtualClock
 from .context import RuntimeContext
 from .coordinator import Coordinator
+from .eventlog import EventLog, export_chrome_trace
 from .events import EventQueue
+from .metrics import MetricsRegistry
 from .network import LatencyModel, Network, Topology
 from .rng import RngHub
 from .tracing import Tracer
@@ -64,9 +66,17 @@ class ActorSpaceSystem:
         Per-attempt message loss probability (failure injection); the
         transport retransmits, preserving eventual delivery.
     keep_samples:
-        Record per-delivery latency samples (disable for very large runs).
+        Record per-delivery latency samples: ``True`` keeps all,
+        ``False`` none, an integer ``N`` a uniform reservoir of ``N``
+        (bounded memory on long runs).
     root_manager_factory:
         Manager policies for the root space (default: paper defaults).
+    trace:
+        The causal flight recorder.  ``False`` (default) disables it —
+        the hot path pays one attribute check per hook.  ``True``
+        enables an in-memory :class:`~repro.runtime.eventlog.EventLog`
+        ring buffer; an :class:`EventLog` instance is used as-is (bring
+        your own capacity/sinks).
     """
 
     def __init__(
@@ -77,14 +87,21 @@ class ActorSpaceSystem:
         bus: str = "sequencer",
         processing_delay: float = 0.0,
         loss: float = 0.0,
-        keep_samples: bool = True,
+        keep_samples: "bool | int" = True,
         root_manager_factory: Callable[[], SpaceManager] | None = None,
+        trace: "bool | EventLog" = False,
     ):
         self.topology = topology or Topology.single()
         self.rng = RngHub(seed)
         self.clock = VirtualClock()
         self.events = EventQueue()
-        self.tracer = Tracer(keep_samples=keep_samples)
+        if isinstance(trace, EventLog):
+            self.event_log = trace
+        else:
+            self.event_log = EventLog(enabled=bool(trace))
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(keep_samples=keep_samples,
+                             registry=self.metrics, log=self.event_log)
         self.network = Network(self.topology, latency_model, self.rng.stream("latency"))
         base_transport: Transport = NetworkTransport(self.network)
         self._network_transport = base_transport
@@ -110,6 +127,7 @@ class ActorSpaceSystem:
         else:
             raise ValueError(f"unknown bus protocol {bus!r}")
         self.bus.deliver = lambda node, seq, op: self.coordinators[node].on_bus_delivery(seq, op)
+        self.bus.event_log = self.event_log
 
         # Bootstrap the globally visible root actorSpace (section 7.1)
         # identically in every replica, outside the bus: it must exist
@@ -350,8 +368,35 @@ class ActorSpaceSystem:
         snapshots = [c.directory.snapshot() for c in self.coordinators if not c.crashed]
         return all(s == snapshots[0] for s in snapshots[1:])
 
-    def make_context(self, record: ActorRecord) -> RuntimeContext:
-        return RuntimeContext(self, record)
+    def make_context(self, record: ActorRecord, cause=None) -> RuntimeContext:
+        return RuntimeContext(self, record, cause=cause)
+
+    # -- observability ----------------------------------------------------------
+
+    def trace_events(self, kind: str | None = None) -> list:
+        """The flight recorder's buffered events (optionally one kind)."""
+        if kind is None:
+            return list(self.event_log)
+        return self.event_log.by_kind(kind)
+
+    def export_trace(self, path: str) -> dict:
+        """Write the buffered events as a Chrome ``trace_event`` file.
+
+        The result opens directly in ``chrome://tracing`` / Perfetto
+        with one track per node; returns the trace dict.
+        """
+        return export_chrome_trace(self.event_log, path)
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data dump of every registered metric, plus live gauges."""
+        for coordinator in self.coordinators:
+            depth = sum(r.mailbox.pending for r in coordinator.actors.values()
+                        if not r.terminated)
+            self.metrics.gauge(f"queue_depth_node_{coordinator.node_id}").set(depth)
+            self.metrics.gauge(f"parked_node_{coordinator.node_id}").set(
+                len(coordinator.suspended) + len(coordinator.persistent))
+        self.metrics.gauge("in_flight").set(len(self.in_flight))
+        return self.metrics.snapshot()
 
     # -- GC ---------------------------------------------------------------------------
 
@@ -399,6 +444,7 @@ class ActorSpaceSystem:
             active_actors=active,
             in_flight=in_flight,
         )
+        self.tracer.on_gc(0, self.clock.now, report)
         if delete:
             for address in report.collected_actors:
                 self.coordinators[address.node].terminate_actor(address)

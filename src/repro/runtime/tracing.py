@@ -1,19 +1,34 @@
 """Trace and accounting layer.
 
 Every experiment in EXPERIMENTS.md is computed from the counters and
-samples gathered here, so the tracer is deliberately boring: plain
-counters, plain lists, no I/O.  The system owns exactly one tracer;
-coordinators and the scheduler report into it.
+samples gathered here.  Since the flight-recorder PR the tracer is a thin
+façade over two structured subsystems:
+
+* a :class:`~repro.runtime.metrics.MetricsRegistry` holding every counter
+  by name (``messages_sent_total``, ``messages_dropped_total``, ...) —
+  the historical ``Tracer`` attributes are live views of registry
+  metrics, so existing experiments keep working unchanged;
+* a :class:`~repro.runtime.eventlog.EventLog` receiving typed per-envelope
+  lifecycle events whenever tracing is enabled (``ActorSpaceSystem(trace=
+  True)``); when disabled, each ``on_*`` hook pays one attribute check.
+
+``keep_samples`` accepts ``True`` (keep every latency sample — the
+historical behavior), ``False`` (keep none), or an integer cap ``N``:
+reservoir sampling then keeps a uniform ``N``-sample of all deliveries,
+so long runs stop growing memory linearly while percentiles stay honest.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+import random
+from collections import defaultdict
+from dataclasses import dataclass
 
 from repro.core.addresses import ActorAddress
 from repro.core.messages import Mode
 
+from .eventlog import EventLog
+from .metrics import MetricsRegistry
 from .network import LinkKind
 
 
@@ -32,47 +47,110 @@ class LatencySample:
         return self.delivered_at - self.sent_at
 
 
-class Tracer:
-    """Counters and samples describing one run."""
+def _scalar(metric_name: str, doc: str):
+    """A read/write int attribute backed by a named registry counter."""
 
-    def __init__(self, keep_samples: bool = True):
+    def getter(self):
+        return self.registry.counter(metric_name).value
+
+    def setter(self, value):
+        self.registry.counter(metric_name).value = value
+
+    return property(getter, setter, doc=doc)
+
+
+class Tracer:
+    """Counters, samples, and lifecycle events describing one run."""
+
+    def __init__(
+        self,
+        keep_samples: "bool | int" = True,
+        registry: MetricsRegistry | None = None,
+        log: EventLog | None = None,
+    ):
+        if keep_samples is not True and keep_samples is not False:
+            if not isinstance(keep_samples, int) or keep_samples < 0:
+                raise ValueError(
+                    f"keep_samples must be a bool or a non-negative int, "
+                    f"got {keep_samples!r}"
+                )
         self.keep_samples = keep_samples
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: The flight recorder; disabled by default (one attribute check
+        #: per hook call), enabled via ``ActorSpaceSystem(trace=...)``.
+        self.log = log if log is not None else EventLog(enabled=False)
+        self._init_state()
+
+    def _init_state(self) -> None:
+        """(Re)create the per-run mutable state; registry/log survive."""
+        reg = self.registry
         #: Envelopes entering the system, by mode.
-        self.sent: Counter = Counter()
+        self.sent = reg.labeled("messages_sent_total")
         #: Envelope deliveries, by mode (a broadcast counts once per receiver).
-        self.delivered: Counter = Counter()
+        self.delivered = reg.labeled("messages_delivered_total")
         #: Hops by link kind, as routed (locality accounting).
-        self.hops: Counter = Counter()
+        self.hops = reg.labeled("hops_total")
         #: Messages per receiving actor (load-balance accounting).
-        self.received_by: Counter = Counter()
-        #: Pattern messages that found no match and were suspended.
-        self.suspended_count = 0
-        #: Suspended messages later released by a visibility change.
-        self.released_count = 0
-        #: Messages dropped: dict reason -> count (dead letters, cycles...).
-        self.dropped: Counter = Counter()
-        #: Persistent-broadcast deliveries to late-arriving actors.
-        self.persistent_deliveries = 0
-        #: Behavior invocations executed.
-        self.invocations = 0
-        #: End-to-end latency samples (optional; large runs disable them).
+        self.received_by = reg.labeled("deliveries_by_receiver")
+        #: Messages dropped: label reason -> count (dead letters, cycles...).
+        self.dropped = reg.labeled("messages_dropped_total")
+        #: Visibility operations applied per node replica (coherence checks).
+        self.visibility_ops_applied = reg.labeled("visibility_ops_applied_total")
+        #: Per-mode end-to-end latency (bounded reservoir; see keep_samples).
+        self.latency_hist = reg.histogram("delivery_latency")
+        #: Pattern-resolution work distribution (entries examined).
+        self.resolution_hist = reg.histogram("resolution_entries_examined")
+        # Scalar counters (registered so snapshots include them even at 0).
+        for name in (
+            "messages_suspended_total",
+            "messages_released_total",
+            "persistent_deliveries_total",
+            "behavior_invocations_total",
+            "resolution_cache_hits_total",
+            "resolution_cache_misses_total",
+            "resolution_cache_invalidations_total",
+        ):
+            reg.counter(name)
+        #: End-to-end latency samples (see ``keep_samples``).
         self.samples: list[LatencySample] = []
+        self._samples_seen = 0
+        self._sample_rng = random.Random(0xACE5)
         #: Pattern-resolution work: entries examined, per resolution.
         self.match_examined: list[int] = []
-        #: Resolution-cache accounting, aggregated over every coordinator
-        #: resolution (send/broadcast dispatch and parked-message rechecks).
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_invalidations = 0
-        #: Visibility operations applied per node replica (coherence checks).
-        self.visibility_ops_applied: Counter = Counter()
+        #: (time, node) marks of suspension releases, for the timeline view.
+        self.release_marks: list[tuple[float, int]] = []
         #: Time series the experiments can append to: name -> [(t, value)].
         self.series: dict[str, list[tuple[float, float]]] = defaultdict(list)
 
+    # Scalar counter views (read/write for backward compatibility:
+    # the coordinator historically did ``tracer.persistent_deliveries += 1``).
+    suspended_count = _scalar(
+        "messages_suspended_total",
+        "Pattern messages that found no match and were suspended.")
+    released_count = _scalar(
+        "messages_released_total",
+        "Suspended messages later released by a visibility change.")
+    persistent_deliveries = _scalar(
+        "persistent_deliveries_total",
+        "Persistent-broadcast deliveries to late-arriving actors.")
+    invocations = _scalar(
+        "behavior_invocations_total", "Behavior invocations executed.")
+    cache_hits = _scalar(
+        "resolution_cache_hits_total", "Resolution-cache hits, all nodes.")
+    cache_misses = _scalar(
+        "resolution_cache_misses_total", "Resolution-cache misses, all nodes.")
+    cache_invalidations = _scalar(
+        "resolution_cache_invalidations_total",
+        "Resolution-cache entries invalidated by visibility changes.")
+
     # -- recording -------------------------------------------------------------
 
-    def on_sent(self, mode: Mode) -> None:
+    def on_sent(self, mode: Mode, envelope=None, node: int = 0,
+                t: float = 0.0, scheduled: bool = False) -> None:
         self.sent[mode] += 1
+        if self.log.enabled:
+            self.log.emit("sent", t, node, envelope,
+                          mode=mode.value, scheduled=scheduled)
 
     def on_delivered(
         self,
@@ -82,35 +160,128 @@ class Tracer:
         delivered_at: float,
         src_node: int,
         dst_node: int,
+        envelope=None,
     ) -> None:
         self.delivered[mode] += 1
         self.received_by[receiver] += 1
-        if self.keep_samples:
-            self.samples.append(
-                LatencySample(mode, sent_at, delivered_at, src_node, dst_node)
+        self.latency_hist.observe(delivered_at - sent_at)
+        self._keep_sample(
+            LatencySample(mode, sent_at, delivered_at, src_node, dst_node)
+        )
+        if self.log.enabled:
+            self.log.emit(
+                "delivered", delivered_at, dst_node, envelope,
+                mode=mode.value, receiver=str(receiver),
+                sent_at=sent_at, src_node=src_node,
             )
 
-    def on_hop(self, kind: LinkKind) -> None:
+    def _keep_sample(self, sample: LatencySample) -> None:
+        """Honour the ``keep_samples`` policy (all / none / reservoir-N)."""
+        if self.keep_samples is False:
+            return
+        self._samples_seen += 1
+        if self.keep_samples is True:
+            self.samples.append(sample)
+            return
+        cap = self.keep_samples
+        if len(self.samples) < cap:
+            self.samples.append(sample)
+            return
+        slot = self._sample_rng.randrange(self._samples_seen)
+        if slot < cap:
+            self.samples[slot] = sample
+
+    def on_enqueued(self, envelope=None, node: int = 0, t: float = 0.0,
+                    queue_depth: int = 0, receiver=None) -> None:
+        """The target mailbox accepted the envelope (event-only hook)."""
+        if self.log.enabled:
+            self.log.emit("enqueued", t, node, envelope,
+                          queue_depth=queue_depth, receiver=receiver)
+
+    def on_hop(self, kind: LinkKind, envelope=None, node: int = 0,
+               t: float = 0.0, dst_node: int | None = None) -> None:
         self.hops[kind] += 1
+        if self.log.enabled:
+            self.log.emit("hop", t, node, envelope, link=kind.value,
+                          dst_node=dst_node)
 
-    def on_suspended(self) -> None:
-        self.suspended_count += 1
+    def on_suspended(self, envelope=None, node: int = 0, t: float = 0.0) -> None:
+        self.registry.counter("messages_suspended_total").inc()
+        if self.log.enabled:
+            self.log.emit("suspended", t, node, envelope)
 
-    def on_released(self, n: int = 1) -> None:
-        self.released_count += n
+    def on_released(self, n: int = 1, envelope=None, node: int = 0,
+                    t: float = 0.0) -> None:
+        self.registry.counter("messages_released_total").inc(n)
+        self.release_marks.append((t, node))
+        if self.log.enabled:
+            self.log.emit("released", t, node, envelope,
+                          parked_age=(t - envelope.sent_at) if envelope else None)
 
-    def on_dropped(self, reason: str) -> None:
+    def on_dropped(self, reason: str, envelope=None, node: int = 0,
+                   t: float = 0.0) -> None:
         self.dropped[reason] += 1
+        if self.log.enabled:
+            self.log.emit("dropped", t, node, envelope, reason=reason)
 
-    def on_invocation(self) -> None:
-        self.invocations += 1
+    def on_invocation(self, envelope=None, node: int = 0, t: float = 0.0,
+                      actor=None, queue_depth: int = 0) -> None:
+        self.registry.counter("behavior_invocations_total").inc()
+        if self.log.enabled:
+            # ``invoked`` marks the queue-*down* edge (one message left the
+            # mailbox for processing) — what event-driven daemons react to.
+            self.log.emit("invoked", t, node, envelope, actor=actor,
+                          queue_depth=queue_depth)
 
-    def on_resolution(self, stats) -> None:
+    def on_resolution(self, stats, envelope=None, node: int = 0,
+                      t: float = 0.0) -> None:
         """Fold one resolution's :class:`~repro.core.matching.MatchStats` in."""
         self.match_examined.append(stats.entries_examined)
-        self.cache_hits += stats.cache_hits
-        self.cache_misses += stats.cache_misses
-        self.cache_invalidations += stats.cache_invalidations
+        self.resolution_hist.observe(stats.entries_examined)
+        reg = self.registry
+        reg.counter("resolution_cache_hits_total").inc(stats.cache_hits)
+        reg.counter("resolution_cache_misses_total").inc(stats.cache_misses)
+        reg.counter("resolution_cache_invalidations_total").inc(
+            stats.cache_invalidations)
+        if self.log.enabled:
+            self.log.emit(
+                "resolved", t, node, envelope,
+                entries_examined=stats.entries_examined,
+                spaces_descended=stats.spaces_descended,
+                cache_hits=stats.cache_hits,
+                cache_misses=stats.cache_misses,
+            )
+
+    def on_visibility_applied(self, node: int, op=None, t: float = 0.0) -> None:
+        self.visibility_ops_applied[node] += 1
+        if self.log.enabled:
+            data = {}
+            if op is not None:
+                data = {"op": op.kind.value, "origin_node": op.origin_node,
+                        "op_id": op.op_id}
+            self.log.emit("visibility_op", t, node, None, **data)
+
+    def on_daemon_fired(self, node: int, t: float, space, updates: int,
+                        kind: str = "poll") -> None:
+        """A monitoring daemon rewrote derived attributes (section 8)."""
+        self.registry.counter("daemon_updates_total").inc(updates)
+        if self.log.enabled:
+            # ``trigger`` not ``kind``: the latter is the event kind itself.
+            self.log.emit("daemon_fired", t, node, None,
+                          space=str(space), updates=updates, trigger=kind)
+
+    def on_gc(self, node: int, t: float, report) -> None:
+        """One garbage-collection cycle completed."""
+        self.registry.counter("gc_cycles_total").inc()
+        self.registry.counter("gc_collected_total").inc(report.collected_count)
+        if self.log.enabled:
+            self.log.emit(
+                "gc", t, node, None,
+                collected_actors=len(report.collected_actors),
+                collected_spaces=len(report.collected_spaces),
+                live_actors=len(report.live_actors),
+                kept_active=len(report.kept_active),
+            )
 
     def record(self, name: str, t: float, value: float) -> None:
         """Append a point to the named time series."""
@@ -155,9 +326,19 @@ class Tracer:
             "hit_rate": self.cache_hits / lookups if lookups else 0.0,
         }
 
+    def metrics_snapshot(self) -> dict:
+        """Plain-data dump of every registered metric (monitoring surface)."""
+        return self.registry.snapshot()
+
     def reset(self) -> None:
-        """Clear everything (between benchmark phases on a reused system)."""
-        self.__init__(keep_samples=self.keep_samples)
+        """Clear counters and samples (between benchmark phases on a reused
+        system) while *preserving* the metrics registry's registered
+        structure and the event log's attached sinks and subscribers —
+        a reset must not silently disconnect a flight recorder.
+        """
+        self.registry.reset()
+        self.log.clear()
+        self._init_state()
 
     def __repr__(self):
         total_sent = sum(self.sent.values())

@@ -59,5 +59,28 @@ class TextTable:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)
 
+    @classmethod
+    def parse(cls, text: str) -> "TextTable":
+        """Rebuild a table from :meth:`render` output (round-trip).
+
+        Lets the drift checks read the tables persisted under
+        ``benchmarks/results/`` back into structured rows.  Cell values
+        come back as the rendered strings.
+        """
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("cannot parse an empty table")
+        title = None
+        if len(lines) >= 2 and set(lines[1]) == {"="}:
+            title = lines[0]
+            lines = lines[2:]
+        if len(lines) < 2 or set(lines[1]) - {"-", "+"}:
+            raise ValueError("not a rendered TextTable: missing header separator")
+        header = [c.strip() for c in lines[0].split(" | ")]
+        table = cls(header, title=title)
+        for line in lines[2:]:
+            table.rows.append([c.strip() for c in line.split(" | ")])
+        return table
+
     def __str__(self):
         return self.render()

@@ -47,7 +47,7 @@ def render_timeline(
         b = int((t - lo) / span * (width - 1))
         return max(0, min(width - 1, b))
 
-    # Priority per cell: delivery beats send beats empty.
+    # Priority per cell: delivery beats suspension release beats send.
     grid = [[" "] * width for _ in range(node_count)]
     for sample in samples:
         sb = bucket(sample.sent_at)
@@ -56,6 +56,11 @@ def render_timeline(
             grid[sample.src_node][sb] = "s"
         if 0 <= sample.dst_node < node_count:
             grid[sample.dst_node][db] = "d"
+    for t, node in getattr(tracer, "release_marks", ()):
+        if 0 <= node < node_count and lo <= t <= hi:
+            cell = bucket(t)
+            if grid[node][cell] != "d":
+                grid[node][cell] = "u"
 
     label_width = len(f"node {node_count - 1}")
     lines = [
@@ -64,7 +69,10 @@ def render_timeline(
     for node in range(node_count):
         row = "".join(grid[node])
         lines.append(f"{f'node {node}':{label_width}} |{row}|")
-    lines.append(f"{'':{label_width}}  s=sent from here   d=delivered here")
+    lines.append(
+        f"{'':{label_width}}  s=sent from here   d=delivered here   "
+        "u=suspension release"
+    )
     return "\n".join(lines)
 
 

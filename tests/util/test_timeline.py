@@ -53,6 +53,48 @@ class TestTimeline:
         body = node_line.split("|")[1]
         assert len(body) == 25
 
+    def test_zero_span_single_sample(self):
+        """One same-instant sample: degenerate span must not divide by zero."""
+        system = ActorSpaceSystem(seed=0)
+        system.tracer.on_delivered(
+            Mode.DIRECT, ActorAddress(0, 1), sent_at=1.0, delivered_at=1.0,
+            src_node=0, dst_node=0)
+        out = render_timeline(system.tracer, 1, width=30)
+        node0 = next(l for l in out.splitlines() if l.startswith("node 0"))
+        assert "d" in node0
+
+    def test_single_sample_renders(self):
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        sink = system.create_actor(lambda ctx, m: None, node=1)
+        system.send_to(sink, "only")
+        system.run()
+        out = render_timeline(system.tracer, 2, width=30)
+        assert "s" in out.split("|")[1] or "d" in out
+
+    def test_suspension_release_cells(self):
+        """Released suspensions render as 'u' on the releasing node's row."""
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=0)
+        system.send("later/*", "parked")
+        system.run()
+        addr = system.create_actor(lambda ctx, m: None, node=1)
+        system.make_visible(addr, "later/now")
+        system.run()
+        assert system.tracer.release_marks
+        out = render_timeline(system.tracer, 2, width=40)
+        rows = [l for l in out.splitlines() if l.startswith("node")]
+        assert any("u" in row for row in rows)
+        assert "u=suspension release" in out
+
+    def test_release_mark_never_overwrites_delivery(self):
+        system = ActorSpaceSystem(seed=0)
+        tracer = system.tracer
+        tracer.on_delivered(Mode.SEND, ActorAddress(0, 1), sent_at=0.0,
+                            delivered_at=1.0, src_node=0, dst_node=0)
+        tracer.release_marks.append((1.0, 0))  # same bucket as the delivery
+        out = render_timeline(tracer, 1, width=10)
+        node0 = next(l for l in out.splitlines() if l.startswith("node 0"))
+        assert "d" in node0 and "u" not in node0
+
 
 class TestLoadBars:
     def test_bars_scale_with_counts(self):

@@ -42,6 +42,32 @@ class TestTextTable:
         with pytest.raises(ValueError):
             TextTable([])
 
+    def test_render_parse_round_trip(self):
+        t = TextTable(["name", "count", "ratio"], title="round trip")
+        t.add_row(["alpha", 10, 0.5])
+        t.add_row(["beta", 2000, 1.25])
+        parsed = TextTable.parse(t.render())
+        assert parsed.title == "round trip"
+        assert parsed.columns == t.columns
+        assert parsed.rows == t.rows
+        # Idempotent: rendering the parsed table parses identically again.
+        again = TextTable.parse(parsed.render())
+        assert again.rows == parsed.rows
+
+    def test_round_trip_without_title(self):
+        t = TextTable(["only"])
+        t.add_row([42])
+        parsed = TextTable.parse(t.render())
+        assert parsed.title is None
+        assert parsed.columns == ["only"]
+        assert parsed.rows == [["42"]]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TextTable.parse("")
+        with pytest.raises(ValueError):
+            TextTable.parse("just a line\nof prose text")
+
 
 class TestStats:
     def test_summarize(self):
