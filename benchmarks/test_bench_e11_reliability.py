@@ -7,6 +7,11 @@ Claims regenerated:
   any change to how they address the service (the pattern hides
   membership);
 * the latency cost of recovery is bounded by (retries x timeout).
+
+Self-healing extension (same claim, server side): a heartbeat failure
+detector quarantines confirmed-dead replicas so retransmissions stop
+being routed to them, and a recovery schedule redelivers the dead
+letters captured during the outage — under both bus protocols.
 """
 
 from repro.apps.replicated import run_replicated_service
@@ -28,6 +33,15 @@ def _run(crashed, timeout):
     )
 
 
+def _run_selfheal(crashed, detector=False, recover_after=None, bus="sequencer"):
+    system = ActorSpaceSystem(topology=Topology.lan(9), seed=SEED, bus=bus)
+    return run_replicated_service(
+        system, replicas=8, requests=REQUESTS,
+        crash_replicas=crashed, crash_after=0.4, timeout=0.5,
+        detector=detector, recover_after=recover_after,
+    )
+
+
 def test_bench_e11_reliability(benchmark):
     table = TextTable(
         ["replicas crashed", "retry", "success rate", "retransmissions",
@@ -43,4 +57,24 @@ def test_bench_e11_reliability(benchmark):
                 summarize(result.latencies)["p95"], result.makespan,
             ])
     emit("e11_reliability", table)
+
+    heal = TextTable(
+        ["bus", "variant", "success rate", "retransmissions",
+         "quarantined", "dead letters q/redelivered", "failovers"],
+        title="E11b: self-healing — 4/8 crashed at t=0.4, retry on",
+    )
+    for bus in ("sequencer", "token-ring"):
+        for variant, kwargs in (
+            ("retry only", {}),
+            ("+detector", {"detector": True}),
+            ("+detector +recover@1.5", {"detector": True, "recover_after": 1.5}),
+        ):
+            result = _run_selfheal(4, bus=bus, **kwargs)
+            heal.add_row([
+                bus, variant, f"{result.success_rate:.1%}",
+                result.retries_used, result.quarantined_entries,
+                f"{result.dead_letters_queued}/{result.dead_letters_redelivered}",
+                result.failovers,
+            ])
+    emit("e11_selfhealing", heal)
     benchmark(lambda: _run(2, 0.5))

@@ -131,6 +131,30 @@ def test_tracing_disabled_overhead_guard():
     )
 
 
+def test_bench_token_ring_burst_drain(benchmark):
+    """500 visibility ops drained through the token ring's deque queues.
+
+    Guards the list→deque change in ``TokenRingBus``: the holder drains
+    its whole pending queue per token visit, so ``pop(0)`` made a burst
+    quadratic in its size.
+    """
+
+    def run():
+        system = _system(keep_samples=False, bus="token-ring")
+        addrs = [
+            system.create_actor(lambda ctx, m: None, node=i % 4)
+            for i in range(50)
+        ]
+        for round_no in range(10):
+            for addr in addrs:
+                system.make_visible(addr, f"r{round_no}/a{addr.serial}",
+                                    node=addr.node)
+        system.run()
+        return system.bus.ops_sequenced
+
+    assert benchmark(run) == 500
+
+
 def test_bench_actor_creation(benchmark):
     """2000 actor creations with acquaintance scanning."""
 

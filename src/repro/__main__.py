@@ -8,9 +8,12 @@ Commands
     List the example scripts shipped in ``examples/``.
 ``experiments``
     List the experiment benchmarks and what each reproduces.
-``trace <example> [--out FILE]``
+``trace <example> [--out FILE] [--crash T:NODE ...] [--recover T:NODE ...]``
     Run an example with the flight recorder on and export a Chrome
     ``trace_event`` file (open in chrome://tracing or Perfetto).
+    ``--crash``/``--recover`` (repeatable) inject a node crash or
+    recovery at virtual time ``T`` into every system the example
+    builds — failure drills on unmodified examples.
 ``version``
     Print the package version.
 """
@@ -99,6 +102,28 @@ def experiments_drift() -> tuple[list[str], list[str]]:
     return missing, untracked
 
 
+def _parse_fault_schedule(args: list[str], flag: str) -> "list[tuple[float, int]] | None":
+    """Collect repeatable ``flag T:NODE`` occurrences; ``None`` on a bad spec."""
+    schedule: list[tuple[float, int]] = []
+    for idx, arg in enumerate(args):
+        if arg != flag:
+            continue
+        if idx + 1 >= len(args):
+            print(f"trace: {flag} needs a T:NODE argument", file=sys.stderr)
+            return None
+        spec = args[idx + 1]
+        t_text, sep, node_text = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            schedule.append((float(t_text), int(node_text)))
+        except ValueError:
+            print(f"trace: bad {flag} spec {spec!r} (expected T:NODE, "
+                  f"e.g. {flag} 0.5:2)", file=sys.stderr)
+            return None
+    return schedule
+
+
 def _trace(args: list[str]) -> int:
     """Run an example under the flight recorder; export a Chrome trace."""
     import runpy
@@ -107,7 +132,8 @@ def _trace(args: list[str]) -> int:
     from repro.runtime.system import ActorSpaceSystem
 
     if not args or args[0].startswith("-"):
-        print("usage: python -m repro trace <example.py> [--out FILE]",
+        print("usage: python -m repro trace <example.py> [--out FILE] "
+              "[--crash T:NODE ...] [--recover T:NODE ...]",
               file=sys.stderr)
         return 2
     script = Path(args[0])
@@ -125,9 +151,14 @@ def _trace(args: list[str]) -> int:
             print("trace: --out needs a file argument", file=sys.stderr)
             return 2
         out = Path(args[idx + 1])
+    crashes = _parse_fault_schedule(args, "--crash")
+    recoveries = _parse_fault_schedule(args, "--recover")
+    if crashes is None or recoveries is None:
+        return 2
 
     # Force the flight recorder on for every system the example builds,
-    # whatever arguments the script itself passes.
+    # whatever arguments the script itself passes; arm any requested
+    # crash/recovery schedule on each of them.
     systems: list[ActorSpaceSystem] = []
     original_init = ActorSpaceSystem.__init__
 
@@ -135,6 +166,13 @@ def _trace(args: list[str]) -> int:
         kw["trace"] = True
         original_init(self, *a, **kw)
         systems.append(self)
+        node_count = self.topology.node_count
+        for t, node in crashes:
+            if 0 <= node < node_count:
+                self.events.schedule(t, lambda s=self, n=node: s.crash_node(n))
+        for t, node in recoveries:
+            if 0 <= node < node_count:
+                self.events.schedule(t, lambda s=self, n=node: s.recover_node(n))
 
     ActorSpaceSystem.__init__ = traced_init
     try:

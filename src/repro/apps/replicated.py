@@ -121,7 +121,12 @@ class RequestClient(Behavior):
 
 @dataclass
 class ReplicatedRunResult:
-    """Metrics from one replicated-service run."""
+    """Metrics from one replicated-service run.
+
+    The trailing self-healing fields stay at their defaults for runs
+    without a detector or recovery schedule, so pre-existing E2/E11
+    rows are byte-identical.
+    """
 
     per_replica: list[int]
     latencies: list[float]
@@ -129,6 +134,10 @@ class ReplicatedRunResult:
     success_rate: float
     retries_used: int
     requests: int
+    dead_letters_queued: int = 0
+    dead_letters_redelivered: int = 0
+    failovers: int = 0
+    quarantined_entries: int = 0
 
 
 def run_replicated_service(
@@ -142,12 +151,21 @@ def run_replicated_service(
     crash_after: float = 0.0,
     timeout: float | None = None,
     clients: int = 1,
+    recover_after: float | None = None,
+    detector: bool = False,
+    detector_interval: float = 0.1,
 ) -> ReplicatedRunResult:
     """Drive E2/E11: ``clients`` clients vs ``replicas`` replicas.
 
     Replicas live one per node when the topology allows (so node crashes
     kill exactly one replica).  ``crash_replicas`` nodes hosting the
     first k replicas are crashed ``crash_after`` time units into the run.
+
+    Self-healing knobs (E11 extension): with ``detector=True`` a
+    heartbeat failure detector confirms the crashed nodes down and
+    quarantines their directory entries, so pattern sends stop routing
+    to dead replicas; with ``recover_after`` set, the crashed nodes come
+    back at that offset and queued dead letters are redelivered.
     """
     manager_factory = lambda: SpaceManager(arbitration=arbitration)
     space = system.create_space(attributes="services",
@@ -182,6 +200,18 @@ def run_replicated_service(
                 system.crash_node(replica_node[i])
 
         system.events.schedule(start + crash_after, crash)
+        if recover_after is not None:
+            def recover():
+                for i in range(min(crash_replicas, replicas)):
+                    system.recover_node(replica_node[i])
+
+            system.events.schedule(start + recover_after, recover)
+    if detector:
+        horizon = (
+            max(crash_after, recover_after or 0.0)
+            + per_client * gap + 50 * detector_interval
+        )
+        system.start_failure_detector(horizon, interval=detector_interval)
     system.run()
 
     latencies = [
@@ -196,4 +226,8 @@ def run_replicated_service(
         success_rate=answered / total if total else 1.0,
         retries_used=sum(sum(cb.retries.values()) for cb in client_behaviors),
         requests=total,
+        dead_letters_queued=system.dead_letters.queued_total,
+        dead_letters_redelivered=system.dead_letters.redelivered_total,
+        failovers=system.bus.failovers,
+        quarantined_entries=system.tracer.quarantined_entries,
     )

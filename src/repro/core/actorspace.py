@@ -140,6 +140,16 @@ class SpaceRecord:
                 if not bucket:
                     del self._by_first_atom[path.atoms[0]]
 
+    def touch(self) -> None:
+        """Bump the epoch without mutating entries.
+
+        Used by quarantine masking: the registry's *effective* contents
+        (what resolution may return) changed even though the stored
+        entries did not, so cached resolutions through it must
+        invalidate.
+        """
+        self.epoch += 1
+
     def lookup(self, target: MailAddress) -> RegistryEntry | None:
         """The entry for ``target``, or ``None``."""
         return self._entries.get(target)

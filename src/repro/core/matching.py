@@ -289,8 +289,10 @@ def _walk(
                         stats,
                     )
         else:
-            if actor_results is not None and any(
-                pattern.matches(attr) for attr in entry.attributes
+            if (
+                actor_results is not None
+                and any(pattern.matches(attr) for attr in entry.attributes)
+                and not directory.is_masked(entry.target)
             ):
                 actor_results.add(entry.target)  # type: ignore[arg-type]
 

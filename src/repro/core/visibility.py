@@ -38,7 +38,8 @@ from .errors import (
 class Directory:
     """All actorSpace registries plus the visibility DAG over spaces."""
 
-    __slots__ = ("_spaces", "_containers", "_known_capabilities", "_op_count")
+    __slots__ = ("_spaces", "_containers", "_known_capabilities", "_op_count",
+                 "_quarantined")
 
     def __init__(self):
         self._spaces: dict[SpaceAddress, SpaceRecord] = {}
@@ -49,6 +50,11 @@ class Directory:
         #: actors and spaces, not only to spaces).
         self._known_capabilities: dict[MailAddress, Capability | None] = {}
         self._op_count = 0
+        #: Nodes whose actor entries are masked from resolution (failure
+        #: quarantine).  The mask is an overlay: the underlying entries —
+        #: and therefore :meth:`snapshot` — are untouched, so replicas
+        #: stay comparable while their quarantine views differ.
+        self._quarantined: set[int] = set()
 
     # -- space lifecycle ---------------------------------------------------------
 
@@ -272,6 +278,70 @@ class Directory:
         if n:
             self._op_count += 1
         return n
+
+    # -- failure quarantine ----------------------------------------------------------
+
+    def _touch_spaces_hosting(self, node: int) -> int:
+        """Bump the epoch of every live registry with actor entries on ``node``.
+
+        Returns the number of masked/unmasked entries.  Bumping only the
+        *hosting* registries keeps the resolution cache's path check
+        sound: a cached walk that never saw an entry from ``node`` stays
+        valid, one that did is invalidated.
+        """
+        touched = 0
+        for rec in self._spaces.values():
+            if rec.destroyed:
+                continue
+            hosted = sum(
+                1 for e in rec.entries()
+                if not e.is_space and e.target.node == node
+            )
+            if hosted:
+                rec.touch()
+                touched += hosted
+        return touched
+
+    def quarantine_node(self, node: int) -> int:
+        """Mask every actor entry homed on ``node`` from resolution.
+
+        Called when a failure detector confirms the node down: sends and
+        broadcasts stop resolving to its (unreachable) actors without
+        mutating the replicated registries.  Bumps the directory epoch
+        and the epoch of each hosting registry so cached resolutions
+        invalidate.  Returns the number of entries masked; idempotent.
+        """
+        if node in self._quarantined:
+            return 0
+        self._quarantined.add(node)
+        masked = self._touch_spaces_hosting(node)
+        self._op_count += 1
+        return masked
+
+    def unquarantine_node(self, node: int) -> int:
+        """Lift the mask on ``node`` (recovery); returns entries unmasked."""
+        if node not in self._quarantined:
+            return 0
+        self._quarantined.discard(node)
+        unmasked = self._touch_spaces_hosting(node)
+        self._op_count += 1
+        return unmasked
+
+    def is_masked(self, target: MailAddress) -> bool:
+        """Is ``target`` hidden from resolution by a node quarantine?
+
+        Only actor entries are masked: spaces are replicated state that
+        every live replica still holds, so structured-pattern descent
+        through a crashed node's spaces keeps working.
+        """
+        return (
+            target.node in self._quarantined
+            and not is_space_address(target)
+        )
+
+    @property
+    def quarantined_nodes(self) -> frozenset[int]:
+        return frozenset(self._quarantined)
 
     @property
     def op_count(self) -> int:

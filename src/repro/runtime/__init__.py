@@ -13,6 +13,7 @@ from .eventlog import (
     validate_chrome_trace,
 )
 from .events import EventQueue
+from .failure import DeadLetter, DeadLetterQueue, FailureDetector
 from .metrics import (
     CounterMetric,
     GaugeMetric,
@@ -37,8 +38,11 @@ __all__ = [
     "Bus",
     "Coordinator",
     "CounterMetric",
+    "DeadLetter",
+    "DeadLetterQueue",
     "EventLog",
     "EventQueue",
+    "FailureDetector",
     "GaugeMetric",
     "HistogramMetric",
     "JsonlSink",

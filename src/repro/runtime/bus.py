@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -102,9 +103,15 @@ class Bus:
         #: The system's flight recorder, wired after construction; the bus
         #: emits ``bus_sequenced`` events when it assigns global order.
         self.event_log = None
+        #: The system's tracer, wired after construction; failover and
+        #: token regeneration report through it when present.
+        self.tracer = None
         #: Total protocol messages exchanged (cost accounting for E9).
         self.protocol_messages = 0
         self.ops_sequenced = 0
+        #: Failover events survived (sequencer re-elections / token
+        #: regenerations), for E11-style reliability accounting.
+        self.failovers = 0
         #: The sequenced-op log: seq -> op.  Retained so a recovering
         #: coordinator can be brought up to date (state transfer); a real
         #: deployment would truncate it at the all-applied watermark.
@@ -114,20 +121,48 @@ class Bus:
         """Accept ``op`` from its origin coordinator for global ordering."""
         raise NotImplementedError
 
+    def live_nodes(self) -> list[int]:
+        """The nodes the transport currently considers up, in id order."""
+        return [n for n in self.nodes if not self.transport.node_is_down(n)]
+
+    def on_node_down(self, node: int) -> None:
+        """Failure notification (crash injection or detector confirm)."""
+
+    def on_node_recovered(self, node: int) -> None:
+        """Recovery notification; protocols resume work parked on ``node``."""
+
     def replay_to(self, node: int, from_seq: int) -> int:
         """State transfer: redeliver every logged op >= ``from_seq`` to ``node``.
 
         Called when a coordinator recovers from a crash; the missed ops
         arrive with ordinary transport latency and flow through the same
         hold-back application path, so recovery is just catching up on the
-        total order.  Returns the number of ops scheduled for replay.
+        total order.  The transfer source is a *live* replica — preferring
+        the lowest live node other than ``node`` itself — because the
+        historical fixed choice (node 0) silently skipped the transfer
+        whenever node 0 was down, leaving the recovering replica diverged
+        forever.  Returns the number of ops scheduled for replay.
+
+        Raises
+        ------
+        NodeDownError
+            If there are ops to replay and no live node can source them.
         """
         assert self.deliver is not None, "bus not wired to a system"
-        from repro.core.errors import TransportError
+        from repro.core.errors import NodeDownError, TransportError
 
-        source = self.nodes[0]
+        pending = sorted(s for s in self.log if s >= from_seq)
+        if not pending:
+            return 0
+        live = self.live_nodes()
+        sources = [n for n in live if n != node] or ([node] if node in live else [])
+        if not sources:
+            raise NodeDownError(
+                f"no live replica can source state transfer to node {node}"
+            )
+        source = sources[0]
         count = 0
-        for seq in sorted(s for s in self.log if s >= from_seq):
+        for seq in pending:
             op = self.log[seq]
             self.protocol_messages += 1
             try:
@@ -141,6 +176,22 @@ class Bus:
                 priority=BUS_PRIORITY,
             )
         return count
+
+    def _record_failover(self, protocol: str, reason: str,
+                         new_leader: int | None = None) -> None:
+        """Count one failover and report it to the tracer when wired."""
+        self.failovers += 1
+        if self.tracer is not None:
+            self.tracer.on_failover(
+                node=new_leader if new_leader is not None else -1,
+                t=self.clock.now, protocol=protocol, reason=reason,
+                new_leader=new_leader,
+            )
+        elif self.event_log is not None and self.event_log.enabled:
+            self.event_log.emit(
+                "failover", self.clock.now, new_leader if new_leader is not None else -1,
+                None, protocol=protocol, reason=reason,
+            )
 
     # -- shared helpers ----------------------------------------------------------
 
@@ -182,6 +233,10 @@ class SequencerBus(Bus):
     sequence number, and fanned out to all nodes.
     """
 
+    #: Virtual-time cost of electing a replacement sequencer (one
+    #: coordination round before unacked submissions are re-driven).
+    FAILOVER_DELAY = 0.05
+
     def __init__(self, nodes, events, clock, transport, sequencer_node: int | None = None):
         super().__init__(nodes, events, clock, transport)
         self.sequencer_node = self.nodes[0] if sequencer_node is None else sequencer_node
@@ -189,10 +244,37 @@ class SequencerBus(Bus):
         #: Per-origin FIFO reassembly at the sequencer.
         self._expected: dict[int, int] = {}
         self._holdback: dict[tuple[int, int], VisibilityOp] = {}
+        #: Submissions not yet globally ordered: op_id -> op.  Failover
+        #: re-drives these at the replacement sequencer; they are removed
+        #: the moment the op is stamped and fanned out.
+        self._unacked: dict[int, VisibilityOp] = {}
+        #: Ops already stamped, so a re-driven duplicate is dropped.
+        self._sequenced_ids: set[int] = set()
+        self._redrive_scheduled = False
 
     def submit(self, op: VisibilityOp) -> None:
+        """Accept ``op`` for ordering.  Never raises on a crashed
+        sequencer: the op parks as unacked and failover re-drives it."""
+        self._unacked[op.op_id] = op
+        self._to_sequencer(op)
+
+    def _to_sequencer(self, op: VisibilityOp) -> None:
+        from repro.core.errors import TransportError
+
+        if self.transport.node_is_down(op.origin_node):
+            # The submitting node died before the unicast left it: the
+            # op is lost with its origin (nobody else holds a copy).
+            self._unacked.pop(op.op_id, None)
+            return
+        if self.transport.node_is_down(self.sequencer_node):
+            self._failover()
+            return
         self.protocol_messages += 1
-        latency = self.transport.deliver_latency(op.origin_node, self.sequencer_node)
+        try:
+            latency = self.transport.deliver_latency(op.origin_node, self.sequencer_node)
+        except (TransportError, RuntimeError):
+            self._failover()
+            return
         self.events.schedule(
             self.clock.now + latency,
             lambda: self._at_sequencer(op),
@@ -200,6 +282,12 @@ class SequencerBus(Bus):
         )
 
     def _at_sequencer(self, op: VisibilityOp) -> None:
+        if self.transport.node_is_down(self.sequencer_node):
+            # The sequencer died while the unicast was in flight; the op
+            # stays unacked and the failover path re-drives it.
+            return
+        if op.op_id in self._sequenced_ids:
+            return  # duplicate of a re-driven op that already made it
         origin = op.origin_node
         self._expected.setdefault(origin, 0)
         self._holdback[(origin, op.origin_seq)] = op
@@ -210,7 +298,56 @@ class SequencerBus(Bus):
             seq = self._next_seq
             self._next_seq += 1
             self.ops_sequenced += 1
+            self._sequenced_ids.add(ready.op_id)
+            self._unacked.pop(ready.op_id, None)
             self._fan_out(seq, ready, self.sequencer_node)
+
+    # -- failover ----------------------------------------------------------------
+
+    def _failover(self) -> None:
+        """Elect the lowest live node as replacement sequencer.
+
+        The sequenced log, FIFO reassembly state, and next sequence
+        number are modelled as shared bus state (a real deployment
+        rebuilds them from the replicated log during election), so the
+        replacement continues the gap-free global order; unacked
+        submissions are re-driven after one election delay.
+        """
+        live = self.live_nodes()
+        if not live:
+            # Total outage: unacked ops wait for the first recovery.
+            return
+        if self.transport.node_is_down(self.sequencer_node):
+            self.sequencer_node = live[0]
+            self._record_failover("sequencer", "sequencer_down",
+                                  new_leader=self.sequencer_node)
+        self._schedule_redrive(self.FAILOVER_DELAY)
+
+    def _schedule_redrive(self, delay: float) -> None:
+        if self._redrive_scheduled:
+            return
+        self._redrive_scheduled = True
+        self.events.schedule(
+            self.clock.now + delay, self._redrive, priority=BUS_PRIORITY
+        )
+
+    def _redrive(self) -> None:
+        self._redrive_scheduled = False
+        pending = sorted(
+            self._unacked.values(), key=lambda o: (o.origin_node, o.origin_seq)
+        )
+        for op in pending:
+            self._to_sequencer(op)
+
+    def on_node_down(self, node: int) -> None:
+        if node == self.sequencer_node:
+            self._failover()
+
+    def on_node_recovered(self, node: int) -> None:
+        if self.transport.node_is_down(self.sequencer_node):
+            self._failover()
+        elif self._unacked:
+            self._schedule_redrive(0.0)
 
     def __repr__(self):
         return f"<SequencerBus @n{self.sequencer_node} seq={self._next_seq}>"
@@ -232,7 +369,7 @@ class TokenRingBus(Bus):
         super().__init__(nodes, events, clock, transport)
         self.hold_time = hold_time
         self._next_seq = 0
-        self._pending: dict[int, list[VisibilityOp]] = {n: [] for n in self.nodes}
+        self._pending: dict[int, deque[VisibilityOp]] = {n: deque() for n in self.nodes}
         self._expected: dict[int, int] = {}
         self._holdback: dict[tuple[int, int], VisibilityOp] = {}
         self._token_holder_index = 0
@@ -246,7 +383,7 @@ class TokenRingBus(Bus):
     def _enqueue_fifo(self, op: VisibilityOp) -> None:
         """Restore per-origin FIFO before queuing for the token."""
         origin = op.origin_node
-        expected = self._expected.setdefault(origin, 0)
+        self._expected.setdefault(origin, 0)
         self._holdback[(origin, op.origin_seq)] = op
         while (origin, self._expected[origin]) in self._holdback:
             ready = self._holdback.pop((origin, self._expected[origin]))
@@ -263,19 +400,38 @@ class TokenRingBus(Bus):
             )
 
     def _token_arrives(self) -> None:
+        from repro.core.errors import TransportError
+
         holder = self.nodes[self._token_holder_index]
-        queue = self._pending[holder]
-        while queue:
-            op = queue.pop(0)
-            seq = self._next_seq
-            self._next_seq += 1
-            self.ops_sequenced += 1
-            self._fan_out(seq, op, holder)
-        # Pass the token along the ring.
-        self._token_holder_index = (self._token_holder_index + 1) % len(self.nodes)
-        next_holder = self.nodes[self._token_holder_index]
+        if self.transport.node_is_down(holder):
+            # The holder crashed with the token: regenerate it at the next
+            # live node.  The crashed node's parked ops stay parked until
+            # it recovers — no other node holds copies of them.
+            self._record_failover("token-ring", "token_regenerated")
+        else:
+            queue = self._pending[holder]
+            while queue:
+                op = queue.popleft()
+                seq = self._next_seq
+                self._next_seq += 1
+                self.ops_sequenced += 1
+                self._fan_out(seq, op, holder)
+        # Pass the token to the next *live* node on the ring.
+        next_index = self._next_live_index(self._token_holder_index)
+        if next_index is None:
+            # Total outage: the token parks; recovery restarts it.
+            self._token_started = False
+            return
+        self._token_holder_index = next_index
+        next_holder = self.nodes[next_index]
         self.protocol_messages += 1  # the token itself is a message
-        hop = self.transport.deliver_latency(holder, next_holder)
+        try:
+            hop = self.transport.deliver_latency(holder, next_holder)
+        except (TransportError, RuntimeError):
+            # The old holder (or the link out of it) is down; the
+            # regenerated token materializes at the next holder after one
+            # hold interval instead of killing the run.
+            hop = self.hold_time
         # The token circulates while work is pending; it parks once idle so
         # the event queue can drain (the next submit restarts it).
         if self._any_pending():
@@ -287,8 +443,30 @@ class TokenRingBus(Bus):
         else:
             self._token_started = False
 
+    def _next_live_index(self, from_index: int) -> int | None:
+        """Index of the next live node on the ring, or ``None`` if all down."""
+        n = len(self.nodes)
+        for step in range(1, n + 1):
+            idx = (from_index + step) % n
+            if not self.transport.node_is_down(self.nodes[idx]):
+                return idx
+        return None
+
     def _any_pending(self) -> bool:
-        return any(self._pending[n] for n in self.nodes) or bool(self._holdback)
+        """Is there work the token can still serve?
+
+        Ops parked at crashed nodes are excluded: counting them would keep
+        the token circulating forever (the event queue would never drain)
+        for work that cannot be sequenced until the origin recovers.
+        """
+        down = self.transport.node_is_down
+        if any(self._pending[n] and not down(n) for n in self.nodes):
+            return True
+        return any(not down(origin) for origin, _ in self._holdback)
+
+    def on_node_recovered(self, node: int) -> None:
+        if self._any_pending():
+            self._ensure_token()
 
     def __repr__(self):
         return f"<TokenRingBus holder={self.nodes[self._token_holder_index]} seq={self._next_seq}>"

@@ -516,6 +516,7 @@ class Coordinator:
         except NodeDownError:
             system.tracer.on_dropped("node_down", envelope, node=self.node_id,
                                      t=system.clock.now)
+            system.dead_letters.capture(envelope, dst_node, "node_down")
             return
         except (TransportError, RuntimeError):
             system.tracer.on_dropped("transport_failure", envelope,
@@ -535,12 +536,14 @@ class Coordinator:
         if self.crashed:
             system.tracer.on_dropped("node_down", envelope, node=self.node_id,
                                      t=system.clock.now)
+            system.dead_letters.capture(envelope, self.node_id, "node_down")
             return
         target: ActorAddress = envelope.target  # type: ignore[assignment]
         record = self.actors.get(target)
         if record is None or record.terminated:
             system.tracer.on_dropped("dead_letter", envelope, node=self.node_id,
                                      t=system.clock.now)
+            system.dead_letters.capture(envelope, self.node_id, "dead_letter")
             return
         envelope.delivered_at = system.clock.now
         envelope.hop(self.node_id)
@@ -549,6 +552,7 @@ class Coordinator:
         except MailboxClosedError:
             system.tracer.on_dropped("dead_letter", envelope, node=self.node_id,
                                      t=system.clock.now)
+            system.dead_letters.capture(envelope, self.node_id, "dead_letter")
             return
         system.tracer.on_enqueued(envelope, node=self.node_id,
                                   t=system.clock.now,

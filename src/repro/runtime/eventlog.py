@@ -24,6 +24,15 @@ kind                  emitted when
 ``bus_sequenced``     the bus assigned an op its global sequence number
 ``daemon_fired``      a monitoring daemon rewrote derived attributes
 ``gc``                a garbage-collection cycle completed
+``node_suspected``    a failure-detector observer missed enough heartbeats
+``node_confirmed_down``  an observer confirmed a peer dead (first wins)
+``node_recovered``    a suspected/confirmed peer is reachable again
+``quarantined``       a replica masked a dead node's directory entries
+``unquarantined``     a replica lifted the mask on recovery
+``dead_letter_queued``  an undeliverable envelope was captured for retry
+``dead_letter_redelivered``  a captured envelope was re-routed post-recovery
+``dead_letter_expired``  a captured envelope hit its attempt/capacity bound
+``failover``          the bus re-elected a sequencer / regenerated the token
 ====================  ========================================================
 
 Events land in a bounded ring buffer (oldest evicted first) and are
@@ -59,6 +68,15 @@ EVENT_KINDS = (
     "bus_sequenced",
     "daemon_fired",
     "gc",
+    "node_suspected",
+    "node_confirmed_down",
+    "node_recovered",
+    "quarantined",
+    "unquarantined",
+    "dead_letter_queued",
+    "dead_letter_redelivered",
+    "dead_letter_expired",
+    "failover",
 )
 
 

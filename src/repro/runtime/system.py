@@ -38,6 +38,7 @@ from .context import RuntimeContext
 from .coordinator import Coordinator
 from .eventlog import EventLog, export_chrome_trace
 from .events import EventQueue
+from .failure import DeadLetterQueue, FailureDetector
 from .metrics import MetricsRegistry
 from .network import LatencyModel, Network, Topology
 from .rng import RngHub
@@ -71,6 +72,11 @@ class ActorSpaceSystem:
         (bounded memory on long runs).
     root_manager_factory:
         Manager policies for the root space (default: paper defaults).
+    dlq_capacity / dlq_max_redeliveries:
+        Bounds of the per-destination :class:`DeadLetterQueue` capturing
+        envelopes dropped because their destination was down (or their
+        target dead); queued letters are redelivered with capped
+        exponential backoff when the destination recovers.
     trace:
         The causal flight recorder.  ``False`` (default) disables it —
         the hot path pays one attribute check per hook.  ``True``
@@ -89,6 +95,8 @@ class ActorSpaceSystem:
         loss: float = 0.0,
         keep_samples: "bool | int" = True,
         root_manager_factory: Callable[[], SpaceManager] | None = None,
+        dlq_capacity: int = 256,
+        dlq_max_redeliveries: int = 4,
         trace: "bool | EventLog" = False,
     ):
         self.topology = topology or Topology.single()
@@ -128,6 +136,16 @@ class ActorSpaceSystem:
             raise ValueError(f"unknown bus protocol {bus!r}")
         self.bus.deliver = lambda node, seq, op: self.coordinators[node].on_bus_delivery(seq, op)
         self.bus.event_log = self.event_log
+        self.bus.tracer = self.tracer
+
+        #: Bounded capture of undeliverable envelopes, redelivered on
+        #: recovery (self-healing delivery).
+        self.dead_letters = DeadLetterQueue(
+            self, capacity=dlq_capacity, max_redeliveries=dlq_max_redeliveries
+        )
+        #: Heartbeat-based failure detector; armed on demand via
+        #: :meth:`start_failure_detector`.
+        self.failure_detector: FailureDetector | None = None
 
         # Bootstrap the globally visible root actorSpace (section 7.1)
         # identically in every replica, outside the bus: it must exist
@@ -300,20 +318,87 @@ class ActorSpaceSystem:
     # -- failure injection -------------------------------------------------------
 
     def crash_node(self, node: int) -> None:
-        """Hard-crash a node: its actors stop, messages to it are lost."""
+        """Hard-crash a node: its actors stop, messages to it are lost.
+
+        The bus is notified immediately (a crashed sequencer or token
+        holder must not kill the protocol), but the directory is *not*
+        quarantined here — dead replicas stay visible until the failure
+        detector confirms them down, preserving E11's baseline blast
+        radius for runs without a detector.
+        """
         self.coordinators[node].crashed = True
         self._network_transport.crash_node(node)  # type: ignore[attr-defined]
+        self.bus.on_node_down(node)
 
     def recover_node(self, node: int) -> None:
         """Bring a crashed node back (its actors remain dead).
 
-        The recovering coordinator missed every visibility op fanned out
-        while it was down; the bus replays them from its log (state
-        transfer), after which the replica reconverges with the others.
+        Recovery is the self-healing hinge: the bus replays the missed
+        visibility ops from its log (state transfer), every replica
+        lifts its quarantine mask for the node, the failure detector
+        forgets its verdicts, the bus resumes work parked on the node,
+        and dead letters captured for it are redelivered with backoff.
         """
         self.coordinators[node].crashed = False
         self._network_transport.recover_node(node)  # type: ignore[attr-defined]
         self.bus.replay_to(node, self.coordinators[node]._next_apply_seq)
+        for coordinator in self.coordinators:
+            if node in coordinator.directory.quarantined_nodes:
+                coordinator.directory.unquarantine_node(node)
+                self.tracer.on_quarantine(
+                    "unquarantined", coordinator.node_id, self.clock.now,
+                    target_node=node,
+                )
+        # The recovering replica may itself hold stale masks for peers
+        # that came back while it was down.
+        own = self.coordinators[node].directory
+        for peer in list(own.quarantined_nodes):
+            if not self.transport.node_is_down(peer):
+                own.unquarantine_node(peer)
+        if self.failure_detector is not None:
+            self.failure_detector.on_node_recovered(node)
+        self.bus.on_node_recovered(node)
+        self.dead_letters.flush(node)
+
+    def start_failure_detector(
+        self,
+        duration: float,
+        interval: float = 0.5,
+        suspect_after: int = 2,
+        confirm_after: int = 4,
+    ) -> FailureDetector:
+        """Arm (or extend) heartbeat-based peer monitoring.
+
+        ``duration`` bounds the detector in virtual time — an unbounded
+        periodic timer would keep :meth:`run` from ever reaching
+        quiescence.  Returns the detector for introspection.
+        """
+        if self.failure_detector is None:
+            self.failure_detector = FailureDetector(
+                self, interval=interval,
+                suspect_after=suspect_after, confirm_after=confirm_after,
+            )
+        return self.failure_detector.start(duration)
+
+    def _on_node_confirmed_down(self, node: int) -> None:
+        """First detector confirmation: quarantine and fail over.
+
+        Every live replica masks the dead node's actor entries (bumping
+        the epochs of the spaces that hosted them, so resolution caches
+        invalidate), and the bus gets a failure notification.
+        ``Directory.snapshot()`` ignores masks, so replica coherence
+        checks are unaffected; only *resolution* stops returning actors
+        that can no longer answer.
+        """
+        for coordinator in self.coordinators:
+            if coordinator.crashed:
+                continue
+            masked = coordinator.directory.quarantine_node(node)
+            self.tracer.on_quarantine(
+                "quarantined", coordinator.node_id, self.clock.now,
+                target_node=node, masked=masked,
+            )
+        self.bus.on_node_down(node)
 
     # -- introspection -------------------------------------------------------------
 

@@ -109,6 +109,14 @@ class Tracer:
             "resolution_cache_hits_total",
             "resolution_cache_misses_total",
             "resolution_cache_invalidations_total",
+            "dead_letters_queued_total",
+            "dead_letters_redelivered_total",
+            "dead_letters_expired_total",
+            "failovers_total",
+            "quarantined_entries_total",
+            "node_suspected_total",
+            "node_confirmed_down_total",
+            "node_recovered_total",
         ):
             reg.counter(name)
         #: End-to-end latency samples (see ``keep_samples``).
@@ -142,6 +150,21 @@ class Tracer:
     cache_invalidations = _scalar(
         "resolution_cache_invalidations_total",
         "Resolution-cache entries invalidated by visibility changes.")
+    dead_letters_queued = _scalar(
+        "dead_letters_queued_total",
+        "Undeliverable envelopes captured by the dead-letter queue.")
+    dead_letters_redelivered = _scalar(
+        "dead_letters_redelivered_total",
+        "Dead letters redelivered after their destination recovered.")
+    dead_letters_expired = _scalar(
+        "dead_letters_expired_total",
+        "Dead letters dropped for good (attempt cap or queue overflow).")
+    failovers = _scalar(
+        "failovers_total",
+        "Bus failovers survived (sequencer re-elections, token regenerations).")
+    quarantined_entries = _scalar(
+        "quarantined_entries_total",
+        "Directory entries masked by failure quarantine, across replicas.")
 
     # -- recording -------------------------------------------------------------
 
@@ -269,6 +292,39 @@ class Tracer:
             # ``trigger`` not ``kind``: the latter is the event kind itself.
             self.log.emit("daemon_fired", t, node, None,
                           space=str(space), updates=updates, trigger=kind)
+
+    def on_dead_letter(self, action: str, envelope=None, node: int = 0,
+                       t: float = 0.0, reason: str | None = None,
+                       attempts: int = 0) -> None:
+        """Dead-letter lifecycle: ``action`` is queued/redelivered/expired."""
+        self.registry.counter(f"dead_letters_{action}_total").inc()
+        if self.log.enabled:
+            self.log.emit(f"dead_letter_{action}", t, node, envelope,
+                          reason=reason, attempts=attempts)
+
+    def on_failover(self, node: int = -1, t: float = 0.0, protocol: str = "",
+                    reason: str = "", new_leader: int | None = None) -> None:
+        """The bus survived a leadership/token loss."""
+        self.registry.counter("failovers_total").inc()
+        if self.log.enabled:
+            self.log.emit("failover", t, node, None, protocol=protocol,
+                          reason=reason, new_leader=new_leader)
+
+    def on_quarantine(self, kind: str, node: int, t: float = 0.0,
+                      target_node: int | None = None, masked: int = 0) -> None:
+        """One replica masked (``quarantined``) or unmasked a dead node."""
+        if kind == "quarantined":
+            self.registry.counter("quarantined_entries_total").inc(masked)
+        if self.log.enabled:
+            self.log.emit(kind, t, node, None, target_node=target_node,
+                          masked=masked)
+
+    def on_node_health(self, kind: str, observer: int, peer: int,
+                       t: float = 0.0) -> None:
+        """Failure-detector verdicts: node_suspected/confirmed_down/recovered."""
+        self.registry.counter(f"{kind}_total").inc()
+        if self.log.enabled:
+            self.log.emit(kind, t, observer, None, peer=peer)
 
     def on_gc(self, node: int, t: float, report) -> None:
         """One garbage-collection cycle completed."""

@@ -76,6 +76,12 @@ class Transport(abc.ABC):
         """Retransmission timeout for the link (override for tuned models)."""
         return 1.0
 
+    def node_is_down(self, node: int) -> bool:
+        """Is ``node`` currently crashed?  (Liveness oracle for the bus
+        protocols and the dead-letter queue; transports without crash
+        injection report everything live.)"""
+        return False
+
 
 class InstantTransport(Transport):
     """Delivers everything after a fixed tiny latency (tests)."""
@@ -110,6 +116,9 @@ class NetworkTransport(Transport):
     def recover_node(self, node: int) -> None:
         """Bring ``node`` back up."""
         self.crashed.discard(node)
+
+    def node_is_down(self, node: int) -> bool:
+        return node in self.crashed
 
     def try_deliver(self, src_node: int, dst_node: int) -> float | None:
         self.attempts += 1
@@ -154,3 +163,6 @@ class LossyTransport(Transport):
 
     def timeout_interval(self, src_node: int, dst_node: int) -> float:
         return self.inner.timeout_interval(src_node, dst_node)
+
+    def node_is_down(self, node: int) -> bool:
+        return self.inner.node_is_down(node)

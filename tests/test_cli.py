@@ -67,3 +67,23 @@ class TestTraceCommand:
         names = {p.name for p in examples_dir().glob("*.py")}
         for name, _ in EXAMPLES:
             assert name in names
+
+
+class TestFaultInjectionFlags:
+    def test_trace_with_crash_and_recover_schedule(self, tmp_path, capsys):
+        out_file = tmp_path / "faulty.trace.json"
+        assert main([
+            "trace", "quickstart.py", "--out", str(out_file),
+            "--crash", "0.5:1", "--recover", "2.0:1",
+        ]) == 0
+        trace = json.loads(out_file.read_text())
+        assert validate_chrome_trace(trace) == []
+
+    def test_crash_spec_must_be_time_colon_node(self, capsys):
+        assert main(["trace", "quickstart.py", "--crash", "nonsense"]) == 2
+        assert main(["trace", "quickstart.py", "--crash", "0.5"]) == 2
+        assert main(["trace", "quickstart.py", "--crash", "x:1"]) == 2
+        assert main(["trace", "quickstart.py", "--recover", "1:y"]) == 2
+
+    def test_fault_flag_needs_value(self, capsys):
+        assert main(["trace", "quickstart.py", "--crash"]) == 2
