@@ -14,6 +14,11 @@ Commands
     ``--crash``/``--recover`` (repeatable) inject a node crash or
     recovery at virtual time ``T`` into every system the example
     builds — failure drills on unmodified examples.
+``check [--seeds N] [--walks N] [--explore N] [--inject NAME] ...``
+    Conformance sweep: co-execute generated scenarios against the
+    executable §5 reference model, diff observable state at every
+    quiescent boundary, and shrink any divergence to a replayable
+    ``.repro.json`` artifact (``--replay FILE`` re-runs one).
 ``version``
     Print the package version.
 """
@@ -218,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if command == "trace":
         return _trace(args[1:])
+    if command == "check":
+        from repro.check.cli import run_check
+
+        return run_check(args[1:])
     if command == "version":
         from repro import __version__
 

@@ -1,0 +1,43 @@
+"""Conformance harness: the runtime versus an executable §5 reference model.
+
+The optimized runtime (resolution caches, coordinator bus, failure
+quarantine, dead-letter redelivery) must be *observably equivalent* to the
+paper's §5 semantics under every schedule the simulation can produce.
+This package makes that claim executable:
+
+* :mod:`repro.check.model` — a deliberately naive reference model of §5:
+  visibility, matching, send/broadcast arbitration, suspension (§5.6),
+  cycle prevention (§5.7), and GC (§5.5), with no caches, no bus, no
+  failure layer.
+* :mod:`repro.check.scenario` — a JSON-serializable command-trace format
+  plus a seeded generator of interesting scenarios (nested spaces,
+  structured patterns, crash/recover windows, GC probes).
+* :mod:`repro.check.oracle` — co-executes runtime and model on one trace
+  and diffs observable state: delivery multisets, directory replicas,
+  park sets, dead letters, GC reachability.
+* :mod:`repro.check.schedule` — tie-breaking controllers over the event
+  queue: seeded random walks and bounded systematic exploration with
+  commuting-event pruning (DPOR-lite).
+* :mod:`repro.check.shrink` — a ddmin shrinker turning any diverging
+  trace into a minimal replayable ``.repro.json`` artifact.
+* :mod:`repro.check.cli` — the ``python -m repro check`` entry point.
+"""
+
+from .model import ReferenceModel
+from .oracle import ConformanceReport, check_scenario
+from .scenario import Scenario, generate_scenario, repair_commands
+from .schedule import Explorer, RandomTieBreaker, ScriptedTieBreaker
+from .shrink import shrink_scenario
+
+__all__ = [
+    "ConformanceReport",
+    "Explorer",
+    "RandomTieBreaker",
+    "ReferenceModel",
+    "Scenario",
+    "ScriptedTieBreaker",
+    "check_scenario",
+    "generate_scenario",
+    "repair_commands",
+    "shrink_scenario",
+]

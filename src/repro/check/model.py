@@ -1,0 +1,481 @@
+"""An executable reference model of the paper's §5 semantics.
+
+Deliberately naive: one flat name-keyed directory (no replicas, no bus,
+no epochs, no caches, no first-atom indexes), recursive pattern matching
+straight from the definitions, and explicit little lists for everything
+the paper calls state — parked messages (§5.6), persistent broadcasts,
+dead letters, acquaintances, GC roots (§5.5).  Every structure an
+optimization in the runtime could corrupt is recomputed from scratch
+here, which is the point: the oracle diffs the two.
+
+Three kinds of nondeterminism are *recorded from the runtime* rather than
+re-modelled, and validated instead of predicted:
+
+* the total order of visibility operations (the bus log) — the model
+  replays it and checks each op's accept/reject outcome by effect;
+* ``send`` arbitration — the model computes the legal receiver group and
+  checks the runtime's recorded choice is a member (§5.3 allows any);
+* quarantine masks — detector timing is scheduling-dependent, so the
+  oracle resyncs the per-replica masks at every boundary and the model
+  checks the *consequences* (resolution, suspension, release).
+
+Atom-level matching (globs, ``~regex``) reuses the runtime's
+:class:`AtomMatcher` values as shared vocabulary; everything structural —
+``/`` composition, ``**`` absorption, residual descent through nested
+spaces, scoping — is implemented independently by naive recursion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.patterns import AnySequence, AtomMatcher, parse_pattern
+
+#: Op kinds whose successful application can release parked messages.
+GROWTH_OPS = frozenset({"add_space", "make_visible", "change_attributes"})
+
+
+# ---------------------------------------------------------------------------
+# Naive sequence matching (independent of patterns._match_seq/_residuals)
+# ---------------------------------------------------------------------------
+
+def naive_match(matchers: tuple[AtomMatcher, ...], atoms: tuple[str, ...]) -> bool:
+    """Does the matcher sequence accept exactly ``atoms``?  Plain recursion."""
+    if not matchers:
+        return not atoms
+    head, rest = matchers[0], matchers[1:]
+    if isinstance(head, AnySequence):
+        return any(naive_match(rest, atoms[i:]) for i in range(len(atoms) + 1))
+    return bool(atoms) and head.matches(atoms[0]) and naive_match(rest, atoms[1:])
+
+
+def naive_residuals(
+    matchers: tuple[AtomMatcher, ...], atoms: tuple[str, ...]
+) -> list[tuple[AtomMatcher, ...]]:
+    """Non-empty matcher suffixes left after consuming ``atoms`` as a prefix."""
+    def walk(ms, ats):
+        if not ats:
+            return [ms]
+        if not ms:
+            return []
+        head, rest = ms[0], ms[1:]
+        out = []
+        if isinstance(head, AnySequence):
+            out += walk(rest, ats)       # ** absorbs nothing
+            out += walk(ms, ats[1:])     # ** absorbs one atom, stays
+        elif head.matches(ats[0]):
+            out += walk(rest, ats[1:])
+        return out
+
+    seen: set[tuple] = set()
+    result = []
+    for suffix in walk(tuple(matchers), tuple(atoms)):
+        if suffix and suffix not in seen:
+            seen.add(suffix)
+            result.append(suffix)
+    return result
+
+
+def _as_attr_tuples(attrs) -> frozenset[tuple[str, ...]]:
+    return frozenset(tuple(a.split("/")) for a in attrs)
+
+
+class ReferenceModel:
+    """§5 semantics over a name-keyed world.
+
+    ``addr_key`` maps a name to the runtime's address sort key, used only
+    where the paper-level semantics depend on an ordering the runtime
+    inherits from addresses (the primary scope of a multi-space
+    destination).
+    """
+
+    def __init__(self, nodes: int, unmatched: str, addr_key):
+        self.nodes = nodes
+        self.unmatched = unmatched  #: root-space policy
+        self.addr_key = addr_key
+        #: space name -> {target name -> frozenset of attr tuples}
+        self.registries: dict[str, dict[str, frozenset]] = {"ROOT": {}}
+        self.actors: dict[str, int] = {}       #: actor name -> home node
+        self.space_nodes: dict[str, int] = {"ROOT": 0}
+        self.crashed: set[int] = set()
+        #: Per-replica quarantine masks, resynced from the runtime at
+        #: boundaries (detector timing is schedule-dependent).
+        self.masks: dict[int, set[int]] = {n: set() for n in range(nodes)}
+        self.held: set[str] = {"ROOT"}
+        self.acquaintances: dict[str, set[str]] = {}
+        #: Suspended pattern messages, in park order, with their origin.
+        self.parked: list[dict] = []
+        #: Persistent broadcasts: command dict + mutable delivered set.
+        self.persistent: list[dict] = []
+        #: Dead letters per destination node: [(msg, target, ref)].
+        self.dead_letters: dict[int, list[tuple]] = {}
+        #: (msg, target) -> times routed (hops) / enqueued (deliveries).
+        self.routed: Counter = Counter()
+        self.delivered: Counter = Counter()
+        self.divergences: list[str] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _diverge(self, text: str) -> None:
+        self.divergences.append(text)
+
+    def _is_space(self, name: str) -> bool:
+        # Classification is by identity, not liveness: a destroyed space's
+        # name must never be mistaken for an actor's.
+        return name in self.space_nodes
+
+    def _policy(self, scope: str | None) -> str:
+        # Spaces created during a run get the paper-default manager; only
+        # the root space carries the scenario's configured policy.
+        if scope is None or scope == "ROOT":
+            return self.unmatched
+        return "suspend"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def add_actor(self, name: str, node: int) -> None:
+        self.actors[name] = node
+        self.acquaintances[name] = {"ROOT"}
+        self.held.add(name)
+
+    def note_space(self, name: str, node: int) -> None:
+        """Record the name->node binding; the registry itself appears when
+        the ADD_SPACE op comes through the recorded total order."""
+        self.space_nodes[name] = node
+        self.held.add(name)
+
+    def hold(self, name: str) -> None:
+        self.held.add(name)
+
+    def release(self, name: str) -> None:
+        self.held.discard(name)
+
+    # -- the recorded total order of visibility ops -------------------------
+
+    def apply_ops(self, ops: list[tuple[str, dict]], choice_for) -> None:
+        """Replay bus-log ops in sequence order; recheck after growth."""
+        for kind, args in ops:
+            if self._apply_op(kind, args) and kind in GROWTH_OPS:
+                self.recheck_parked(choice_for)
+
+    def _apply_op(self, kind: str, args: dict) -> bool:
+        """Apply one op; ``False`` means rejected (mirrors §5.4/§5.7)."""
+        if kind == "add_space":
+            name = args["name"]
+            if name in self.registries:
+                return False
+            self.registries[name] = {}
+            return True
+        if kind == "destroy_space":
+            name = args["name"]
+            if name not in self.registries:
+                return False
+            del self.registries[name]
+            for registry in self.registries.values():
+                registry.pop(name, None)
+            return True
+        if kind == "make_visible":
+            space, target = args["space"], args["target"]
+            if space not in self.registries:
+                return False
+            if self._is_space(target) and self.reaches(target, space):
+                return False  # §5.7: would close a containment cycle
+            self.registries[space][target] = _as_attr_tuples(args["attrs"])
+            return True
+        if kind == "make_invisible":
+            space = args["space"]
+            if space not in self.registries:
+                return False
+            self.registries[space].pop(args["target"], None)
+            return True
+        if kind == "change_attributes":
+            space, target = args["space"], args["target"]
+            if space not in self.registries:
+                return False
+            if target not in self.registries[space]:
+                return False
+            self.registries[space][target] = _as_attr_tuples(args["attrs"])
+            return True
+        if kind == "purge":
+            for registry in self.registries.values():
+                registry.pop(args["target"], None)
+            return True
+        if kind == "bind_capability":
+            return True
+        raise AssertionError(f"unknown op kind {kind!r}")
+
+    def reaches(self, start: str, goal: str) -> bool:
+        """Is ``goal`` equal to ``start`` or transitively visible inside it?"""
+        if start == goal:
+            return True
+        seen, stack = {start}, [start]
+        while stack:
+            for child in self.registries.get(stack.pop(), {}):
+                if not self._is_space(child):
+                    continue
+                if child == goal:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    # -- naive scoped resolution (§5.1, §7.1) -------------------------------
+
+    def resolve_actors(self, pattern, space: str, origin_node: int) -> set[str]:
+        matchers = parse_pattern(pattern).matchers
+        out: set[str] = set()
+        self._walk(matchers, space, origin_node, out, None, set())
+        return out
+
+    def resolve_spaces(self, pattern, space: str, origin_node: int) -> set[str]:
+        matchers = parse_pattern(pattern).matchers
+        out: set[str] = set()
+        self._walk(matchers, space, origin_node, None, out, set())
+        return out
+
+    def _walk(self, matchers, space, origin_node, actor_out, space_out, visited):
+        key = (space, matchers)
+        if key in visited:
+            return
+        visited.add(key)
+        registry = self.registries.get(space)
+        if registry is None:
+            return
+        mask = self.masks[origin_node]
+        for target, attrs in registry.items():
+            if self._is_space(target):
+                for attr in attrs:
+                    if space_out is not None and naive_match(matchers, attr):
+                        space_out.add(target)
+                    for residual in naive_residuals(matchers, attr):
+                        self._walk(residual, target, origin_node,
+                                   actor_out, space_out, visited)
+            elif actor_out is not None:
+                if (any(naive_match(matchers, attr) for attr in attrs)
+                        and self.actors.get(target) not in mask):
+                    actor_out.add(target)
+
+    def _dest_spaces(self, cmd: dict, origin_node: int) -> list[str]:
+        """The scope spaces of a destination (§5.3): explicit, default, or
+        pattern-based; ordered like the runtime orders addresses."""
+        if cmd.get("space_pattern"):
+            found = self.resolve_spaces(cmd["space_pattern"], "ROOT", origin_node)
+            return sorted(found, key=self.addr_key)
+        spec = cmd.get("space")
+        if spec is None:
+            return ["ROOT"]
+        return [spec] if spec in self.registries else []
+
+    # -- message dispatch (§5.3, §5.6) --------------------------------------
+
+    def dispatch(self, cmd: dict, choice_for) -> None:
+        """Model a ``send``/``bcast`` command issued at its origin node."""
+        origin = cmd["node"]
+        spaces = self._dest_spaces(cmd, origin)
+        receivers: set[str] = set()
+        for space in spaces:
+            receivers |= self.resolve_actors(cmd["pattern"], space, origin)
+        scope = spaces[0] if spaces else None
+        policy = self._policy(scope)
+        msg, ref = cmd["msg"], cmd.get("ref")
+        if not receivers:
+            self._park_unmatched(cmd, policy)
+            return
+        if cmd["op"] == "send":
+            choice = choice_for(msg)
+            if choice is None:
+                self._diverge(
+                    f"msg {msg}: model resolves {sorted(receivers)} but the "
+                    f"runtime routed nothing (wrongly parked or dropped?)"
+                )
+                return
+            if choice not in receivers:
+                self._diverge(
+                    f"msg {msg}: runtime arbitration chose {choice!r}, not in "
+                    f"the legal group {sorted(receivers)} (§5.3)"
+                )
+                if choice not in self.actors:
+                    return
+            self._deliver(choice, msg, ref)
+        else:
+            for target in receivers:
+                self._deliver(target, msg, ref)
+            if policy == "persistent":
+                self.persistent.append({"cmd": cmd, "delivered": set(receivers)})
+
+    def _park_unmatched(self, cmd: dict, policy: str) -> None:
+        if policy == "discard":
+            return
+        if policy == "persistent" and cmd["op"] == "bcast":
+            self.persistent.append({"cmd": cmd, "delivered": set()})
+            return
+        self.parked.append(cmd)
+
+    def direct_send(self, cmd: dict) -> None:
+        self._deliver(cmd["target"], cmd["msg"], cmd.get("ref"))
+
+    def _deliver(self, target: str, msg: int, ref: str | None) -> None:
+        """Route ``msg`` to ``target``: a hop always, then delivery or a
+        dead letter depending on the target node's health."""
+        self.routed[(msg, target)] += 1
+        node = self.actors[target]
+        if node in self.crashed:
+            self.dead_letters.setdefault(node, []).append((msg, target, ref))
+            return
+        self.delivered[(msg, target)] += 1
+        if ref is not None:
+            self.acquaintances[target].add(ref)
+
+    # -- suspension release (§5.6) ------------------------------------------
+
+    def recheck_parked(self, choice_for) -> None:
+        """Visibility grew (or a mask lifted): retry suspended messages and
+        extend persistent broadcasts, in park order.
+
+        Park sets live at the *origin* coordinator (§5.6 mechanics), so a
+        crashed origin's entries are frozen: nothing can release or extend
+        them until the node recovers and replays the missed ops.
+        """
+        still: list[dict] = []
+        for cmd in self.parked:
+            origin = cmd["node"]
+            if origin in self.crashed:
+                still.append(cmd)
+                continue
+            spaces = self._dest_spaces(cmd, origin)
+            receivers: set[str] = set()
+            for space in spaces:
+                receivers |= self.resolve_actors(cmd["pattern"], space, origin)
+            if not receivers:
+                still.append(cmd)
+                continue
+            msg, ref = cmd["msg"], cmd.get("ref")
+            if cmd["op"] == "send":
+                choice = choice_for(msg)
+                if choice is None:
+                    self._diverge(
+                        f"msg {msg}: model releases the parked send to "
+                        f"{sorted(receivers)} but the runtime kept it parked"
+                    )
+                    still.append(cmd)
+                    continue
+                if choice not in receivers:
+                    self._diverge(
+                        f"msg {msg}: released-send arbitration chose {choice!r}, "
+                        f"not in the legal group {sorted(receivers)}"
+                    )
+                self._deliver(choice, msg, ref)
+            else:
+                for target in receivers:
+                    self._deliver(target, msg, ref)
+                if self._policy(spaces[0] if spaces else None) == "persistent":
+                    self.persistent.append({"cmd": cmd, "delivered": set(receivers)})
+        self.parked = still
+        for entry in self.persistent:
+            cmd = entry["cmd"]
+            origin = cmd["node"]
+            if origin in self.crashed:
+                continue
+            receivers = set()
+            for space in self._dest_spaces(cmd, origin):
+                receivers |= self.resolve_actors(cmd["pattern"], space, origin)
+            for target in sorted(receivers - entry["delivered"]):
+                entry["delivered"].add(target)
+                self._deliver(target, cmd["msg"], cmd.get("ref"))
+
+    # -- failure (§2 open systems; PR 3 mechanics) --------------------------
+
+    def crash(self, node: int) -> None:
+        self.crashed.add(node)
+
+    def recover(self, node: int, choice_for) -> None:
+        self.crashed.discard(node)
+        for mask in self.masks.values():
+            mask.discard(node)
+        # The recovering replica drops its own stale masks for live peers.
+        self.masks[node] = {p for p in self.masks[node] if p in self.crashed}
+        # Lifted masks can make parked messages matchable again.
+        self.recheck_parked(choice_for)
+        # Dead letters for the node are redelivered (their routing choice
+        # was fixed when they were first routed).
+        for msg, target, ref in self.dead_letters.pop(node, []):
+            if self.actors[target] in self.crashed:
+                self.dead_letters.setdefault(self.actors[target], []).append(
+                    (msg, target, ref))
+                continue
+            self.delivered[(msg, target)] += 1
+            if ref is not None:
+                self.acquaintances[target].add(ref)
+
+    # -- GC (§5.5) ----------------------------------------------------------
+
+    def gc_pins(self) -> set[str]:
+        """Names pinned by pending messages: parked/persistent payload refs
+        and dead letters' targets and refs."""
+        pins: set[str] = set()
+        for cmd in self.parked:
+            if cmd.get("ref"):
+                pins.add(cmd["ref"])
+        for entry in self.persistent:
+            if entry["cmd"].get("ref"):
+                pins.add(entry["cmd"]["ref"])
+        for letters in self.dead_letters.values():
+            for _msg, target, ref in letters:
+                pins.add(target)
+                if ref:
+                    pins.add(ref)
+        return pins
+
+    def gc_report(self) -> tuple[set[str], set[str]]:
+        """(collected actors, collected spaces) under §5.5's rules."""
+        live_actors: set[str] = set()
+        live_spaces: set[str] = set()
+        stack = list(self.held | self.gc_pins())
+        while stack:
+            name = stack.pop()
+            if self._is_space(name):
+                if name in live_spaces or name not in self.registries:
+                    continue  # destroyed spaces contribute nothing (§5.5)
+                live_spaces.add(name)
+                stack.extend(self.registries[name])
+            elif name in self.actors:
+                if name in live_actors:
+                    continue
+                live_actors.add(name)
+                stack.extend(self.acquaintances.get(name, ()))
+        collected_actors = set(self.actors) - live_actors
+        collected_spaces = set(self.registries) - live_spaces
+        return collected_actors, collected_spaces
+
+    # -- observable exports --------------------------------------------------
+
+    def export_directory(self) -> dict:
+        """{space: {target: sorted attr strings}} — the §5 visibility state."""
+        return {
+            space: {
+                target: tuple(sorted("/".join(a) for a in attrs))
+                for target, attrs in registry.items()
+            }
+            for space, registry in self.registries.items()
+        }
+
+    def export_parked(self) -> dict[int, dict]:
+        """Per-origin park sets: suspended msg ids (ordered) and persistent
+        (msg, delivered frozenset) pairs."""
+        out: dict[int, dict] = {
+            n: {"suspended": [], "persistent": []} for n in range(self.nodes)
+        }
+        for cmd in self.parked:
+            out[cmd["node"]]["suspended"].append(cmd["msg"])
+        for entry in self.persistent:
+            out[entry["cmd"]["node"]]["persistent"].append(
+                (entry["cmd"]["msg"], frozenset(entry["delivered"]))
+            )
+        return out
+
+    def export_dead_letters(self) -> dict[int, list]:
+        return {
+            node: sorted((msg, target) for msg, target, _ in letters)
+            for node, letters in self.dead_letters.items() if letters
+        }

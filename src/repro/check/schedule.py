@@ -1,0 +1,146 @@
+"""Schedule control: steering the event queue's nondeterminism points.
+
+The simulation is deterministic once seeded, but the *semantics* must
+hold for every legal ordering of same-instant events: which of two
+deliveries lands first, which coordinator's op reaches the sequencer
+first, whether a detector tick observes a delivery or precedes it.  The
+event queue exposes exactly that freedom through its ``tiebreaker`` hook
+(:class:`~repro.runtime.events.EventQueue`): when several events tie on
+``(time, priority)``, the tiebreaker picks which runs next from their
+schedule tags.
+
+Two controllers live here:
+
+* :class:`RandomTieBreaker` — seeded random walks over the schedule
+  space: cheap, surprisingly effective at shaking out order bugs.
+* :class:`ScriptedTieBreaker` — replays a decision prefix, records the
+  full decision ``trail``; :class:`Explorer` uses it for bounded
+  DFS over decision prefixes (stateless model checking).
+
+Both consult the tiebreak point only when the tied events can actually
+*conflict* (DPOR-lite): deliveries to different actors commute, as do
+already-sequenced bus applications — reordering those cannot change any
+observable, so exploring both orders is pure waste.  The conflict
+classifier errs toward "commutes" for pairs the runtime demonstrably
+serializes elsewhere (the hold-back queue, per-actor mailbox FIFO).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Tag kinds whose same-kind ties always conflict (they race for a
+#: global order: arrival order at the sequencer / around the ring).
+_ALWAYS_CONFLICT = {"bus_seq", "bus_token"}
+
+
+def _pair_conflicts(a, b) -> bool:
+    if a is None or b is None:
+        return True  # untagged events: assume the worst
+    ka, kb = a[0], b[0]
+    if ka in _ALWAYS_CONFLICT and ka == kb:
+        return True
+    # Deliveries/processing racing for the same mailbox order.
+    if ka in ("deliver", "process") and kb in ("deliver", "process"):
+        return a[1] == b[1]
+    # A detector tick racing op application: masking interleaves with
+    # parked-message rechecks.
+    if {ka, kb} == {"detector", "bus"}:
+        return True
+    return False
+
+
+def conflicting(tags) -> bool:
+    """Do any two of these tied events fail to commute?"""
+    for i, a in enumerate(tags):
+        for b in tags[i + 1:]:
+            if _pair_conflicts(a, b):
+                return True
+    return False
+
+
+class RandomTieBreaker:
+    """A seeded random walk over the schedule space."""
+
+    def __init__(self, seed: int):
+        self.rng = np.random.default_rng(seed)
+        self.decisions = 0  #: conflict sites actually randomized
+
+    def choose(self, tags) -> int:
+        if not conflicting(tags):
+            return 0
+        self.decisions += 1
+        return int(self.rng.integers(0, len(tags)))
+
+
+class ScriptedTieBreaker:
+    """Replays a decision prefix, then defaults to FIFO; records the trail.
+
+    ``trail`` holds one ``(n_options, chosen)`` pair per *conflict* site,
+    in order — the alphabet the :class:`Explorer` branches over.
+    """
+
+    def __init__(self, decisions=()):
+        self._pending = list(decisions)
+        self.trail: list[tuple[int, int]] = []
+
+    def choose(self, tags) -> int:
+        if not conflicting(tags):
+            return 0
+        if self._pending:
+            chosen = self._pending.pop(0)
+            if not 0 <= chosen < len(tags):
+                chosen = 0
+        else:
+            chosen = 0
+        self.trail.append((len(tags), chosen))
+        return chosen
+
+
+class Explorer:
+    """Bounded systematic exploration over decision prefixes.
+
+    Depth-first: run a schedule, then branch on every conflict site the
+    run exposed beyond its scripted prefix.  Equivalent to stateless
+    model checking with the commuting-delivery pruning baked into the
+    tiebreakers (sites that never conflict never enter the trail, so
+    they are never branched on).
+
+    ``run_fn(tiebreaker)`` must return an object with an ``ok``
+    attribute (a :class:`~repro.check.oracle.ConformanceReport`).
+    """
+
+    def __init__(self, run_fn, max_schedules: int = 64, deadline=None):
+        self.run_fn = run_fn
+        self.max_schedules = max_schedules
+        self.deadline = deadline  #: optional () -> bool, True = stop now
+        self.schedules_run = 0
+
+    def explore(self):
+        """Returns ``(first_failing_report_or_None, schedules_run)``."""
+        stack: list[list[int]] = [[]]
+        seen: set[tuple[int, ...]] = {()}
+        while stack and self.schedules_run < self.max_schedules:
+            if self.deadline is not None and self.deadline():
+                break
+            prefix = stack.pop()
+            breaker = ScriptedTieBreaker(prefix)
+            report = self.run_fn(breaker)
+            self.schedules_run += 1
+            if not report.ok:
+                # The full decision trail replays this schedule exactly.
+                report.schedule_decisions = [c for _n, c in breaker.trail]
+                return report, self.schedules_run
+            taken = [chosen for _n, chosen in breaker.trail]
+            # Branch on every conflict site at or beyond this prefix.
+            for site in range(len(prefix), len(breaker.trail)):
+                n_options, chosen = breaker.trail[site]
+                for alt in range(n_options):
+                    if alt == chosen:
+                        continue
+                    candidate = taken[:site] + [alt]
+                    key = tuple(candidate)
+                    if key not in seen:
+                        seen.add(key)
+                        stack.append(candidate)
+        return None, self.schedules_run

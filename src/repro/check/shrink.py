@@ -1,0 +1,91 @@
+"""Divergence shrinking: delta-debugging a failing command trace.
+
+Given a scenario the oracle rejects, find a (locally) minimal command
+subsequence that still diverges — small enough to read, small enough to
+turn into a regression test.  Classic ddmin over the command list, then
+a one-at-a-time minimization pass.
+
+Soundness relies on two properties of the surrounding machinery:
+
+* any subsequence of commands is repaired into a well-formed trace by
+  :func:`~repro.check.scenario.repair_commands` (dangling references
+  dropped, crash/recover invariants restored), deterministically;
+* the oracle settles at command-class transitions automatically, so
+  deleting a command never silently changes the boundary discipline of
+  the ones that remain.
+
+``check_fn`` must be deterministic for a fixed command list — the caller
+bakes the schedule controller (fresh per invocation) into it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .scenario import Scenario, repair_commands
+
+
+def _key(commands: list) -> str:
+    return json.dumps(commands, sort_keys=True)
+
+
+def shrink_scenario(scenario: Scenario, check_fn, max_checks: int = 400):
+    """Minimize ``scenario`` while ``check_fn`` keeps failing on it.
+
+    ``check_fn(scenario) -> ConformanceReport``; a scenario "fails" when
+    the report's ``ok`` is false.  Returns ``(shrunk_scenario, checks)``
+    where the shrunk scenario's commands are already repaired.  If the
+    input doesn't fail (flaky under the supplied schedule), it is
+    returned unchanged.
+    """
+    cache: dict[str, bool] = {}
+    checks = 0
+
+    def fails(commands: list) -> bool:
+        nonlocal checks
+        repaired = repair_commands(scenario.nodes, commands)
+        key = _key(repaired)
+        if key in cache:
+            return cache[key]
+        if checks >= max_checks:
+            return False  # budget exhausted: treat as passing, keep current
+        checks += 1
+        verdict = not check_fn(scenario.with_commands(repaired)).ok
+        cache[key] = verdict
+        return verdict
+
+    best = repair_commands(scenario.nodes, list(scenario.commands))
+    if not fails(best):
+        return scenario, checks
+
+    # -- ddmin: remove chunks at increasing granularity ---------------------
+    granularity = 2
+    while len(best) >= 2:
+        chunk = max(1, len(best) // granularity)
+        shrunk = False
+        start = 0
+        while start < len(best):
+            candidate = best[:start] + best[start + chunk:]
+            if candidate and fails(candidate):
+                best = repair_commands(scenario.nodes, candidate)
+                shrunk = True
+                # Stay at the same start: the next chunk slid into place.
+            else:
+                start += chunk
+        if shrunk:
+            granularity = max(granularity - 1, 2)
+        elif granularity >= len(best):
+            break
+        else:
+            granularity = min(len(best), granularity * 2)
+
+    # -- 1-minimal polish: no single command can be dropped -----------------
+    index = 0
+    while index < len(best):
+        candidate = best[:index] + best[index + 1:]
+        if candidate and fails(candidate):
+            best = repair_commands(scenario.nodes, candidate)
+        else:
+            index += 1
+
+    return scenario.with_commands(best), checks

@@ -169,6 +169,38 @@ class Directory:
             return False
         return self.reaches(target, space)  # type: ignore[arg-type]
 
+    def find_cycle(self) -> list[SpaceAddress] | None:
+        """Search the visibility relation for a containment cycle.
+
+        Returns one cycle as ``[s0, s1, ..., s0]`` or ``None`` when the
+        relation is acyclic.  §5.7 promises the answer is always ``None``
+        — this is the audit the property tests run after arbitrary op
+        sequences; it is not on any hot path.
+        """
+        colors: dict[SpaceAddress, int] = {}  # 1 = on stack, 2 = done
+
+        def visit(space: SpaceAddress, trail: list[SpaceAddress]):
+            colors[space] = 1
+            trail.append(space)
+            for child in self.contained_spaces(space):
+                state = colors.get(child)
+                if state == 1:
+                    return trail[trail.index(child):] + [child]
+                if state is None:
+                    found = visit(child, trail)
+                    if found is not None:
+                        return found
+            trail.pop()
+            colors[space] = 2
+            return None
+
+        for rec in list(self.spaces()):
+            if rec.address not in colors:
+                found = visit(rec.address, [])
+                if found is not None:
+                    return found
+        return None
+
     # -- visibility operations --------------------------------------------------------
 
     def make_visible(

@@ -174,6 +174,7 @@ class Bus:
                 self.clock.now + latency,
                 (lambda n=node, s=seq, o=op: self.deliver(n, s, o)),
                 priority=BUS_PRIORITY,
+                tag=("bus", node),
             )
         return count
 
@@ -222,6 +223,7 @@ class Bus:
                 self.clock.now + latency,
                 (lambda n=node, s=seq, o=op: self.deliver(n, s, o)),
                 priority=BUS_PRIORITY,
+                tag=("bus", node),
             )
 
 
@@ -279,6 +281,7 @@ class SequencerBus(Bus):
             self.clock.now + latency,
             lambda: self._at_sequencer(op),
             priority=BUS_PRIORITY,
+            tag=("bus_seq",),
         )
 
     def _at_sequencer(self, op: VisibilityOp) -> None:
@@ -328,7 +331,8 @@ class SequencerBus(Bus):
             return
         self._redrive_scheduled = True
         self.events.schedule(
-            self.clock.now + delay, self._redrive, priority=BUS_PRIORITY
+            self.clock.now + delay, self._redrive, priority=BUS_PRIORITY,
+            tag=("bus_ctl",),
         )
 
     def _redrive(self) -> None:
@@ -397,6 +401,7 @@ class TokenRingBus(Bus):
                 self.clock.now + self.hold_time,
                 self._token_arrives,
                 priority=BUS_PRIORITY,
+                tag=("bus_token",),
             )
 
     def _token_arrives(self) -> None:
@@ -439,6 +444,7 @@ class TokenRingBus(Bus):
                 self.clock.now + hop + self.hold_time,
                 self._token_arrives,
                 priority=BUS_PRIORITY,
+                tag=("bus_token",),
             )
         else:
             self._token_started = False

@@ -527,6 +527,7 @@ class Coordinator:
             system.clock.now + latency,
             lambda: system.coordinators[dst_node]._deliver(envelope),
             priority=ACTOR_PRIORITY,
+            tag=("deliver", target),
         )
 
     def _deliver(self, envelope: Envelope) -> None:
@@ -582,6 +583,7 @@ class Coordinator:
             system.clock.now + system.processing_delay,
             lambda: self._process_next(record),
             priority=ACTOR_PRIORITY,
+            tag=("process", record.address),
         )
 
     def _process_next(self, record: ActorRecord) -> None:
@@ -626,6 +628,17 @@ class Coordinator:
 
     def local_actor_addresses(self) -> Iterable[ActorAddress]:
         return self.actors.keys()
+
+    def export_parked(self) -> dict:
+        """Observable park-set state for conformance checking (§5.6).
+
+        Returns shallow copies: ``suspended`` envelopes in park order and
+        ``persistent`` as ``(envelope, frozenset(delivered_to))`` pairs.
+        """
+        return {
+            "suspended": list(self.suspended),
+            "persistent": [(env, frozenset(done)) for env, done in self.persistent],
+        }
 
     def __repr__(self):
         return (

@@ -102,7 +102,7 @@ class FailureDetector:
             self._running = True
             self.system.events.schedule(
                 self.system.clock.now + self.interval, self._tick,
-                priority=BUS_PRIORITY,
+                priority=BUS_PRIORITY, tag=("detector",),
             )
         return self
 
@@ -154,7 +154,8 @@ class FailureDetector:
                     system._on_node_confirmed_down(peer)
         if now + self.interval <= self._deadline:
             system.events.schedule(
-                now + self.interval, self._tick, priority=BUS_PRIORITY
+                now + self.interval, self._tick, priority=BUS_PRIORITY,
+                tag=("detector",),
             )
         else:
             self._running = False
@@ -293,6 +294,7 @@ class DeadLetterQueue:
             self.system.clock.now + delay,
             lambda: self._redeliver(letter),
             priority=ACTOR_PRIORITY,
+            tag=("dlq", letter.dst_node),
         )
 
     def _redeliver(self, letter: DeadLetter) -> None:
@@ -325,6 +327,21 @@ class DeadLetterQueue:
         if node is not None:
             return len(self._queues.get(node, ()))
         return sum(len(q) for q in self._queues.values())
+
+    def letters(self):
+        """Iterate every parked :class:`DeadLetter` (all destinations).
+
+        Parked letters pin their envelope's addresses against garbage
+        collection (§5.5: a letter still awaiting redelivery is a pending
+        message), so the GC scan walks this.
+        """
+        for queue in self._queues.values():
+            yield from queue
+
+    def export_pending(self) -> dict[int, list[DeadLetter]]:
+        """Parked letters per destination node (shallow copies) for
+        conformance checking."""
+        return {node: list(queue) for node, queue in self._queues.items() if queue}
 
     def __len__(self) -> int:
         return self.pending()

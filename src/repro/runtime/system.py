@@ -331,17 +331,21 @@ class ActorSpaceSystem:
         self.bus.on_node_down(node)
 
     def recover_node(self, node: int) -> None:
-        """Bring a crashed node back (its actors remain dead).
+        """Bring a crashed node back; its actors resume where they stopped.
 
         Recovery is the self-healing hinge: the bus replays the missed
         visibility ops from its log (state transfer), every replica
-        lifts its quarantine mask for the node, the failure detector
+        lifts its quarantine mask for the node and reconsiders parked
+        messages the mask was hiding matches from, the failure detector
         forgets its verdicts, the bus resumes work parked on the node,
-        and dead letters captured for it are redelivered with backoff.
+        dead letters captured for it are redelivered with backoff, and
+        mailbox backlogs accepted before the crash restart processing.
         """
-        self.coordinators[node].crashed = False
+        recovered = self.coordinators[node]
+        recovered.crashed = False
         self._network_transport.recover_node(node)  # type: ignore[attr-defined]
-        self.bus.replay_to(node, self.coordinators[node]._next_apply_seq)
+        self.bus.replay_to(node, recovered._next_apply_seq)
+        unmasked: list[Coordinator] = []
         for coordinator in self.coordinators:
             if node in coordinator.directory.quarantined_nodes:
                 coordinator.directory.unquarantine_node(node)
@@ -349,16 +353,33 @@ class ActorSpaceSystem:
                     "unquarantined", coordinator.node_id, self.clock.now,
                     target_node=node,
                 )
+                unmasked.append(coordinator)
         # The recovering replica may itself hold stale masks for peers
         # that came back while it was down.
-        own = self.coordinators[node].directory
+        own = recovered.directory
         for peer in list(own.quarantined_nodes):
             if not self.transport.node_is_down(peer):
                 own.unquarantine_node(peer)
+                if recovered not in unmasked:
+                    unmasked.append(recovered)
+        # Lifting a mask can make a parked message matchable again (§5.6):
+        # the node's actors were only hidden, not unregistered, so every
+        # coordinator that unmasked must reconsider what it parked.
+        # (Masks change outside the bus, so the op-apply recheck never
+        # sees this transition.)
+        for coordinator in unmasked:
+            if not coordinator.crashed:
+                coordinator._recheck_parked()
         if self.failure_detector is not None:
             self.failure_detector.on_node_recovered(node)
         self.bus.on_node_recovered(node)
         self.dead_letters.flush(node)
+        # Mail accepted before the crash is still queued; processing
+        # events were swallowed while ``crashed`` was set, so restart the
+        # pump for every actor with a backlog.
+        for record in recovered.actors.values():
+            if not record.terminated and not record.mailbox.is_empty:
+                recovered._schedule_processing(record)
 
     def start_failure_detector(
         self,
@@ -472,6 +493,27 @@ class ActorSpaceSystem:
         """
         return export_chrome_trace(self.event_log, path)
 
+    def export_observables(self) -> dict:
+        """One coherent dump of the observable state the paper specifies.
+
+        Consumed by the conformance oracle (``repro.check``) at trace
+        boundaries; everything here is defined by §5 semantics, not by
+        implementation detail: per-replica directory snapshots and
+        quarantine masks, per-origin park sets (§5.6), parked dead
+        letters, and which nodes are crashed.
+        """
+        return {
+            "directories": {
+                c.node_id: c.directory.snapshot() for c in self.coordinators
+            },
+            "masks": {
+                c.node_id: c.directory.quarantined_nodes for c in self.coordinators
+            },
+            "parked": {c.node_id: c.export_parked() for c in self.coordinators},
+            "dead_letters": self.dead_letters.export_pending(),
+            "crashed": {c.node_id for c in self.coordinators if c.crashed},
+        }
+
     def metrics_snapshot(self) -> dict:
         """Plain-data dump of every registered metric, plus live gauges."""
         for coordinator in self.coordinators:
@@ -496,9 +538,15 @@ class ActorSpaceSystem:
     def collect_garbage(self, delete: bool = True) -> GcReport:
         """Run a collection cycle over the whole system (driver privilege).
 
-        Marks from the held roots and in-flight messages, per section 5.5.
-        With ``delete=True`` collected actors are terminated and purged
-        from every registry, and collected spaces destroyed.
+        Marks from the held roots and every *pending* message, per
+        section 5.5: "an actor may be garbage collected if ... no
+        messages containing its mail address are pending."  Pending
+        covers more than the in-flight map — suspended and persistent
+        envelopes parked at their origin coordinator (§5.6) and dead
+        letters awaiting redelivery are all still undelivered messages,
+        so the addresses they carry pin their referents too.  With
+        ``delete=True`` collected actors are terminated and purged from
+        every registry, and collected spaces destroyed.
         """
         acquaintances: dict[ActorAddress, set[MailAddress]] = {}
         all_actors: list[ActorAddress] = []
@@ -511,8 +559,8 @@ class ActorSpaceSystem:
                 if not record.mailbox.is_empty:
                     active.append(address)
             acquaintances.update(coordinator.acquaintances)
-        in_flight: set[MailAddress] = set()
-        for envelope in self.in_flight.values():
+
+        def pin(envelope: Envelope) -> None:
             if envelope.target is not None:
                 in_flight.add(envelope.target)
             if envelope.sender is not None:
@@ -520,6 +568,17 @@ class ActorSpaceSystem:
             in_flight.update(scan_addresses(envelope.message.payload))
             if envelope.message.reply_to is not None:
                 in_flight.add(envelope.message.reply_to)
+
+        in_flight: set[MailAddress] = set()
+        for envelope in self.in_flight.values():
+            pin(envelope)
+        for coordinator in self.coordinators:
+            for envelope in coordinator.suspended:
+                pin(envelope)
+            for envelope, _delivered in coordinator.persistent:
+                pin(envelope)
+        for letter in self.dead_letters.letters():
+            pin(letter.envelope)
 
         directory = self.coordinators[0].directory
         collector = GarbageCollector(directory, acquaintances)

@@ -1,0 +1,140 @@
+"""Property tests: §5.7 acyclicity and §5.5 GC safety.
+
+Randomized op sequences (seeded, so failures replay) against two
+invariants the paper states flatly:
+
+* no sequence of visibility operations ever creates a containment cycle
+  (§5.7 — checked with :meth:`Directory.find_cycle`, an independent
+  audit, not the ``would_cycle`` guard the runtime itself uses);
+* garbage collection never collects an actor whose address is carried by
+  a pending message — suspended, persistent, or dead-lettered (§5.5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ActorSpaceError
+from repro.core.gc import scan_addresses
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def lan(nodes=3, seed=0, **kw):
+    return ActorSpaceSystem(topology=Topology.lan(nodes), seed=seed, **kw)
+
+
+ATOMS = ["svc", "db", "web", "img", "job"]
+
+
+class TestNoVisibilityCycles:
+    """§5.7: the visibility relation stays a DAG under arbitrary churn."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_op_sequences_stay_acyclic(self, seed):
+        rng = np.random.default_rng(seed)
+        system = lan(seed=seed)
+        spaces = [system.root_space]
+        for _ in range(4):
+            spaces.append(system.create_space(node=int(rng.integers(0, 3))))
+        system.run()
+        for _ in range(60):
+            kind = rng.choice(["vis", "invis", "chattr"])
+            target = spaces[int(rng.integers(0, len(spaces)))]
+            parent = spaces[int(rng.integers(0, len(spaces)))]
+            attrs = "/".join(rng.choice(ATOMS)
+                             for _ in range(int(rng.integers(1, 3))))
+            try:
+                if kind == "vis":
+                    system.make_visible(target, attrs, parent)
+                elif kind == "invis":
+                    system.make_invisible(target, parent)
+                else:
+                    system.change_attributes(target, attrs, parent)
+            except ActorSpaceError:
+                pass  # rejected ops (cycles, unknown entries) are the point
+            system.run()
+            for coordinator in system.coordinators:
+                cycle = coordinator.directory.find_cycle()
+                assert cycle is None, (
+                    f"seed {seed}: replica {coordinator.node_id} holds a "
+                    f"containment cycle {cycle}")
+
+    def test_find_cycle_detects_a_planted_cycle(self):
+        """The auditor itself must not be vacuous: plant a cycle by
+        bypassing the guard and confirm it is reported."""
+        system = lan()
+        s1 = system.create_space()
+        s2 = system.create_space()
+        system.make_visible(s1, "outer")          # root -> s1
+        system.make_visible(s2, "inner", s1)      # s1 -> s2
+        system.run()
+        directory = system.coordinators[0].directory
+        # Forge s2 -> s1 directly in the registry, dodging would_cycle.
+        record = directory.space(s2)
+        record.register(s1, ["forged"])
+        cycle = directory.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert s1 in cycle and s2 in cycle
+
+
+class TestGcNeverCollectsPinnedActors:
+    """§5.5: pending messages pin every address they carry."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_parked_message_refs_survive_random_gc(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        system = lan(seed=seed)
+        actors = []
+        for i in range(6):
+            addr = system.create_actor(lambda ctx, m: None,
+                                       node=int(rng.integers(0, 3)))
+            system.release(addr)  # collectible unless §5.5 pins it
+            actors.append(addr)
+        # A couple of visible actors so some sends match and some park.
+        for addr in actors[:2]:
+            system.make_visible(addr, "svc/" + str(addr.node))
+        system.run()
+        for _ in range(10):
+            ref = actors[int(rng.integers(0, len(actors)))]
+            pattern = rng.choice(["svc/*", "void/*"])
+            system.send(str(pattern), {"ref": ref},
+                        node=int(rng.integers(0, 3)))
+        system.run()
+        pinned = set()
+        for coordinator in system.coordinators:
+            for envelope in coordinator.suspended:
+                pinned.update(scan_addresses(envelope.message.payload))
+            for envelope, _done in coordinator.persistent:
+                pinned.update(scan_addresses(envelope.message.payload))
+        report = system.collect_garbage(delete=False)
+        collected = set(report.collected_actors)
+        assert not pinned & collected, (
+            f"seed {seed}: GC would collect actors referenced from parked "
+            f"messages: {pinned & collected}")
+
+    def test_dead_letter_refs_survive_gc(self):
+        """Addresses inside dead letters pin their referents too."""
+        system = lan()
+        target = system.create_actor(lambda ctx, m: None, node=2)
+        ref = system.create_actor(lambda ctx, m: None, node=1)
+        system.release(target)
+        system.release(ref)
+        system.run()
+        system.crash_node(2)
+        system.send_to(target, {"ref": ref})
+        system.run()
+        assert len(system.dead_letters) == 1
+        report = system.collect_garbage(delete=False)
+        collected = set(report.collected_actors)
+        assert target not in collected  # the letter's destination
+        assert ref not in collected     # the address in its payload
+
+    def test_unpinned_actor_is_still_collectible(self):
+        """The invariant must not be satisfied vacuously."""
+        system = lan()
+        addr = system.create_actor(lambda ctx, m: None)
+        system.release(addr)
+        system.run()
+        report = system.collect_garbage(delete=False)
+        assert addr in set(report.collected_actors)

@@ -1,0 +1,205 @@
+"""Tests: the executable §5 reference model (`repro.check.model`).
+
+The model is deliberately naive; these tests pin it against the core
+implementation (pattern matching, residuals) and against the paper's
+clauses directly (arbitration §5.3, GC §5.5, suspension §5.6, cycle
+prevention §5.7), so a bug in the *oracle's* semantics cannot silently
+absorb a bug in the runtime's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.model import (
+    ReferenceModel,
+    naive_match,
+    naive_residuals,
+)
+from repro.core.patterns import parse_pattern
+
+ATOMS = ["svc", "db", "web", "img", "job", "aux"]
+PATTERN_ATOMS = ATOMS + ["*", "**", "s*", "~d.*"]
+
+
+def random_pattern(rng) -> str:
+    n = int(rng.integers(1, 5))
+    return "/".join(rng.choice(PATTERN_ATOMS) for _ in range(n))
+
+
+def random_path(rng) -> tuple[str, ...]:
+    n = int(rng.integers(1, 5))
+    return tuple(rng.choice(ATOMS) for _ in range(n))
+
+
+class TestNaiveMatchEquivalence:
+    """The model's plain-recursion matcher must agree with the core."""
+
+    def test_random_patterns_agree_with_core(self):
+        rng = np.random.default_rng(7)
+        for _ in range(500):
+            pattern = parse_pattern(random_pattern(rng))
+            path = random_path(rng)
+            expected = pattern.matches("/".join(path))
+            assert naive_match(pattern.matchers, path) == expected, (
+                f"{pattern!r} vs {path}")
+
+    def test_multi_wildcard_edges(self):
+        cases = [
+            ("**", ("svc",), True),
+            ("**", ("svc", "db", "web"), True),
+            ("**/db", ("db",), True),
+            ("**/db", ("svc", "db"), True),
+            ("**/db", ("db", "svc"), False),
+            ("svc/**/db", ("svc", "db"), True),
+            ("svc/**/db", ("svc", "x", "y", "db"), True),
+            ("**/**", ("svc",), True),
+            ("s*/*", ("svc", "db"), True),
+            ("s*/*", ("db", "svc"), False),
+            ("~d.*", ("db",), True),
+            ("~d.*", ("svc",), False),
+        ]
+        for text, path, expected in cases:
+            pattern = parse_pattern(text)
+            assert naive_match(pattern.matchers, path) == expected, text
+
+    def test_residuals_agree_with_core_after_prefix(self):
+        rng = np.random.default_rng(11)
+        for _ in range(300):
+            pattern = parse_pattern(random_pattern(rng))
+            prefix = random_path(rng)[: int(rng.integers(1, 3))]
+            core = {r.matchers for r in pattern.after_prefix("/".join(prefix))}
+            naive = set(naive_residuals(pattern.matchers, prefix))
+            assert naive == core, f"{pattern!r} after {prefix}"
+
+
+def model(nodes=2, unmatched="suspend"):
+    return ReferenceModel(nodes=nodes, unmatched=unmatched, addr_key=lambda n: n)
+
+
+class TestVisibilityOps:
+    def test_add_space_and_resolution(self):
+        m = model()
+        m.add_actor("a0", 0)
+        m.apply_ops([("make_visible", {"space": "ROOT", "target": "a0",
+                                       "attrs": ["svc/db"]})],
+                    choice_for=lambda msg: None)
+        pattern = parse_pattern("svc/*")
+        assert m.resolve_actors(pattern, "ROOT", origin_node=0) == {"a0"}
+        assert m.resolve_actors(parse_pattern("web"), "ROOT", 0) == set()
+
+    def test_cycle_rejected(self):
+        m = model()
+        m.note_space("s1", 0)
+        m.note_space("s2", 0)
+        ops = [
+            ("add_space", {"name": "s1"}),
+            ("add_space", {"name": "s2"}),
+            ("make_visible", {"space": "s1", "target": "s2",
+                              "attrs": ["inner"]}),
+            # s1 inside s2 would close the loop: must be rejected (§5.7).
+            ("make_visible", {"space": "s2", "target": "s1",
+                              "attrs": ["outer"]}),
+        ]
+        m.apply_ops(ops, choice_for=lambda msg: None)
+        assert m.reaches("s1", "s2")
+        assert not m.reaches("s2", "s1")
+        assert "s1" not in m.registries["s2"]
+
+    def test_destroy_removes_entries_everywhere(self):
+        m = model()
+        m.note_space("s1", 0)
+        m.add_actor("a0", 0)
+        m.apply_ops([
+            ("add_space", {"name": "s1"}),
+            ("make_visible", {"space": "ROOT", "target": "s1",
+                              "attrs": ["sub"]}),
+            ("make_visible", {"space": "s1", "target": "a0",
+                              "attrs": ["svc"]}),
+            ("destroy_space", {"name": "s1"}),
+        ], choice_for=lambda msg: None)
+        assert "s1" not in m.registries
+        assert "s1" not in m.registries["ROOT"]
+        assert m.resolve_actors(parse_pattern("sub/svc"), "ROOT", 0) == set()
+
+
+class TestDispatchAndSuspension:
+    def test_send_arbitration_validates_membership(self):
+        m = model()
+        for name in ("a0", "a1"):
+            m.add_actor(name, 0)
+            m.apply_ops([("make_visible", {"space": "ROOT", "target": name,
+                                           "attrs": ["svc"]})],
+                        choice_for=lambda msg: None)
+        cmd = {"op": "send", "pattern": "svc", "space": None,
+               "space_pattern": None, "node": 0, "msg": 1, "ref": None}
+        m.dispatch(cmd, choice_for=lambda msg: "a1")
+        assert m.divergences == []
+        assert m.delivered[(1, "a1")] == 1
+        # A receiver outside the legal group is a §5.3 violation.
+        m.dispatch(dict(cmd, msg=2), choice_for=lambda msg: "ghost")
+        assert any("5.3" in d for d in m.divergences)
+
+    def test_unmatched_send_parks_then_releases(self):
+        m = model()
+        m.add_actor("a0", 0)
+        cmd = {"op": "send", "pattern": "late", "space": None,
+               "space_pattern": None, "node": 0, "msg": 5, "ref": None}
+        m.dispatch(cmd, choice_for=lambda msg: None)
+        assert len(m.parked) == 1
+        m.apply_ops([("make_visible", {"space": "ROOT", "target": "a0",
+                                       "attrs": ["late"]})],
+                    choice_for=lambda msg: "a0")
+        assert m.parked == []
+        assert m.delivered[(5, "a0")] == 1
+
+    def test_discard_policy_drops(self):
+        m = model(unmatched="discard")
+        m.dispatch({"op": "send", "pattern": "none", "space": None,
+                    "space_pattern": None, "node": 0, "msg": 9, "ref": None},
+                   choice_for=lambda msg: None)
+        assert m.parked == [] and not m.persistent
+
+    def test_crashed_origin_parked_entries_freeze(self):
+        """A crashed origin's park set is frozen until it recovers (§5.6)."""
+        m = model()
+        m.add_actor("a0", 0)
+        m.dispatch({"op": "send", "pattern": "late", "space": None,
+                    "space_pattern": None, "node": 1, "msg": 3, "ref": None},
+                   choice_for=lambda msg: None)
+        m.crash(1)
+        m.apply_ops([("make_visible", {"space": "ROOT", "target": "a0",
+                                       "attrs": ["late"]})],
+                    choice_for=lambda msg: "a0")
+        assert len(m.parked) == 1  # origin down: not released
+        m.recover(1, choice_for=lambda msg: "a0")
+        assert m.parked == []
+        assert m.delivered[(3, "a0")] == 1
+
+
+class TestGarbageCollection:
+    def test_parked_ref_pins_actor(self):
+        m = model()
+        m.add_actor("a0", 0)
+        m.release("a0")
+        m.dispatch({"op": "send", "pattern": "none", "space": None,
+                    "space_pattern": None, "node": 0, "msg": 1, "ref": "a0"},
+                   choice_for=lambda msg: None)
+        dead_actors, dead_spaces = m.gc_report()
+        assert "a0" not in dead_actors
+
+    def test_unreferenced_invisible_actor_collected(self):
+        m = model()
+        m.add_actor("a0", 0)
+        m.release("a0")
+        dead_actors, _ = m.gc_report()
+        assert "a0" in dead_actors
+
+    def test_visible_actor_survives(self):
+        m = model()
+        m.add_actor("a0", 0)
+        m.release("a0")
+        m.apply_ops([("make_visible", {"space": "ROOT", "target": "a0",
+                                       "attrs": ["svc"]})],
+                    choice_for=lambda msg: None)
+        dead_actors, _ = m.gc_report()
+        assert "a0" not in dead_actors

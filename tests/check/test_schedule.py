@@ -1,0 +1,159 @@
+"""Tests: schedule control — conflict pruning, tiebreakers, exploration."""
+
+from repro.check.schedule import (
+    Explorer,
+    RandomTieBreaker,
+    ScriptedTieBreaker,
+    conflicting,
+)
+from repro.runtime.events import EventQueue
+
+
+class TestConflictClassifier:
+    def test_untagged_assumed_conflicting(self):
+        assert conflicting([None, ("deliver", "a")])
+        assert conflicting([None, None])
+
+    def test_deliveries_to_same_target_conflict(self):
+        assert conflicting([("deliver", "a"), ("process", "a")])
+        assert conflicting([("deliver", "a"), ("deliver", "a")])
+
+    def test_deliveries_to_different_targets_commute(self):
+        assert not conflicting([("deliver", "a"), ("deliver", "b")])
+        assert not conflicting([("process", "a"), ("deliver", "b")])
+
+    def test_bus_arrival_races_conflict(self):
+        assert conflicting([("bus_seq",), ("bus_seq",)])
+        assert conflicting([("bus_token",), ("bus_token",)])
+
+    def test_detector_vs_bus_conflicts(self):
+        assert conflicting([("detector",), ("bus", 1)])
+
+    def test_unrelated_tags_commute(self):
+        assert not conflicting([("bus", 0), ("bus", 1)])
+        assert not conflicting([("deliver", "a"), ("bus_ctl",)])
+
+
+class TestScriptedTieBreaker:
+    def test_records_trail_and_defaults_fifo(self):
+        breaker = ScriptedTieBreaker([1])
+        tags = [("deliver", "a"), ("deliver", "a"), ("deliver", "a")]
+        assert breaker.choose(tags) == 1  # scripted
+        assert breaker.choose(tags) == 0  # prefix exhausted: FIFO
+        assert breaker.trail == [(3, 1), (3, 0)]
+
+    def test_out_of_range_decision_clamps(self):
+        breaker = ScriptedTieBreaker([99])
+        assert breaker.choose([None, None]) == 0
+
+    def test_commuting_sites_skip_the_script(self):
+        breaker = ScriptedTieBreaker([1])
+        assert breaker.choose([("deliver", "a"), ("deliver", "b")]) == 0
+        assert breaker.trail == []  # never consumed the decision
+
+
+class TestRandomTieBreaker:
+    def test_deterministic_per_seed(self):
+        tags = [None, None, None]
+        a = [RandomTieBreaker(5).choose(tags) for _ in range(20)]
+        b = [RandomTieBreaker(5).choose(tags) for _ in range(20)]
+        assert a == b
+
+    def test_counts_decisions_only_at_conflicts(self):
+        breaker = RandomTieBreaker(0)
+        breaker.choose([("deliver", "a"), ("deliver", "b")])
+        assert breaker.decisions == 0
+        breaker.choose([None, None])
+        assert breaker.decisions == 1
+
+
+class FakeReport:
+    def __init__(self, ok):
+        self.ok = ok
+
+
+class TestExplorer:
+    def test_explores_all_orders_of_one_site(self):
+        schedules = []
+
+        def run(breaker):
+            # One conflict site with 3 options.
+            chosen = breaker.choose([None, None, None])
+            schedules.append(chosen)
+            return FakeReport(ok=True)
+
+        explorer = Explorer(run, max_schedules=10)
+        failing, ran = explorer.explore()
+        assert failing is None
+        assert sorted(schedules) == [0, 1, 2]
+        assert ran == 3
+
+    def test_finds_the_buggy_order(self):
+        def run(breaker):
+            first = breaker.choose([None, None])
+            second = breaker.choose([None, None])
+            return FakeReport(ok=not (first == 1 and second == 1))
+
+        explorer = Explorer(run, max_schedules=16)
+        failing, _ran = explorer.explore()
+        assert failing is not None
+        assert failing.schedule_decisions == [1, 1]
+        # The recorded decisions replay the failure exactly.
+        replay = ScriptedTieBreaker(failing.schedule_decisions)
+        assert run(replay).ok is False
+
+    def test_respects_budget(self):
+        def run(breaker):
+            for _ in range(4):
+                breaker.choose([None, None])
+            return FakeReport(ok=True)
+
+        explorer = Explorer(run, max_schedules=5)
+        failing, ran = explorer.explore()
+        assert failing is None
+        assert ran == 5
+
+    def test_deadline_stops_early(self):
+        calls = []
+
+        def run(breaker):
+            calls.append(1)
+            breaker.choose([None, None])
+            return FakeReport(ok=True)
+
+        explorer = Explorer(run, max_schedules=50,
+                            deadline=lambda: len(calls) >= 2)
+        explorer.explore()
+        assert len(calls) <= 3
+
+
+class TestEventQueueTiebreaker:
+    def test_fifo_without_tiebreaker(self):
+        queue = EventQueue()
+        order = []
+        for i in range(3):
+            queue.schedule(1.0, lambda i=i: order.append(i), tag=None)
+        while (entry := queue.pop()) is not None:
+            entry[1]()
+        assert order == [0, 1, 2]
+
+    def test_tiebreaker_reorders_tied_events(self):
+        queue = EventQueue()
+        order = []
+        for i in range(3):
+            queue.schedule(1.0, lambda i=i: order.append(i), tag=None)
+        queue.tiebreaker = ScriptedTieBreaker([2, 1])
+        while (entry := queue.pop()) is not None:
+            entry[1]()
+        assert order == [2, 1, 0]
+
+    def test_tiebreaker_never_crosses_time_or_priority(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("late"), tag=None)
+        queue.schedule(1.0, lambda: order.append("hi"), priority=0, tag=None)
+        queue.schedule(1.0, lambda: order.append("lo"), priority=1, tag=None)
+        queue.tiebreaker = ScriptedTieBreaker([1, 1, 1])
+        while (entry := queue.pop()) is not None:
+            entry[1]()
+        assert order == ["hi", "lo", "late"]

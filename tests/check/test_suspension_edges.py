@@ -1,0 +1,179 @@
+"""Tests: §5.6 suspension edge cases.
+
+The awkward corners of unmatched-message handling: releases driven by
+``change_attributes`` (not just new registrations), ordering guarantees
+when several parked messages release at once, persistent broadcasts
+reaching late joiners, and park sets surviving a crash/recover cycle.
+"""
+
+from repro.check import Scenario, check_scenario
+from repro.core.manager import SpaceManager, UnmatchedPolicy
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+
+
+def lan(nodes=2, seed=0, **kw):
+    return ActorSpaceSystem(topology=Topology.lan(nodes), seed=seed, **kw)
+
+
+def conforms(scenario: Scenario) -> None:
+    report = check_scenario(scenario)
+    assert report.ok, report.summary() + "".join(
+        f"\n  {d}" for d in report.divergences)
+
+
+class TestChangeAttributesRelease:
+    def test_parked_message_matchable_only_via_change_attributes(self):
+        """The only route to a match is renaming an existing entry."""
+        system = lan()
+        got = []
+        addr = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.make_visible(addr, "old/name")
+        system.run()
+        system.send("new/*", "finally")
+        system.run()
+        assert got == []  # parked: nothing matches new/*
+        assert system.coordinators[0].suspended
+        system.change_attributes(addr, "new/name", system.root_space)
+        system.run()
+        assert got == ["finally"]
+        assert not system.coordinators[0].suspended
+
+    def test_change_attributes_release_conforms(self):
+        conforms(Scenario(
+            nodes=1, bus="sequencer", seed=0, unmatched="suspend",
+            commands=[
+                {"op": "actor", "name": "a0", "node": 0},
+                {"op": "vis", "target": "a0", "attrs": ["old"],
+                 "space": "ROOT", "node": 0},
+                {"op": "send", "pattern": "new", "space": None,
+                 "space_pattern": None, "node": 0, "msg": 0, "ref": None},
+                {"op": "chattr", "target": "a0", "attrs": ["new"],
+                 "space": "ROOT", "node": 0},
+                {"op": "settle"},
+            ]))
+
+    def test_change_attributes_can_also_unmatch_future_sends(self):
+        """Renaming away from the pattern parks subsequent sends."""
+        system = lan()
+        got = []
+        addr = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.make_visible(addr, "svc")
+        system.run()
+        system.change_attributes(addr, "other", system.root_space)
+        system.run()
+        system.send("svc", "late")
+        system.run()
+        assert got == []
+        assert system.coordinators[0].suspended
+
+
+class TestBroadcastReleaseOrdering:
+    def test_parked_sends_release_in_park_order(self):
+        """Two parked messages for the same future match keep FIFO order."""
+        system = lan()
+        got = []
+        addr = system.create_actor(lambda ctx, m: got.append(m.payload))
+        system.run()
+        system.send("late/*", "first")
+        system.send("late/*", "second")
+        system.run()
+        assert got == []
+        system.make_visible(addr, "late/svc")
+        system.run()
+        assert got == ["first", "second"]
+
+    def test_persistent_broadcast_reaches_late_joiners_once(self):
+        """A persistent broadcast delivers to each matcher exactly once."""
+        system = lan(root_manager_factory=lambda: SpaceManager(
+            unmatched=UnmatchedPolicy.PERSISTENT))
+        got = []
+
+        def listener(tag):
+            return lambda ctx, m: got.append((tag, m.payload))
+
+        system.broadcast("room/**", "announce")
+        system.run()
+        assert got == []
+        early = system.create_actor(listener("early"))
+        system.make_visible(early, "room/early")
+        system.run()
+        assert got == [("early", "announce")]
+        late = system.create_actor(listener("late"), node=1)
+        system.make_visible(late, "room/late")
+        system.run()
+        # The early listener must not hear the broadcast again.
+        assert got == [("early", "announce"), ("late", "announce")]
+
+    def test_persistent_broadcast_conforms(self):
+        conforms(Scenario(
+            nodes=2, bus="sequencer", seed=0, unmatched="persistent",
+            commands=[
+                {"op": "bcast", "pattern": "room/**", "space": None,
+                 "space_pattern": None, "node": 0, "msg": 0, "ref": None},
+                {"op": "actor", "name": "a0", "node": 0},
+                {"op": "vis", "target": "a0", "attrs": ["room/one"],
+                 "space": "ROOT", "node": 0},
+                {"op": "actor", "name": "a1", "node": 1},
+                {"op": "vis", "target": "a1", "attrs": ["room/two"],
+                 "space": "ROOT", "node": 1},
+                {"op": "settle"},
+            ]))
+
+
+class TestParkSetAcrossCrashRecover:
+    def test_park_set_survives_origin_crash(self):
+        """Messages parked at a coordinator outlive its crash (§5.6).
+
+        The park set is durable state: after the origin crashes and
+        recovers, a registration that matches must still release the
+        message it parked before the failure.
+        """
+        system = lan(nodes=3)
+        got = []
+        addr = system.create_actor(lambda ctx, m: got.append(m.payload),
+                                   node=0)
+        system.run()
+        system.send("svc/*", "kept", node=2)  # parks at coordinator 2
+        system.run()
+        assert system.coordinators[2].suspended
+        system.crash_node(2)
+        system.run()
+        system.recover_node(2)
+        system.run()
+        assert system.coordinators[2].suspended  # still parked
+        system.make_visible(addr, "svc/a")
+        system.run()
+        assert got == ["kept"]
+
+    def test_registration_during_crash_releases_at_recovery_replay(self):
+        """A match registered while the origin is down releases on replay."""
+        system = lan(nodes=3)
+        got = []
+        addr = system.create_actor(lambda ctx, m: got.append(m.payload),
+                                   node=0)
+        system.run()
+        system.send("svc/*", "replayed", node=2)
+        system.run()
+        system.crash_node(2)
+        system.make_visible(addr, "svc/a")  # applied everywhere but node 2
+        system.run()
+        assert got == []  # only node 2 holds the parked message
+        system.recover_node(2)  # bus replay re-applies the registration
+        system.run()
+        assert got == ["replayed"]
+
+    def test_park_set_across_crash_recover_conforms(self):
+        conforms(Scenario(
+            nodes=3, bus="token-ring", seed=0, unmatched="suspend",
+            commands=[
+                {"op": "actor", "name": "a0", "node": 0},
+                {"op": "send", "pattern": "svc", "space": None,
+                 "space_pattern": None, "node": 2, "msg": 0, "ref": None},
+                {"op": "detector", "duration": 4.0},
+                {"op": "crash", "node": 2},
+                {"op": "vis", "target": "a0", "attrs": ["svc"],
+                 "space": "ROOT", "node": 0},
+                {"op": "recover", "node": 2},
+                {"op": "settle"},
+            ]))
