@@ -1,0 +1,221 @@
+"""Wire-transport benchmark: in-process simulator vs real TCP loopback.
+
+Measures, for a 3-node topology:
+
+* **send throughput** — point-to-point envelopes per second, one sender
+  actor pumping messages at a receiver on another node;
+* **broadcast throughput** — pattern-directed broadcasts per second,
+  each fanning out to one visible receiver per node;
+* **RTT** — request/reply round-trip latency through an echo actor on a
+  remote node (median over many pings).
+
+Run directly (not under pytest; process spawning and wall-time loops do
+not fit the pytest-benchmark calibration model)::
+
+    PYTHONPATH=src python benchmarks/bench_net.py [--quick]
+
+Emits ``BENCH_net.json`` next to this file and a table on stdout.  The
+point of the comparison: the simulator's numbers are *virtual-time*
+throughput of the scheduling machinery, the TCP numbers are real bytes
+through real sockets — the gap is the price of actual distribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.messages import Destination  # noqa: E402
+from repro.net.cluster import LocalCluster, loopback_available  # noqa: E402
+from repro.runtime.network import Topology  # noqa: E402
+from repro.runtime.system import ActorSpaceSystem  # noqa: E402
+
+HERE = pathlib.Path(__file__).resolve().parent
+NODES = 3
+
+
+# -- in-process (simulator) side -------------------------------------------------
+
+def bench_sim(messages: int, pings: int) -> dict:
+    """Drive the same three shapes through the single-process runtime."""
+    system = ActorSpaceSystem(topology=Topology.lan(NODES), seed=0)
+    received = [0]
+
+    def sink(ctx, message):
+        received[0] += 1
+
+    target = system.create_actor(sink, node=1)
+    wall0 = time.perf_counter()
+    for index in range(messages):
+        system.send_to(target, ("n", index))
+    system.run()
+    send_wall = time.perf_counter() - wall0
+    assert received[0] == messages
+
+    space = system.create_space(attributes="bench")
+    for node in range(NODES):
+        addr = system.create_actor(sink, node=node, space=space)
+        system.make_visible(addr, f"bench/r{node}", space)
+    system.run()
+    received[0] = 0
+    wall0 = time.perf_counter()
+    for index in range(messages):
+        system.broadcast(Destination("**", space), ("n", index))
+    system.run()
+    bcast_wall = time.perf_counter() - wall0
+    assert received[0] == messages * NODES
+
+    def echo(ctx, message):
+        ctx.send_to(message.reply_to, message.payload)
+
+    echoer = system.create_actor(echo, node=2)
+    got = [0]
+
+    def collect(ctx, message):
+        got[0] += 1
+
+    collector = system.create_actor(collect, node=0)
+    wall0 = time.perf_counter()
+    for index in range(pings):
+        system.send_to(echoer, ("ping", index), reply_to=collector)
+        system.run()
+    ping_wall = time.perf_counter() - wall0
+    assert got[0] == pings
+
+    return {
+        "transport": "sim",
+        "send_msgs_per_s": round(messages / send_wall, 1),
+        "broadcast_msgs_per_s": round(messages / bcast_wall, 1),
+        "rtt_ms_median": round(ping_wall / pings * 1000, 4),
+    }
+
+
+# -- TCP loopback side -----------------------------------------------------------
+
+def bench_tcp(messages: int, pings: int) -> dict:
+    """The same shapes across three real node processes."""
+    cluster = LocalCluster(NODES, seed=0)
+    cluster.start()
+    try:
+        counter = cluster.call(
+            1, "create_actor", behavior="counter", params={})["address"]
+
+        def count_of() -> int:
+            state = cluster.call(1, "actor_state", address=counter,
+                                 attrs=["count"])
+            return state["count"]
+
+        wall0 = time.perf_counter()
+        for index in range(messages):
+            cluster.call(0, "send_to", target=counter, payload=("n", index))
+        cluster.wait_until(lambda: count_of() >= messages,
+                           timeout=120, what="sends counted")
+        send_wall = time.perf_counter() - wall0
+
+        space = cluster.call(0, "create_space", attributes="bench")["address"]
+        cluster.wait_until(
+            lambda: all(cluster.call(i, "has_space", address=space)
+                        for i in range(NODES)),
+            what="bench space replicated")
+        replicas = []
+        for node in range(NODES):
+            replicas.append(cluster.call(
+                node, "create_actor", behavior="counter", params={},
+                space=space,
+                visible={"attributes": f"bench/r{node}", "space": space},
+            )["address"])
+        cluster.wait_until(
+            lambda: all(
+                len(cluster.call(i, "resolve", pattern="**", space=space))
+                == NODES for i in range(NODES)),
+            what="replica visibility")
+
+        def replica_total() -> int:
+            total = 0
+            for node, addr in enumerate(replicas):
+                state = cluster.call(node, "actor_state", address=addr,
+                                     attrs=["count"])
+                total += state["count"]
+            return total
+
+        wall0 = time.perf_counter()
+        for index in range(messages):
+            cluster.call(0, "broadcast",
+                         destination=Destination("**", space),
+                         payload=("n", index))
+        cluster.wait_until(lambda: replica_total() >= messages * NODES,
+                           timeout=120, what="broadcasts counted")
+        bcast_wall = time.perf_counter() - wall0
+
+        # RTT: each control round trip is launcher -> node 0 -> (route to
+        # node 2, count) -> observed via node 2; measure the full
+        # send-until-visible latency per ping.
+        echo_counter = cluster.call(
+            2, "create_actor", behavior="counter", params={})["address"]
+        samples = []
+        for index in range(pings):
+            before = cluster.call(2, "actor_state", address=echo_counter,
+                                  attrs=["count"])["count"]
+            t0 = time.perf_counter()
+            cluster.call(0, "send_to", target=echo_counter,
+                         payload=("ping", index))
+            cluster.wait_until(
+                lambda: cluster.call(2, "actor_state", address=echo_counter,
+                                     attrs=["count"])["count"] > before,
+                timeout=30, interval=0.0, what="ping observed")
+            samples.append((time.perf_counter() - t0) * 1000)
+        snapshot = cluster.call(0, "snapshot")
+        return {
+            "transport": "tcp-loopback",
+            "send_msgs_per_s": round(messages / send_wall, 1),
+            "broadcast_msgs_per_s": round(messages / bcast_wall, 1),
+            "rtt_ms_median": round(statistics.median(samples), 4),
+            "frames_out_node0": snapshot["hub"]["frames_out"],
+            "bytes_out_node0": snapshot["hub"]["bytes_out"],
+        }
+    finally:
+        cluster.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--messages", type=int, default=2000,
+                        help="messages per throughput loop (default 2000)")
+    parser.add_argument("--pings", type=int, default=200,
+                        help="RTT samples (default 200)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small counts for smoke runs (200 msgs, 20 pings)")
+    parser.add_argument("--out", default=str(HERE / "BENCH_net.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    messages = 200 if args.quick else args.messages
+    pings = 20 if args.quick else args.pings
+
+    rows = [bench_sim(messages, pings)]
+    if loopback_available():
+        rows.append(bench_tcp(messages, pings))
+    else:
+        print("loopback TCP unavailable; emitting simulator row only")
+
+    header = f"{'transport':<14} {'send msg/s':>12} {'bcast msg/s':>12} {'rtt ms':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['transport']:<14} {row['send_msgs_per_s']:>12} "
+              f"{row['broadcast_msgs_per_s']:>12} {row['rtt_ms_median']:>9}")
+
+    report = {"nodes": NODES, "messages": messages, "pings": pings,
+              "results": rows}
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,15 @@ Commands
     executable §5 reference model, diff observable state at every
     quiescent boundary, and shrink any divergence to a replayable
     ``.repro.json`` artifact (``--replay FILE`` re-runs one).
+    ``--transport tcp`` additionally diffs a real localhost TCP
+    cluster against the single-process oracle.
+``serve --node I --ports P0,P1,... [--seed N] [--heartbeat S]``
+    Run ONE node as this process, speaking the framed TCP protocol
+    (normally spawned by ``cluster``, but usable standalone).
+``cluster <example> [--nodes N] [--stall NODE | --kill NODE] [--out DIR]``
+    Spawn N localhost node processes, run a shipped example across
+    them over real sockets, optionally drill a mid-run node failure
+    (quarantine + dead-letter redelivery), and collect snapshots.
 ``version``
     Print the package version.
 """
@@ -227,6 +236,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.cli import run_check
 
         return run_check(args[1:])
+    if command == "serve":
+        from repro.net.cluster import serve_main
+
+        return serve_main(args[1:])
+    if command == "cluster":
+        from repro.net.cluster import cluster_main
+
+        return cluster_main(args[1:])
     if command == "version":
         from repro import __version__
 

@@ -56,7 +56,41 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="re-run a .repro.json artifact instead of sweeping")
     parser.add_argument("--no-shrink", action="store_true",
                         help="emit the full diverging trace without ddmin")
+    parser.add_argument("--transport", choices=["sim", "tcp"], default="sim",
+                        help="sim (default): in-process co-execution; tcp: "
+                             "additionally diff a real localhost cluster "
+                             "against the single-process oracle")
     return parser
+
+
+def _run_tcp_check(args) -> int:
+    """Diff real TCP clusters against the sim oracle (bounded scenarios).
+
+    Skips (exit 0) on platforms where loopback sockets are unavailable —
+    the sweep is about the wire path, which such platforms cannot run.
+    """
+    from repro.net.cluster import loopback_available, run_tcp_conformance
+
+    if not loopback_available():
+        print("conformance[tcp]: loopback sockets unavailable; skipping")
+        return 0
+    seeds = [args.seed + offset for offset in range(args.seeds)]
+    nodes = args.nodes if args.nodes else 3
+    report = run_tcp_conformance(seeds, nodes=nodes, out_dir=None,
+                                 log=lambda text: print(f"  {text}"))
+    if report["divergences"]:
+        first = report["divergences"][0]
+        print(f"DIVERGENCE[tcp] seed={first['seed']} node={first['node']} "
+              f"kind={first['kind']}")
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"conformance-tcp-{first['seed']}.json"
+        path.write_text(json.dumps(report, indent=2))
+        print(f"divergence report: {path}")
+        return 1
+    print(f"conformance[tcp]: {len(seeds)} scenarios x {nodes} nodes, "
+          f"0 divergences")
+    return 0
 
 
 def _schedule_factory(spec: dict):
@@ -130,6 +164,8 @@ def run_check(argv: list[str]) -> int:
     inject = INJECTIONS[args.inject] if args.inject else None
     if args.replay:
         return _replay(args.replay, args, inject)
+    if args.transport == "tcp":
+        return _run_tcp_check(args)
 
     started = time.monotonic()
 

@@ -1,0 +1,902 @@
+"""Launcher for multi-process clusters, plus the drivers and drills.
+
+``python -m repro serve`` runs ONE node (a :class:`~repro.net.runtime.
+NodeRuntime`) in the current process; ``python -m repro cluster`` spawns
+N of those as subprocesses on localhost, drives a shipped example across
+them through the control plane, optionally runs a fault drill
+(SIGSTOP/SIGCONT stall or SIGKILL + respawn), and collects
+metrics/event-log snapshots back into a report.
+
+The control plane is deliberately launcher-shaped: behaviors are named
+registry entries (:mod:`repro.net.registry`), addresses and patterns
+travel in wire form, and every verification reads actor state back over
+the sockets — nothing in the driver peeks into the node processes.
+
+``run_tcp_conformance`` reuses the same machinery as an oracle check:
+the identical creation/visibility script is applied to a single-process
+:class:`~repro.runtime.system.ActorSpaceSystem` and to a real TCP
+cluster (all ops through node 0, so both mint identical addresses and
+the sequencer orders identically), then the directory replicas and
+pattern resolutions are compared value-for-value.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.apps.process_pool import Job, expected_result
+from repro.core.messages import Destination
+
+from .codec import (
+    FrameDecoder,
+    FrameKind,
+    encode_frame,
+    hello_payload,
+)
+
+#: "node" ids presented by control connections; never a cluster member.
+CONTROL_NODE = 1_000_000
+
+
+class ControlError(RuntimeError):
+    """A control call failed (transport trouble or a node-side error)."""
+
+
+def _free_ports(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` currently-free TCP ports (bind-probe then release)."""
+    socks, ports = [], []
+    try:
+        for _ in range(count):
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            s.bind((host, 0))
+            socks.append(s)
+            ports.append(s.getsockname()[1])
+    finally:
+        for s in socks:
+            s.close()
+    return ports
+
+
+def loopback_available(host: str = "127.0.0.1") -> bool:
+    """Can this platform bind a loopback TCP socket?  (Skip gate.)"""
+    try:
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            s.bind((host, 0))
+        finally:
+            s.close()
+        return True
+    except OSError:
+        return False
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert wire values (addresses, paths, sets) for JSON."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(_jsonable(k)): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(_jsonable(v)) for v in value)
+    return repr(value)
+
+
+class ControlClient:
+    """Blocking control connection to one node process.
+
+    Speaks the same framed protocol as the nodes, with role ``control``:
+    the node answers commands but never registers the link as a peer, so
+    no heartbeat/bus traffic arrives here — only matched replies.
+    """
+
+    def __init__(self, host: str, port: int, *, cluster_id: str = "actorspace",
+                 timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self._decoder = FrameDecoder()
+        self._frames: deque = deque()
+        self._ids = itertools.count(1)
+        self._send(FrameKind.HELLO,
+                   hello_payload(CONTROL_NODE, "control", cluster_id))
+        kind, payload = self._recv()
+        if kind == FrameKind.REJECT:
+            raise ControlError(f"handshake rejected: {payload!r}")
+        if kind != FrameKind.WELCOME:
+            raise ControlError(f"expected WELCOME, got {kind!r}")
+
+    def _send(self, kind: FrameKind, payload: Any) -> None:
+        try:
+            self.sock.sendall(encode_frame(kind, payload))
+        except OSError as exc:
+            raise ControlError(f"control send failed: {exc}") from exc
+
+    def _recv(self) -> tuple[FrameKind, Any]:
+        while not self._frames:
+            try:
+                data = self.sock.recv(65536)
+            except OSError as exc:
+                raise ControlError(f"control recv failed: {exc}") from exc
+            if not data:
+                raise ControlError("control connection closed by node")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.popleft()
+
+    def call(self, cmd: str, **args: Any) -> Any:
+        """Invoke ``cmd`` on the node; raise :class:`ControlError` on failure."""
+        request_id = next(self._ids)
+        self._send(FrameKind.CONTROL,
+                   {"id": request_id, "cmd": cmd, "args": args})
+        while True:
+            kind, payload = self._recv()
+            if kind != FrameKind.REPLY or not isinstance(payload, dict):
+                continue  # stray frame (e.g. BYE racing a shutdown)
+            if payload.get("id") != request_id:
+                continue
+            if not payload.get("ok"):
+                raise ControlError(str(payload.get("error")))
+            return payload.get("value")
+
+    def close(self) -> None:
+        try:
+            self.sock.sendall(encode_frame(FrameKind.BYE, None))
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class LocalCluster:
+    """N localhost node processes plus their control connections."""
+
+    def __init__(self, nodes: int, *, seed: int = 0, heartbeat: float = 0.2,
+                 host: str = "127.0.0.1", cluster_id: str | None = None,
+                 out_dir: str | Path | None = None, verbose: bool = False,
+                 log: Callable[[str], None] | None = None):
+        self.n = nodes
+        self.seed = seed
+        self.heartbeat = heartbeat
+        self.host = host
+        self.cluster_id = cluster_id or f"actorspace-{os.getpid()}"
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.verbose = verbose
+        self._log = log or (lambda text: None)
+        self.ports: list[int] = []
+        self.procs: dict[int, subprocess.Popen] = {}
+        self.controls: dict[int, ControlClient] = {}
+        self._logfiles: list[Any] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, timeout: float = 20.0) -> "LocalCluster":
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.ports = _free_ports(self.n, self.host)
+        for node in range(self.n):
+            self._spawn(node)
+        for node in range(self.n):
+            self.controls[node] = self._connect(node, timeout)
+        self.wait_linked(timeout=timeout)
+        self._log(f"cluster up: {self.n} nodes on ports {self.ports}")
+        return self
+
+    def _spawn(self, node: int) -> None:
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--node", str(node),
+            "--ports", ",".join(str(p) for p in self.ports),
+            "--host", self.host,
+            "--cluster-id", self.cluster_id,
+            "--seed", str(self.seed),
+            "--heartbeat", str(self.heartbeat),
+        ]
+        if self.verbose:
+            cmd.append("--verbose")
+        stderr: Any = subprocess.DEVNULL
+        if self.out_dir is not None:
+            logfile = open(self.out_dir / f"node{node}.log", "ab")
+            self._logfiles.append(logfile)
+            stderr = logfile
+        elif self.verbose:
+            stderr = None  # inherit
+        self.procs[node] = subprocess.Popen(
+            cmd, env=env, stdout=stderr, stderr=stderr)
+
+    def _connect(self, node: int, timeout: float) -> ControlClient:
+        deadline = time.monotonic() + timeout
+        while True:
+            proc = self.procs[node]
+            if proc.poll() is not None:
+                raise ControlError(
+                    f"node {node} exited with {proc.returncode} before accepting "
+                    f"control connections")
+            try:
+                return ControlClient(self.host, self.ports[node],
+                                     cluster_id=self.cluster_id)
+            except (OSError, ControlError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+
+    def call(self, node: int, cmd: str, **args: Any) -> Any:
+        return self.controls[node].call(cmd, **args)
+
+    def wait_until(self, predicate: Callable[[], bool], *, timeout: float = 20.0,
+                   interval: float = 0.05, what: str = "condition") -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if predicate():
+                    return
+            except ControlError:
+                pass  # a node mid-restart; keep polling until the deadline
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"cluster: timed out waiting for {what}")
+            time.sleep(interval)
+
+    def wait_linked(self, *, nodes: list[int] | None = None,
+                    timeout: float = 20.0) -> None:
+        """Block until every node has live links to all peers + armed detector."""
+        members = nodes if nodes is not None else list(range(self.n))
+
+        def linked() -> bool:
+            for node in members:
+                status = self.call(node, "status")
+                peers = {p for p in range(self.n) if p != node}
+                if set(status["links"]) != peers or not status["detector_armed"]:
+                    return False
+            return True
+
+        self.wait_until(linked, timeout=timeout, what="full mesh + detectors")
+
+    # -- fault injection ---------------------------------------------------------
+
+    def stall(self, node: int) -> None:
+        """SIGSTOP: the process freezes but keeps its sockets and state."""
+        self._log(f"stalling node {node} (SIGSTOP)")
+        os.kill(self.procs[node].pid, signal.SIGSTOP)
+
+    def resume(self, node: int) -> None:
+        self._log(f"resuming node {node} (SIGCONT)")
+        os.kill(self.procs[node].pid, signal.SIGCONT)
+
+    def kill(self, node: int) -> None:
+        """SIGKILL: the process dies; actor state on it is lost."""
+        self._log(f"killing node {node} (SIGKILL)")
+        proc = self.procs[node]
+        proc.kill()
+        proc.wait()
+        control = self.controls.pop(node, None)
+        if control is not None:
+            control.close()
+
+    def respawn(self, node: int, timeout: float = 20.0) -> None:
+        """Restart a killed node on its old port; it re-syncs via the bus."""
+        self._log(f"respawning node {node}")
+        self._spawn(node)
+        self.controls[node] = self._connect(node, timeout)
+
+    # -- observability -----------------------------------------------------------
+
+    def collect(self, *, events: bool = True) -> dict[int, dict]:
+        """Snapshot every reachable node (metrics, counters, event log)."""
+        snapshots: dict[int, dict] = {}
+        for node in sorted(self.controls):
+            try:
+                snapshots[node] = self.call(node, "snapshot", events=events)
+            except ControlError as exc:
+                snapshots[node] = {"node": node, "error": str(exc)}
+        if self.out_dir is not None:
+            for node, snap in snapshots.items():
+                path = self.out_dir / f"node{node}.snapshot.json"
+                path.write_text(json.dumps(_jsonable(snap), indent=2))
+        return snapshots
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        for node, control in list(self.controls.items()):
+            try:
+                control.call("shutdown")
+            except ControlError:
+                pass
+            control.close()
+        self.controls.clear()
+        deadline = time.monotonic() + timeout
+        for node, proc in self.procs.items():
+            if proc.poll() is not None:
+                continue
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        for logfile in self._logfiles:
+            try:
+                logfile.close()
+            except OSError:
+                pass
+        self._logfiles.clear()
+        self._log("cluster down")
+
+
+# -- drivers -------------------------------------------------------------------
+
+
+def _await_actor_value(cluster: LocalCluster, node: int, address, attr: str,
+                       *, timeout: float = 30.0, what: str = "result"):
+    box: dict[str, Any] = {}
+
+    def ready() -> bool:
+        state = cluster.call(node, "actor_state", address=address, attrs=[attr])
+        box["value"] = state[attr]
+        return state[attr] is not None
+
+    cluster.wait_until(ready, timeout=timeout, what=what)
+    return box["value"]
+
+
+def _fault_drill(cluster: LocalCluster, victim: int, mode: str,
+                 log: Callable[[str], None]) -> dict:
+    """Confirm-down → DLQ capture → recovery → redelivery, over real sockets.
+
+    ``stall`` freezes the victim with SIGSTOP (sockets and actor state
+    survive), so redelivered probes demonstrably *arrive*: the probe
+    counter on the victim ends at the full count.  ``kill`` loses the
+    victim's actors; the drill then verifies quarantine, dead-letter
+    drain on reconnect, directory re-sync, and that a freshly created
+    actor on the respawned node is reachable.
+    """
+    observer = 0 if victim != 0 else 1
+    report: dict[str, Any] = {"mode": mode, "victim": victim,
+                              "observer": observer}
+    probe = cluster.call(victim, "create_actor", behavior="counter")["address"]
+
+    t0 = time.monotonic()
+    if mode == "stall":
+        cluster.stall(victim)
+    else:
+        cluster.kill(victim)
+
+    cluster.wait_until(
+        lambda: victim in cluster.call(observer, "status")["confirmed_down"],
+        timeout=30.0, what=f"node {victim} confirmed down")
+    status = cluster.call(observer, "status")
+    report["confirm_seconds"] = round(time.monotonic() - t0, 3)
+    report["quarantined_on_observer"] = status["quarantined"]
+    assert victim in status["quarantined"], \
+        "confirmed-down node was not quarantined"
+    log(f"node {victim} confirmed down + quarantined on node {observer} "
+        f"after {report['confirm_seconds']}s")
+
+    probes = 5
+    for i in range(probes):
+        cluster.call(observer, "send_to", target=probe, payload=("probe", i))
+    dlq = cluster.call(observer, "dlq")
+    report["dlq_captured"] = dlq["pending"]
+    assert dlq["pending"] >= probes, \
+        f"expected >= {probes} dead letters, saw {dlq['pending']}"
+    log(f"{dlq['pending']} probe messages captured in node {observer}'s "
+        f"dead-letter queue")
+
+    t1 = time.monotonic()
+    if mode == "stall":
+        cluster.resume(victim)
+    else:
+        cluster.respawn(victim)
+        cluster.wait_linked(timeout=30.0)
+
+    def drained() -> bool:
+        status = cluster.call(observer, "status")
+        dlq_state = cluster.call(observer, "dlq")
+        # flush() only *schedules* redeliveries (with backoff), so wait
+        # for the redelivered counter, not just an empty queue.
+        return (victim not in status["confirmed_down"]
+                and dlq_state["pending"] == 0
+                and dlq_state["redelivered"] >= probes)
+
+    cluster.wait_until(drained, timeout=30.0,
+                       what=f"node {victim} recovery + dead-letter redelivery")
+    dlq = cluster.call(observer, "dlq")
+    report["recover_seconds"] = round(time.monotonic() - t1, 3)
+    report["dlq_redelivered"] = dlq["redelivered"]
+    log(f"node {victim} recovered after {report['recover_seconds']}s; "
+        f"{dlq['redelivered']} dead letters redelivered")
+
+    if mode == "stall":
+        # Actor state survived the stall: every redelivered probe landed.
+        def all_probes() -> bool:
+            state = cluster.call(victim, "actor_state",
+                                 address=probe, attrs=["count"])
+            return state["count"] >= probes
+
+        cluster.wait_until(all_probes, timeout=10.0,
+                           what="all probes redelivered")
+        count = cluster.call(victim, "actor_state",
+                             address=probe, attrs=["count"])["count"]
+        report["probe_count"] = count
+        log(f"probe actor on node {victim} received all {count} "
+            f"redelivered messages")
+    else:
+        # State was lost with the process; prove the respawned node works.
+        fresh = cluster.call(victim, "create_actor",
+                             behavior="counter")["address"]
+        cluster.call(observer, "send_to", target=fresh, payload=("alive",))
+
+        def fresh_heard() -> bool:
+            state = cluster.call(victim, "actor_state",
+                                 address=fresh, attrs=["count"])
+            return state["count"] >= 1
+
+        cluster.wait_until(fresh_heard, timeout=10.0,
+                           what="respawned node reachable")
+        report["respawn_reachable"] = True
+        log(f"respawned node {victim} reachable (fresh actor answered)")
+    return report
+
+
+def drive_process_pool(cluster: LocalCluster, *, job_size: int = 4096,
+                       grain: int = 64, fanout: int = 4,
+                       cost_per_item: float = 0.0005,
+                       workers_per_node: int = 2,
+                       drill: tuple[str, int] | None = None,
+                       log: Callable[[str], None] = print) -> dict:
+    """Figure-1 process pool across real node processes (+ optional drill)."""
+    n = cluster.n
+    report: dict[str, Any] = {"example": "process_pool", "nodes": n}
+
+    pool = cluster.call(0, "create_space", attributes="procpool")["address"]
+    cluster.wait_until(
+        lambda: all(cluster.call(i, "has_space", address=pool)
+                    for i in range(n)),
+        what="pool space replicated")
+
+    def add_worker(node: int, index: int):
+        return cluster.call(
+            node, "create_actor", behavior="pool_worker",
+            params={"pool": pool, "grain": grain, "fanout": fanout,
+                    "cost_per_item": cost_per_item},
+            space=pool,
+            visible={"attributes": f"proc/p{index}", "space": pool},
+        )["address"]
+
+    workers = {}
+    for index in range(n * workers_per_node):
+        workers[index] = (index % n, add_worker(index % n, index))
+    cluster.wait_until(
+        lambda: all(
+            len(cluster.call(i, "resolve", pattern="**", space=pool))
+            == len(workers)
+            for i in range(n)),
+        what="worker visibility replicated")
+    report["workers"] = len(workers)
+    log(f"pool ready: {len(workers)} workers visible on all {n} nodes")
+
+    def run_job(tag: str) -> dict:
+        job = Job(0, job_size)
+        t0 = time.monotonic()
+        client = cluster.call(
+            0, "create_actor", behavior="pool_client",
+            params={"pool": pool, "lo": job.lo, "hi": job.hi})["address"]
+        result = _await_actor_value(cluster, 0, client, "result",
+                                    what=f"{tag} pool result")
+        elapsed = time.monotonic() - t0
+        expected = expected_result(job)
+        assert result == expected, \
+            f"{tag}: pool computed {result}, expected {expected}"
+        log(f"{tag}: job(0,{job_size}) -> {result} (correct) "
+            f"in {elapsed:.2f}s wall")
+        return {"result": result, "expected": expected, "correct": True,
+                "wall_seconds": round(elapsed, 3)}
+
+    report["first_run"] = run_job("first run")
+    if drill is not None:
+        mode, victim = drill
+        report["drill"] = _fault_drill(cluster, victim, mode, log)
+        if mode == "kill":
+            # SIGKILL lost the victim's workers, but the replicated
+            # directory (rebuilt on respawn via bus re-sync) still
+            # advertises them — pattern sends would route to ghosts.
+            # Operationally: retire the dead registrations, provision
+            # fresh processors.  The paper's open-system story — the
+            # pool membership changes, clients never notice.
+            observer = 0 if victim != 0 else 1
+            next_index = max(workers) + 1
+            dead = [(index, address)
+                    for index, (node, address) in sorted(workers.items())
+                    if node == victim]
+            # Retire EVERY ghost before provisioning any replacement:
+            # the respawned process restarts actor serials at zero, so a
+            # replacement can be allocated the very address a dead
+            # worker's registration still holds — retiring that ghost
+            # after the fact would wipe the replacement's entry too.
+            for index, address in dead:
+                cluster.call(observer, "make_invisible",
+                             target=address, space=pool)
+                workers.pop(index)
+            for _ in dead:
+                workers[next_index] = (victim, add_worker(victim, next_index))
+                next_index += 1
+            cluster.wait_until(
+                lambda: all(
+                    sorted(cluster.call(i, "resolve", pattern="**",
+                                        space=pool))
+                    == sorted(a for _, a in workers.values())
+                    for i in range(n)),
+                what="pool membership after re-provisioning")
+            log(f"retired node {victim}'s dead workers, provisioned "
+                f"{workers_per_node} replacements")
+        report["post_drill_run"] = run_job("post-drill run")
+    return report
+
+
+def drive_replicated(cluster: LocalCluster, *, requests: int = 8,
+                     drill: tuple[str, int] | None = None,
+                     log: Callable[[str], None] = print) -> dict:
+    """A replica-per-node service; broadcasts must reach every replica."""
+    n = cluster.n
+    report: dict[str, Any] = {"example": "replicated", "nodes": n}
+
+    service = cluster.call(0, "create_space", attributes="service")["address"]
+    cluster.wait_until(
+        lambda: all(cluster.call(i, "has_space", address=service)
+                    for i in range(n)),
+        what="service space replicated")
+    replicas = []
+    for node in range(n):
+        address = cluster.call(
+            node, "create_actor", behavior="replica",
+            params={"name": f"r{node}"}, space=service,
+            visible={"attributes": f"replica/r{node}", "space": service},
+        )["address"]
+        replicas.append(address)
+    cluster.wait_until(
+        lambda: all(
+            len(cluster.call(i, "resolve", pattern="**", space=service)) == n
+            for i in range(n)),
+        what="replica visibility replicated")
+    collector = cluster.call(0, "create_actor", behavior="counter",
+                             params={"keep": 64})["address"]
+    log(f"service ready: {n} replicas")
+
+    for i in range(requests):
+        cluster.call(0, "broadcast", destination=Destination("**", service),
+                     payload=("request", i), reply_to=collector)
+    expected_acks = requests * n
+
+    def all_acked() -> bool:
+        state = cluster.call(0, "actor_state", address=collector,
+                             attrs=["count"])
+        return state["count"] >= expected_acks
+
+    cluster.wait_until(all_acked, timeout=30.0, what="broadcast acks")
+    per_replica = [
+        cluster.call(node, "actor_state", address=replicas[node],
+                     attrs=["count"])["count"]
+        for node in range(n)
+    ]
+    assert per_replica == [requests] * n, per_replica
+    report.update({"requests": requests, "acks": expected_acks,
+                   "per_replica": per_replica, "correct": True})
+    log(f"{requests} broadcasts -> {expected_acks} acks "
+        f"({requests} per replica on every node)")
+    if drill is not None:
+        mode, victim = drill
+        report["drill"] = _fault_drill(cluster, victim, mode, log)
+    return report
+
+
+DRIVERS: dict[str, Callable[..., dict]] = {
+    "process_pool": drive_process_pool,
+    "replicated": drive_replicated,
+}
+
+
+# -- sim-as-oracle conformance over TCP ---------------------------------------
+
+
+_ATTR_NAMES = ["alpha", "beta", "gamma", "delta", "svc", "db", "gui", "proc"]
+
+
+def _conformance_script(seed: int, ops: int) -> list[dict]:
+    """A deterministic creation/visibility script (seed-derived)."""
+    rng = np.random.default_rng(seed)
+    script: list[dict] = []
+    spaces = 0  # count of created spaces; references are by creation index
+    actors = 0
+    for _ in range(ops):
+        roll = float(rng.random())
+        if roll < 0.4 or spaces == 0:
+            script.append({
+                "op": "create_space",
+                "attr": str(rng.choice(_ATTR_NAMES)),
+                "parent": int(rng.integers(-1, spaces)),  # -1 = root
+            })
+            spaces += 1
+        elif roll < 0.8:
+            script.append({
+                "op": "create_actor",
+                "attr": str(rng.choice(_ATTR_NAMES)),
+                "space": int(rng.integers(-1, spaces)),
+            })
+            actors += 1
+        else:
+            script.append({
+                "op": "make_visible",
+                "actor": int(rng.integers(0, actors)) if actors else -1,
+                "attr": str(rng.choice(_ATTR_NAMES)),
+                "space": int(rng.integers(-1, spaces)),
+            })
+    queries = ["*", "**"] + _ATTR_NAMES[:4]
+    script.append({"op": "queries", "patterns": queries,
+                   "spaces": list(range(-1, spaces))})
+    return script
+
+
+def _apply_to_oracle(system, script: list[dict]):
+    from repro.net import registry
+
+    root = system.root_space
+    spaces = [root]
+    actors = []
+    for step in script:
+        if step["op"] == "create_space":
+            parent = root if step["parent"] < 0 else spaces[1:][step["parent"]]
+            spaces.append(system.create_space(
+                node=0, attributes=step["attr"], parent=parent))
+        elif step["op"] == "create_actor":
+            space = root if step["space"] < 0 else spaces[1:][step["space"]]
+            address = system.create_actor(
+                registry.build_behavior("counter", {}), node=0)
+            system.make_visible(address, step["attr"], space, node=0)
+            actors.append(address)
+        elif step["op"] == "make_visible":
+            if step["actor"] < 0:
+                continue
+            space = root if step["space"] < 0 else spaces[1:][step["space"]]
+            system.make_visible(actors[step["actor"]], step["attr"],
+                                space, node=0)
+    system.run()
+    final = script[-1]
+    resolves = {}
+    for space_index in final["spaces"]:
+        scope = root if space_index < 0 else spaces[1:][space_index]
+        for pattern in final["patterns"]:
+            resolves[(space_index, pattern)] = system.resolve(
+                pattern, scope, node=0)
+    return system.coordinators[0].directory.snapshot(), resolves
+
+
+def _apply_to_cluster(cluster: LocalCluster, script: list[dict]):
+    spaces: list = []  # root is addressed implicitly (space=None)
+    actors: list = []
+
+    def scope_of(index: int):
+        return None if index < 0 else spaces[index]
+
+    for step in script:
+        if step["op"] == "create_space":
+            spaces.append(cluster.call(
+                0, "create_space", attributes=step["attr"],
+                parent=scope_of(step["parent"]))["address"])
+        elif step["op"] == "create_actor":
+            address = cluster.call(
+                0, "create_actor", behavior="counter",
+                visible={"attributes": step["attr"],
+                         "space": scope_of(step["space"])},
+            )["address"]
+            actors.append(address)
+        elif step["op"] == "make_visible":
+            if step["actor"] < 0:
+                continue
+            cluster.call(0, "make_visible", target=actors[step["actor"]],
+                         attributes=step["attr"],
+                         space=scope_of(step["space"]))
+
+    # Barrier: every replica has applied exactly what node 0 applied.
+    applied = cluster.call(0, "status")["applied_seq"]
+    cluster.wait_until(
+        lambda: all(cluster.call(i, "status")["applied_seq"] >= applied
+                    for i in range(cluster.n)),
+        what="visibility ops replicated")
+
+    final = script[-1]
+    snapshots = {i: cluster.call(i, "directory")["snapshot"]
+                 for i in range(cluster.n)}
+    resolves = {i: {} for i in range(cluster.n)}
+    for node in range(cluster.n):
+        for space_index in final["spaces"]:
+            for pattern in final["patterns"]:
+                resolves[node][(space_index, pattern)] = cluster.call(
+                    node, "resolve", pattern=pattern,
+                    space=scope_of(space_index))
+    return snapshots, resolves
+
+
+def run_tcp_conformance(seeds: list[int], *, nodes: int = 3, ops: int = 10,
+                        out_dir: str | Path | None = None,
+                        log: Callable[[str], None] = print) -> dict:
+    """Diff real TCP clusters against the single-process oracle.
+
+    Returns ``{"seeds": ..., "divergences": [...]}`` — empty divergences
+    means every node's directory replica and every pattern resolution
+    matched the simulator exactly.
+    """
+    from repro.runtime.system import ActorSpaceSystem
+
+    divergences: list[dict] = []
+    for seed in seeds:
+        script = _conformance_script(seed, ops)
+        oracle = ActorSpaceSystem(seed=seed)
+        oracle_snapshot, oracle_resolves = _apply_to_oracle(oracle, script)
+
+        cluster = LocalCluster(nodes, seed=seed, out_dir=out_dir)
+        try:
+            cluster.start()
+            snapshots, resolves = _apply_to_cluster(cluster, script)
+        finally:
+            cluster.shutdown()
+
+        for node in range(nodes):
+            if snapshots[node] != oracle_snapshot:
+                divergences.append({
+                    "seed": seed, "node": node, "kind": "directory",
+                    "cluster": _jsonable(snapshots[node]),
+                    "oracle": _jsonable(oracle_snapshot),
+                })
+            for key, expected in oracle_resolves.items():
+                got = resolves[node].get(key)
+                if got != expected:
+                    divergences.append({
+                        "seed": seed, "node": node, "kind": "resolve",
+                        "query": _jsonable(key),
+                        "cluster": _jsonable(got),
+                        "oracle": _jsonable(expected),
+                    })
+        verdict = "MATCH" if not divergences else "DIVERGED"
+        log(f"seed {seed}: tcp cluster vs oracle -> {verdict} "
+            f"({len(script) - 1} ops, {nodes} nodes)")
+        if divergences:
+            break  # first divergence is the story; don't pile on
+    return {"seeds": list(seeds), "nodes": nodes, "ops": ops,
+            "divergences": divergences}
+
+
+# -- CLI entry points ----------------------------------------------------------
+
+
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro serve`` — run one node process."""
+    import argparse
+    import asyncio
+
+    from .runtime import NodeRuntime
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run one ActorSpace node over TCP (normally spawned "
+                    "by `python -m repro cluster`).")
+    parser.add_argument("--node", type=int, required=True)
+    parser.add_argument("--ports", required=True,
+                        help="comma-separated port list, one per node id")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--cluster-id", default="actorspace")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--heartbeat", type=float, default=0.2)
+    parser.add_argument("--suspect-after", type=int, default=2)
+    parser.add_argument("--confirm-after", type=int, default=4)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    ports = {i: int(p) for i, p in enumerate(args.ports.split(","))}
+    if args.node not in ports:
+        parser.error(f"--node {args.node} has no entry in --ports")
+    runtime = NodeRuntime(
+        args.node, ports, host=args.host, cluster_id=args.cluster_id,
+        seed=args.seed, heartbeat_interval=args.heartbeat,
+        suspect_after=args.suspect_after, confirm_after=args.confirm_after,
+        quiet=not args.verbose)
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, runtime.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await runtime.serve()
+
+    asyncio.run(main())
+    return 0
+
+
+def cluster_main(argv: list[str]) -> int:
+    """``python -m repro cluster`` — spawn N nodes, drive an example."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Spawn N localhost node processes and run a shipped "
+                    "example across them over real TCP sockets.")
+    parser.add_argument("example", choices=sorted(DRIVERS),
+                        help="which example to drive")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--heartbeat", type=float, default=0.2)
+    parser.add_argument("--job", type=int, default=4096,
+                        help="process_pool job size")
+    parser.add_argument("--workers-per-node", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="replicated broadcast count")
+    parser.add_argument("--stall", type=int, metavar="NODE", default=None,
+                        help="mid-run SIGSTOP/SIGCONT drill on NODE")
+    parser.add_argument("--kill", type=int, metavar="NODE", default=None,
+                        help="mid-run SIGKILL + respawn drill on NODE")
+    parser.add_argument("--out", default=None,
+                        help="directory for logs, snapshots, report.json")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if not loopback_available():
+        print("cluster: loopback sockets unavailable on this platform; "
+              "skipping", file=sys.stderr)
+        return 0
+    if args.stall is not None and args.kill is not None:
+        parser.error("--stall and --kill are mutually exclusive")
+    drill = None
+    if args.stall is not None:
+        drill = ("stall", args.stall)
+    elif args.kill is not None:
+        drill = ("kill", args.kill)
+    if drill is not None and not 0 <= drill[1] < args.nodes:
+        parser.error(f"drill node {drill[1]} out of range")
+
+    def log(text: str) -> None:
+        print(f"[cluster] {text}", flush=True)
+
+    cluster = LocalCluster(
+        args.nodes, seed=args.seed, heartbeat=args.heartbeat,
+        out_dir=args.out, verbose=args.verbose, log=log)
+    try:
+        cluster.start()
+        if args.example == "process_pool":
+            report = drive_process_pool(
+                cluster, job_size=args.job,
+                workers_per_node=args.workers_per_node, drill=drill, log=log)
+        else:
+            report = drive_replicated(
+                cluster, requests=args.requests, drill=drill, log=log)
+        cluster.collect()
+    finally:
+        cluster.shutdown()
+
+    if args.out is not None:
+        path = Path(args.out) / "report.json"
+        path.write_text(json.dumps(_jsonable(report), indent=2))
+        log(f"report written to {path}")
+    log(f"{args.example}: OK")
+    return 0

@@ -1,0 +1,564 @@
+"""Wire codec: deterministic binary serialization + length-prefixed frames.
+
+Everything that crosses a socket between two node processes goes through
+this module: envelopes and their messages, patterns, attribute paths,
+mail addresses, capability tokens, visibility ops, bus protocol payloads,
+heartbeats, and control requests.
+
+Design rules
+------------
+* **Deterministic** — encoding the same value always yields the same
+  bytes.  Sets are sorted by their encoded form, dict insertion order is
+  preserved (both sides use the same construction order), floats are
+  IEEE-754 big-endian.  Determinism is what lets the conformance sweep
+  compare a TCP cluster against the single-process oracle byte-for-byte.
+* **Versioned** — every connection handshake carries
+  (:data:`PROTOCOL_VERSION`, :data:`SCHEMA_VERSION`).  The protocol
+  version covers framing; the schema version covers the tag table below.
+  A peer that disagrees on either is rejected before any payload flows.
+* **Closed-world** — only the tag table below is decodable.  Unknown
+  Python objects raise :class:`WireError` at *encode* time (never pickle,
+  never eval), and unknown tags raise at decode time.  Application
+  payload types opt in explicitly via :func:`register_wire_type`.
+
+Frame layout: ``u32 length | u8 frame-kind | body`` where ``length``
+counts the kind byte plus the body.  Frames above :data:`MAX_FRAME_BYTES`
+are refused on both sides (a corrupt length prefix must not make a
+receiver allocate gigabytes).
+
+Value layout: one tag byte followed by tag-specific content.  Containers
+nest recursively.  Integers are arbitrary-precision (length-prefixed
+big-endian two's complement), so envelope ids rebased to ``node << 44``
+and 128-bit capability tokens ride the same path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Any, Callable
+
+from repro.core.addresses import ActorAddress, MailAddress, SpaceAddress
+from repro.core.atoms import AttributePath
+from repro.core.capabilities import Capability
+from repro.core.messages import Destination, Envelope, Message, Mode, Port
+from repro.core.patterns import Pattern, parse_pattern
+from repro.runtime.bus import OpKind, VisibilityOp
+
+PROTOCOL_VERSION = 1
+SCHEMA_VERSION = 1
+
+#: Hard ceiling on a single frame (length prefix included payload).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Handshake magic: the first field of every HELLO payload.
+WIRE_MAGIC = "actorspace"
+
+_U8 = struct.Struct("!B")
+_U32 = struct.Struct("!I")
+_F64 = struct.Struct("!d")
+
+
+class WireError(Exception):
+    """Raised on any encode/decode failure (unknown type, corrupt bytes)."""
+
+
+class FrameKind(enum.IntEnum):
+    """Every frame that may appear on a node-to-node or control link."""
+
+    HELLO = 1        #: handshake request: versions + identity
+    WELCOME = 2      #: handshake accepted
+    REJECT = 3       #: handshake refused (version/cluster mismatch)
+    BYE = 4          #: graceful drain: no more frames will follow
+    HEARTBEAT = 5    #: liveness beacon, feeds the failure detector
+    ENVELOPE = 6     #: a routed application envelope
+    BUS_SUBMIT = 7   #: origin -> sequencer: order this visibility op
+    BUS_OP = 8       #: sequencer -> all: globally sequenced visibility op
+    BUS_ACK = 9      #: sequencer -> origin: submission received
+    SYNC_REQ = 10    #: recovering node -> sequencer: replay log from seq
+    CONTROL = 11     #: launcher -> node: control-plane request
+    REPLY = 12       #: node -> launcher: control-plane response
+
+
+# -- enum index tables (wire-stable: append-only) -------------------------------
+
+_MODES = (Mode.DIRECT, Mode.SEND, Mode.BROADCAST)
+_PORTS = (Port.BEHAVIOR, Port.INVOCATION, Port.RPC)
+_OP_KINDS = (
+    OpKind.ADD_SPACE,
+    OpKind.DESTROY_SPACE,
+    OpKind.MAKE_VISIBLE,
+    OpKind.MAKE_INVISIBLE,
+    OpKind.CHANGE_ATTRIBUTES,
+    OpKind.BIND_CAPABILITY,
+    OpKind.PURGE,
+)
+_MODE_INDEX = {m: i for i, m in enumerate(_MODES)}
+_PORT_INDEX = {p: i for i, p in enumerate(_PORTS)}
+_OP_KIND_INDEX = {k: i for i, k in enumerate(_OP_KINDS)}
+
+
+# -- registries -----------------------------------------------------------------
+
+#: Application dataclasses allowed in payloads, by wire name.
+_WIRE_TYPES: dict[str, type] = {}
+_WIRE_TYPE_NAMES: dict[type, str] = {}
+
+#: Space-manager factories referenced by ADD_SPACE ops, by wire name.
+_MANAGER_FACTORIES: dict[str, Callable] = {}
+_MANAGER_FACTORY_NAMES: dict[Callable, str] = {}
+
+
+def register_wire_type(cls: type, name: str | None = None) -> type:
+    """Allow instances of dataclass ``cls`` inside wire payloads.
+
+    The registration must happen on *both* sides of the connection (node
+    processes and the launcher import the same registry module, so this
+    is automatic for shipped behaviors).  Returns ``cls`` so it can be
+    used as a decorator.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise WireError(f"wire types must be dataclasses: {cls!r}")
+    wire_name = name or cls.__name__
+    existing = _WIRE_TYPES.get(wire_name)
+    if existing is not None and existing is not cls:
+        raise WireError(f"wire type name {wire_name!r} already registered")
+    _WIRE_TYPES[wire_name] = cls
+    _WIRE_TYPE_NAMES[cls] = wire_name
+    return cls
+
+
+def register_manager_factory(name: str, factory: Callable) -> None:
+    """Name a space-manager factory so ADD_SPACE ops can reference it."""
+    _MANAGER_FACTORIES[name] = factory
+    _MANAGER_FACTORY_NAMES[factory] = name
+
+
+def _register_default_factories() -> None:
+    from repro.core.manager import SpaceManager, default_manager
+
+    register_manager_factory("default", default_manager)
+    register_manager_factory("space-manager", SpaceManager)
+
+
+_register_default_factories()
+
+
+# -- value encoding -------------------------------------------------------------
+
+def _enc_int(out: bytearray, value: int) -> None:
+    data = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+    out += _U32.pack(len(data))
+    out += data
+
+
+def _enc_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    out += _U32.pack(len(data))
+    out += data
+
+
+def _enc(out: bytearray, obj: Any) -> None:  # noqa: C901 - one dispatch table
+    if obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"T"
+    elif obj is False:
+        out += b"F"
+    elif isinstance(obj, int) and not isinstance(obj, enum.Enum):
+        out += b"i"
+        _enc_int(out, obj)
+    elif isinstance(obj, float):
+        out += b"f"
+        out += _F64.pack(obj)
+    elif isinstance(obj, str):
+        out += b"s"
+        _enc_str(out, obj)
+    elif isinstance(obj, (bytes, bytearray)):
+        out += b"y"
+        out += _U32.pack(len(obj))
+        out += obj
+    elif isinstance(obj, list):
+        out += b"l"
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _enc(out, item)
+    elif isinstance(obj, tuple):
+        out += b"t"
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _enc(out, item)
+    elif isinstance(obj, (set, frozenset)):
+        # Deterministic: members sorted by their own encoding.
+        out += b"S"
+        encoded = sorted(encode_value(item) for item in obj)
+        out += _U32.pack(len(encoded))
+        for item in encoded:
+            out += item
+    elif isinstance(obj, dict):
+        out += b"d"
+        out += _U32.pack(len(obj))
+        for key, value in obj.items():
+            _enc(out, key)
+            _enc(out, value)
+    elif isinstance(obj, SpaceAddress):
+        out += b"z"
+        _enc_int(out, obj.node)
+        _enc_int(out, obj.serial)
+    elif isinstance(obj, ActorAddress):
+        out += b"a"
+        _enc_int(out, obj.node)
+        _enc_int(out, obj.serial)
+    elif isinstance(obj, AttributePath):
+        out += b"p"
+        out += _U32.pack(len(obj.atoms))
+        for atom in obj.atoms:
+            _enc_str(out, atom)
+    elif isinstance(obj, Pattern):
+        # Canonical text form; ``parse_pattern(str(p)) == p`` by design.
+        out += b"P"
+        _enc_str(out, str(obj))
+    elif isinstance(obj, Destination):
+        out += b"D"
+        _enc(out, obj.pattern)
+        _enc(out, obj.space)
+    elif isinstance(obj, Capability):
+        out += b"c"
+        out += obj.token.to_bytes(16, "big")
+    elif isinstance(obj, Message):
+        out += b"M"
+        _enc(out, obj.payload)
+        _enc(out, obj.reply_to)
+        _enc(out, obj.headers)
+        _enc_int(out, obj.message_id)
+    elif isinstance(obj, Envelope):
+        out += b"E"
+        _enc(out, obj.message)
+        _enc(out, obj.sender)
+        out += _U8.pack(_MODE_INDEX[obj.mode])
+        _enc(out, obj.target)
+        _enc(out, obj.destination)
+        out += _U8.pack(_PORT_INDEX[obj.port])
+        out += _F64.pack(obj.sent_at)
+        _enc(out, obj.delivered_at)
+        out += _U32.pack(len(obj.trace))
+        for hop in obj.trace:
+            _enc_int(out, hop)
+        _enc(out, obj.origin_space)
+        _enc_int(out, obj.envelope_id)
+        _enc_int(out, obj.trace_id)
+        _enc(out, obj.parent_id)
+    elif isinstance(obj, VisibilityOp):
+        out += b"O"
+        out += _U8.pack(_OP_KIND_INDEX[obj.kind])
+        _enc_int(out, obj.origin_node)
+        _enc_int(out, obj.origin_seq)
+        _enc_int(out, obj.op_id)
+        _enc(out, obj.args)
+    elif callable(obj) and obj in _MANAGER_FACTORY_NAMES:
+        out += b"g"
+        _enc_str(out, _MANAGER_FACTORY_NAMES[obj])
+    elif type(obj) in _WIRE_TYPE_NAMES:
+        out += b"X"
+        _enc_str(out, _WIRE_TYPE_NAMES[type(obj)])
+        fields = dataclasses.fields(obj)
+        out += _U32.pack(len(fields))
+        for f in fields:
+            _enc_str(out, f.name)
+            _enc(out, getattr(obj, f.name))
+    else:
+        raise WireError(
+            f"type not encodable for the wire: {type(obj).__name__} "
+            f"({obj!r}); register it with register_wire_type()"
+        )
+
+
+def encode_value(obj: Any) -> bytes:
+    """Encode one value to its deterministic byte form."""
+    out = bytearray()
+    _enc(out, obj)
+    return bytes(out)
+
+
+# -- value decoding -------------------------------------------------------------
+
+def _need(buf: bytes, pos: int, count: int) -> None:
+    if pos + count > len(buf):
+        raise WireError(f"truncated value: need {count} bytes at offset {pos}")
+
+
+def _dec_u32(buf: bytes, pos: int) -> tuple[int, int]:
+    _need(buf, pos, 4)
+    return _U32.unpack_from(buf, pos)[0], pos + 4
+
+
+def _dec_int(buf: bytes, pos: int) -> tuple[int, int]:
+    length, pos = _dec_u32(buf, pos)
+    _need(buf, pos, length)
+    return int.from_bytes(buf[pos:pos + length], "big", signed=True), pos + length
+
+
+def _dec_str(buf: bytes, pos: int) -> tuple[str, int]:
+    length, pos = _dec_u32(buf, pos)
+    _need(buf, pos, length)
+    try:
+        return buf[pos:pos + length].decode("utf-8"), pos + length
+    except UnicodeDecodeError as exc:
+        raise WireError(f"invalid utf-8 in string at offset {pos}") from exc
+
+
+def _dec_enum(buf: bytes, pos: int, table: tuple, what: str):
+    _need(buf, pos, 1)
+    index = buf[pos]
+    if index >= len(table):
+        raise WireError(f"unknown {what} index {index}")
+    return table[index], pos + 1
+
+
+def _dec(buf: bytes, pos: int) -> tuple[Any, int]:  # noqa: C901 - one dispatch table
+    _need(buf, pos, 1)
+    tag = buf[pos:pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"i":
+        return _dec_int(buf, pos)
+    if tag == b"f":
+        _need(buf, pos, 8)
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == b"s":
+        return _dec_str(buf, pos)
+    if tag == b"y":
+        length, pos = _dec_u32(buf, pos)
+        _need(buf, pos, length)
+        return bytes(buf[pos:pos + length]), pos + length
+    if tag in (b"l", b"t"):
+        count, pos = _dec_u32(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _dec(buf, pos)
+            items.append(item)
+        return (items if tag == b"l" else tuple(items)), pos
+    if tag == b"S":
+        count, pos = _dec_u32(buf, pos)
+        members = []
+        for _ in range(count):
+            item, pos = _dec(buf, pos)
+            members.append(item)
+        return frozenset(members), pos
+    if tag == b"d":
+        count, pos = _dec_u32(buf, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = _dec(buf, pos)
+            value, pos = _dec(buf, pos)
+            result[key] = value
+        return result, pos
+    if tag in (b"a", b"z"):
+        node, pos = _dec_int(buf, pos)
+        serial, pos = _dec_int(buf, pos)
+        cls = ActorAddress if tag == b"a" else SpaceAddress
+        return cls(node, serial), pos
+    if tag == b"p":
+        count, pos = _dec_u32(buf, pos)
+        atoms = []
+        for _ in range(count):
+            atom, pos = _dec_str(buf, pos)
+            atoms.append(atom)
+        return AttributePath(atoms), pos
+    if tag == b"P":
+        text, pos = _dec_str(buf, pos)
+        try:
+            return parse_pattern(text), pos
+        except Exception as exc:
+            raise WireError(f"invalid pattern on wire: {text!r}") from exc
+    if tag == b"D":
+        pattern, pos = _dec(buf, pos)
+        space, pos = _dec(buf, pos)
+        destination = Destination.__new__(Destination)
+        destination.pattern = pattern
+        destination.space = space
+        return destination, pos
+    if tag == b"c":
+        _need(buf, pos, 16)
+        token = int.from_bytes(buf[pos:pos + 16], "big")
+        return Capability(token), pos + 16
+    if tag == b"M":
+        payload, pos = _dec(buf, pos)
+        reply_to, pos = _dec(buf, pos)
+        headers, pos = _dec(buf, pos)
+        message_id, pos = _dec_int(buf, pos)
+        return Message(payload, reply_to=reply_to, headers=headers,
+                       message_id=message_id), pos
+    if tag == b"E":
+        message, pos = _dec(buf, pos)
+        sender, pos = _dec(buf, pos)
+        mode, pos = _dec_enum(buf, pos, _MODES, "mode")
+        target, pos = _dec(buf, pos)
+        destination, pos = _dec(buf, pos)
+        port, pos = _dec_enum(buf, pos, _PORTS, "port")
+        _need(buf, pos, 8)
+        sent_at = _F64.unpack_from(buf, pos)[0]
+        pos += 8
+        delivered_at, pos = _dec(buf, pos)
+        hop_count, pos = _dec_u32(buf, pos)
+        trace = []
+        for _ in range(hop_count):
+            hop, pos = _dec_int(buf, pos)
+            trace.append(hop)
+        origin_space, pos = _dec(buf, pos)
+        envelope_id, pos = _dec_int(buf, pos)
+        trace_id, pos = _dec_int(buf, pos)
+        parent_id, pos = _dec(buf, pos)
+        return Envelope(
+            message=message, sender=sender, mode=mode, target=target,
+            destination=destination, port=port, sent_at=sent_at,
+            delivered_at=delivered_at, trace=trace, origin_space=origin_space,
+            envelope_id=envelope_id, trace_id=trace_id, parent_id=parent_id,
+        ), pos
+    if tag == b"O":
+        kind, pos = _dec_enum(buf, pos, _OP_KINDS, "op kind")
+        origin_node, pos = _dec_int(buf, pos)
+        origin_seq, pos = _dec_int(buf, pos)
+        op_id, pos = _dec_int(buf, pos)
+        args, pos = _dec(buf, pos)
+        return VisibilityOp(kind=kind, args=args, origin_node=origin_node,
+                            origin_seq=origin_seq, op_id=op_id), pos
+    if tag == b"g":
+        name, pos = _dec_str(buf, pos)
+        factory = _MANAGER_FACTORIES.get(name)
+        if factory is None:
+            raise WireError(f"unknown manager factory on wire: {name!r}")
+        return factory, pos
+    if tag == b"X":
+        name, pos = _dec_str(buf, pos)
+        cls = _WIRE_TYPES.get(name)
+        if cls is None:
+            raise WireError(f"unknown wire type: {name!r}")
+        field_count, pos = _dec_u32(buf, pos)
+        kwargs = {}
+        for _ in range(field_count):
+            field_name, pos = _dec_str(buf, pos)
+            value, pos = _dec(buf, pos)
+            kwargs[field_name] = value
+        try:
+            return cls(**kwargs), pos
+        except TypeError as exc:
+            raise WireError(f"wire type {name!r} rejected fields: {exc}") from exc
+    raise WireError(f"unknown wire tag {tag!r} at offset {pos - 1}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value; the buffer must contain exactly one value."""
+    value, pos = _dec(data, 0)
+    if pos != len(data):
+        raise WireError(f"trailing garbage after value: {len(data) - pos} bytes")
+    return value
+
+
+# -- framing --------------------------------------------------------------------
+
+def encode_frame(kind: FrameKind, payload: Any = None) -> bytes:
+    """One complete frame: ``u32 length | u8 kind | encoded payload``."""
+    body = encode_value(payload)
+    length = 1 + len(body)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {length} > {MAX_FRAME_BYTES}")
+    return _U32.pack(length) + _U8.pack(int(kind)) + body
+
+
+def try_decode_frame(buf: bytes, offset: int = 0) -> tuple[FrameKind, Any, int] | None:
+    """Decode one frame from ``buf[offset:]``.
+
+    Returns ``(kind, payload, bytes_consumed)`` or ``None`` when the
+    buffer does not yet hold a complete frame.  Raises
+    :class:`WireError` on an oversized length prefix or corrupt body —
+    callers must drop the connection, since stream sync is lost.
+    """
+    if len(buf) - offset < 4:
+        return None
+    length = _U32.unpack_from(buf, offset)[0]
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"incoming frame too large: {length} bytes")
+    if length < 1:
+        raise WireError("incoming frame has empty body")
+    if len(buf) - offset < 4 + length:
+        return None
+    kind_byte = buf[offset + 4]
+    try:
+        kind = FrameKind(kind_byte)
+    except ValueError as exc:
+        raise WireError(f"unknown frame kind {kind_byte}") from exc
+    body = bytes(buf[offset + 5:offset + 4 + length])
+    return kind, decode_value(body), 4 + length
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over a byte stream."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[FrameKind, Any]]:
+        """Absorb ``data``; return every frame completed by it, in order."""
+        self._buffer += data
+        frames: list[tuple[FrameKind, Any]] = []
+        offset = 0
+        while True:
+            decoded = try_decode_frame(self._buffer, offset)
+            if decoded is None:
+                break
+            kind, payload, consumed = decoded
+            frames.append((kind, payload))
+            offset += consumed
+        if offset:
+            del self._buffer[:offset]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+# -- handshake ------------------------------------------------------------------
+
+def hello_payload(node: int, role: str, cluster_id: str) -> dict:
+    """The HELLO body a connecting peer announces itself with."""
+    return {
+        "magic": WIRE_MAGIC,
+        "protocol": PROTOCOL_VERSION,
+        "schema": SCHEMA_VERSION,
+        "node": node,
+        "role": role,
+        "cluster": cluster_id,
+    }
+
+
+def hello_problem(payload: Any, cluster_id: str) -> str | None:
+    """Validate a HELLO body; a string describes why it must be rejected."""
+    if not isinstance(payload, dict):
+        return "handshake payload is not a mapping"
+    if payload.get("magic") != WIRE_MAGIC:
+        return "bad magic (not an actorspace peer)"
+    if payload.get("protocol") != PROTOCOL_VERSION:
+        return (f"protocol version mismatch: theirs="
+                f"{payload.get('protocol')!r} ours={PROTOCOL_VERSION}")
+    if payload.get("schema") != SCHEMA_VERSION:
+        return (f"schema version mismatch: theirs="
+                f"{payload.get('schema')!r} ours={SCHEMA_VERSION}")
+    if payload.get("cluster") != cluster_id:
+        return (f"cluster id mismatch: theirs={payload.get('cluster')!r} "
+                f"ours={cluster_id!r}")
+    if not isinstance(payload.get("node"), int):
+        return "missing node id"
+    if payload.get("role") not in ("node", "control"):
+        return f"unknown role {payload.get('role')!r}"
+    return None

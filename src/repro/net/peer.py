@@ -1,0 +1,376 @@
+"""Peer links: one asyncio TCP server + per-peer dialers per node process.
+
+Each node process runs a :class:`PeerHub`.  The hub listens on the node's
+own port, dials every other node, and keeps exactly one *registered* link
+per peer node id (whichever handshake completed most recently wins — with
+both sides dialing, two TCP connections per pair may exist; frames are
+accepted from either, sends go out on the registered one).
+
+Handshake: the connecting side writes a HELLO frame carrying
+(protocol version, schema version, node id, role, cluster id).  The
+accepting side validates and answers WELCOME — or REJECT with a reason,
+then closes.  A version- or cluster-mismatched peer never gets past this
+point, so the codec can assume both ends share one schema.
+
+Reconnect: each dialer loops forever with capped exponential backoff
+(reset after a successful handshake), because in an open system peers
+come and go — a node process restarting must be re-adopted without any
+operator action.
+
+Drain: :meth:`PeerHub.stop` sends BYE on every live link, flushes the
+write buffers, and only then closes — a graceful shutdown must not strand
+frames in userspace buffers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Callable
+
+from .codec import (
+    FrameDecoder,
+    FrameKind,
+    WireError,
+    encode_frame,
+    hello_payload,
+    hello_problem,
+)
+
+#: Cap on the dialer's exponential backoff between reconnect attempts.
+RECONNECT_MAX = 2.0
+RECONNECT_BASE = 0.05
+
+
+class PeerLink:
+    """One live, handshake-complete connection to a peer."""
+
+    __slots__ = ("node", "role", "reader", "writer", "opened_at")
+
+    def __init__(self, node: int, role: str,
+                 reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.node = node
+        self.role = role
+        self.reader = reader
+        self.writer = writer
+        self.opened_at = time.monotonic()
+
+    def __repr__(self):
+        return f"<PeerLink {self.role}:{self.node}>"
+
+
+class PeerHub:
+    """The per-process connection manager (see module docstring).
+
+    Parameters
+    ----------
+    node_id:
+        This node's id.
+    ports:
+        ``{node_id: tcp_port}`` for every node in the cluster, this one
+        included (the hub listens on ``ports[node_id]``).
+    on_frame:
+        ``(src_node, kind, payload, link)`` callback for every decoded
+        frame from a handshake-complete link.  Runs on the event loop;
+        exceptions are logged and the offending connection dropped.
+    on_peer_up:
+        Optional ``(node)`` callback when a *node* link registers.
+    on_peer_lost:
+        Optional ``(node)`` callback when a registered node link dies.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        ports: dict[int, int],
+        on_frame: Callable[[int, FrameKind, Any, PeerLink], None],
+        *,
+        host: str = "127.0.0.1",
+        cluster_id: str = "actorspace",
+        on_peer_up: Callable[[int], None] | None = None,
+        on_peer_lost: Callable[[int], None] | None = None,
+        log: Callable[[str], None] | None = None,
+    ):
+        self.node_id = node_id
+        self.ports = dict(ports)
+        self.host = host
+        self.cluster_id = cluster_id
+        self.on_frame = on_frame
+        self.on_peer_up = on_peer_up
+        self.on_peer_lost = on_peer_lost
+        self._log = log or (lambda text: None)
+        #: Registered node links: peer node id -> live link.
+        self.links: dict[int, PeerLink] = {}
+        #: Wall-clock (monotonic) instant we last received any frame from
+        #: each peer node; the TcpTransport's heartbeat oracle reads this.
+        self.last_heard: dict[int, float] = {}
+        self.frames_in = 0
+        self.frames_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.handshakes_rejected = 0
+        self.reconnects = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start dialing every other node."""
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._on_inbound, self.host, self.ports[self.node_id]
+        )
+        for peer in sorted(self.ports):
+            if peer != self.node_id:
+                self._spawn(self._dial_loop(peer))
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: BYE + flush on every link, then close."""
+        self._running = False
+        if drain:
+            for link in list(self.links.values()):
+                try:
+                    link.writer.write(encode_frame(FrameKind.BYE, None))
+                    await asyncio.wait_for(link.writer.drain(), timeout=1.0)
+                except (OSError, asyncio.TimeoutError):
+                    pass
+        for link in list(self.links.values()):
+            link.writer.close()
+        self.links.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # -- sending ----------------------------------------------------------------
+
+    def connected(self, node: int) -> bool:
+        """Is there a registered, live link to ``node`` right now?"""
+        return node in self.links
+
+    def send(self, node: int, kind: FrameKind, payload: Any = None) -> bool:
+        """Queue one frame to peer ``node``; False when no link is up.
+
+        Writes go to the asyncio transport buffer; a peer that dies with
+        frames in flight simply loses them — exactly the at-most-once
+        link behavior the dead-letter queue exists to compensate.
+        """
+        link = self.links.get(node)
+        if link is None:
+            return False
+        return self.send_link(link, kind, payload)
+
+    def send_link(self, link: PeerLink, kind: FrameKind, payload: Any = None) -> bool:
+        """Queue one frame on an explicit link (control replies)."""
+        try:
+            data = encode_frame(kind, payload)
+            link.writer.write(data)
+        except (OSError, WireError, RuntimeError) as exc:
+            self._log(f"send to {link!r} failed: {exc}")
+            return False
+        self.frames_out += 1
+        self.bytes_out += len(data)
+        return True
+
+    def broadcast(self, kind: FrameKind, payload: Any = None,
+                  exclude: tuple = ()) -> int:
+        """Send one frame to every registered node link; returns count."""
+        sent = 0
+        for node in sorted(self.links):
+            if node not in exclude and self.send(node, kind, payload):
+                sent += 1
+        return sent
+
+    # -- inbound connections ----------------------------------------------------
+
+    async def _on_inbound(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """Server side of the handshake: validate HELLO, WELCOME, serve."""
+        decoder = FrameDecoder()
+        pending: deque = deque()
+        try:
+            frame = await asyncio.wait_for(
+                self._read_one(reader, decoder, pending), timeout=5.0)
+        except (asyncio.TimeoutError, WireError, OSError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        if frame is None or frame[0] != FrameKind.HELLO:
+            writer.close()
+            return
+        problem = hello_problem(frame[1], self.cluster_id)
+        if problem is not None:
+            self.handshakes_rejected += 1
+            self._log(f"rejected inbound handshake: {problem}")
+            try:
+                writer.write(encode_frame(FrameKind.REJECT, {"reason": problem}))
+                await writer.drain()
+            except OSError:
+                pass
+            writer.close()
+            return
+        peer, role = frame[1]["node"], frame[1]["role"]
+        try:
+            writer.write(encode_frame(FrameKind.WELCOME, {"node": self.node_id}))
+            await writer.drain()
+        except OSError:
+            writer.close()
+            return
+        link = PeerLink(peer, role, reader, writer)
+        if role == "node":
+            self._register(link)
+        await self._serve_link(link, decoder, pending)
+
+    # -- outbound connections ---------------------------------------------------
+
+    async def _dial_loop(self, peer: int) -> None:
+        """Connect to ``peer`` forever, with capped exponential backoff."""
+        backoff = RECONNECT_BASE
+        while self._running:
+            dialed = None
+            try:
+                dialed = await self._dial_once(peer)
+            except (OSError, asyncio.TimeoutError, WireError, ConnectionError,
+                    asyncio.IncompleteReadError):
+                dialed = None
+            if dialed is not None:
+                # Keep the handshake decoder AND any frames already
+                # buffered behind the WELCOME: the peer registers this
+                # link the instant it accepts, so real traffic can share
+                # a TCP segment with the handshake reply.  A fresh
+                # decoder here silently ate those frames.
+                link, decoder, pending = dialed
+                backoff = RECONNECT_BASE
+                self._register(link)
+                await self._serve_link(link, decoder, pending)
+                if self._running:
+                    self.reconnects += 1
+            if not self._running:
+                return
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, RECONNECT_MAX)
+
+    async def _dial_once(
+        self, peer: int,
+    ) -> tuple[PeerLink, FrameDecoder, deque] | None:
+        """One connect + handshake attempt; None on rejection.
+
+        Returns the link *plus* the handshake decoder and any frames that
+        arrived bundled with the WELCOME, so the serve loop never drops
+        bytes the peer sent the instant it registered us.
+        """
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.ports[peer]), timeout=2.0)
+        writer.write(encode_frame(
+            FrameKind.HELLO,
+            hello_payload(self.node_id, "node", self.cluster_id)))
+        await writer.drain()
+        decoder = FrameDecoder()
+        pending: deque = deque()
+        frame = await asyncio.wait_for(
+            self._read_one(reader, decoder, pending), timeout=5.0)
+        if frame is None or frame[0] != FrameKind.WELCOME:
+            reason = frame[1].get("reason") if frame and isinstance(frame[1], dict) else "closed"
+            self.handshakes_rejected += 1
+            self._log(f"dial to node {peer} rejected: {reason}")
+            writer.close()
+            return None
+        return PeerLink(peer, "node", reader, writer), decoder, pending
+
+    # -- shared serving ---------------------------------------------------------
+
+    async def _read_one(self, reader: asyncio.StreamReader,
+                        decoder: FrameDecoder,
+                        pending: deque) -> tuple[FrameKind, Any] | None:
+        """Read until one complete frame is available (handshake phase).
+
+        Any frames decoded beyond the first are pushed onto ``pending``
+        for the serve loop — a peer may pipeline traffic right behind its
+        handshake frame, and those bytes must not be discarded.
+        """
+        while True:
+            if pending:
+                return pending.popleft()
+            data = await reader.read(65536)
+            if not data:
+                return None
+            self.bytes_in += len(data)
+            pending.extend(decoder.feed(data))
+
+    async def _serve_link(self, link: PeerLink, decoder: FrameDecoder,
+                          pending: deque | None = None) -> None:
+        """Pump frames off ``link`` until it dies or BYE arrives."""
+        pending = pending if pending is not None else deque()
+        try:
+            while True:
+                goodbye = False
+                while pending:
+                    kind, payload = pending.popleft()
+                    self.frames_in += 1
+                    if link.role == "node":
+                        self.last_heard[link.node] = time.monotonic()
+                    if kind == FrameKind.BYE:
+                        goodbye = True
+                        break
+                    try:
+                        self.on_frame(link.node, kind, payload, link)
+                    except Exception as exc:  # noqa: BLE001 - isolate handlers
+                        self._log(f"frame handler failed on {kind.name} "
+                                  f"from {link!r}: {exc!r}")
+                if goodbye:
+                    break
+                data = await link.reader.read(65536)
+                if not data:
+                    break
+                self.bytes_in += len(data)
+                try:
+                    pending.extend(decoder.feed(data))
+                except WireError as exc:
+                    self._log(f"corrupt stream from {link!r}: {exc}")
+                    break
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._unregister(link)
+            link.writer.close()
+
+    # -- link registry ----------------------------------------------------------
+
+    def _register(self, link: PeerLink) -> None:
+        previous = self.links.get(link.node)
+        self.links[link.node] = link
+        self.last_heard[link.node] = time.monotonic()
+        if previous is None and self.on_peer_up is not None:
+            self.on_peer_up(link.node)
+
+    def _unregister(self, link: PeerLink) -> None:
+        if link.role != "node":
+            return
+        if self.links.get(link.node) is link:
+            del self.links[link.node]
+            if self.on_peer_lost is not None:
+                self.on_peer_lost(link.node)
+
+    def metrics_snapshot(self) -> dict:
+        """Link-layer counters for the node's metrics snapshot."""
+        return {
+            "links_up": len(self.links),
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "handshakes_rejected": self.handshakes_rejected,
+            "reconnects": self.reconnects,
+        }

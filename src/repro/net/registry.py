@@ -1,0 +1,100 @@
+"""Cluster behavior registry + wire-type registrations.
+
+A launcher cannot ship Python callables over the control connection, so
+actors are created by *name*: the launcher asks for ``("pool_worker",
+params)`` and the node process builds the behavior locally from this
+registry.  Both sides import this module, which also registers the
+application payload dataclasses (e.g. the process pool's ``Job``) with
+the wire codec — keeping the codec's closed world property while letting
+shipped examples run across real sockets unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.apps.process_pool import Job, PoolClient, PoolWorker
+from repro.core.actor import ActorContext, Behavior
+from repro.core.messages import Message
+
+from .codec import WireError, register_wire_type
+
+register_wire_type(Job)
+
+#: name -> factory(params) -> Behavior
+BEHAVIORS: dict[str, Callable[[dict], Behavior]] = {}
+
+
+def register_behavior(name: str, factory: Callable[[dict], Behavior]) -> None:
+    """Make ``name`` creatable via the cluster control plane."""
+    BEHAVIORS[name] = factory
+
+
+def build_behavior(name: str, params: dict | None) -> Behavior:
+    """Instantiate a registered behavior from control-plane arguments."""
+    factory = BEHAVIORS.get(name)
+    if factory is None:
+        raise WireError(
+            f"unknown behavior {name!r}; registered: {sorted(BEHAVIORS)}"
+        )
+    return factory(dict(params or {}))
+
+
+# -- built-in behaviors ---------------------------------------------------------
+
+class EchoBehavior(Behavior):
+    """Replies ``("echo", payload)`` to ``reply_to`` (or the sender)."""
+
+    def __init__(self):
+        self.count = 0
+        self.last: Any = None
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        self.count += 1
+        self.last = message.payload
+        target = message.reply_to
+        if target is not None:
+            ctx.send_to(target, ("echo", message.payload))
+
+
+class CounterBehavior(Behavior):
+    """Counts messages; keeps the most recent payloads for inspection."""
+
+    def __init__(self, keep: int = 8):
+        self.count = 0
+        self.keep = keep
+        self.recent: list = []
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        self.count += 1
+        self.recent.append(message.payload)
+        del self.recent[:-self.keep]
+
+
+class ReplicaBehavior(Behavior):
+    """A replicated-service worker: acknowledge each request (E11 shape)."""
+
+    def __init__(self, name: str = "replica"):
+        self.name = name
+        self.count = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        self.count += 1
+        if message.reply_to is not None:
+            ctx.send_to(message.reply_to, ("ok", self.name, self.count))
+
+
+register_behavior("echo", lambda params: EchoBehavior())
+register_behavior("counter",
+                  lambda params: CounterBehavior(keep=int(params.get("keep", 8))))
+register_behavior("replica",
+                  lambda params: ReplicaBehavior(name=params.get("name", "replica")))
+register_behavior("pool_worker", lambda params: PoolWorker(
+    params["pool"],
+    grain=int(params.get("grain", 64)),
+    fanout=int(params.get("fanout", 4)),
+    cost_per_item=float(params.get("cost_per_item", 0.001)),
+))
+register_behavior("pool_client", lambda params: PoolClient(
+    params["pool"], Job(int(params["lo"]), int(params["hi"]))
+))

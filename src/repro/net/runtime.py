@@ -1,0 +1,654 @@
+"""NodeRuntime: one OS process hosting one real ActorSpace node.
+
+The simulator's :class:`~repro.runtime.system.ActorSpaceSystem` plays
+every node from a single process; a :class:`NodeRuntime` is the same
+wiring diagram collapsed to *one* node plus stand-ins for the others:
+
+* one real :class:`~repro.runtime.coordinator.Coordinator` — actors,
+  directory replica, resolution cache, parked messages: all unchanged;
+* a :class:`RemoteNodeProxy` per peer, satisfying exactly the slice of
+  the coordinator interface the runtime reaches for on *other* nodes
+  (``_deliver`` becomes "serialize and send", ``crashed`` consults the
+  failure detector's verdicts);
+* a :class:`~repro.net.remote.RemoteSequencerBus` ordering visibility
+  ops in frames instead of simulated latency draws;
+* the PR-3 :class:`~repro.runtime.failure.DeadLetterQueue` and
+  :class:`~repro.net.remote.NetFailureDetector`, unchanged in logic but
+  driven by wall-clock heartbeats;
+* a wall clock and an asyncio event pump replacing virtual time — the
+  event queue is the same heap, it just waits for real time to pass.
+
+Address determinism is preserved on purpose: node ``k``'s address
+factory mints the same ``(node, serial)`` sequence as the simulator's
+node ``k`` given the same creation order, and node 0 consumes serial 0
+for the root space exactly like ``ActorSpaceSystem`` does.  That is what
+lets ``python -m repro check --transport tcp`` diff a real cluster
+against the single-process oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import sys
+import time
+from typing import Any
+
+from repro.core.actorspace import SpaceRecord
+from repro.core.addresses import ActorAddress, SpaceAddress
+from repro.core.capabilities import CapabilityIssuer
+from repro.core.manager import SpaceManager
+from repro.core.matching import resolve_actors
+from repro.core.messages import (
+    Destination,
+    Envelope,
+    Message,
+    Mode,
+    Port,
+    parse_destination,
+)
+from repro.runtime.context import RuntimeContext
+from repro.runtime.coordinator import Coordinator
+from repro.runtime.eventlog import EventLog
+from repro.runtime.events import EventQueue
+from repro.runtime.failure import DeadLetterQueue
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.network import Topology
+from repro.runtime.rng import RngHub
+from repro.runtime.tracing import Tracer
+
+from . import registry
+from .codec import FrameKind, WireError, encode_value
+from .peer import PeerHub, PeerLink
+from .remote import NetFailureDetector, RemoteSequencerBus, TcpTransport
+
+#: Detectors on a server run effectively forever; the PR-3 horizon only
+#: exists so the *simulator* can quiesce.
+_FOREVER = 1e12
+
+
+def rebase_wire_counters(node_id: int) -> None:
+    """Give this process a collision-free id block for envelopes/messages/ops.
+
+    The module-global counters mint ids dense from 0; with one process
+    per node, two nodes would mint the same envelope id and the
+    in-flight / dead-letter bookkeeping keyed on it would collide.
+    Rebasing each process to ``node_id << 44`` leaves ~17.6e12 ids per
+    node — decoded objects carry their ids explicitly, so only local
+    minting consumes the block.
+    """
+    from repro.core import messages as messages_mod
+    from repro.runtime import bus as bus_mod
+
+    base = node_id << 44
+    messages_mod._envelope_ids = itertools.count(base)
+    messages_mod._message_ids = itertools.count(base)
+    bus_mod._op_ids = itertools.count(base)
+
+
+class WallClock:
+    """Real elapsed time behind the ``clock.now`` interface.
+
+    ``now`` can be *pinned* while one event executes.  The simulator's
+    virtual clock never advances during a turn, and behaviors lean on
+    that — e.g. computing ``deadline - ctx.now`` twice and scheduling
+    the difference must not come out negative.  The pump pins before
+    dispatching each event and unpins after, so actor code observes the
+    same frozen-time-per-turn contract in both runtimes.
+    """
+
+    __slots__ = ("_t0", "_pinned")
+
+    def __init__(self):
+        self._t0 = time.monotonic()
+        self._pinned: float | None = None
+
+    @property
+    def now(self) -> float:
+        if self._pinned is not None:
+            return self._pinned
+        return time.monotonic() - self._t0
+
+    def pin(self) -> None:
+        self._pinned = time.monotonic() - self._t0
+
+    def unpin(self) -> None:
+        self._pinned = None
+
+    def advance_to(self, t: float) -> None:
+        """No-op: wall time advances itself (the pump waits instead)."""
+
+
+class _WakingEventQueue(EventQueue):
+    """The simulator's event heap, poking the async pump on schedule."""
+
+    def __init__(self, wake):
+        super().__init__()
+        self._wake = wake
+
+    def schedule(self, time, action, priority=0, tag=None):
+        handle = super().schedule(time, action, priority=priority, tag=tag)
+        self._wake()
+        return handle
+
+
+class RemoteNodeProxy:
+    """The slice of a peer's coordinator the local runtime touches.
+
+    * ``_deliver`` — the simulator's "arrival at the destination node"
+      hook; here it means *put the envelope on the wire*.
+    * ``_route`` — the dead-letter queue redelivers via the destination
+      node's coordinator; remotely that is just a local re-route.
+    * ``actors`` — arbitration's load probe reads peer queue depths; a
+      real deployment would need the paper's §8 monitoring daemons for
+      remote load, so remote actors report load 0 (empty mapping).
+    * ``crashed`` — the detector's verdict, read by the DLQ.
+    """
+
+    __slots__ = ("runtime", "node_id", "actors")
+
+    def __init__(self, runtime: "NodeRuntime", node_id: int):
+        self.runtime = runtime
+        self.node_id = node_id
+        self.actors: dict = {}
+
+    @property
+    def crashed(self) -> bool:
+        return self.runtime.transport.node_is_down(self.node_id)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self.runtime.forward_envelope(envelope)
+
+    def _route(self, envelope: Envelope, target: ActorAddress) -> None:
+        self.runtime.coordinator._route(envelope, target)
+
+    def __repr__(self):
+        return f"<RemoteNodeProxy n{self.node_id}>"
+
+
+class NodeRuntime:
+    """One process's ActorSpace node (see module docstring).
+
+    Duck-types the ``ActorSpaceSystem`` surface the runtime classes
+    reach for (``clock``, ``events``, ``coordinators``, ``transport``,
+    ``bus``, ``dead_letters``, ``tracer``, ``in_flight``, ...), so
+    ``Coordinator``, ``DeadLetterQueue``, ``FailureDetector``, and
+    ``RuntimeContext`` run here unmodified.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        ports: dict[int, int],
+        *,
+        host: str = "127.0.0.1",
+        cluster_id: str = "actorspace",
+        seed: int = 0,
+        heartbeat_interval: float = 0.2,
+        suspect_after: int = 2,
+        confirm_after: int = 4,
+        trace: bool = True,
+        quiet: bool = True,
+    ):
+        rebase_wire_counters(node_id)
+        self.node_id = node_id
+        self.nodes = sorted(ports)
+        self.quiet = quiet
+        self.topology = Topology.lan(len(self.nodes))
+        self.clock = WallClock()
+        self.events: EventQueue = _WakingEventQueue(self._kick)
+        self.event_log = EventLog(enabled=trace)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(keep_samples=256, registry=self.metrics,
+                             log=self.event_log)
+        self.heartbeat_interval = heartbeat_interval
+        self.transport = TcpTransport(
+            self, heartbeat_window=heartbeat_interval * 2.5)
+        self.rng = RngHub(seed)
+        self.capabilities = CapabilityIssuer(
+            self.rng.stream(f"capabilities-node{node_id}"))
+        self.rng_arbitration = self.rng.stream(f"arbitration-node{node_id}")
+        self.processing_delay = 0.0
+        self.in_flight: dict[int, Envelope] = {}
+        self._held_roots: set = set()
+
+        self.coordinator = Coordinator(node_id, self)
+        self.coordinators: list = [
+            self.coordinator if n == self.node_id else RemoteNodeProxy(self, n)
+            for n in self.nodes
+        ]
+        self.bus = RemoteSequencerBus(self)
+        self.dead_letters = DeadLetterQueue(self)
+        self.failure_detector = NetFailureDetector(
+            self, interval=heartbeat_interval,
+            suspect_after=suspect_after, confirm_after=confirm_after)
+
+        # Root-space bootstrap, byte-identical to the simulator: the root
+        # is SpaceAddress(0, 0) everywhere, and node 0's factory consumes
+        # serial 0 for it (other factories start untouched at 0).
+        if node_id == 0:
+            self.root_space = self.coordinator.addresses.new_space_address()
+        else:
+            self.root_space = SpaceAddress(0, 0)
+        self.coordinator.directory.add_space(SpaceRecord(self.root_space, None, 0))
+        self.coordinator.managers[self.root_space] = SpaceManager()
+        self._held_roots.add(self.root_space)
+
+        self.hub = PeerHub(
+            node_id, ports, self._on_frame, host=host, cluster_id=cluster_id,
+            on_peer_up=self._on_peer_up, log=self._log)
+        self._wake: asyncio.Event | None = None
+        self._stopping = False
+        self._seen_peers: set[int] = set()
+        self._detector_armed = False
+        self._retry_scheduled: set[int] = set()
+        self._control_handlers = {
+            "ping": self._ctl_ping,
+            "status": self._ctl_status,
+            "create_space": self._ctl_create_space,
+            "create_actor": self._ctl_create_actor,
+            "make_visible": self._ctl_make_visible,
+            "make_invisible": self._ctl_make_invisible,
+            "send": self._ctl_send,
+            "broadcast": self._ctl_broadcast,
+            "send_to": self._ctl_send_to,
+            "resolve": self._ctl_resolve,
+            "has_space": self._ctl_has_space,
+            "visible_attributes": self._ctl_visible_attributes,
+            "actor_state": self._ctl_actor_state,
+            "directory": self._ctl_directory,
+            "snapshot": self._ctl_snapshot,
+            "dlq": self._ctl_dlq,
+            "shutdown": self._ctl_shutdown,
+        }
+
+    # -- system-facade duck typing ----------------------------------------------
+
+    def make_context(self, record, cause=None) -> RuntimeContext:
+        return RuntimeContext(self, record, cause=cause)  # type: ignore[arg-type]
+
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"[node {self.node_id} t={self.clock.now:8.3f}] {text}",
+                  file=sys.stderr, flush=True)
+
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    # -- failure handling --------------------------------------------------------
+
+    def _on_node_confirmed_down(self, node: int) -> None:
+        """First local confirmation: quarantine + bus failover.
+
+        The simulator quarantines the dead node on every live replica in
+        one call; here each process runs this independently when its own
+        detector confirms — same global outcome, reached per-replica.
+        """
+        self.transport.crash_node(node)
+        masked = self.coordinator.directory.quarantine_node(node)
+        self.tracer.on_quarantine("quarantined", self.node_id, self.clock.now,
+                                  target_node=node, masked=masked)
+        self.bus.on_node_down(node)
+        self._log(f"confirmed node {node} down (masked {masked} entries)")
+
+    def on_peer_recovered(self, node: int) -> None:
+        """Real bytes arrived from a peer we had confirmed down.
+
+        The detector cannot see this transition (a confirmed-down peer
+        reads as down in the transport forever), so the frame-receive
+        path calls in here: lift the verdict and the quarantine mask,
+        reconsider parked messages the mask was hiding matches from,
+        re-elect the bus leadership, and flush dead letters.
+        """
+        if node not in self.transport.crashed:
+            return
+        self.transport.recover_node(node)
+        self.failure_detector.on_node_recovered(node)
+        directory = self.coordinator.directory
+        if node in directory.quarantined_nodes:
+            directory.unquarantine_node(node)
+            self.tracer.on_quarantine("unquarantined", self.node_id,
+                                      self.clock.now, target_node=node)
+            self.coordinator._recheck_parked()
+        self.bus.on_node_recovered(node)
+        self.dead_letters.flush(node)
+        self._log(f"node {node} recovered")
+
+    # -- outbound envelopes ------------------------------------------------------
+
+    def forward_envelope(self, envelope: Envelope) -> None:
+        """Ship a routed envelope to its target's home node.
+
+        The local ``_route`` already did hop accounting and registered
+        the envelope in-flight; it leaves this process's authority the
+        moment it hits the socket buffer, so it is popped from in-flight
+        here (the receiving node re-tracks it).  An unreachable peer
+        (link down but not yet confirmed dead) parks the envelope in the
+        dead-letter queue; reconnection flushes it.
+        """
+        target = envelope.target
+        assert target is not None
+        self.in_flight.pop(envelope.envelope_id, None)
+        if self.hub.send(target.node, FrameKind.ENVELOPE, {"envelope": envelope}):
+            return
+        self.tracer.on_dropped("node_down", envelope, node=self.node_id,
+                               t=self.clock.now)
+        self.dead_letters.capture(envelope, target.node, "node_unreachable")
+        self._schedule_unreachable_retry(target.node)
+
+    def _schedule_unreachable_retry(self, node: int) -> None:
+        """Keep retrying dead letters parked for a *transiently* down link.
+
+        Peer-up and recovery events flush the queue, but a send can also
+        fail mid-reconnect with no later edge to ride (the link was never
+        lost from the hub's perspective) — so poll until the link is back
+        or the failure detector upgrades the outage to confirmed-down
+        (whose recovery path owns the flush from then on).
+        """
+        if node in self._retry_scheduled:
+            return
+        self._retry_scheduled.add(node)
+        self.events.schedule(self.clock.now + self.heartbeat_interval,
+                             lambda: self._retry_unreachable(node))
+
+    def _retry_unreachable(self, node: int) -> None:
+        self._retry_scheduled.discard(node)
+        if node in self.transport.crashed:
+            return
+        if self.dead_letters.pending(node) == 0:
+            return
+        if node in self.hub.links:
+            self.dead_letters.flush(node)
+        if self.dead_letters.pending(node):
+            self._schedule_unreachable_retry(node)
+
+    # -- inbound frames ----------------------------------------------------------
+
+    def _on_frame(self, src: int, kind: FrameKind, payload: Any,
+                  link: PeerLink) -> None:
+        if link.role == "node" and src in self.transport.crashed:
+            self.on_peer_recovered(src)
+        if kind == FrameKind.HEARTBEAT:
+            return  # the hub already refreshed last_heard
+        if kind == FrameKind.ENVELOPE:
+            self.coordinator._deliver(payload["envelope"])
+        elif kind == FrameKind.BUS_SUBMIT:
+            self.bus.on_submit(src, payload["op"])
+        elif kind == FrameKind.BUS_OP:
+            self.bus.on_op(payload["seq"], payload["op"])
+        elif kind == FrameKind.BUS_ACK:
+            self.bus.on_ack(payload["op_id"])
+        elif kind == FrameKind.SYNC_REQ:
+            self.bus.on_sync_req(payload["node"], payload["from_seq"])
+        elif kind == FrameKind.CONTROL:
+            self._on_control(payload, link)
+
+    def _on_peer_up(self, node: int) -> None:
+        """A node link registered (first connect or reconnect)."""
+        self.on_peer_recovered(node)  # no-op unless it was confirmed down
+        self._seen_peers.add(node)
+        self.dead_letters.flush(node)
+        if node == self.bus.sequencer_node:
+            # Catch up on any visibility ops sequenced before we joined
+            # (or while we were partitioned/restarted).
+            self.bus.request_sync()
+        peers = {n for n in self.nodes if n != self.node_id}
+        if not self._detector_armed and self._seen_peers >= peers:
+            self._detector_armed = True
+            self.failure_detector.start(_FOREVER)
+            self._log("failure detector armed")
+
+    # -- serving -----------------------------------------------------------------
+
+    async def serve(self, ready: asyncio.Event | None = None) -> None:
+        """Run the node until a control ``shutdown`` (or cancellation)."""
+        self._wake = asyncio.Event()
+        await self.hub.start()
+        self._log(f"listening on {self.hub.host}:{self.hub.ports[self.node_id]} "
+                  f"peers={[n for n in self.nodes if n != self.node_id]}")
+        heartbeats = asyncio.ensure_future(self._heartbeat_loop())
+        if ready is not None:
+            ready.set()
+        try:
+            await self._pump()
+        finally:
+            heartbeats.cancel()
+            try:
+                await heartbeats
+            except asyncio.CancelledError:
+                pass
+            await self.hub.stop(drain=True)
+
+    def request_shutdown(self) -> None:
+        self._stopping = True
+        self._kick()
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._stopping:
+            self.hub.broadcast(FrameKind.HEARTBEAT,
+                               {"node": self.node_id, "t": self.clock.now})
+            await asyncio.sleep(self.heartbeat_interval)
+
+    async def _pump(self) -> None:
+        """Drive the event heap against the wall clock.
+
+        Due events run back-to-back (yielding every batch so socket
+        readers stay live); otherwise sleep until the next deadline or a
+        ``schedule`` wake-up, whichever comes first.
+        """
+        assert self._wake is not None
+        processed = 0
+        while not self._stopping:
+            due = self.events.peek_time()
+            now = self.clock.now
+            if due is not None and due <= now:
+                popped = self.events.pop()
+                if popped is not None:
+                    _when, action = popped
+                    self.clock.pin()
+                    try:
+                        action()
+                    except Exception as exc:  # noqa: BLE001 - isolate events
+                        self._log(f"event raised: {exc!r}")
+                    finally:
+                        self.clock.unpin()
+                    processed += 1
+                    if processed % 64 == 0:
+                        await asyncio.sleep(0)
+                continue
+            wait = self.heartbeat_interval if due is None \
+                else min(max(due - now, 0.0) + 0.001, self.heartbeat_interval)
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), wait)
+            except asyncio.TimeoutError:
+                pass
+
+    # -- control plane -----------------------------------------------------------
+
+    def _on_control(self, payload: Any, link: PeerLink) -> None:
+        request_id = payload.get("id") if isinstance(payload, dict) else None
+        reply: dict[str, Any]
+        try:
+            if not isinstance(payload, dict):
+                raise WireError("control payload must be a mapping")
+            handler = self._control_handlers.get(payload.get("cmd"))
+            if handler is None:
+                raise WireError(f"unknown control command {payload.get('cmd')!r}")
+            value = handler(**(payload.get("args") or {}))
+            reply = {"id": request_id, "ok": True, "value": value}
+        except Exception as exc:  # noqa: BLE001 - fault back to the launcher
+            reply = {"id": request_id, "ok": False,
+                     "error": f"{type(exc).__name__}: {exc}"}
+        if not self.hub.send_link(link, FrameKind.REPLY, reply):
+            self.hub.send_link(link, FrameKind.REPLY, {
+                "id": request_id, "ok": False,
+                "error": "reply was not wire-encodable",
+            })
+
+    @staticmethod
+    def _wire_safe(value: Any) -> Any:
+        try:
+            encode_value(value)
+            return value
+        except WireError:
+            return repr(value)
+
+    def _ctl_ping(self) -> dict:
+        return {"node": self.node_id, "t": self.clock.now}
+
+    def _ctl_status(self) -> dict:
+        return {
+            "node": self.node_id,
+            "applied_seq": self.coordinator._next_apply_seq,
+            "actors": len(self.coordinator.actors),
+            "events_pending": len(self.events),
+            "in_flight": len(self.in_flight),
+            "links": sorted(self.hub.links),
+            "seen_peers": sorted(self._seen_peers),
+            "detector_armed": self._detector_armed,
+            "confirmed_down": sorted(self.transport.crashed),
+            "quarantined": sorted(self.coordinator.directory.quarantined_nodes),
+            "suspended": len(self.coordinator.suspended),
+            "persistent": len(self.coordinator.persistent),
+            "dlq_pending": self.dead_letters.pending(),
+            "bus": self.bus.metrics_snapshot(),
+        }
+
+    def _ctl_create_space(self, attributes=None, parent=None, capability=None):
+        address = self.coordinator.create_space(capability)
+        self._held_roots.add(address)
+        if attributes is not None:
+            self.coordinator.make_visible(
+                address, attributes,
+                parent if parent is not None else self.root_space, capability)
+        return {"address": address}
+
+    def _ctl_create_actor(self, behavior: str, params=None, space=None,
+                          visible=None, capability=None):
+        built = registry.build_behavior(behavior, params)
+        address = self.coordinator.create_actor(
+            built, host_space=space if space is not None else self.root_space,
+            capability=capability)
+        self._held_roots.add(address)
+        if visible is not None:
+            self.coordinator.make_visible(
+                address, visible["attributes"],
+                visible.get("space") or self.root_space, capability)
+        return {"address": address}
+
+    def _ctl_make_visible(self, target, attributes, space=None, capability=None):
+        self.coordinator.make_visible(
+            target, attributes,
+            space if space is not None else self.root_space, capability)
+        return True
+
+    def _ctl_make_invisible(self, target, space=None, capability=None):
+        self.coordinator.make_invisible(
+            target, space if space is not None else self.root_space, capability)
+        return True
+
+    def _external_envelope(self, mode: Mode, payload, *, destination=None,
+                           target=None, reply_to=None, headers=None) -> Envelope:
+        return Envelope(
+            message=Message(payload, reply_to=reply_to, headers=headers or {}),
+            sender=None, mode=mode, target=target, destination=destination,
+            port=Port.INVOCATION, sent_at=self.clock.now,
+            origin_space=self.root_space,
+        )
+
+    @staticmethod
+    def _as_destination(destination) -> Destination:
+        if isinstance(destination, Destination):
+            return destination
+        return parse_destination(destination)
+
+    def _ctl_send(self, destination, payload, reply_to=None):
+        self.coordinator.send_pattern(self._external_envelope(
+            Mode.SEND, payload, destination=self._as_destination(destination),
+            reply_to=reply_to))
+        return True
+
+    def _ctl_broadcast(self, destination, payload, reply_to=None):
+        self.coordinator.broadcast_pattern(self._external_envelope(
+            Mode.BROADCAST, payload,
+            destination=self._as_destination(destination), reply_to=reply_to))
+        return True
+
+    def _ctl_send_to(self, target, payload, reply_to=None):
+        self.coordinator.send_direct(self._external_envelope(
+            Mode.DIRECT, payload, target=target, reply_to=reply_to))
+        return True
+
+    def _ctl_resolve(self, pattern, space=None):
+        scope = space if space is not None else self.root_space
+        return sorted(resolve_actors(
+            self.coordinator.directory, pattern, scope,
+            cache=self.coordinator.resolution_cache))
+
+    def _ctl_has_space(self, address):
+        return self.coordinator.directory.has_space(address)
+
+    def _ctl_visible_attributes(self, target, space=None):
+        scope = space if space is not None else self.root_space
+        directory = self.coordinator.directory
+        if not directory.has_space(scope):
+            return frozenset()
+        entry = directory.space(scope).lookup(target)
+        return entry.attributes if entry is not None else frozenset()
+
+    def _ctl_actor_state(self, address, attrs):
+        record = self.coordinator.actors.get(address)
+        if record is None:
+            raise WireError(f"no such actor on node {self.node_id}: {address!r}")
+        return {name: self._wire_safe(getattr(record.behavior, name, None))
+                for name in attrs}
+
+    def _ctl_directory(self):
+        return {"snapshot": self.coordinator.directory.snapshot(),
+                "quarantined": sorted(self.coordinator.directory.quarantined_nodes)}
+
+    def _ctl_snapshot(self, events: bool = True):
+        return {
+            "node": self.node_id,
+            "metrics": self.metrics_snapshot(),
+            "transport": self.transport.metrics_snapshot(),
+            "hub": self.hub.metrics_snapshot(),
+            "bus": self.bus.metrics_snapshot(),
+            "events": [self._wire_safe(e.to_dict()) for e in self.event_log]
+                      if events else [],
+        }
+
+    def _ctl_dlq(self):
+        return {
+            "pending": self.dead_letters.pending(),
+            "queued": self.dead_letters.queued_total,
+            "redelivered": self.dead_letters.redelivered_total,
+            "expired": self.dead_letters.expired_total,
+        }
+
+    def _ctl_shutdown(self):
+        self._log("shutdown requested")
+        # Reply first (returning schedules the REPLY write), stop on the
+        # next pump turn.
+        self.events.schedule(self.clock.now + 0.05, self.request_shutdown)
+        return True
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        depth = sum(r.mailbox.pending for r in self.coordinator.actors.values()
+                    if not r.terminated)
+        self.metrics.gauge(f"queue_depth_node_{self.node_id}").set(depth)
+        self.metrics.gauge(f"parked_node_{self.node_id}").set(
+            len(self.coordinator.suspended) + len(self.coordinator.persistent))
+        self.metrics.gauge("in_flight").set(len(self.in_flight))
+        for name, value in self.transport.metrics_snapshot().items():
+            if not isinstance(value, dict):
+                self.metrics.gauge(f"transport_{name}").set(value)
+        return self.metrics.snapshot()
+
+    def __repr__(self):
+        return (f"<NodeRuntime n{self.node_id}/{len(self.nodes)} "
+                f"actors={len(self.coordinator.actors)} t={self.clock.now:.3f}>")

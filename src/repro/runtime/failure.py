@@ -82,6 +82,11 @@ class FailureDetector:
         self.confirm_after = confirm_after
         nodes = list(system.topology.nodes)
         self.nodes = nodes
+        #: The nodes this detector instance observes *as*.  The simulator
+        #: plays every node from one process, so all of them; a TCP node
+        #: process narrows this to its own node id (each process runs its
+        #: own detector and only its local vantage point is real).
+        self.observers = list(nodes)
         #: Consecutive missed heartbeats, per (observer, peer).
         self._misses: dict[int, dict[int, int]] = {
             o: {p: 0 for p in nodes if p != o} for o in nodes
@@ -122,7 +127,7 @@ class FailureDetector:
         self.ticks += 1
         transport = system.transport
         tracer = system.tracer
-        for observer in self.nodes:
+        for observer in self.observers:
             if transport.node_is_down(observer):
                 continue  # a dead node observes nothing
             misses = self._misses[observer]

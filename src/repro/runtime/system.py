@@ -523,6 +523,16 @@ class ActorSpaceSystem:
             self.metrics.gauge(f"parked_node_{coordinator.node_id}").set(
                 len(coordinator.suspended) + len(coordinator.persistent))
         self.metrics.gauge("in_flight").set(len(self.in_flight))
+        # Transport accounting rides along as gauges (nested counters of a
+        # wrapped transport — e.g. LossyTransport's inner — are flattened).
+        for name, value in self.transport.metrics_snapshot().items():
+            if isinstance(value, dict):
+                for inner_name, inner_value in value.items():
+                    if not isinstance(inner_value, dict):
+                        self.metrics.gauge(
+                            f"transport_{name}_{inner_name}").set(inner_value)
+            else:
+                self.metrics.gauge(f"transport_{name}").set(value)
         return self.metrics.snapshot()
 
     # -- GC ---------------------------------------------------------------------------

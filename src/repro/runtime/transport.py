@@ -32,12 +32,22 @@ from .network import Network
 
 
 class Transport(abc.ABC):
-    """Decides delivery latency (or drop) for one hop between nodes."""
+    """Decides delivery latency (or drop) for one hop between nodes.
 
-    #: Number of delivery attempts observed (accounting).
-    attempts: int = 0
-    #: Number of attempts that were dropped.
-    drops: int = 0
+    Every transport carries per-instance accounting: ``attempts`` counts
+    delivery attempts observed, ``drops`` the attempts that were lost.
+    They are initialized here, in ``__init__`` — as class attributes they
+    looked per-instance but a subclass forgetting its own assignments
+    would have silently accumulated counts on the *class*, shared across
+    every system in the process.  Subclasses must call
+    ``super().__init__()``.
+    """
+
+    def __init__(self):
+        #: Number of delivery attempts observed (accounting).
+        self.attempts = 0
+        #: Number of attempts that were dropped.
+        self.drops = 0
 
     @abc.abstractmethod
     def try_deliver(self, src_node: int, dst_node: int) -> float | None:
@@ -82,14 +92,17 @@ class Transport(abc.ABC):
         injection report everything live.)"""
         return False
 
+    def metrics_snapshot(self) -> dict:
+        """The transport's accounting counters, for observability export."""
+        return {"attempts": self.attempts, "drops": self.drops}
+
 
 class InstantTransport(Transport):
     """Delivers everything after a fixed tiny latency (tests)."""
 
     def __init__(self, latency: float = 0.001):
+        super().__init__()
         self.latency = latency
-        self.attempts = 0
-        self.drops = 0
 
     def try_deliver(self, src_node: int, dst_node: int) -> float | None:
         self.attempts += 1
@@ -103,9 +116,8 @@ class NetworkTransport(Transport):
     """Latencies from the topology-aware network model (the default)."""
 
     def __init__(self, network: Network):
+        super().__init__()
         self.network = network
-        self.attempts = 0
-        self.drops = 0
         #: Nodes currently crashed: delivery to/from them fails terminally.
         self.crashed: set[int] = set()
 
@@ -148,11 +160,10 @@ class LossyTransport(Transport):
     def __init__(self, inner: Transport, loss: float, rng: np.random.Generator):
         if not 0.0 <= loss < 1.0:
             raise ValueError("loss probability must be in [0, 1)")
+        super().__init__()
         self.inner = inner
         self.loss = loss
         self._rng = rng
-        self.attempts = 0
-        self.drops = 0
 
     def try_deliver(self, src_node: int, dst_node: int) -> float | None:
         self.attempts += 1
@@ -166,3 +177,9 @@ class LossyTransport(Transport):
 
     def node_is_down(self, node: int) -> bool:
         return self.inner.node_is_down(node)
+
+    def metrics_snapshot(self) -> dict:
+        """Own counters plus the wrapped transport's, nested under ``inner``."""
+        snapshot = super().metrics_snapshot()
+        snapshot["inner"] = self.inner.metrics_snapshot()
+        return snapshot

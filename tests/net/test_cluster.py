@@ -1,0 +1,44 @@
+"""End-to-end tests: real node subprocesses over loopback TCP.
+
+Slowest tests in the tree (each spawns OS processes), so they stay
+small: a 2-node pool run proving cross-process routing computes the
+right answer, and one conformance seed proving the TCP cluster's
+replicated directory matches the single-process oracle.  The heavier
+3-node fault drills run in CI via ``python -m repro cluster``.
+"""
+
+import pytest
+
+from repro.net.cluster import (
+    LocalCluster,
+    drive_process_pool,
+    loopback_available,
+    run_tcp_conformance,
+)
+
+pytestmark = pytest.mark.skipif(
+    not loopback_available(), reason="loopback TCP unavailable")
+
+
+def test_process_pool_computes_across_two_processes(tmp_path):
+    cluster = LocalCluster(2, seed=3, out_dir=tmp_path)
+    try:
+        cluster.start()
+        report = drive_process_pool(
+            cluster, job_size=512, grain=64, workers_per_node=1,
+            cost_per_item=0.0, drill=None, log=lambda text: None)
+        assert report["first_run"]["correct"]
+        assert report["workers"] == 2
+        # The work genuinely crossed processes: every node hosts actors.
+        for node in range(2):
+            status = cluster.call(node, "status")
+            assert status["actors"] >= 1
+            assert status["links"] == [1 - node]
+    finally:
+        cluster.shutdown()
+
+
+def test_tcp_cluster_matches_single_process_oracle(tmp_path):
+    report = run_tcp_conformance(
+        [0], nodes=2, ops=8, out_dir=tmp_path, log=lambda text: None)
+    assert report["divergences"] == []

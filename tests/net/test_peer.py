@@ -1,0 +1,179 @@
+"""Link-layer tests: handshake, rejection, reconnect, pipelined frames.
+
+These run real asyncio TCP over loopback (skipped where loopback cannot
+bind).  Each test owns its event loop via ``asyncio.run`` — no plugin
+dependency.
+"""
+
+import asyncio
+import time
+from collections import deque
+
+import pytest
+
+from repro.net.cluster import _free_ports, loopback_available
+from repro.net.codec import (
+    FrameDecoder,
+    FrameKind,
+    encode_frame,
+    hello_payload,
+)
+from repro.net.peer import PeerHub
+
+pytestmark = pytest.mark.skipif(
+    not loopback_available(), reason="loopback TCP unavailable")
+
+
+async def _poll(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.02)
+    return False
+
+
+def _hub(node, ports, sink, **kw):
+    def on_frame(src, kind, payload, link):
+        sink.append((node, src, kind, payload))
+    return PeerHub(node, ports, on_frame, **kw)
+
+
+def test_two_hubs_link_and_exchange_frames():
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        sink = []
+        hubs = [_hub(i, ports, sink) for i in range(2)]
+        try:
+            for hub in hubs:
+                await hub.start()
+            assert await _poll(lambda: all(len(h.links) == 1 for h in hubs))
+            assert hubs[0].send(1, FrameKind.HEARTBEAT, {"node": 0})
+            assert hubs[1].send(0, FrameKind.HEARTBEAT, {"node": 1})
+            assert await _poll(lambda: len(sink) >= 2)
+            got = {(receiver, src) for receiver, src, kind, _ in sink
+                   if kind == FrameKind.HEARTBEAT}
+            assert {(0, 1), (1, 0)} <= got
+            # Receipt refreshed the heartbeat-recency oracle on both ends.
+            assert 1 in hubs[0].last_heard and 0 in hubs[1].last_heard
+        finally:
+            for hub in hubs:
+                await hub.stop()
+
+    asyncio.run(scenario())
+
+
+def test_cluster_id_mismatch_never_links():
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        sink = []
+        a = _hub(0, ports, sink, cluster_id="alpha")
+        b = _hub(1, ports, sink, cluster_id="beta")
+        try:
+            await a.start()
+            await b.start()
+            assert await _poll(
+                lambda: a.handshakes_rejected + b.handshakes_rejected >= 2,
+                timeout=5.0)
+            assert not a.links and not b.links
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_frames_pipelined_behind_hello_are_not_lost():
+    """Regression: traffic sharing a TCP segment with the handshake.
+
+    A peer may write HELLO and its first real frames in one burst; the
+    hub's handshake read must hand any surplus frames to the serve loop
+    instead of discarding the decoder holding them.
+    """
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        sink = []
+        hub = _hub(0, ports, sink)
+        try:
+            await hub.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0])
+            burst = (
+                encode_frame(FrameKind.HELLO,
+                             hello_payload(1, "node", hub.cluster_id))
+                + encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+                + encode_frame(FrameKind.CONTROL, {"cmd": "ping", "id": 7})
+            )
+            writer.write(burst)  # one write: frames share segments
+            await writer.drain()
+            assert await _poll(lambda: len(sink) >= 2)
+            kinds = [kind for _, _, kind, _ in sink]
+            assert kinds == [FrameKind.HEARTBEAT, FrameKind.CONTROL]
+            writer.close()
+        finally:
+            await hub.stop()
+
+    asyncio.run(scenario())
+
+
+def test_handshake_read_keeps_surplus_frames():
+    """The dial-side half of the same regression, tested at _read_one."""
+    async def scenario():
+        hub = _hub(0, {0: 1}, [])
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            encode_frame(FrameKind.WELCOME, {"node": 1})
+            + encode_frame(FrameKind.HEARTBEAT, {"n": 1}))
+        reader.feed_eof()
+        decoder, pending = FrameDecoder(), deque()
+        first = await hub._read_one(reader, decoder, pending)
+        assert first == (FrameKind.WELCOME, {"node": 1})
+        assert list(pending) == [(FrameKind.HEARTBEAT, {"n": 1})]
+
+    asyncio.run(scenario())
+
+
+def test_dialer_reconnects_after_peer_restart():
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        sink = []
+        ups = []
+        survivor = PeerHub(
+            0, ports, lambda *a: None, on_peer_up=ups.append)
+        restarted = _hub(1, ports, sink)
+        try:
+            await survivor.start()
+            await restarted.start()
+            assert await _poll(lambda: 1 in survivor.links)
+            await restarted.stop()
+            assert await _poll(lambda: 1 not in survivor.links)
+            # Same identity, same port, new process: must be re-adopted
+            # by the survivor's dialer without operator action.
+            restarted = _hub(1, ports, sink)
+            await restarted.start()
+            assert await _poll(lambda: 1 in survivor.links, timeout=8.0)
+            assert ups.count(1) >= 2
+        finally:
+            await survivor.stop()
+            await restarted.stop()
+
+    asyncio.run(scenario())
+
+
+def test_graceful_stop_sends_bye():
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        sink = []
+        hubs = [_hub(i, ports, sink) for i in range(2)]
+        try:
+            for hub in hubs:
+                await hub.start()
+            assert await _poll(lambda: all(len(h.links) == 1 for h in hubs))
+            await hubs[0].stop(drain=True)
+            # BYE (not a reset) ends the link; peer unregisters cleanly.
+            assert await _poll(lambda: 0 not in hubs[1].links)
+        finally:
+            for hub in hubs:
+                await hub.stop()
+
+    asyncio.run(scenario())
