@@ -1,0 +1,164 @@
+"""Closed-loop load benchmark: offered-load sweep, sim vs TCP loopback.
+
+``bench_net.py`` measures the *control plane* as much as the wire: each
+send there is a blocking launcher round trip, so its TCP throughput
+number is really the control RTT in disguise.  This benchmark drives
+the data plane the way an application would — a :class:`LoadPumpBehavior`
+actor inside the runtime keeps ``W`` requests outstanding against a
+``LoadSinkBehavior`` on another node and fires a replacement per ack —
+and sweeps the window ``W`` to trace the throughput/latency curve:
+
+* **throughput** — completed round trips per second at each window;
+* **p50/p99** — per-message round-trip latency percentiles, measured
+  inside the pump with ``time.monotonic`` (no control-plane overhead).
+
+The launcher only polls a ``done`` flag, so the control plane is off the
+measured path entirely.  Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_load.py [--quick]
+
+Emits ``BENCH_load.json`` next to this file and a table on stdout.
+``--min-tcp-send N`` exits non-zero if the best TCP window falls below
+``N`` msg/s — CI uses it to hold the line against wire regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net.cluster import LocalCluster, loopback_available  # noqa: E402
+from repro.net.registry import LoadPumpBehavior, LoadSinkBehavior  # noqa: E402
+from repro.runtime.network import Topology  # noqa: E402
+from repro.runtime.system import ActorSpaceSystem  # noqa: E402
+
+HERE = pathlib.Path(__file__).resolve().parent
+NODES = 3
+WINDOWS = [1, 8, 64, 256]
+STAT_ATTRS = ["done", "sent", "received", "throughput",
+              "p50_ms", "p99_ms", "elapsed_s"]
+
+
+def _row(transport: str, window: int, stats: dict) -> dict:
+    return {
+        "transport": transport,
+        "window": window,
+        "throughput_msgs_per_s": round(stats["throughput"], 1),
+        "p50_ms": round(stats["p50_ms"], 4),
+        "p99_ms": round(stats["p99_ms"], 4),
+        "elapsed_s": round(stats["elapsed_s"], 3),
+        "completed": stats["received"],
+    }
+
+
+# -- in-process (simulator) side -------------------------------------------------
+
+def bench_sim(total: int, windows: list[int]) -> list[dict]:
+    """The same closed loop through the single-process runtime."""
+    rows = []
+    for window in windows:
+        system = ActorSpaceSystem(topology=Topology.lan(NODES), seed=0)
+        sink = system.create_actor(LoadSinkBehavior(), node=1)
+        pump = LoadPumpBehavior(sink, total=total, window=window)
+        pump_addr = system.create_actor(pump, node=0)
+        system.send_to(pump_addr, ("go",))
+        system.run()
+        assert pump.done and pump.received == total
+        rows.append(_row("sim", window, {a: getattr(pump, a)
+                                         for a in STAT_ATTRS}))
+    return rows
+
+
+# -- TCP loopback side -----------------------------------------------------------
+
+def bench_tcp(total: int, windows: list[int]) -> list[dict]:
+    """The same closed loop across real node processes."""
+    cluster = LocalCluster(NODES, seed=0, trace=False)
+    cluster.start()
+    try:
+        sink = cluster.call(
+            1, "create_actor", behavior="load_sink", params={})["address"]
+        rows = []
+        for window in windows:
+            pump = cluster.call(
+                0, "create_actor", behavior="load_pump",
+                params={"target": sink, "total": total, "window": window},
+            )["address"]
+            cluster.call(0, "send_to", target=pump, payload=("go",))
+            cluster.wait_until(
+                lambda: cluster.call(0, "actor_state", address=pump,
+                                     attrs=["done"])["done"],
+                timeout=180, interval=0.05,
+                what=f"load window={window} drained")
+            stats = cluster.call(0, "actor_state", address=pump,
+                                 attrs=STAT_ATTRS)
+            rows.append(_row("tcp-loopback", window, stats))
+        snapshot = cluster.call(0, "snapshot", events=False)["hub"]
+        rows[-1]["hub_writes_node0"] = snapshot["writes"]
+        rows[-1]["hub_batches_out_node0"] = snapshot["batches_out"]
+        rows[-1]["hub_frames_out_node0"] = snapshot["frames_out"]
+        return rows
+    finally:
+        cluster.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=3000,
+                        help="round trips per sweep point (default 3000)")
+    parser.add_argument("--windows", type=int, nargs="+", default=WINDOWS,
+                        help=f"outstanding-request windows (default {WINDOWS})")
+    parser.add_argument("--quick", action="store_true",
+                        help="small counts for smoke runs (600 round trips)")
+    parser.add_argument("--min-tcp-send", type=float, default=None,
+                        help="fail if peak TCP throughput is below this")
+    parser.add_argument("--out", default=str(HERE / "BENCH_load.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    total = 600 if args.quick else args.total
+
+    rows = bench_sim(total, args.windows)
+    if loopback_available():
+        rows.extend(bench_tcp(total, args.windows))
+    else:
+        print("loopback TCP unavailable; emitting simulator rows only")
+
+    header = (f"{'transport':<14} {'window':>7} {'msg/s':>10} "
+              f"{'p50 ms':>9} {'p99 ms':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['transport']:<14} {row['window']:>7} "
+              f"{row['throughput_msgs_per_s']:>10} {row['p50_ms']:>9} "
+              f"{row['p99_ms']:>9}")
+
+    tcp_rows = [r for r in rows if r["transport"] == "tcp-loopback"]
+    peak_tcp = max((r["throughput_msgs_per_s"] for r in tcp_rows), default=None)
+    report = {
+        "nodes": NODES,
+        "total_per_point": total,
+        "windows": args.windows,
+        "peak_tcp_send_msgs_per_s": peak_tcp,
+        "results": rows,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if peak_tcp is not None:
+        print(f"peak TCP closed-loop throughput: {peak_tcp} msg/s")
+    if args.min_tcp_send is not None:
+        if peak_tcp is None or peak_tcp < args.min_tcp_send:
+            print(f"FAIL: peak TCP throughput {peak_tcp} below "
+                  f"required {args.min_tcp_send} msg/s")
+            return 1
+        print(f"OK: peak TCP throughput meets the {args.min_tcp_send} "
+              f"msg/s floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

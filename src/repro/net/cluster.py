@@ -169,10 +169,15 @@ class LocalCluster:
     def __init__(self, nodes: int, *, seed: int = 0, heartbeat: float = 0.2,
                  host: str = "127.0.0.1", cluster_id: str | None = None,
                  out_dir: str | Path | None = None, verbose: bool = False,
+                 trace: bool = True,
                  log: Callable[[str], None] | None = None):
         self.n = nodes
         self.seed = seed
         self.heartbeat = heartbeat
+        #: Flight-recorder event logs in the node processes.  On by
+        #: default for observability; benchmarks turn it off — emitting
+        #: several trace records per message is measurable at load.
+        self.trace = trace
         self.host = host
         self.cluster_id = cluster_id or f"actorspace-{os.getpid()}"
         self.out_dir = Path(out_dir) if out_dir is not None else None
@@ -214,6 +219,8 @@ class LocalCluster:
         ]
         if self.verbose:
             cmd.append("--verbose")
+        if not self.trace:
+            cmd.append("--no-trace")
         stderr: Any = subprocess.DEVNULL
         if self.out_dir is not None:
             logfile = open(self.out_dir / f"node{node}.log", "ab")
@@ -379,6 +386,26 @@ def _fault_drill(cluster: LocalCluster, victim: int, mode: str,
     t0 = time.monotonic()
     if mode == "stall":
         cluster.stall(victim)
+        # The victim is frozen but not yet confirmed down: the observer
+        # keeps routing to it, so hammer sends at the dead link and
+        # check the write path's memory stays bounded.  Pre-watermark,
+        # every one of these piled into an unbounded asyncio transport
+        # buffer; now drain() backpressure fills the per-link queue,
+        # which sheds past its cap instead of growing.
+        from .peer import MAX_PENDING_BYTES
+
+        flood = 300
+        for index in range(flood):
+            cluster.call(observer, "send_to", target=probe,
+                         payload=("flood", index, "x" * 2048))
+        hub = cluster.call(observer, "snapshot", events=False)["hub"]
+        report["stall_send_buffer_bytes"] = hub["send_buffer_bytes"]
+        report["stall_frames_shed"] = hub["frames_shed"]
+        assert hub["send_buffer_bytes"] <= MAX_PENDING_BYTES, \
+            f"send queue exceeded its bound: {hub['send_buffer_bytes']}"
+        log(f"flooded stalled node {victim}: observer send buffer "
+            f"{hub['send_buffer_bytes']}B (bound {MAX_PENDING_BYTES}B), "
+            f"{hub['frames_shed']} frames shed")
     else:
         cluster.kill(victim)
 
@@ -794,7 +821,7 @@ def serve_main(argv: list[str]) -> int:
     import argparse
     import asyncio
 
-    from .runtime import NodeRuntime
+    from .runtime import NodeRuntime, maybe_install_uvloop
 
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
@@ -809,9 +836,16 @@ def serve_main(argv: list[str]) -> int:
     parser.add_argument("--heartbeat", type=float, default=0.2)
     parser.add_argument("--suspect-after", type=int, default=2)
     parser.add_argument("--confirm-after", type=int, default=4)
+    parser.add_argument("--no-uvloop", action="store_true",
+                        help="stay on stdlib asyncio even if uvloop exists")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="disable the flight-recorder event log "
+                             "(benchmarks: removes per-message trace cost)")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
+    if not args.no_uvloop:
+        maybe_install_uvloop()
     ports = {i: int(p) for i, p in enumerate(args.ports.split(","))}
     if args.node not in ports:
         parser.error(f"--node {args.node} has no entry in --ports")
@@ -819,7 +853,7 @@ def serve_main(argv: list[str]) -> int:
         args.node, ports, host=args.host, cluster_id=args.cluster_id,
         seed=args.seed, heartbeat_interval=args.heartbeat,
         suspect_after=args.suspect_after, confirm_after=args.confirm_after,
-        quiet=not args.verbose)
+        trace=not args.no_trace, quiet=not args.verbose)
 
     async def main() -> None:
         loop = asyncio.get_running_loop()

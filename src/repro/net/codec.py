@@ -46,7 +46,7 @@ from repro.core.messages import Destination, Envelope, Message, Mode, Port
 from repro.core.patterns import Pattern, parse_pattern
 from repro.runtime.bus import OpKind, VisibilityOp
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2  # v2: BATCH frames (coalesced writes)
 SCHEMA_VERSION = 1
 
 #: Hard ceiling on a single frame (length prefix included payload).
@@ -79,6 +79,7 @@ class FrameKind(enum.IntEnum):
     SYNC_REQ = 10    #: recovering node -> sequencer: replay log from seq
     CONTROL = 11     #: launcher -> node: control-plane request
     REPLY = 12       #: node -> launcher: control-plane response
+    BATCH = 13       #: N coalesced frames in one length-prefixed envelope
 
 
 # -- enum index tables (wire-stable: append-only) -------------------------------
@@ -159,103 +160,211 @@ def _enc_str(out: bytearray, text: str) -> None:
     out += data
 
 
-def _enc(out: bytearray, obj: Any) -> None:  # noqa: C901 - one dispatch table
+def _enc_float(out: bytearray, obj: float) -> None:
+    out += b"f"
+    out += _F64.pack(obj)
+
+
+def _enc_text(out: bytearray, obj: str) -> None:
+    out += b"s"
+    _enc_str(out, obj)
+
+
+def _enc_bytes(out: bytearray, obj: bytes) -> None:
+    out += b"y"
+    out += _U32.pack(len(obj))
+    out += obj
+
+
+def _enc_list(out: bytearray, obj: list) -> None:
+    out += b"l"
+    out += _U32.pack(len(obj))
+    for item in obj:
+        _enc(out, item)
+
+
+def _enc_tuple(out: bytearray, obj: tuple) -> None:
+    out += b"t"
+    out += _U32.pack(len(obj))
+    for item in obj:
+        _enc(out, item)
+
+
+def _enc_set(out: bytearray, obj: "set | frozenset") -> None:
+    # Deterministic: members sorted by their own encoding.
+    out += b"S"
+    encoded = sorted(encode_value(item) for item in obj)
+    out += _U32.pack(len(encoded))
+    for item in encoded:
+        out += item
+
+
+def _enc_dict(out: bytearray, obj: dict) -> None:
+    out += b"d"
+    out += _U32.pack(len(obj))
+    for key, value in obj.items():
+        _enc(out, key)
+        _enc(out, value)
+
+
+def _enc_space_address(out: bytearray, obj: SpaceAddress) -> None:
+    out += b"z"
+    _enc_int(out, obj.node)
+    _enc_int(out, obj.serial)
+
+
+def _enc_actor_address(out: bytearray, obj: ActorAddress) -> None:
+    out += b"a"
+    _enc_int(out, obj.node)
+    _enc_int(out, obj.serial)
+
+
+def _enc_attribute_path(out: bytearray, obj: AttributePath) -> None:
+    out += b"p"
+    out += _U32.pack(len(obj.atoms))
+    for atom in obj.atoms:
+        _enc_str(out, atom)
+
+
+def _enc_pattern(out: bytearray, obj: Pattern) -> None:
+    # Canonical text form; ``parse_pattern(str(p)) == p`` by design.
+    out += b"P"
+    _enc_str(out, str(obj))
+
+
+def _enc_destination(out: bytearray, obj: Destination) -> None:
+    out += b"D"
+    _enc(out, obj.pattern)
+    _enc(out, obj.space)
+
+
+def _enc_capability(out: bytearray, obj: Capability) -> None:
+    out += b"c"
+    out += obj.token.to_bytes(16, "big")
+
+
+def _enc_message(out: bytearray, obj: Message) -> None:
+    out += b"M"
+    _enc(out, obj.payload)
+    _enc(out, obj.reply_to)
+    _enc(out, obj.headers)
+    _enc_int(out, obj.message_id)
+
+
+def _enc_envelope(out: bytearray, obj: Envelope) -> None:
+    out += b"E"
+    _enc(out, obj.message)
+    _enc(out, obj.sender)
+    out += _U8.pack(_MODE_INDEX[obj.mode])
+    _enc(out, obj.target)
+    _enc(out, obj.destination)
+    out += _U8.pack(_PORT_INDEX[obj.port])
+    out += _F64.pack(obj.sent_at)
+    _enc(out, obj.delivered_at)
+    out += _U32.pack(len(obj.trace))
+    for hop in obj.trace:
+        _enc_int(out, hop)
+    _enc(out, obj.origin_space)
+    _enc_int(out, obj.envelope_id)
+    _enc_int(out, obj.trace_id)
+    _enc(out, obj.parent_id)
+
+
+def _enc_visibility_op(out: bytearray, obj: VisibilityOp) -> None:
+    out += b"O"
+    out += _U8.pack(_OP_KIND_INDEX[obj.kind])
+    _enc_int(out, obj.origin_node)
+    _enc_int(out, obj.origin_seq)
+    _enc_int(out, obj.op_id)
+    _enc(out, obj.args)
+
+
+def _enc_tagged_int(out: bytearray, obj: int) -> None:
+    out += b"i"
+    _enc_int(out, obj)
+
+
+#: Exact-type fast dispatch for the hot path.  ``bool`` is absent on
+#: purpose (True/False are identity-checked in :func:`_enc`), and enum
+#: ``int`` subclasses never hit the ``int`` entry because dispatch is by
+#: ``type(obj)``, not ``isinstance`` — subclasses and registered
+#: dataclasses fall through to :func:`_enc_other`.
+_ENC_BY_TYPE: dict[type, Callable] = {
+    int: _enc_tagged_int,
+    float: _enc_float,
+    str: _enc_text,
+    bytes: _enc_bytes,
+    bytearray: _enc_bytes,
+    list: _enc_list,
+    tuple: _enc_tuple,
+    set: _enc_set,
+    frozenset: _enc_set,
+    dict: _enc_dict,
+    SpaceAddress: _enc_space_address,
+    ActorAddress: _enc_actor_address,
+    AttributePath: _enc_attribute_path,
+    Destination: _enc_destination,
+    Capability: _enc_capability,
+    Message: _enc_message,
+    Envelope: _enc_envelope,
+    VisibilityOp: _enc_visibility_op,
+    Pattern: _enc_pattern,
+}
+
+
+def _enc(out: bytearray, obj: Any) -> None:
     if obj is None:
         out += b"N"
-    elif obj is True:
+        return
+    if obj is True:
         out += b"T"
-    elif obj is False:
+        return
+    if obj is False:
         out += b"F"
-    elif isinstance(obj, int) and not isinstance(obj, enum.Enum):
-        out += b"i"
-        _enc_int(out, obj)
+        return
+    handler = _ENC_BY_TYPE.get(type(obj))
+    if handler is not None:
+        handler(out, obj)
+        return
+    _enc_other(out, obj)
+
+
+def _enc_other(out: bytearray, obj: Any) -> None:
+    """Slow path: subclasses, patterns, and late-registered wire types."""
+    if isinstance(obj, int) and not isinstance(obj, enum.Enum):
+        _enc_tagged_int(out, obj)
     elif isinstance(obj, float):
-        out += b"f"
-        out += _F64.pack(obj)
+        _enc_float(out, obj)
     elif isinstance(obj, str):
-        out += b"s"
-        _enc_str(out, obj)
+        _enc_text(out, obj)
     elif isinstance(obj, (bytes, bytearray)):
-        out += b"y"
-        out += _U32.pack(len(obj))
-        out += obj
+        _enc_bytes(out, obj)
     elif isinstance(obj, list):
-        out += b"l"
-        out += _U32.pack(len(obj))
-        for item in obj:
-            _enc(out, item)
+        _enc_list(out, obj)
     elif isinstance(obj, tuple):
-        out += b"t"
-        out += _U32.pack(len(obj))
-        for item in obj:
-            _enc(out, item)
+        _enc_tuple(out, obj)
     elif isinstance(obj, (set, frozenset)):
-        # Deterministic: members sorted by their own encoding.
-        out += b"S"
-        encoded = sorted(encode_value(item) for item in obj)
-        out += _U32.pack(len(encoded))
-        for item in encoded:
-            out += item
+        _enc_set(out, obj)
     elif isinstance(obj, dict):
-        out += b"d"
-        out += _U32.pack(len(obj))
-        for key, value in obj.items():
-            _enc(out, key)
-            _enc(out, value)
+        _enc_dict(out, obj)
     elif isinstance(obj, SpaceAddress):
-        out += b"z"
-        _enc_int(out, obj.node)
-        _enc_int(out, obj.serial)
+        _enc_space_address(out, obj)
     elif isinstance(obj, ActorAddress):
-        out += b"a"
-        _enc_int(out, obj.node)
-        _enc_int(out, obj.serial)
+        _enc_actor_address(out, obj)
     elif isinstance(obj, AttributePath):
-        out += b"p"
-        out += _U32.pack(len(obj.atoms))
-        for atom in obj.atoms:
-            _enc_str(out, atom)
+        _enc_attribute_path(out, obj)
     elif isinstance(obj, Pattern):
-        # Canonical text form; ``parse_pattern(str(p)) == p`` by design.
-        out += b"P"
-        _enc_str(out, str(obj))
+        _enc_pattern(out, obj)
     elif isinstance(obj, Destination):
-        out += b"D"
-        _enc(out, obj.pattern)
-        _enc(out, obj.space)
+        _enc_destination(out, obj)
     elif isinstance(obj, Capability):
-        out += b"c"
-        out += obj.token.to_bytes(16, "big")
+        _enc_capability(out, obj)
     elif isinstance(obj, Message):
-        out += b"M"
-        _enc(out, obj.payload)
-        _enc(out, obj.reply_to)
-        _enc(out, obj.headers)
-        _enc_int(out, obj.message_id)
+        _enc_message(out, obj)
     elif isinstance(obj, Envelope):
-        out += b"E"
-        _enc(out, obj.message)
-        _enc(out, obj.sender)
-        out += _U8.pack(_MODE_INDEX[obj.mode])
-        _enc(out, obj.target)
-        _enc(out, obj.destination)
-        out += _U8.pack(_PORT_INDEX[obj.port])
-        out += _F64.pack(obj.sent_at)
-        _enc(out, obj.delivered_at)
-        out += _U32.pack(len(obj.trace))
-        for hop in obj.trace:
-            _enc_int(out, hop)
-        _enc(out, obj.origin_space)
-        _enc_int(out, obj.envelope_id)
-        _enc_int(out, obj.trace_id)
-        _enc(out, obj.parent_id)
+        _enc_envelope(out, obj)
     elif isinstance(obj, VisibilityOp):
-        out += b"O"
-        out += _U8.pack(_OP_KIND_INDEX[obj.kind])
-        _enc_int(out, obj.origin_node)
-        _enc_int(out, obj.origin_seq)
-        _enc_int(out, obj.op_id)
-        _enc(out, obj.args)
+        _enc_visibility_op(out, obj)
     elif callable(obj) and obj in _MANAGER_FACTORY_NAMES:
         out += b"g"
         _enc_str(out, _MANAGER_FACTORY_NAMES[obj])
@@ -289,23 +398,34 @@ def _need(buf: bytes, pos: int, count: int) -> None:
 
 
 def _dec_u32(buf: bytes, pos: int) -> tuple[int, int]:
-    _need(buf, pos, 4)
+    if pos + 4 > len(buf):
+        raise WireError(f"truncated value: need 4 bytes at offset {pos}")
     return _U32.unpack_from(buf, pos)[0], pos + 4
 
 
 def _dec_int(buf: bytes, pos: int) -> tuple[int, int]:
-    length, pos = _dec_u32(buf, pos)
-    _need(buf, pos, length)
-    return int.from_bytes(buf[pos:pos + length], "big", signed=True), pos + length
+    body = pos + 4
+    if body > len(buf):
+        raise WireError(f"truncated value: need 4 bytes at offset {pos}")
+    end = body + _U32.unpack_from(buf, pos)[0]
+    if end > len(buf):
+        raise WireError(f"truncated value: need {end - body} bytes "
+                        f"at offset {body}")
+    return int.from_bytes(buf[body:end], "big", signed=True), end
 
 
 def _dec_str(buf: bytes, pos: int) -> tuple[str, int]:
-    length, pos = _dec_u32(buf, pos)
-    _need(buf, pos, length)
+    body = pos + 4
+    if body > len(buf):
+        raise WireError(f"truncated value: need 4 bytes at offset {pos}")
+    end = body + _U32.unpack_from(buf, pos)[0]
+    if end > len(buf):
+        raise WireError(f"truncated value: need {end - body} bytes "
+                        f"at offset {body}")
     try:
-        return buf[pos:pos + length].decode("utf-8"), pos + length
+        return buf[body:end].decode("utf-8"), end
     except UnicodeDecodeError as exc:
-        raise WireError(f"invalid utf-8 in string at offset {pos}") from exc
+        raise WireError(f"invalid utf-8 in string at offset {body}") from exc
 
 
 def _dec_enum(buf: bytes, pos: int, table: tuple, what: str):
@@ -316,141 +436,210 @@ def _dec_enum(buf: bytes, pos: int, table: tuple, what: str):
     return table[index], pos + 1
 
 
-def _dec(buf: bytes, pos: int) -> tuple[Any, int]:  # noqa: C901 - one dispatch table
-    _need(buf, pos, 1)
-    tag = buf[pos:pos + 1]
-    pos += 1
-    if tag == b"N":
-        return None, pos
-    if tag == b"T":
-        return True, pos
-    if tag == b"F":
-        return False, pos
-    if tag == b"i":
-        return _dec_int(buf, pos)
-    if tag == b"f":
-        _need(buf, pos, 8)
-        return _F64.unpack_from(buf, pos)[0], pos + 8
-    if tag == b"s":
-        return _dec_str(buf, pos)
-    if tag == b"y":
-        length, pos = _dec_u32(buf, pos)
-        _need(buf, pos, length)
-        return bytes(buf[pos:pos + length]), pos + length
-    if tag in (b"l", b"t"):
-        count, pos = _dec_u32(buf, pos)
-        items = []
-        for _ in range(count):
-            item, pos = _dec(buf, pos)
-            items.append(item)
-        return (items if tag == b"l" else tuple(items)), pos
-    if tag == b"S":
-        count, pos = _dec_u32(buf, pos)
-        members = []
-        for _ in range(count):
-            item, pos = _dec(buf, pos)
-            members.append(item)
-        return frozenset(members), pos
-    if tag == b"d":
-        count, pos = _dec_u32(buf, pos)
-        result = {}
-        for _ in range(count):
-            key, pos = _dec(buf, pos)
-            value, pos = _dec(buf, pos)
-            result[key] = value
-        return result, pos
-    if tag in (b"a", b"z"):
-        node, pos = _dec_int(buf, pos)
-        serial, pos = _dec_int(buf, pos)
-        cls = ActorAddress if tag == b"a" else SpaceAddress
-        return cls(node, serial), pos
-    if tag == b"p":
-        count, pos = _dec_u32(buf, pos)
-        atoms = []
-        for _ in range(count):
-            atom, pos = _dec_str(buf, pos)
-            atoms.append(atom)
-        return AttributePath(atoms), pos
-    if tag == b"P":
-        text, pos = _dec_str(buf, pos)
-        try:
-            return parse_pattern(text), pos
-        except Exception as exc:
-            raise WireError(f"invalid pattern on wire: {text!r}") from exc
-    if tag == b"D":
-        pattern, pos = _dec(buf, pos)
-        space, pos = _dec(buf, pos)
-        destination = Destination.__new__(Destination)
-        destination.pattern = pattern
-        destination.space = space
-        return destination, pos
-    if tag == b"c":
-        _need(buf, pos, 16)
-        token = int.from_bytes(buf[pos:pos + 16], "big")
-        return Capability(token), pos + 16
-    if tag == b"M":
-        payload, pos = _dec(buf, pos)
-        reply_to, pos = _dec(buf, pos)
-        headers, pos = _dec(buf, pos)
-        message_id, pos = _dec_int(buf, pos)
-        return Message(payload, reply_to=reply_to, headers=headers,
-                       message_id=message_id), pos
-    if tag == b"E":
-        message, pos = _dec(buf, pos)
-        sender, pos = _dec(buf, pos)
-        mode, pos = _dec_enum(buf, pos, _MODES, "mode")
-        target, pos = _dec(buf, pos)
-        destination, pos = _dec(buf, pos)
-        port, pos = _dec_enum(buf, pos, _PORTS, "port")
-        _need(buf, pos, 8)
-        sent_at = _F64.unpack_from(buf, pos)[0]
-        pos += 8
-        delivered_at, pos = _dec(buf, pos)
-        hop_count, pos = _dec_u32(buf, pos)
-        trace = []
-        for _ in range(hop_count):
-            hop, pos = _dec_int(buf, pos)
-            trace.append(hop)
-        origin_space, pos = _dec(buf, pos)
-        envelope_id, pos = _dec_int(buf, pos)
-        trace_id, pos = _dec_int(buf, pos)
-        parent_id, pos = _dec(buf, pos)
-        return Envelope(
-            message=message, sender=sender, mode=mode, target=target,
-            destination=destination, port=port, sent_at=sent_at,
-            delivered_at=delivered_at, trace=trace, origin_space=origin_space,
-            envelope_id=envelope_id, trace_id=trace_id, parent_id=parent_id,
-        ), pos
-    if tag == b"O":
-        kind, pos = _dec_enum(buf, pos, _OP_KINDS, "op kind")
-        origin_node, pos = _dec_int(buf, pos)
-        origin_seq, pos = _dec_int(buf, pos)
-        op_id, pos = _dec_int(buf, pos)
-        args, pos = _dec(buf, pos)
-        return VisibilityOp(kind=kind, args=args, origin_node=origin_node,
-                            origin_seq=origin_seq, op_id=op_id), pos
-    if tag == b"g":
-        name, pos = _dec_str(buf, pos)
-        factory = _MANAGER_FACTORIES.get(name)
-        if factory is None:
-            raise WireError(f"unknown manager factory on wire: {name!r}")
-        return factory, pos
-    if tag == b"X":
-        name, pos = _dec_str(buf, pos)
-        cls = _WIRE_TYPES.get(name)
-        if cls is None:
-            raise WireError(f"unknown wire type: {name!r}")
-        field_count, pos = _dec_u32(buf, pos)
-        kwargs = {}
-        for _ in range(field_count):
-            field_name, pos = _dec_str(buf, pos)
-            value, pos = _dec(buf, pos)
-            kwargs[field_name] = value
-        try:
-            return cls(**kwargs), pos
-        except TypeError as exc:
-            raise WireError(f"wire type {name!r} rejected fields: {exc}") from exc
-    raise WireError(f"unknown wire tag {tag!r} at offset {pos - 1}")
+def _dec_none(buf: bytes, pos: int) -> tuple[None, int]:
+    return None, pos
+
+
+def _dec_true(buf: bytes, pos: int) -> tuple[bool, int]:
+    return True, pos
+
+
+def _dec_false(buf: bytes, pos: int) -> tuple[bool, int]:
+    return False, pos
+
+
+def _dec_float(buf: bytes, pos: int) -> tuple[float, int]:
+    _need(buf, pos, 8)
+    return _F64.unpack_from(buf, pos)[0], pos + 8
+
+
+def _dec_bytes(buf: bytes, pos: int) -> tuple[bytes, int]:
+    length, pos = _dec_u32(buf, pos)
+    _need(buf, pos, length)
+    return bytes(buf[pos:pos + length]), pos + length
+
+
+def _dec_list(buf: bytes, pos: int) -> tuple[list, int]:
+    count, pos = _dec_u32(buf, pos)
+    items = []
+    for _ in range(count):
+        item, pos = _dec(buf, pos)
+        items.append(item)
+    return items, pos
+
+
+def _dec_tuple(buf: bytes, pos: int) -> tuple[tuple, int]:
+    items, pos = _dec_list(buf, pos)
+    return tuple(items), pos
+
+
+def _dec_set(buf: bytes, pos: int) -> tuple[frozenset, int]:
+    members, pos = _dec_list(buf, pos)
+    return frozenset(members), pos
+
+
+def _dec_dict(buf: bytes, pos: int) -> tuple[dict, int]:
+    count, pos = _dec_u32(buf, pos)
+    result = {}
+    for _ in range(count):
+        key, pos = _dec(buf, pos)
+        value, pos = _dec(buf, pos)
+        result[key] = value
+    return result, pos
+
+
+def _dec_actor_address(buf: bytes, pos: int) -> tuple[ActorAddress, int]:
+    node, pos = _dec_int(buf, pos)
+    serial, pos = _dec_int(buf, pos)
+    return ActorAddress(node, serial), pos
+
+
+def _dec_space_address(buf: bytes, pos: int) -> tuple[SpaceAddress, int]:
+    node, pos = _dec_int(buf, pos)
+    serial, pos = _dec_int(buf, pos)
+    return SpaceAddress(node, serial), pos
+
+
+def _dec_attribute_path(buf: bytes, pos: int) -> tuple[AttributePath, int]:
+    count, pos = _dec_u32(buf, pos)
+    atoms = []
+    for _ in range(count):
+        atom, pos = _dec_str(buf, pos)
+        atoms.append(atom)
+    return AttributePath(atoms), pos
+
+
+def _dec_pattern(buf: bytes, pos: int) -> tuple[Pattern, int]:
+    text, pos = _dec_str(buf, pos)
+    try:
+        return parse_pattern(text), pos
+    except Exception as exc:
+        raise WireError(f"invalid pattern on wire: {text!r}") from exc
+
+
+def _dec_destination(buf: bytes, pos: int) -> tuple[Destination, int]:
+    pattern, pos = _dec(buf, pos)
+    space, pos = _dec(buf, pos)
+    destination = Destination.__new__(Destination)
+    destination.pattern = pattern
+    destination.space = space
+    return destination, pos
+
+
+def _dec_capability(buf: bytes, pos: int) -> tuple[Capability, int]:
+    _need(buf, pos, 16)
+    token = int.from_bytes(buf[pos:pos + 16], "big")
+    return Capability(token), pos + 16
+
+
+def _dec_message(buf: bytes, pos: int) -> tuple[Message, int]:
+    payload, pos = _dec(buf, pos)
+    reply_to, pos = _dec(buf, pos)
+    headers, pos = _dec(buf, pos)
+    message_id, pos = _dec_int(buf, pos)
+    return Message(payload, reply_to=reply_to, headers=headers,
+                   message_id=message_id), pos
+
+
+def _dec_envelope(buf: bytes, pos: int) -> tuple[Envelope, int]:
+    message, pos = _dec(buf, pos)
+    sender, pos = _dec(buf, pos)
+    mode, pos = _dec_enum(buf, pos, _MODES, "mode")
+    target, pos = _dec(buf, pos)
+    destination, pos = _dec(buf, pos)
+    port, pos = _dec_enum(buf, pos, _PORTS, "port")
+    _need(buf, pos, 8)
+    sent_at = _F64.unpack_from(buf, pos)[0]
+    pos += 8
+    delivered_at, pos = _dec(buf, pos)
+    hop_count, pos = _dec_u32(buf, pos)
+    trace = []
+    for _ in range(hop_count):
+        hop, pos = _dec_int(buf, pos)
+        trace.append(hop)
+    origin_space, pos = _dec(buf, pos)
+    envelope_id, pos = _dec_int(buf, pos)
+    trace_id, pos = _dec_int(buf, pos)
+    parent_id, pos = _dec(buf, pos)
+    return Envelope(
+        message=message, sender=sender, mode=mode, target=target,
+        destination=destination, port=port, sent_at=sent_at,
+        delivered_at=delivered_at, trace=trace, origin_space=origin_space,
+        envelope_id=envelope_id, trace_id=trace_id, parent_id=parent_id,
+    ), pos
+
+
+def _dec_visibility_op(buf: bytes, pos: int) -> tuple[VisibilityOp, int]:
+    kind, pos = _dec_enum(buf, pos, _OP_KINDS, "op kind")
+    origin_node, pos = _dec_int(buf, pos)
+    origin_seq, pos = _dec_int(buf, pos)
+    op_id, pos = _dec_int(buf, pos)
+    args, pos = _dec(buf, pos)
+    return VisibilityOp(kind=kind, args=args, origin_node=origin_node,
+                        origin_seq=origin_seq, op_id=op_id), pos
+
+
+def _dec_manager_factory(buf: bytes, pos: int) -> tuple[Callable, int]:
+    name, pos = _dec_str(buf, pos)
+    factory = _MANAGER_FACTORIES.get(name)
+    if factory is None:
+        raise WireError(f"unknown manager factory on wire: {name!r}")
+    return factory, pos
+
+
+def _dec_wire_type(buf: bytes, pos: int) -> tuple[Any, int]:
+    name, pos = _dec_str(buf, pos)
+    cls = _WIRE_TYPES.get(name)
+    if cls is None:
+        raise WireError(f"unknown wire type: {name!r}")
+    field_count, pos = _dec_u32(buf, pos)
+    kwargs = {}
+    for _ in range(field_count):
+        field_name, pos = _dec_str(buf, pos)
+        value, pos = _dec(buf, pos)
+        kwargs[field_name] = value
+    try:
+        return cls(**kwargs), pos
+    except TypeError as exc:
+        raise WireError(f"wire type {name!r} rejected fields: {exc}") from exc
+
+
+#: Tag byte -> decoder; the mirror of :data:`_ENC_BY_TYPE`.  Keyed on the
+#: integer byte so dispatch is one dict probe instead of a comparison
+#: chain — the codec sits on the per-envelope hot path of every link.
+_DEC_BY_TAG: dict[int, Callable] = {
+    ord("N"): _dec_none,
+    ord("T"): _dec_true,
+    ord("F"): _dec_false,
+    ord("i"): _dec_int,
+    ord("f"): _dec_float,
+    ord("s"): _dec_str,
+    ord("y"): _dec_bytes,
+    ord("l"): _dec_list,
+    ord("t"): _dec_tuple,
+    ord("S"): _dec_set,
+    ord("d"): _dec_dict,
+    ord("a"): _dec_actor_address,
+    ord("z"): _dec_space_address,
+    ord("p"): _dec_attribute_path,
+    ord("P"): _dec_pattern,
+    ord("D"): _dec_destination,
+    ord("c"): _dec_capability,
+    ord("M"): _dec_message,
+    ord("E"): _dec_envelope,
+    ord("O"): _dec_visibility_op,
+    ord("g"): _dec_manager_factory,
+    ord("X"): _dec_wire_type,
+}
+
+
+def _dec(buf: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(buf):
+        raise WireError(f"truncated value: need 1 bytes at offset {pos}")
+    handler = _DEC_BY_TAG.get(buf[pos])
+    if handler is None:
+        raise WireError(f"unknown wire tag {buf[pos:pos + 1]!r} at offset {pos}")
+    return handler(buf, pos + 1)
 
 
 def decode_value(data: bytes) -> Any:
@@ -463,48 +652,131 @@ def decode_value(data: bytes) -> Any:
 
 # -- framing --------------------------------------------------------------------
 
+def encode_frame_into(out: bytearray, kind: FrameKind, payload: Any = None) -> int:
+    """Append one frame to ``out`` in a single pass; return its byte size.
+
+    The length prefix is reserved up front and backpatched after the
+    body is encoded, so the hot path never materializes the body as a
+    separate ``bytes`` object — callers reuse one growing ``bytearray``
+    across many frames (the send queue's coalescing buffer).
+    """
+    if kind == FrameKind.BATCH:
+        raise WireError("BATCH frames are built with wrap_batch(), "
+                        "not encode_frame()")
+    start = len(out)
+    out += b"\x00\x00\x00\x00"  # length placeholder, backpatched below
+    out += _U8.pack(int(kind))
+    _enc(out, payload)
+    length = len(out) - start - 4
+    if length > MAX_FRAME_BYTES:
+        del out[start:]
+        raise WireError(f"frame too large: {length} > {MAX_FRAME_BYTES}")
+    _U32.pack_into(out, start, length)
+    return length + 4
+
+
 def encode_frame(kind: FrameKind, payload: Any = None) -> bytes:
     """One complete frame: ``u32 length | u8 kind | encoded payload``."""
-    body = encode_value(payload)
-    length = 1 + len(body)
-    if length > MAX_FRAME_BYTES:
-        raise WireError(f"frame too large: {length} > {MAX_FRAME_BYTES}")
-    return _U32.pack(length) + _U8.pack(int(kind)) + body
+    out = bytearray()
+    encode_frame_into(out, kind, payload)
+    return bytes(out)
 
 
-def try_decode_frame(buf: bytes, offset: int = 0) -> tuple[FrameKind, Any, int] | None:
-    """Decode one frame from ``buf[offset:]``.
+def wrap_batch(chunks: list[bytes]) -> bytes:
+    """Coalesce already-encoded frames into one BATCH frame.
+
+    Layout: ``u32 length | u8 BATCH | u32 count | frame*`` where each
+    inner frame keeps its ordinary ``u32 length | u8 kind | body`` form,
+    so the sender just concatenates bytes it already has (no re-encode)
+    and the receiver walks the same frame parser over the body.  Inner
+    BATCH frames are refused on both sides: one level of nesting only.
+    """
+    if not chunks:
+        raise WireError("empty batch")
+    total = 1 + 4 + sum(len(c) for c in chunks)
+    if total > MAX_FRAME_BYTES:
+        raise WireError(f"batch too large: {total} > {MAX_FRAME_BYTES}")
+    out = bytearray(_U32.pack(total))
+    out += _U8.pack(int(FrameKind.BATCH))
+    out += _U32.pack(len(chunks))
+    for chunk in chunks:
+        if chunk[4:5] == _BATCH_KIND_BYTE:
+            raise WireError("nested BATCH frames are not allowed")
+        out += chunk
+    return bytes(out)
+
+
+_BATCH_KIND_BYTE = bytes([13])
+
+
+def _decode_batch_body(buf: bytes, offset: int,
+                       end: int) -> list[tuple["FrameKind", Any]]:
+    """Parse the inner frames of a BATCH frame body (``buf[offset:end]``)."""
+    count = _U32.unpack_from(buf, offset)[0]
+    offset += 4
+    frames: list[tuple[FrameKind, Any]] = []
+    for _ in range(count):
+        decoded = try_decode_frame(buf, offset, end=end)
+        if decoded is None:
+            raise WireError("truncated frame inside batch")
+        kind, payload, consumed = decoded
+        if kind == FrameKind.BATCH:
+            raise WireError("nested BATCH frames are not allowed")
+        frames.append((kind, payload))
+        offset += consumed
+    if offset != end:
+        raise WireError(f"trailing garbage in batch: {end - offset} bytes")
+    return frames
+
+
+def try_decode_frame(buf: bytes, offset: int = 0, *,
+                     end: int | None = None) -> tuple[FrameKind, Any, int] | None:
+    """Decode one frame from ``buf[offset:end]``.
 
     Returns ``(kind, payload, bytes_consumed)`` or ``None`` when the
-    buffer does not yet hold a complete frame.  Raises
-    :class:`WireError` on an oversized length prefix or corrupt body —
-    callers must drop the connection, since stream sync is lost.
+    buffer does not yet hold a complete frame.  For BATCH frames the
+    payload is the list of inner ``(kind, payload)`` pairs, in order.
+    Raises :class:`WireError` on an oversized length prefix or corrupt
+    body — callers must drop the connection, since stream sync is lost.
     """
-    if len(buf) - offset < 4:
+    if end is None:
+        end = len(buf)
+    if end - offset < 4:
         return None
     length = _U32.unpack_from(buf, offset)[0]
     if length > MAX_FRAME_BYTES:
         raise WireError(f"incoming frame too large: {length} bytes")
     if length < 1:
         raise WireError("incoming frame has empty body")
-    if len(buf) - offset < 4 + length:
+    if end - offset < 4 + length:
         return None
     kind_byte = buf[offset + 4]
     try:
         kind = FrameKind(kind_byte)
     except ValueError as exc:
         raise WireError(f"unknown frame kind {kind_byte}") from exc
+    if kind == FrameKind.BATCH:
+        if length < 5:
+            raise WireError("batch frame too short for its count")
+        inner = _decode_batch_body(buf, offset + 5, offset + 4 + length)
+        return kind, inner, 4 + length
     body = bytes(buf[offset + 5:offset + 4 + length])
     return kind, decode_value(body), 4 + length
 
 
 class FrameDecoder:
-    """Incremental frame reassembly over a byte stream."""
+    """Incremental frame reassembly over a byte stream.
 
-    __slots__ = ("_buffer",)
+    BATCH frames are expanded transparently: ``feed`` returns the inner
+    frames in their original order, so consumers never see the batching
+    layer (``batches_in`` counts how many arrived, for telemetry).
+    """
+
+    __slots__ = ("_buffer", "batches_in")
 
     def __init__(self):
         self._buffer = bytearray()
+        self.batches_in = 0
 
     def feed(self, data: bytes) -> list[tuple[FrameKind, Any]]:
         """Absorb ``data``; return every frame completed by it, in order."""
@@ -516,7 +788,11 @@ class FrameDecoder:
             if decoded is None:
                 break
             kind, payload, consumed = decoded
-            frames.append((kind, payload))
+            if kind == FrameKind.BATCH:
+                self.batches_in += 1
+                frames.extend(payload)
+            else:
+                frames.append((kind, payload))
             offset += consumed
         if offset:
             del self._buffer[:offset]

@@ -20,6 +20,18 @@ operator action.
 Drain: :meth:`PeerHub.stop` sends BYE on every live link, flushes the
 write buffers, and only then closes — a graceful shutdown must not strand
 frames in userspace buffers.
+
+Throughput: sends never touch the socket directly.  Each link owns a
+FIFO send queue and a flusher task that drains it, coalescing whatever
+is queued into one ``writer.write`` (wrapped in a single BATCH frame
+when more than one frame is pending) and honoring asyncio's write
+backpressure via ``drain()`` between writes.  The flush policy is
+three-trigger: queue-empty (write whatever accumulated while the last
+write drained), size (cut a batch at ``batch_max_bytes``), and time (an
+optional ``flush_delay`` lingers briefly to coalesce sparse traffic).
+The queue itself is bounded: once ``max_pending_bytes`` of frames are
+waiting (a peer stalled mid-``drain``), further sends are *shed* and
+counted — a frozen peer must cost bounded memory, not the process.
 """
 
 from __future__ import annotations
@@ -30,23 +42,39 @@ from collections import deque
 from typing import Any, Callable
 
 from .codec import (
+    MAX_FRAME_BYTES,
     FrameDecoder,
     FrameKind,
     WireError,
     encode_frame,
     hello_payload,
     hello_problem,
+    wrap_batch,
 )
 
 #: Cap on the dialer's exponential backoff between reconnect attempts.
 RECONNECT_MAX = 2.0
 RECONNECT_BASE = 0.05
 
+#: Cut a coalesced write once this many payload bytes are gathered.
+BATCH_MAX_BYTES = 256 * 1024
+#: Bound on frames queued behind a non-draining link before shedding.
+MAX_PENDING_BYTES = 4 * 1024 * 1024
+#: asyncio transport write-buffer high watermark (drain() blocks above).
+WRITE_HIGH_WATER = 256 * 1024
+
 
 class PeerLink:
-    """One live, handshake-complete connection to a peer."""
+    """One live, handshake-complete connection to a peer.
 
-    __slots__ = ("node", "role", "reader", "writer", "opened_at")
+    Owns the per-link send state: the FIFO queue of already-encoded
+    frames, its byte total, the event its flusher sleeps on, and the
+    shed counter.  FIFO queue + single flusher is what makes batching
+    order-preserving within a link.
+    """
+
+    __slots__ = ("node", "role", "reader", "writer", "opened_at",
+                 "queue", "queue_bytes", "wake", "frames_shed", "closing")
 
     def __init__(self, node: int, role: str,
                  reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
@@ -55,6 +83,11 @@ class PeerLink:
         self.reader = reader
         self.writer = writer
         self.opened_at = time.monotonic()
+        self.queue: deque[bytes] = deque()
+        self.queue_bytes = 0
+        self.wake = asyncio.Event()
+        self.frames_shed = 0
+        self.closing = False
 
     def __repr__(self):
         return f"<PeerLink {self.role}:{self.node}>"
@@ -91,6 +124,9 @@ class PeerHub:
         on_peer_up: Callable[[int], None] | None = None,
         on_peer_lost: Callable[[int], None] | None = None,
         log: Callable[[str], None] | None = None,
+        batch_max_bytes: int = BATCH_MAX_BYTES,
+        max_pending_bytes: int = MAX_PENDING_BYTES,
+        flush_delay: float = 0.0,
     ):
         self.node_id = node_id
         self.ports = dict(ports)
@@ -100,15 +136,25 @@ class PeerHub:
         self.on_peer_up = on_peer_up
         self.on_peer_lost = on_peer_lost
         self._log = log or (lambda text: None)
+        self.batch_max_bytes = batch_max_bytes
+        self.max_pending_bytes = max_pending_bytes
+        self.flush_delay = flush_delay
         #: Registered node links: peer node id -> live link.
         self.links: dict[int, PeerLink] = {}
         #: Wall-clock (monotonic) instant we last received any frame from
         #: each peer node; the TcpTransport's heartbeat oracle reads this.
         self.last_heard: dict[int, float] = {}
+        #: Monotonic instant we last queued any frame *to* each peer node;
+        #: the runtime suppresses explicit heartbeats while data flows
+        #: (the peer's oracle counts those frames as liveness already).
+        self.last_sent: dict[int, float] = {}
         self.frames_in = 0
         self.frames_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.writes = 0
+        self.batches_out = 0
+        self.frames_shed = 0
         self.handshakes_rejected = 0
         self.reconnects = 0
         self._server: asyncio.AbstractServer | None = None
@@ -128,16 +174,24 @@ class PeerHub:
                 self._spawn(self._dial_loop(peer))
 
     async def stop(self, drain: bool = True) -> None:
-        """Graceful shutdown: BYE + flush on every link, then close."""
+        """Graceful shutdown: flush queues, BYE on every link, then close."""
         self._running = False
         if drain:
             for link in list(self.links.values()):
                 try:
+                    # Let the flusher empty the send queue first so BYE
+                    # stays the last frame on the stream, then write it
+                    # directly (the flusher may already be gone).
+                    await self._drain_link(link, timeout=1.0)
+                    link.closing = True
+                    link.wake.set()
                     link.writer.write(encode_frame(FrameKind.BYE, None))
                     await asyncio.wait_for(link.writer.drain(), timeout=1.0)
                 except (OSError, asyncio.TimeoutError):
                     pass
         for link in list(self.links.values()):
+            link.closing = True
+            link.wake.set()
             link.writer.close()
         self.links.clear()
         if self._server is not None:
@@ -164,9 +218,12 @@ class PeerHub:
     def send(self, node: int, kind: FrameKind, payload: Any = None) -> bool:
         """Queue one frame to peer ``node``; False when no link is up.
 
-        Writes go to the asyncio transport buffer; a peer that dies with
-        frames in flight simply loses them — exactly the at-most-once
-        link behavior the dead-letter queue exists to compensate.
+        Frames go to the link's send queue and are coalesced onto the
+        socket by its flusher; a peer that dies with frames in flight
+        simply loses them — exactly the at-most-once link behavior the
+        dead-letter queue exists to compensate.  A link whose queue is
+        over ``max_pending_bytes`` (stalled peer) sheds the frame and
+        answers False, same as no link at all.
         """
         link = self.links.get(node)
         if link is None:
@@ -177,22 +234,113 @@ class PeerHub:
         """Queue one frame on an explicit link (control replies)."""
         try:
             data = encode_frame(kind, payload)
-            link.writer.write(data)
-        except (OSError, WireError, RuntimeError) as exc:
+        except WireError as exc:
             self._log(f"send to {link!r} failed: {exc}")
             return False
-        self.frames_out += 1
-        self.bytes_out += len(data)
-        return True
+        return self._enqueue(link, data)
 
     def broadcast(self, kind: FrameKind, payload: Any = None,
                   exclude: tuple = ()) -> int:
-        """Send one frame to every registered node link; returns count."""
-        sent = 0
-        for node in sorted(self.links):
-            if node not in exclude and self.send(node, kind, payload):
-                sent += 1
-        return sent
+        """Send one frame to every registered node link; returns count.
+
+        The frame is encoded exactly once; every link queues the same
+        bytes object (the frame body is identical per peer by design).
+        """
+        targets = [self.links[node] for node in sorted(self.links)
+                   if node not in exclude]
+        if not targets:
+            return 0
+        try:
+            data = encode_frame(kind, payload)
+        except WireError as exc:
+            self._log(f"broadcast encode failed: {exc}")
+            return 0
+        return sum(1 for link in targets if self._enqueue(link, data))
+
+    def _enqueue(self, link: PeerLink, data: bytes) -> bool:
+        """FIFO-queue encoded bytes on ``link``; shed when over the bound."""
+        if link.closing or link.writer.is_closing():
+            return False
+        if link.queue_bytes + len(data) > self.max_pending_bytes:
+            link.frames_shed += 1
+            self.frames_shed += 1
+            return False
+        link.queue.append(data)
+        link.queue_bytes += len(data)
+        link.wake.set()
+        self.frames_out += 1
+        self.bytes_out += len(data)
+        if link.role == "node":
+            self.last_sent[link.node] = time.monotonic()
+        return True
+
+    def idle_peers(self, window: float) -> list[int]:
+        """Node links with no outbound frame within ``window`` seconds.
+
+        The heartbeat loop beacons only these: a peer we are actively
+        sending data to refreshes its recency oracle with every frame,
+        so an explicit HEARTBEAT would be pure overhead on a busy link.
+        """
+        now = time.monotonic()
+        return [node for node in sorted(self.links)
+                if now - self.last_sent.get(node, 0.0) >= window]
+
+    # -- flushing ----------------------------------------------------------------
+
+    async def _flush_loop(self, link: PeerLink) -> None:
+        """Drain ``link``'s send queue until it closes (one task per link).
+
+        Coalesces every queued frame into as few writes as possible:
+        runs of more than one frame travel as a single BATCH frame.
+        ``drain()`` between writes is the backpressure seam — while a
+        slow peer keeps it blocked, frames accumulate in the queue (and
+        are shed past ``max_pending_bytes``), not in the transport.
+        """
+        try:
+            while True:
+                await link.wake.wait()
+                link.wake.clear()
+                if self.flush_delay > 0 and not link.closing \
+                        and link.queue_bytes < self.batch_max_bytes:
+                    # Time trigger: linger to coalesce sparse traffic.
+                    await asyncio.sleep(self.flush_delay)
+                while link.queue:
+                    first = link.queue.popleft()
+                    link.queue_bytes -= len(first)
+                    chunks: list[bytes] = [first]
+                    size = len(first)
+                    while link.queue and size < self.batch_max_bytes:
+                        nxt = link.queue[0]
+                        if size + len(nxt) + 9 > MAX_FRAME_BYTES:
+                            break  # batch header + chunks must stay a legal frame
+                        link.queue.popleft()
+                        link.queue_bytes -= len(nxt)
+                        chunks.append(nxt)
+                        size += len(nxt)
+                    if len(chunks) == 1:
+                        link.writer.write(chunks[0])
+                    else:
+                        link.writer.write(wrap_batch(chunks))
+                        self.batches_out += 1
+                    self.writes += 1
+                    await link.writer.drain()
+                if link.closing:
+                    return
+        except (OSError, WireError, RuntimeError, asyncio.CancelledError):
+            # Connection died mid-flush (or shutdown); the serve loop
+            # owns unregistration and close.
+            pass
+
+    async def _drain_link(self, link: PeerLink, timeout: float = 1.0) -> None:
+        """Wait (bounded) until ``link``'s queue and transport are empty."""
+        deadline = time.monotonic() + timeout
+        while link.queue and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        try:
+            await asyncio.wait_for(link.writer.drain(),
+                                   timeout=max(deadline - time.monotonic(), 0.05))
+        except (OSError, asyncio.TimeoutError):
+            pass
 
     # -- inbound connections ----------------------------------------------------
 
@@ -314,6 +462,14 @@ class PeerHub:
         """Pump frames off ``link`` until it dies or BYE arrives."""
         pending = pending if pending is not None else deque()
         try:
+            link.writer.transport.set_write_buffer_limits(
+                high=WRITE_HIGH_WATER)
+        except (AttributeError, RuntimeError):  # pragma: no cover - exotic transports
+            pass
+        flusher = asyncio.ensure_future(self._flush_loop(link))
+        self._tasks.add(flusher)
+        flusher.add_done_callback(self._tasks.discard)
+        try:
             while True:
                 goodbye = False
                 while pending:
@@ -343,6 +499,9 @@ class PeerHub:
         except (OSError, asyncio.CancelledError):
             pass
         finally:
+            link.closing = True
+            link.wake.set()
+            flusher.cancel()
             self._unregister(link)
             link.writer.close()
 
@@ -371,6 +530,11 @@ class PeerHub:
             "frames_out": self.frames_out,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "writes": self.writes,
+            "batches_out": self.batches_out,
+            "frames_shed": self.frames_shed,
+            "send_buffer_bytes": sum(
+                link.queue_bytes for link in self.links.values()),
             "handshakes_rejected": self.handshakes_rejected,
             "reconnects": self.reconnects,
         }

@@ -11,6 +11,7 @@ shipped examples run across real sockets unchanged.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 from repro.apps.process_pool import Job, PoolClient, PoolWorker
@@ -84,11 +85,98 @@ class ReplicaBehavior(Behavior):
             ctx.send_to(message.reply_to, ("ok", self.name, self.count))
 
 
+class LoadSinkBehavior(Behavior):
+    """Acknowledges ``("req", i)`` with ``("ack", i)`` — a correlatable sink.
+
+    Unlike :class:`ReplicaBehavior` the ack carries the request index, so
+    a closed-loop driver can match each reply to its send timestamp and
+    measure per-message round-trip latency.
+    """
+
+    def __init__(self):
+        self.count = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        self.count += 1
+        payload = message.payload
+        if (message.reply_to is not None and isinstance(payload, tuple)
+                and payload and payload[0] == "req"):
+            ctx.send_to(message.reply_to, ("ack", payload[1]))
+
+
+class LoadPumpBehavior(Behavior):
+    """Closed-loop load generator: keep ``window`` requests outstanding.
+
+    On ``("go",)`` it launches ``window`` requests at ``target`` (a
+    :class:`LoadSinkBehavior`), then fires one replacement per ack until
+    ``total`` round trips complete.  Offered load is therefore controlled
+    by the window size, not a send-rate guess — the canonical closed-loop
+    shape.  Results land as plain attributes (``done``, ``throughput``,
+    ``p50_ms``, ``p99_ms``) that a launcher reads via the ``actor_state``
+    control command; RTTs use ``time.monotonic`` so simulator and TCP
+    runs are measured identically (host wall time).
+    """
+
+    def __init__(self, target, total: int, window: int):
+        self.target = target
+        self.total = int(total)
+        self.window = max(1, int(window))
+        self.sent = 0
+        self.received = 0
+        self.done = False
+        self.throughput = 0.0
+        self.p50_ms = 0.0
+        self.p99_ms = 0.0
+        self.elapsed_s = 0.0
+        self._started_at = 0.0
+        self._pending: dict[int, float] = {}
+        self._rtts_ms: list[float] = []
+
+    def _launch(self, ctx: ActorContext) -> None:
+        index = self.sent
+        self.sent += 1
+        self._pending[index] = time.monotonic()
+        ctx.send_to(self.target, ("req", index), reply_to=ctx.self_address)
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        payload = message.payload
+        if payload == ("go",):
+            self._started_at = time.monotonic()
+            for _ in range(min(self.window, self.total)):
+                self._launch(ctx)
+            return
+        if not (isinstance(payload, tuple) and payload
+                and payload[0] == "ack"):
+            return
+        now = time.monotonic()
+        sent_at = self._pending.pop(payload[1], None)
+        if sent_at is not None:
+            self._rtts_ms.append((now - sent_at) * 1000.0)
+        self.received += 1
+        if self.sent < self.total:
+            self._launch(ctx)
+        elif self.received >= self.total:
+            self.elapsed_s = now - self._started_at
+            if self.elapsed_s > 0:
+                self.throughput = self.total / self.elapsed_s
+            rtts = sorted(self._rtts_ms)
+            if rtts:
+                self.p50_ms = rtts[len(rtts) // 2]
+                self.p99_ms = rtts[min(len(rtts) - 1,
+                                       int(len(rtts) * 0.99))]
+            self.done = True
+
+
 register_behavior("echo", lambda params: EchoBehavior())
 register_behavior("counter",
                   lambda params: CounterBehavior(keep=int(params.get("keep", 8))))
 register_behavior("replica",
                   lambda params: ReplicaBehavior(name=params.get("name", "replica")))
+register_behavior("load_sink", lambda params: LoadSinkBehavior())
+register_behavior("load_pump", lambda params: LoadPumpBehavior(
+    params["target"], total=int(params["total"]),
+    window=int(params.get("window", 1)),
+))
 register_behavior("pool_worker", lambda params: PoolWorker(
     params["pool"],
     grain=int(params.get("grain", 64)),

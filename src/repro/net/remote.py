@@ -70,13 +70,29 @@ class TcpTransport(Transport):
     def recover_node(self, node: int) -> None:
         self.crashed.discard(node)
 
+    def recency(self, node: int) -> float | None:
+        """Seconds since *any* frame arrived from ``node`` (None: never).
+
+        This is the piggybacked-liveness oracle: every inbound frame —
+        envelope, bus op, batch member — refreshes the hub's last-heard
+        table, so a peer too busy to slot explicit HEARTBEATs into its
+        write stream still reads as alive as long as its data flows.
+        The sender-side complement lives in the runtime's heartbeat
+        loop, which suppresses explicit beacons on links that carried
+        data within the last interval.
+        """
+        heard_at = self.runtime.hub.last_heard.get(node)
+        if heard_at is None:
+            return None
+        return time.monotonic() - heard_at
+
     def try_deliver(self, src_node: int, dst_node: int) -> float | None:
         self.attempts += 1
         me = self.runtime.node_id
         if dst_node == me and src_node != me:
             # Heartbeat probe: has src been heard within the window?
-            heard_at = self.runtime.hub.last_heard.get(src_node)
-            if heard_at is None or time.monotonic() - heard_at > self.heartbeat_window:
+            since = self.recency(src_node)
+            if since is None or since > self.heartbeat_window:
                 self.drops += 1
                 return None
             return 0.0

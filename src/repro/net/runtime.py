@@ -67,6 +67,26 @@ from .remote import NetFailureDetector, RemoteSequencerBus, TcpTransport
 _FOREVER = 1e12
 
 
+def maybe_install_uvloop() -> bool:
+    """Install uvloop as the event-loop policy when available.
+
+    Purely optional: the wire path is stdlib-asyncio correct, uvloop
+    just makes the same sockets cheaper.  Gated by ``REPRO_UVLOOP``
+    (set to ``0`` to force stdlib asyncio); returns whether uvloop is
+    active so callers can report it.
+    """
+    import os
+
+    if os.environ.get("REPRO_UVLOOP", "1") == "0":
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
+
+
 def rebase_wire_counters(node_id: int) -> None:
     """Give this process a collision-free id block for envelopes/messages/ops.
 
@@ -239,6 +259,7 @@ class NodeRuntime:
             on_peer_up=self._on_peer_up, log=self._log)
         self._wake: asyncio.Event | None = None
         self._stopping = False
+        self.heartbeats_suppressed = 0
         self._seen_peers: set[int] = set()
         self._detector_armed = False
         self._retry_scheduled: set[int] = set()
@@ -425,9 +446,20 @@ class NodeRuntime:
         self._kick()
 
     async def _heartbeat_loop(self) -> None:
+        """Beacon liveness — but only where data is not already doing it.
+
+        Any frame we send refreshes the peer's last-heard oracle, so a
+        link that carried data within the last interval needs no
+        explicit HEARTBEAT: under sustained load the beacons disappear
+        entirely (piggybacked liveness), and they resume the moment a
+        link goes quiet.
+        """
         while not self._stopping:
-            self.hub.broadcast(FrameKind.HEARTBEAT,
-                               {"node": self.node_id, "t": self.clock.now})
+            idle = self.hub.idle_peers(self.heartbeat_interval)
+            self.heartbeats_suppressed += len(self.hub.links) - len(idle)
+            for node in idle:
+                self.hub.send(node, FrameKind.HEARTBEAT,
+                              {"node": self.node_id, "t": self.clock.now})
             await asyncio.sleep(self.heartbeat_interval)
 
     async def _pump(self) -> None:
@@ -644,6 +676,8 @@ class NodeRuntime:
         self.metrics.gauge(f"parked_node_{self.node_id}").set(
             len(self.coordinator.suspended) + len(self.coordinator.persistent))
         self.metrics.gauge("in_flight").set(len(self.in_flight))
+        self.metrics.gauge("heartbeats_suppressed").set(
+            self.heartbeats_suppressed)
         for name, value in self.transport.metrics_snapshot().items():
             if not isinstance(value, dict):
                 self.metrics.gauge(f"transport_{name}").set(value)

@@ -33,15 +33,23 @@ class RuntimeContext(ActorContext):
     through the context join its causal tree, which is what lets the
     flight recorder chain a delivery back to the external send that
     ultimately triggered it.
+
+    ``claimed`` records every address this API *handed to* the behavior
+    during the invocation (created actors, created spaces).  Together
+    with the creation-time state scan and the delivery-time payload scan
+    it covers every channel through which an address can enter behavior
+    state, so the coordinator's acquaintance bookkeeping after a receive
+    is O(new addresses) instead of a full rescan of the behavior.
     """
 
-    __slots__ = ("_system", "_record", "_cause")
+    __slots__ = ("_system", "_record", "_cause", "claimed")
 
     def __init__(self, system: "ActorSpaceSystem", record: ActorRecord,
                  cause: "Envelope | None" = None):
         self._system = system
         self._record = record
         self._cause = cause
+        self.claimed: list[MailAddress] = []
 
     @property
     def _trace_id(self):
@@ -82,7 +90,7 @@ class RuntimeContext(ActorContext):
     ) -> ActorAddress:
         target_node = self._record.node if node is None else node
         coordinator = self._system.coordinators[target_node]
-        return coordinator.create_actor(
+        address = coordinator.create_actor(
             behavior,
             args,
             kwargs,
@@ -90,6 +98,8 @@ class RuntimeContext(ActorContext):
             capability=capability,
             creator=self._record.address,
         )
+        self.claimed.append(address)
+        return address
 
     def send_to(self, target: ActorAddress, payload: Any, *,
                 reply_to: ActorAddress | None = None,
@@ -153,6 +163,7 @@ class RuntimeContext(ActorContext):
         manager_factory=None,
     ) -> SpaceAddress:
         address = self._coordinator.create_space(capability, manager_factory)
+        self.claimed.append(address)
         if attributes is not None:
             parent = space if space is not None else self._record.host_space
             self._coordinator.make_visible(address, attributes, parent, capability)

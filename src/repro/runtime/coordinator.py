@@ -231,7 +231,7 @@ class Coordinator:
             )
         ctx = self.system.make_context(record)
         beh.on_start(ctx)
-        self._flush_context(record)
+        self._flush_context(record, ctx)
         return address
 
     def terminate_actor(self, address: ActorAddress) -> None:
@@ -563,6 +563,8 @@ class Coordinator:
         # the payload become known to the receiver).
         known = self.acquaintances.setdefault(target, set())
         known.update(scan_addresses(envelope.message.payload))
+        if envelope.message.headers:
+            known.update(scan_addresses(envelope.message.headers))
         if envelope.message.reply_to is not None:
             known.add(envelope.message.reply_to)
         if envelope.sender is not None:
@@ -611,18 +613,34 @@ class Coordinator:
                                      t=system.clock.now)
             self.terminate_actor(record.address)
             return
-        self._flush_context(record)
+        self._flush_context(record, ctx)
         if not record.mailbox.is_empty and not record.terminated:
             self._schedule_processing(record)
 
-    def _flush_context(self, record: ActorRecord) -> None:
-        """Acquaintance bookkeeping after user code ran."""
-        # Addresses the behavior stored on itself are now acquaintances;
-        # the same applies to a behavior staged with become.
-        known = self.acquaintances.setdefault(record.address, set())
-        known.update(_behavior_addresses(record.behavior))
-        if record.pending_behavior is not None:
-            known.update(_behavior_addresses(record.pending_behavior))
+    def _flush_context(self, record: ActorRecord, ctx) -> None:
+        """Acquaintance bookkeeping after user code ran.
+
+        An address can enter behavior state through exactly three
+        channels, each scanned where it is cheapest:
+
+        * the initial state — scanned once at :meth:`create_actor`;
+        * a delivered message — payload/reply_to/sender scanned once at
+          delivery time (:meth:`_deliver`);
+        * the context API — addresses it handed out during this
+          invocation are in ``ctx.claimed``.
+
+        So the post-receive step only folds in ``ctx.claimed`` (plus a
+        one-off scan of a behavior staged with ``become``, whose fresh
+        constructor may embed any of the above): O(new addresses) per
+        message instead of an O(behavior state) rescan, which made every
+        stateful actor's processing cost grow with its history.
+        """
+        claimed = ctx.claimed
+        if claimed or record.pending_behavior is not None:
+            known = self.acquaintances.setdefault(record.address, set())
+            known.update(claimed)
+            if record.pending_behavior is not None:
+                known.update(_behavior_addresses(record.pending_behavior))
 
     # ------------------------------------------------------------------
 

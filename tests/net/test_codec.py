@@ -84,7 +84,12 @@ def test_set_encoding_ignores_construction_order():
     assert decode_value(encode_value({3, 1, 2})) == frozenset({1, 2, 3})
 
 
-@given(st.lists(st.tuples(st.sampled_from(list(FrameKind)), values),
+#: Every frame kind whose body is one encoded value (BATCH's body is a
+#: sequence of inner frames instead; it has its own strategy below).
+VALUE_KINDS = [k for k in FrameKind if k != FrameKind.BATCH]
+
+
+@given(st.lists(st.tuples(st.sampled_from(VALUE_KINDS), values),
                 min_size=1, max_size=5),
        st.integers(min_value=1, max_value=64))
 @settings(max_examples=150)
@@ -97,6 +102,92 @@ def test_frame_stream_survives_resegmentation(frames, chunk):
         out.extend(decoder.feed(stream[start:start + chunk]))
     assert out == frames
     assert decoder.pending_bytes == 0
+
+
+@given(st.lists(st.tuples(st.sampled_from(VALUE_KINDS), values),
+                min_size=1, max_size=8),
+       st.data())
+@settings(max_examples=150)
+def test_batch_round_trip_survives_resegmentation(frames, data):
+    """BATCH frames flatten back to their members, however the stream is
+    grouped into batches and split at arbitrary byte offsets."""
+    from repro.net.codec import wrap_batch
+
+    encoded = [encode_frame(kind, payload) for kind, payload in frames]
+    stream = b""
+    index = 0
+    while index < len(encoded):
+        take = data.draw(st.integers(min_value=1,
+                                     max_value=len(encoded) - index))
+        group = encoded[index:index + take]
+        # Singletons sometimes ride bare, sometimes batched — both legal.
+        if len(group) == 1 and data.draw(st.booleans()):
+            stream += group[0]
+        else:
+            stream += wrap_batch(group)
+        index += take
+    chunk = data.draw(st.integers(min_value=1, max_value=64))
+    decoder = FrameDecoder()
+    out = []
+    for start in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[start:start + chunk]))
+    assert out == frames
+    assert decoder.pending_bytes == 0
+
+
+def test_wrap_batch_rejects_empty_and_nested():
+    from repro.net.codec import wrap_batch
+
+    with pytest.raises(WireError):
+        wrap_batch([])
+    inner = encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+    nested = wrap_batch([inner])
+    with pytest.raises(WireError):
+        wrap_batch([inner, nested])
+
+
+def test_encode_frame_refuses_batch_kind():
+    with pytest.raises(WireError):
+        encode_frame(FrameKind.BATCH, [("x", 1)])
+
+
+def test_truncated_batch_body_rejected():
+    """A batch whose count promises more inner frames than it carries."""
+    import struct
+
+    from repro.net.codec import wrap_batch
+
+    inner = encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+    good = wrap_batch([inner, inner])
+    # Patch the inner count from 2 up to 3: same bytes, broken promise.
+    bad = bytearray(good)
+    bad[5:9] = struct.pack("!I", 3)
+    with pytest.raises(WireError):
+        try_decode_frame(bytes(bad))
+
+
+def test_batch_trailing_garbage_rejected():
+    import struct
+
+    from repro.net.codec import wrap_batch
+
+    inner = encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+    good = wrap_batch([inner, inner])
+    # Claim only one member: the second becomes trailing garbage.
+    bad = bytearray(good)
+    bad[5:9] = struct.pack("!I", 1)
+    with pytest.raises(WireError):
+        try_decode_frame(bytes(bad))
+
+
+def test_frame_decoder_counts_batches():
+    from repro.net.codec import wrap_batch
+
+    inner = encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+    decoder = FrameDecoder()
+    frames = decoder.feed(wrap_batch([inner, inner]) + inner)
+    assert len(frames) == 3
+    assert decoder.batches_in == 1
 
 
 def test_wire_domain_round_trips():

@@ -1,0 +1,247 @@
+"""Hot-path wire tests: flush policy, bounded send queues, piggybacked
+liveness, and the broadcast encode-once guarantee.
+
+The flush-policy tests drive ``PeerHub._flush_loop`` against an
+in-memory writer — no sockets — so each trigger (queue-empty, size
+watermark, linger expiry) is exercised deterministically.  The liveness
+and broadcast tests run real loopback hubs like the rest of the link
+layer suite.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+import repro.net.peer as peer_module
+from repro.net.cluster import _free_ports, loopback_available
+from repro.net.codec import FrameDecoder, FrameKind, encode_frame
+from repro.net.peer import PeerHub, PeerLink
+from repro.net.runtime import maybe_install_uvloop
+
+pytestmark = pytest.mark.skipif(
+    not loopback_available(), reason="loopback TCP unavailable")
+
+
+async def _poll(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.02)
+    return False
+
+
+class _FakeWriter:
+    """Captures writes; quacks enough like a StreamWriter for the flusher."""
+
+    def __init__(self):
+        self.writes: list[bytes] = []
+        self.closed = False
+
+    def write(self, data):
+        self.writes.append(bytes(data))
+
+    async def drain(self):
+        await asyncio.sleep(0)
+
+    def is_closing(self):
+        return self.closed
+
+
+def _bench_link(hub):
+    link = PeerLink(1, "node", None, _FakeWriter())
+    hub.links[1] = link
+    return link
+
+
+def _frames(writer):
+    """Flatten everything written (batched or bare) back to frames."""
+    decoder = FrameDecoder()
+    out = []
+    for data in writer.writes:
+        out.extend(decoder.feed(data))
+    return out
+
+
+def _quiet_hub(**kw):
+    return PeerHub(0, {0: 1, 1: 2}, lambda *a: None, **kw)
+
+
+# -- flush policy ----------------------------------------------------------------
+
+
+def test_flush_on_queue_empty_writes_single_frame_bare():
+    """One queued frame flushes immediately and without batch framing."""
+    async def scenario():
+        hub = _quiet_hub()
+        link = _bench_link(hub)
+        flusher = asyncio.ensure_future(hub._flush_loop(link))
+        frame = encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+        assert hub.send(1, FrameKind.HEARTBEAT, {"n": 1})
+        assert await _poll(lambda: link.writer.writes)
+        assert link.writer.writes == [frame]
+        assert hub.batches_out == 0 and link.queue_bytes == 0
+        flusher.cancel()
+
+    asyncio.run(scenario())
+
+
+def test_backlog_coalesces_into_one_batch_write():
+    """Frames queued while the flusher is busy leave in one BATCH frame."""
+    async def scenario():
+        hub = _quiet_hub()
+        link = _bench_link(hub)
+        payloads = [{"n": index} for index in range(5)]
+        for payload in payloads:
+            assert hub.send(1, FrameKind.HEARTBEAT, payload)
+        # Flusher starts with a 5-frame backlog: one coalesced write.
+        flusher = asyncio.ensure_future(hub._flush_loop(link))
+        assert await _poll(lambda: link.writer.writes)
+        assert len(link.writer.writes) == 1
+        assert hub.batches_out == 1
+        decoded = _frames(link.writer)
+        assert [p for _k, p in decoded] == payloads  # FIFO preserved
+        flusher.cancel()
+
+    asyncio.run(scenario())
+
+
+def test_size_watermark_splits_writes():
+    """A backlog larger than batch_max_bytes flushes as multiple writes."""
+    async def scenario():
+        frame = encode_frame(FrameKind.HEARTBEAT, {"fill": "x" * 64})
+        hub = _quiet_hub(batch_max_bytes=len(frame) * 2)
+        link = _bench_link(hub)
+        for index in range(6):
+            assert hub.send(1, FrameKind.HEARTBEAT, {"fill": "x" * 64})
+        flusher = asyncio.ensure_future(hub._flush_loop(link))
+        assert await _poll(lambda: len(_frames(link.writer)) == 6)
+        assert len(link.writer.writes) >= 3  # capped at ~2 frames per write
+        flusher.cancel()
+
+    asyncio.run(scenario())
+
+
+def test_linger_delays_then_flushes():
+    """With flush_delay set, a lone frame still leaves after the linger."""
+    async def scenario():
+        hub = _quiet_hub(flush_delay=0.05)
+        link = _bench_link(hub)
+        flusher = asyncio.ensure_future(hub._flush_loop(link))
+        start = time.monotonic()
+        assert hub.send(1, FrameKind.HEARTBEAT, {"n": 1})
+        assert await _poll(lambda: link.writer.writes)
+        assert time.monotonic() - start >= 0.04
+        flusher.cancel()
+
+    asyncio.run(scenario())
+
+
+# -- bounded memory ---------------------------------------------------------------
+
+
+def test_stalled_link_sheds_instead_of_growing():
+    """With no flusher draining, the queue is capped and sheds beyond it."""
+    async def scenario():
+        frame = encode_frame(FrameKind.HEARTBEAT, {"fill": "x" * 256})
+        hub = _quiet_hub(max_pending_bytes=len(frame) * 4)
+        link = _bench_link(hub)
+        results = [hub.send(1, FrameKind.HEARTBEAT, {"fill": "x" * 256})
+                   for _ in range(10)]
+        assert results.count(True) == 4 and results.count(False) == 6
+        assert link.queue_bytes <= hub.max_pending_bytes
+        assert link.frames_shed == 6 and hub.frames_shed == 6
+        snapshot = hub.metrics_snapshot()
+        assert snapshot["frames_shed"] == 6
+        assert snapshot["send_buffer_bytes"] == link.queue_bytes
+
+    asyncio.run(scenario())
+
+
+# -- piggybacked liveness ---------------------------------------------------------
+
+
+def test_data_flow_suppresses_heartbeats_and_keeps_peer_live():
+    """A busy link needs no beacons: data refreshes recency on the
+    receiver, and the sender reports the peer as non-idle."""
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        sink = []
+        a = PeerHub(0, ports, lambda *args: None)
+        b = PeerHub(1, ports, lambda src, kind, payload, link:
+                    sink.append((src, kind)))
+        try:
+            await a.start()
+            await b.start()
+            assert await _poll(lambda: 1 in a.links and 0 in b.links)
+            window = 0.1
+            floor = time.monotonic()
+            while time.monotonic() - floor < 3 * window:
+                a.send(1, FrameKind.ENVELOPE, {"n": 1})
+                # Data keeps flowing: node 1 never goes idle from 0's
+                # point of view, so 0 would send it no explicit beacon.
+                assert 1 not in a.idle_peers(window)
+                await asyncio.sleep(window / 5)
+            # No HEARTBEAT was ever sent, yet recency stayed fresh
+            # throughout — strictly newer than the flood's start.
+            assert all(kind != FrameKind.HEARTBEAT for _src, kind in sink)
+            assert b.last_heard[0] > floor
+            # Silence, and the link becomes beacon-eligible again.
+            await asyncio.sleep(2 * window)
+            assert 1 in a.idle_peers(window)
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(scenario())
+
+
+# -- broadcast encode-once ---------------------------------------------------------
+
+
+def test_broadcast_encodes_payload_exactly_once(monkeypatch):
+    """Regression: ``broadcast`` used to re-encode per link."""
+    async def scenario():
+        ports = dict(enumerate(_free_ports(3)))
+        sink = []
+        hubs = [PeerHub(i, ports,
+                        lambda src, kind, payload, link, i=i:
+                        sink.append((i, src, payload)))
+                for i in range(3)]
+        try:
+            for hub in hubs:
+                await hub.start()
+            assert await _poll(
+                lambda: all(len(h.links) == 2 for h in hubs))
+            calls = []
+            real_encode = peer_module.encode_frame
+
+            def counting_encode(kind, payload=None):
+                calls.append(kind)
+                return real_encode(kind, payload)
+
+            monkeypatch.setattr(peer_module, "encode_frame", counting_encode)
+            fanout = hubs[0].broadcast(FrameKind.ENVELOPE, {"n": 7})
+            assert fanout == 2
+            assert len(calls) == 1  # one encode for two links
+            assert await _poll(
+                lambda: {(1, 0), (2, 0)} <=
+                {(receiver, src) for receiver, src, _p in sink})
+        finally:
+            for hub in hubs:
+                await hub.stop()
+
+    asyncio.run(scenario())
+
+
+# -- uvloop gate -------------------------------------------------------------------
+
+
+def test_uvloop_gate_declines_gracefully(monkeypatch):
+    """Absent uvloop (this container) or with REPRO_UVLOOP=0 the gate
+    reports False instead of raising."""
+    monkeypatch.setenv("REPRO_UVLOOP", "0")
+    assert maybe_install_uvloop() is False
+    monkeypatch.delenv("REPRO_UVLOOP", raising=False)
+    assert maybe_install_uvloop() in (True, False)  # no ImportError leak
