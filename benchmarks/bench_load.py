@@ -76,8 +76,14 @@ def bench_sim(total: int, windows: list[int]) -> list[dict]:
 
 # -- TCP loopback side -----------------------------------------------------------
 
-def bench_tcp(total: int, windows: list[int]) -> list[dict]:
-    """The same closed loop across real node processes."""
+def bench_tcp(total: int, windows: list[int]) -> tuple[list[dict], dict]:
+    """The same closed loop across real node processes.
+
+    Returns the sweep rows plus node 0's wire-path stage-latency
+    histograms (enqueue→flush / decode / deliver) accumulated over the
+    whole sweep — the breakdown that says *where* a throughput
+    regression lives, not just that one happened.
+    """
     cluster = LocalCluster(NODES, seed=0, trace=False)
     cluster.start()
     try:
@@ -102,7 +108,8 @@ def bench_tcp(total: int, windows: list[int]) -> list[dict]:
         rows[-1]["hub_writes_node0"] = snapshot["writes"]
         rows[-1]["hub_batches_out_node0"] = snapshot["batches_out"]
         rows[-1]["hub_frames_out_node0"] = snapshot["frames_out"]
-        return rows
+        stage_latency = snapshot.get("stage_latency", {})
+        return rows, stage_latency
     finally:
         cluster.shutdown()
 
@@ -123,8 +130,10 @@ def main(argv: list[str] | None = None) -> int:
     total = 600 if args.quick else args.total
 
     rows = bench_sim(total, args.windows)
+    stage_latency: dict = {}
     if loopback_available():
-        rows.extend(bench_tcp(total, args.windows))
+        tcp_rows, stage_latency = bench_tcp(total, args.windows)
+        rows.extend(tcp_rows)
     else:
         print("loopback TCP unavailable; emitting simulator rows only")
 
@@ -137,6 +146,18 @@ def main(argv: list[str] | None = None) -> int:
               f"{row['throughput_msgs_per_s']:>10} {row['p50_ms']:>9} "
               f"{row['p99_ms']:>9}")
 
+    if stage_latency:
+        print("\nwire path stage latency, node 0 (full sweep):")
+        print(f"{'stage':<12} {'count':>8} {'mean ms':>9} {'p50 ms':>9} "
+              f"{'p95 ms':>9} {'max ms':>9}")
+        for stage in ("send_queue", "decode", "deliver"):
+            s = stage_latency.get(stage)
+            if not s:
+                continue
+            print(f"{stage:<12} {s['count']:>8} {s['mean'] * 1e3:>9.3f} "
+                  f"{s['p50'] * 1e3:>9.3f} {s['p95'] * 1e3:>9.3f} "
+                  f"{s['max'] * 1e3:>9.3f}")
+
     tcp_rows = [r for r in rows if r["transport"] == "tcp-loopback"]
     peak_tcp = max((r["throughput_msgs_per_s"] for r in tcp_rows), default=None)
     report = {
@@ -144,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         "total_per_point": total,
         "windows": args.windows,
         "peak_tcp_send_msgs_per_s": peak_tcp,
+        "stage_latency_node0": stage_latency,
         "results": rows,
     }
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

@@ -14,6 +14,14 @@ Commands
     ``--crash``/``--recover`` (repeatable) inject a node crash or
     recovery at virtual time ``T`` into every system the example
     builds — failure drills on unmodified examples.
+``trace --cluster [--cluster-file DIR|FILE] [--out FILE]``
+    Attach to a *running* TCP cluster instead, merge every node's
+    flight recorder onto one clock-aligned timeline, and export a
+    single Chrome trace with cross-node flow arrows.
+``top [--cluster-file DIR|FILE | --ports P0,P1,...] [--interval S]``
+    Live per-node telemetry view of a running TCP cluster: actors,
+    queues, wire-frame rates, shed/batch counters, clock offsets,
+    and wire-path stage-latency histograms.
 ``check [--seeds N] [--walks N] [--explore N] [--inject NAME] ...``
     Conformance sweep: co-execute generated scenarios against the
     executable §5 reference model, diff observable state at every
@@ -231,7 +239,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {exp:4s} {anchor:14s} {blurb:34s} {target}")
         return 0
     if command == "trace":
+        if "--cluster" in args[1:]:
+            from repro.net.top import cluster_trace_main
+
+            rest = [a for a in args[1:] if a != "--cluster"]
+            return cluster_trace_main(rest)
         return _trace(args[1:])
+    if command == "top":
+        from repro.net.top import top_main
+
+        return top_main(args[1:])
     if command == "check":
         from repro.check.cli import run_check
 

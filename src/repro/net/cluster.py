@@ -29,6 +29,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -38,7 +39,13 @@ import numpy as np
 
 from repro.apps.process_pool import Job, expected_result
 from repro.core.messages import Destination
+from repro.runtime.eventlog import (
+    TraceEvent,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
 
+from .clocksync import ClockSync
 from .codec import (
     FrameDecoder,
     FrameKind,
@@ -194,6 +201,16 @@ class LocalCluster:
         if self.out_dir is not None:
             self.out_dir.mkdir(parents=True, exist_ok=True)
         self.ports = _free_ports(self.n, self.host)
+        if self.out_dir is not None:
+            # The manifest lets out-of-process tools (`repro top`,
+            # `repro trace --cluster`) find the control ports.
+            (self.out_dir / "cluster.json").write_text(json.dumps({
+                "nodes": self.n,
+                "host": self.host,
+                "ports": self.ports,
+                "cluster_id": self.cluster_id,
+                "launcher_pid": os.getpid(),
+            }, indent=2) + "\n")
         for node in range(self.n):
             self._spawn(node)
         for node in range(self.n):
@@ -221,6 +238,9 @@ class LocalCluster:
             cmd.append("--verbose")
         if not self.trace:
             cmd.append("--no-trace")
+        elif self.out_dir is not None:
+            cmd += ["--trace-jsonl",
+                    str(self.out_dir / f"node{node}.events.jsonl")]
         stderr: Any = subprocess.DEVNULL
         if self.out_dir is not None:
             logfile = open(self.out_dir / f"node{node}.log", "ab")
@@ -349,6 +369,251 @@ class LocalCluster:
                 pass
         self._logfiles.clear()
         self._log("cluster down")
+
+
+# -- telemetry aggregation ------------------------------------------------------
+
+
+def _event_from_dict(record: dict) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its ``to_dict`` wire form."""
+    return TraceEvent(
+        seq=int(record.get("seq", 0)),
+        t=float(record.get("t", 0.0)),
+        kind=str(record.get("kind", "?")),
+        node=int(record.get("node", 0)),
+        envelope_id=record.get("envelope_id"),
+        trace_id=record.get("trace_id"),
+        parent_id=record.get("parent_id"),
+        data=dict(record.get("data") or {}),
+    )
+
+
+class TelemetryCollector:
+    """Launcher-side scraper: pull every node's telemetry onto one timeline.
+
+    Owns one *dedicated* control connection per node — a
+    :class:`ControlClient` matches replies by id and discards stray
+    frames, so sharing the cluster's own control links from a background
+    thread would eat each other's replies.
+
+    Each pull grabs (a) the node's metric/hub/bus/transport snapshots,
+    (b) the flight-recorder events past the previous pull's high-water
+    mark, and (c) a control-plane ``ping`` round trip that feeds an
+    NTP-style :class:`ClockSync` over the collector's own
+    ``time.monotonic``.  :meth:`merged_events` then maps every node's
+    wall-clock events onto the collector timeline, rebases the earliest
+    to zero, and repairs any residual cross-node causality inversions
+    (offset error is bounded by half the control RTT, which can exceed a
+    one-way data-path latency on loopback).
+    """
+
+    def __init__(self, host: str, ports: list[int], *,
+                 cluster_id: str = "actorspace", timeout: float = 3.0,
+                 max_events_per_pull: int = 2000):
+        self.host = host
+        self.ports = list(ports)
+        self.cluster_id = cluster_id
+        self.timeout = timeout
+        self.max_events_per_pull = max_events_per_pull
+        self.clock_sync = ClockSync(clock=time.monotonic)
+        self.events: dict[int, list[TraceEvent]] = {
+            node: [] for node in range(len(self.ports))}
+        self.snapshots: dict[int, dict] = {}
+        self.events_missed: dict[int, int] = {}
+        self.pulls = 0
+        self.pull_errors = 0
+        self._since: dict[int, int] = {}
+        self._clients: dict[int, ControlClient] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    @classmethod
+    def for_cluster(cls, cluster: LocalCluster, **kwargs) -> "TelemetryCollector":
+        return cls(cluster.host, cluster.ports,
+                   cluster_id=cluster.cluster_id, **kwargs)
+
+    @classmethod
+    def from_manifest(cls, path: str | Path, **kwargs) -> "TelemetryCollector":
+        """Attach to a running cluster via its ``cluster.json``."""
+        manifest = json.loads(Path(path).read_text())
+        return cls(manifest["host"], manifest["ports"],
+                   cluster_id=manifest["cluster_id"], **kwargs)
+
+    # -- connections -------------------------------------------------------------
+
+    def _client(self, node: int) -> ControlClient:
+        client = self._clients.get(node)
+        if client is None:
+            client = ControlClient(self.host, self.ports[node],
+                                   cluster_id=self.cluster_id,
+                                   timeout=self.timeout)
+            self._clients[node] = client
+        return client
+
+    def _drop_client(self, node: int) -> None:
+        client = self._clients.pop(node, None)
+        if client is not None:
+            client.close()
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample_clock(self, node: int) -> None:
+        """One ping round trip -> one NTP sample for ``node``."""
+        t_send = time.monotonic()
+        reply = self._client(node).call("ping")
+        t_recv = time.monotonic()
+        t_node = reply.get("t") if isinstance(reply, dict) else None
+        if isinstance(t_node, (int, float)):
+            self.clock_sync.add_sample(node, t_send, t_node, t_node, t_recv)
+
+    def pull_node(self, node: int) -> dict:
+        """One telemetry pull from ``node`` (events are incremental)."""
+        self.sample_clock(node)
+        value = self._client(node).call(
+            "telemetry", since_seq=self._since.get(node, 0),
+            max_events=self.max_events_per_pull)
+        self._since[node] = int(value.get("next_seq", 0))
+        fresh = [_event_from_dict(r) for r in value.get("events", [])]
+        with self._lock:
+            self.events.setdefault(node, []).extend(fresh)
+            self.snapshots[node] = value
+            self.events_missed[node] = (self.events_missed.get(node, 0)
+                                        + int(value.get("events_missed", 0)))
+        return value
+
+    def pull(self) -> dict[int, dict]:
+        """Pull every node; per-node errors are recorded, not raised."""
+        results: dict[int, dict] = {}
+        for node in range(len(self.ports)):
+            try:
+                results[node] = self.pull_node(node)
+            except (ControlError, OSError) as exc:
+                self.pull_errors += 1
+                self._drop_client(node)
+                results[node] = {"node": node, "error": str(exc)}
+        self.pulls += 1
+        return results
+
+    # -- periodic scraping -------------------------------------------------------
+
+    def start(self, interval: float = 0.5) -> "TelemetryCollector":
+        """Scrape every ``interval`` seconds from a daemon thread."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.pull()
+
+        self._thread = threading.Thread(
+            target=loop, name="telemetry-collector", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.timeout * len(self.ports) + 5.0)
+            self._thread = None
+
+    def drain(self) -> dict[int, dict]:
+        """Stop periodic scraping and take one final pull from every node."""
+        self.stop()
+        return self.pull()
+
+    def close(self) -> None:
+        self.stop()
+        for node in list(self._clients):
+            self._drop_client(node)
+
+    # -- merging -----------------------------------------------------------------
+
+    def merged_events(self) -> list[TraceEvent]:
+        """Every node's events on one clock-aligned, causality-clean timeline.
+
+        Each event's node-local wall time is mapped onto the collector's
+        monotonic timeline via that node's best clock-offset sample,
+        rebased so the earliest event sits at zero, and sorted.  A
+        bounded repair pass then shifts whole nodes forward where a
+        cross-node ``sent`` still timestamps after its ``delivered`` —
+        the estimate's error bound (rtt/2) can exceed a one-way hop, and
+        a merged trace that shows effects before causes is worse than
+        one a few hundred microseconds off.
+        """
+        with self._lock:
+            merged = [
+                TraceEvent(seq=e.seq, t=self.clock_sync.to_local(node, e.t),
+                           kind=e.kind, node=e.node,
+                           envelope_id=e.envelope_id, trace_id=e.trace_id,
+                           parent_id=e.parent_id, data=e.data)
+                for node, events in self.events.items()
+                for e in events
+            ]
+        if not merged:
+            return []
+        self._repair_causality(merged)
+        base = min(e.t for e in merged)
+        for event in merged:
+            event.t -= base
+        merged.sort(key=lambda e: (e.t, e.node, e.seq))
+        return merged
+
+    @staticmethod
+    def _repair_causality(events: list[TraceEvent], passes: int = 4) -> None:
+        """Shift nodes forward until no send timestamps after its delivery."""
+        for _ in range(passes):
+            sent_at: dict[int, tuple[int, float]] = {}
+            for e in events:
+                if e.kind == "sent" and e.envelope_id is not None \
+                        and e.envelope_id not in sent_at:
+                    sent_at[e.envelope_id] = (e.node, e.t)
+            shift: dict[int, float] = {}
+            for e in events:
+                if e.kind != "delivered" or e.envelope_id not in sent_at:
+                    continue
+                src, t_sent = sent_at[e.envelope_id]
+                if src != e.node and e.t <= t_sent:
+                    need = t_sent - e.t + 1e-6
+                    shift[e.node] = max(shift.get(e.node, 0.0), need)
+            if not shift:
+                return
+            for e in events:
+                delta = shift.get(e.node)
+                if delta is not None:
+                    e.t += delta
+
+    def export_chrome(self, path: str | Path) -> dict:
+        """Write the merged timeline as a Chrome trace (real microseconds)."""
+        return export_chrome_trace(self.merged_events(), str(path),
+                                   us_per_t=1e6)
+
+    def summary(self) -> dict[int, dict]:
+        """Operator-facing per-node wire counters from the last snapshots."""
+        out: dict[int, dict] = {}
+        with self._lock:
+            for node, snap in sorted(self.snapshots.items()):
+                hub = snap.get("hub") or {}
+                out[node] = {
+                    "frames_in": hub.get("frames_in"),
+                    "frames_out": hub.get("frames_out"),
+                    "frames_shed": hub.get("frames_shed"),
+                    "batches_in": hub.get("batches_in"),
+                    "batches_out": hub.get("batches_out"),
+                    "queue_peak_bytes": hub.get("queue_peak_bytes"),
+                    "heartbeats_suppressed": snap.get("heartbeats_suppressed"),
+                    "events": len(self.events.get(node, [])),
+                    "events_missed": self.events_missed.get(node, 0),
+                    "clock": snap.get("clock"),
+                    "stage_latency": hub.get("stage_latency"),
+                }
+        return out
+
+    def __repr__(self):
+        return (f"<TelemetryCollector nodes={len(self.ports)} "
+                f"pulls={self.pulls} events="
+                f"{sum(len(v) for v in self.events.values())}>")
 
 
 # -- drivers -------------------------------------------------------------------
@@ -841,6 +1106,9 @@ def serve_main(argv: list[str]) -> int:
     parser.add_argument("--no-trace", action="store_true",
                         help="disable the flight-recorder event log "
                              "(benchmarks: removes per-message trace cost)")
+    parser.add_argument("--trace-jsonl", default=None,
+                        help="stream flight-recorder events to this JSONL "
+                             "file (flushed per event; survives SIGKILL)")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -853,7 +1121,8 @@ def serve_main(argv: list[str]) -> int:
         args.node, ports, host=args.host, cluster_id=args.cluster_id,
         seed=args.seed, heartbeat_interval=args.heartbeat,
         suspect_after=args.suspect_after, confirm_after=args.confirm_after,
-        trace=not args.no_trace, quiet=not args.verbose)
+        trace=not args.no_trace, trace_jsonl=args.trace_jsonl,
+        quiet=not args.verbose)
 
     async def main() -> None:
         loop = asyncio.get_running_loop()
@@ -892,6 +1161,11 @@ def cluster_main(argv: list[str]) -> int:
                         help="mid-run SIGKILL + respawn drill on NODE")
     parser.add_argument("--out", default=None,
                         help="directory for logs, snapshots, report.json")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export the merged, clock-aligned cluster "
+                             "Chrome trace to PATH")
+    parser.add_argument("--telemetry-interval", type=float, default=0.5,
+                        help="collector scrape period in seconds")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -915,8 +1189,11 @@ def cluster_main(argv: list[str]) -> int:
     cluster = LocalCluster(
         args.nodes, seed=args.seed, heartbeat=args.heartbeat,
         out_dir=args.out, verbose=args.verbose, log=log)
+    collector: TelemetryCollector | None = None
     try:
         cluster.start()
+        collector = TelemetryCollector.for_cluster(cluster)
+        collector.start(interval=args.telemetry_interval)
         if args.example == "process_pool":
             report = drive_process_pool(
                 cluster, job_size=args.job,
@@ -924,8 +1201,28 @@ def cluster_main(argv: list[str]) -> int:
         else:
             report = drive_replicated(
                 cluster, requests=args.requests, drill=drill, log=log)
+        collector.drain()
+        report["telemetry"] = collector.summary()
+        for node, counters in report["telemetry"].items():
+            log(f"node {node} wire: shed={counters['frames_shed']} "
+                f"batches_in={counters['batches_in']} "
+                f"batches_out={counters['batches_out']} "
+                f"hb_suppressed={counters['heartbeats_suppressed']} "
+                f"queue_peak={counters['queue_peak_bytes']}B")
+        if args.trace_out is not None:
+            merged = collector.merged_events()
+            trace = export_chrome_trace(merged, args.trace_out, us_per_t=1e6)
+            problems = validate_chrome_trace(trace)
+            if problems:
+                log(f"merged trace INVALID: {problems[:5]}")
+                return 1
+            flows = sum(1 for r in trace["traceEvents"] if r["ph"] == "f")
+            log(f"merged cluster trace: {len(merged)} events, {flows} flow "
+                f"bindings -> {args.trace_out}")
         cluster.collect()
     finally:
+        if collector is not None:
+            collector.close()
         cluster.shutdown()
 
     if args.out is not None:

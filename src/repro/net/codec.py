@@ -46,7 +46,7 @@ from repro.core.messages import Destination, Envelope, Message, Mode, Port
 from repro.core.patterns import Pattern, parse_pattern
 from repro.runtime.bus import OpKind, VisibilityOp
 
-PROTOCOL_VERSION = 2  # v2: BATCH frames (coalesced writes)
+PROTOCOL_VERSION = 3  # v3: clock-sync timestamps in handshake + heartbeat
 SCHEMA_VERSION = 1
 
 #: Hard ceiling on a single frame (length prefix included payload).
@@ -806,9 +806,15 @@ class FrameDecoder:
 
 # -- handshake ------------------------------------------------------------------
 
-def hello_payload(node: int, role: str, cluster_id: str) -> dict:
-    """The HELLO body a connecting peer announces itself with."""
-    return {
+def hello_payload(node: int, role: str, cluster_id: str,
+                  t: float | None = None) -> dict:
+    """The HELLO body a connecting peer announces itself with.
+
+    ``t`` is the dialer's wall clock at send time; the acceptor echoes
+    its own clock in WELCOME, turning the handshake round trip into the
+    first NTP-style sample for :class:`~repro.net.clocksync.ClockSync`.
+    """
+    payload = {
         "magic": WIRE_MAGIC,
         "protocol": PROTOCOL_VERSION,
         "schema": SCHEMA_VERSION,
@@ -816,6 +822,9 @@ def hello_payload(node: int, role: str, cluster_id: str) -> dict:
         "role": role,
         "cluster": cluster_id,
     }
+    if t is not None:
+        payload["t"] = t
+    return payload
 
 
 def hello_problem(payload: Any, cluster_id: str) -> str | None:

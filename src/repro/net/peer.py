@@ -41,6 +41,9 @@ import time
 from collections import deque
 from typing import Any, Callable
 
+from repro.runtime.metrics import MetricsRegistry
+
+from .clocksync import ClockSync
 from .codec import (
     MAX_FRAME_BYTES,
     FrameDecoder,
@@ -83,7 +86,9 @@ class PeerLink:
         self.reader = reader
         self.writer = writer
         self.opened_at = time.monotonic()
-        self.queue: deque[bytes] = deque()
+        #: FIFO of (encoded frame, perf_counter at enqueue) — the second
+        #: element times the enqueue->flush stage of the wire path.
+        self.queue: deque[tuple[bytes, float]] = deque()
         self.queue_bytes = 0
         self.wake = asyncio.Event()
         self.frames_shed = 0
@@ -127,6 +132,8 @@ class PeerHub:
         batch_max_bytes: int = BATCH_MAX_BYTES,
         max_pending_bytes: int = MAX_PENDING_BYTES,
         flush_delay: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
     ):
         self.node_id = node_id
         self.ports = dict(ports)
@@ -139,6 +146,15 @@ class PeerHub:
         self.batch_max_bytes = batch_max_bytes
         self.max_pending_bytes = max_pending_bytes
         self.flush_delay = flush_delay
+        #: The node's wall clock (elapsed seconds); handshake/heartbeat
+        #: timestamps and the per-peer offset estimates live on it.
+        self.clock = clock if clock is not None else time.monotonic
+        self.clock_sync = ClockSync(clock=self.clock)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Wire-path stage timers (seconds, perf_counter deltas).
+        self.h_send_queue = self.metrics.histogram("wire_send_queue_s", cap=4096)
+        self.h_decode = self.metrics.histogram("wire_decode_s", cap=4096)
+        self.h_deliver = self.metrics.histogram("wire_deliver_s", cap=4096)
         #: Registered node links: peer node id -> live link.
         self.links: dict[int, PeerLink] = {}
         #: Wall-clock (monotonic) instant we last received any frame from
@@ -154,7 +170,11 @@ class PeerHub:
         self.bytes_out = 0
         self.writes = 0
         self.batches_out = 0
+        self.batches_in = 0
         self.frames_shed = 0
+        #: High-water mark of any single link's send queue, in bytes —
+        #: how close the run came to the shed bound.
+        self.queue_peak_bytes = 0
         self.handshakes_rejected = 0
         self.reconnects = 0
         self._server: asyncio.AbstractServer | None = None
@@ -265,8 +285,10 @@ class PeerHub:
             link.frames_shed += 1
             self.frames_shed += 1
             return False
-        link.queue.append(data)
+        link.queue.append((data, time.perf_counter()))
         link.queue_bytes += len(data)
+        if link.queue_bytes > self.queue_peak_bytes:
+            self.queue_peak_bytes = link.queue_bytes
         link.wake.set()
         self.frames_out += 1
         self.bytes_out += len(data)
@@ -305,16 +327,19 @@ class PeerHub:
                     # Time trigger: linger to coalesce sparse traffic.
                     await asyncio.sleep(self.flush_delay)
                 while link.queue:
-                    first = link.queue.popleft()
+                    now = time.perf_counter()
+                    first, t_enq = link.queue.popleft()
                     link.queue_bytes -= len(first)
+                    self.h_send_queue.observe(now - t_enq)
                     chunks: list[bytes] = [first]
                     size = len(first)
                     while link.queue and size < self.batch_max_bytes:
-                        nxt = link.queue[0]
+                        nxt, t_enq = link.queue[0]
                         if size + len(nxt) + 9 > MAX_FRAME_BYTES:
                             break  # batch header + chunks must stay a legal frame
                         link.queue.popleft()
                         link.queue_bytes -= len(nxt)
+                        self.h_send_queue.observe(now - t_enq)
                         chunks.append(nxt)
                         size += len(nxt)
                     if len(chunks) == 1:
@@ -371,7 +396,9 @@ class PeerHub:
             return
         peer, role = frame[1]["node"], frame[1]["role"]
         try:
-            writer.write(encode_frame(FrameKind.WELCOME, {"node": self.node_id}))
+            writer.write(encode_frame(
+                FrameKind.WELCOME,
+                {"node": self.node_id, "t": self.clock()}))
             await writer.drain()
         except OSError:
             writer.close()
@@ -421,20 +448,27 @@ class PeerHub:
         """
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self.host, self.ports[peer]), timeout=2.0)
+        t_send = self.clock()
         writer.write(encode_frame(
             FrameKind.HELLO,
-            hello_payload(self.node_id, "node", self.cluster_id)))
+            hello_payload(self.node_id, "node", self.cluster_id, t=t_send)))
         await writer.drain()
         decoder = FrameDecoder()
         pending: deque = deque()
         frame = await asyncio.wait_for(
             self._read_one(reader, decoder, pending), timeout=5.0)
+        t_recv = self.clock()
         if frame is None or frame[0] != FrameKind.WELCOME:
             reason = frame[1].get("reason") if frame and isinstance(frame[1], dict) else "closed"
             self.handshakes_rejected += 1
             self._log(f"dial to node {peer} rejected: {reason}")
             writer.close()
             return None
+        # The WELCOME echoes the acceptor's clock: one NTP-style sample
+        # per (re)connect, before any application traffic flows.
+        t_peer = frame[1].get("t") if isinstance(frame[1], dict) else None
+        if isinstance(t_peer, (int, float)):
+            self.clock_sync.add_sample(peer, t_send, t_peer, t_peer, t_recv)
         return PeerLink(peer, "node", reader, writer), decoder, pending
 
     # -- shared serving ---------------------------------------------------------
@@ -469,6 +503,7 @@ class PeerHub:
         flusher = asyncio.ensure_future(self._flush_loop(link))
         self._tasks.add(flusher)
         flusher.add_done_callback(self._tasks.discard)
+        batches_seen = decoder.batches_in
         try:
             while True:
                 goodbye = False
@@ -480,11 +515,13 @@ class PeerHub:
                     if kind == FrameKind.BYE:
                         goodbye = True
                         break
+                    t0 = time.perf_counter()
                     try:
                         self.on_frame(link.node, kind, payload, link)
                     except Exception as exc:  # noqa: BLE001 - isolate handlers
                         self._log(f"frame handler failed on {kind.name} "
                                   f"from {link!r}: {exc!r}")
+                    self.h_deliver.observe(time.perf_counter() - t0)
                 if goodbye:
                     break
                 data = await link.reader.read(65536)
@@ -492,10 +529,15 @@ class PeerHub:
                     break
                 self.bytes_in += len(data)
                 try:
+                    t0 = time.perf_counter()
                     pending.extend(decoder.feed(data))
+                    self.h_decode.observe(time.perf_counter() - t0)
                 except WireError as exc:
                     self._log(f"corrupt stream from {link!r}: {exc}")
                     break
+                if decoder.batches_in != batches_seen:
+                    self.batches_in += decoder.batches_in - batches_seen
+                    batches_seen = decoder.batches_in
         except (OSError, asyncio.CancelledError):
             pass
         finally:
@@ -524,6 +566,11 @@ class PeerHub:
 
     def metrics_snapshot(self) -> dict:
         """Link-layer counters for the node's metrics snapshot."""
+        send_buffer = sum(link.queue_bytes for link in self.links.values())
+        # Mirror the sampled depths into registry gauges so a metrics
+        # scrape and this snapshot tell one story.
+        self.metrics.gauge("wire_send_buffer_bytes").set(send_buffer)
+        self.metrics.gauge("wire_queue_peak_bytes").set(self.queue_peak_bytes)
         return {
             "links_up": len(self.links),
             "frames_in": self.frames_in,
@@ -532,9 +579,16 @@ class PeerHub:
             "bytes_out": self.bytes_out,
             "writes": self.writes,
             "batches_out": self.batches_out,
+            "batches_in": self.batches_in,
             "frames_shed": self.frames_shed,
-            "send_buffer_bytes": sum(
-                link.queue_bytes for link in self.links.values()),
+            "send_buffer_bytes": send_buffer,
+            "queue_peak_bytes": self.queue_peak_bytes,
             "handshakes_rejected": self.handshakes_rejected,
             "reconnects": self.reconnects,
+            "stage_latency": {
+                "send_queue": self.h_send_queue.summary(),
+                "decode": self.h_decode.summary(),
+                "deliver": self.h_deliver.summary(),
+            },
+            "clock": self.clock_sync.snapshot(),
         }

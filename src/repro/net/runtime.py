@@ -49,7 +49,7 @@ from repro.core.messages import (
 )
 from repro.runtime.context import RuntimeContext
 from repro.runtime.coordinator import Coordinator
-from repro.runtime.eventlog import EventLog
+from repro.runtime.eventlog import EventLog, JsonlSink
 from repro.runtime.events import EventQueue
 from repro.runtime.failure import DeadLetterQueue
 from repro.runtime.metrics import MetricsRegistry
@@ -208,6 +208,7 @@ class NodeRuntime:
         suspect_after: int = 2,
         confirm_after: int = 4,
         trace: bool = True,
+        trace_jsonl: str | None = None,
         quiet: bool = True,
     ):
         rebase_wire_counters(node_id)
@@ -218,6 +219,10 @@ class NodeRuntime:
         self.clock = WallClock()
         self.events: EventQueue = _WakingEventQueue(self._kick)
         self.event_log = EventLog(enabled=trace)
+        if trace_jsonl and trace:
+            # Flush-on-write sink: a SIGKILLed node (the fault drills)
+            # still leaves its flight recording on disk.
+            self.event_log.add_sink(JsonlSink(trace_jsonl))
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(keep_samples=256, registry=self.metrics,
                              log=self.event_log)
@@ -256,7 +261,8 @@ class NodeRuntime:
 
         self.hub = PeerHub(
             node_id, ports, self._on_frame, host=host, cluster_id=cluster_id,
-            on_peer_up=self._on_peer_up, log=self._log)
+            on_peer_up=self._on_peer_up, log=self._log,
+            metrics=self.metrics, clock=lambda: self.clock.now)
         self._wake: asyncio.Event | None = None
         self._stopping = False
         self.heartbeats_suppressed = 0
@@ -280,6 +286,7 @@ class NodeRuntime:
             "directory": self._ctl_directory,
             "snapshot": self._ctl_snapshot,
             "dlq": self._ctl_dlq,
+            "telemetry": self._ctl_telemetry,
             "shutdown": self._ctl_shutdown,
         }
 
@@ -391,7 +398,10 @@ class NodeRuntime:
         if link.role == "node" and src in self.transport.crashed:
             self.on_peer_recovered(src)
         if kind == FrameKind.HEARTBEAT:
-            return  # the hub already refreshed last_heard
+            # The hub already refreshed last_heard; the beacon's payload
+            # additionally feeds the per-peer clock-offset estimate.
+            self.transport.on_heartbeat(src, payload)
+            return
         if kind == FrameKind.ENVELOPE:
             self.coordinator._deliver(payload["envelope"])
         elif kind == FrameKind.BUS_SUBMIT:
@@ -440,6 +450,7 @@ class NodeRuntime:
             except asyncio.CancelledError:
                 pass
             await self.hub.stop(drain=True)
+            self.event_log.close()
 
     def request_shutdown(self) -> None:
         self._stopping = True
@@ -459,7 +470,7 @@ class NodeRuntime:
             self.heartbeats_suppressed += len(self.hub.links) - len(idle)
             for node in idle:
                 self.hub.send(node, FrameKind.HEARTBEAT,
-                              {"node": self.node_id, "t": self.clock.now})
+                              self.transport.heartbeat_payload(node))
             await asyncio.sleep(self.heartbeat_interval)
 
     async def _pump(self) -> None:
@@ -545,6 +556,11 @@ class NodeRuntime:
             "suspended": len(self.coordinator.suspended),
             "persistent": len(self.coordinator.persistent),
             "dlq_pending": self.dead_letters.pending(),
+            "frames_shed": self.hub.frames_shed,
+            "batches_in": self.hub.batches_in,
+            "batches_out": self.hub.batches_out,
+            "heartbeats_suppressed": self.heartbeats_suppressed,
+            "clock": self.hub.clock_sync.snapshot(),
             "bus": self.bus.metrics_snapshot(),
         }
 
@@ -650,6 +666,38 @@ class NodeRuntime:
             "bus": self.bus.metrics_snapshot(),
             "events": [self._wire_safe(e.to_dict()) for e in self.event_log]
                       if events else [],
+        }
+
+    def _ctl_telemetry(self, since_seq: int = 0, max_events: int = 2000):
+        """One telemetry pull: every snapshot + an incremental event window.
+
+        ``since_seq`` is the caller's high-water mark (the ``next_seq``
+        of its previous pull); only events at or past it are returned,
+        capped at ``max_events``.  ``events_missed`` counts ring-buffer
+        evictions the caller can never see — an honest collector reports
+        them instead of pretending the window was complete.
+        """
+        buffered = list(self.event_log.events)
+        oldest = buffered[0].seq if buffered else self.event_log.next_seq
+        missed = max(0, oldest - since_seq)
+        window = [e for e in buffered if e.seq >= since_seq][:max_events]
+        if window:
+            next_seq = window[-1].seq + 1
+        else:
+            next_seq = max(since_seq, self.event_log.next_seq)
+        return {
+            "node": self.node_id,
+            "t": self.clock.now,
+            "metrics": self.metrics_snapshot(),
+            "hub": self.hub.metrics_snapshot(),
+            "bus": self.bus.metrics_snapshot(),
+            "transport": self.transport.metrics_snapshot(),
+            "clock": self.hub.clock_sync.snapshot(),
+            "heartbeats_suppressed": self.heartbeats_suppressed,
+            "events": [self._wire_safe(e.to_dict()) for e in window],
+            "next_seq": next_seq,
+            "events_missed": missed,
+            "events_total": self.event_log.emitted_count,
         }
 
     def _ctl_dlq(self):

@@ -156,6 +156,23 @@ class EventLog:
         self.emitted_count = 0
         self._next_seq = 0
 
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent],
+                    capacity: int | None = None) -> "EventLog":
+        """A query-only log over externally produced events.
+
+        The telemetry collector merges per-node event streams into one
+        timeline; wrapping the merged list in an :class:`EventLog` makes
+        every query (:meth:`causal_chain`, :meth:`for_trace`,
+        :meth:`by_kind`) work across node boundaries.
+        """
+        materialized = list(events)
+        log = cls(capacity=capacity or max(len(materialized), 1),
+                  enabled=False)
+        log.events.extend(materialized)
+        log.emitted_count = len(materialized)
+        return log
+
     # -- emission ---------------------------------------------------------------
 
     def emit(
@@ -192,6 +209,11 @@ class EventLog:
         for subscriber in self.subscribers:
             subscriber(event)
         return event
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the next emitted event will carry."""
+        return self._next_seq
 
     # -- sinks and subscribers ----------------------------------------------------
 
@@ -269,14 +291,19 @@ class EventLog:
 class JsonlSink:
     """Stream events as one JSON object per line.
 
-    Accepts a path or an open text file.  Lines are written eagerly so a
-    crashed run still leaves a usable prefix (the point of a flight
-    recorder).
+    Accepts a path or an open text file.  Every line is flushed to the
+    OS as it is written: a SIGKILLed node (the cluster fault drills)
+    leaves a usable event log up to the instant of death instead of
+    losing the stdio-buffered tail — the point of a flight recorder.
     """
 
     def __init__(self, target: "str | IO[str]"):
         if isinstance(target, str):
-            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            # buffering=1 is line-buffered for text files; the explicit
+            # flush in write() is the guarantee, this just keeps the
+            # window small even if a write is interrupted mid-line.
+            self._file: IO[str] = open(
+                target, "w", encoding="utf-8", buffering=1)
             self._owns = True
         else:
             self._file = target
@@ -285,6 +312,7 @@ class JsonlSink:
 
     def write(self, event: TraceEvent) -> None:
         self._file.write(json.dumps(event.to_dict()) + "\n")
+        self._file.flush()
         self.written += 1
 
     def close(self) -> None:
@@ -305,25 +333,54 @@ class JsonlSink:
 #: Perfetto's zoom levels comfortable.
 _TRACE_US_PER_VT = 1_000.0
 
+#: Event data fields naming the actor a lifecycle step happened *in*.
+#: Used to assign per-actor ``tid`` tracks inside each node's process.
+_ACTOR_FIELDS = ("receiver", "actor")
 
-def chrome_trace(events: Iterable[TraceEvent]) -> dict:
+
+def _actor_label(event: TraceEvent) -> str | None:
+    for key in _ACTOR_FIELDS:
+        value = event.data.get(key)
+        if value is not None:
+            return str(value)
+    return None
+
+
+def chrome_trace(events: Iterable[TraceEvent],
+                 us_per_t: float = _TRACE_US_PER_VT) -> dict:
     """Render events into the Chrome ``trace_event`` JSON object format.
 
     * Each node becomes a process (``pid``) with a human-readable
       ``process_name`` metadata record, giving per-node tracks.
+    * Within a node, events naming an actor (``receiver``/``actor`` in
+      their data) land on that actor's own thread track (``tid``); the
+      node's runtime-level events stay on ``tid`` 0.
     * ``delivered`` events with a recorded ``sent_at`` become complete
       (``ph: "X"``) slices spanning the in-flight interval on the
       destination node's track.
     * Every event also appears as an instant (``ph: "i"``) mark.
     * ``sent``/``delivered`` pairs are linked with flow arrows
       (``ph: "s"`` / ``ph: "f"``) keyed by envelope id, so clicking a
-      delivery walks back to its cause.
+      delivery walks back to its cause — including across nodes in a
+      merged cluster trace, where the send and delivery carry
+      different ``pid`` values.
+
+    ``us_per_t`` converts the events' timescale to trace microseconds:
+    the default suits virtual time; merged cluster traces carry real
+    seconds and pass ``1e6``.
     """
     trace_events: list[dict] = []
     nodes_seen: set[int] = set()
+    # node -> actor label -> tid (0 is the node's runtime track).
+    tids: dict[int, dict[str, int]] = {}
     materialized = list(events)
     for event in materialized:
         nodes_seen.add(event.node)
+        label = _actor_label(event)
+        if label is not None:
+            node_tids = tids.setdefault(event.node, {})
+            if label not in node_tids:
+                node_tids[label] = len(node_tids) + 1
     for node in sorted(nodes_seen):
         trace_events.append({
             "name": "process_name",
@@ -332,8 +389,24 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict:
             "tid": 0,
             "args": {"name": f"node {node}"},
         })
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": node,
+            "tid": 0,
+            "args": {"name": "runtime"},
+        })
+        for label, tid in sorted(tids.get(node, {}).items(),
+                                 key=lambda item: item[1]):
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": node,
+                "tid": tid,
+                "args": {"name": label},
+            })
     for event in materialized:
-        ts = event.t * _TRACE_US_PER_VT
+        ts = event.t * us_per_t
         args = {k: _jsonable(v) for k, v in event.data.items()}
         if event.envelope_id is not None:
             args["envelope_id"] = event.envelope_id
@@ -341,7 +414,9 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict:
             args["trace_id"] = event.trace_id
         if event.parent_id is not None:
             args["parent_id"] = event.parent_id
-        common = {"cat": "actorspace", "pid": event.node, "tid": 0}
+        label = _actor_label(event)
+        tid = tids.get(event.node, {}).get(label, 0) if label else 0
+        common = {"cat": "actorspace", "pid": event.node, "tid": tid}
         name = event.kind
         if event.kind == "dropped" and "reason" in event.data:
             name = f"dropped:{event.data['reason']}"
@@ -350,7 +425,7 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict:
             **common,
         })
         if event.kind == "delivered" and "sent_at" in event.data:
-            sent_ts = float(event.data["sent_at"]) * _TRACE_US_PER_VT
+            sent_ts = float(event.data["sent_at"]) * us_per_t
             trace_events.append({
                 "name": f"in-flight {event.data.get('mode', 'msg')}",
                 "ph": "X",
@@ -377,9 +452,10 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict:
     }
 
 
-def export_chrome_trace(events: Iterable[TraceEvent], path: str) -> dict:
+def export_chrome_trace(events: Iterable[TraceEvent], path: str,
+                        us_per_t: float = _TRACE_US_PER_VT) -> dict:
     """Write :func:`chrome_trace` output to ``path``; returns the dict."""
-    trace = chrome_trace(events)
+    trace = chrome_trace(events, us_per_t=us_per_t)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh)
     return trace

@@ -1,0 +1,78 @@
+"""Unit tests for the NTP-style per-peer clock aligner."""
+
+from __future__ import annotations
+
+from repro.net.clocksync import SAMPLE_WINDOW, ClockSync
+
+
+def test_symmetric_sample_recovers_offset_and_rtt():
+    sync = ClockSync()
+    # Peer clock runs 5 s ahead; 2 ms symmetric round trip.
+    sync.add_sample("peer", t_send=10.0, t_peer1=15.001, t_peer2=15.001,
+                    t_recv=10.002)
+    assert abs(sync.offset("peer") - 5.0) < 1e-9
+    assert abs(sync.rtt("peer") - 0.002) < 1e-9
+    # Mapping a peer timestamp onto our clock undoes the offset.
+    assert abs(sync.to_local("peer", 15.001) - 10.001) < 1e-9
+
+
+def test_min_rtt_sample_wins():
+    sync = ClockSync()
+    sync.add_sample("peer", 10.0, 15.001, 15.001, 10.002)     # rtt 2 ms
+    # A congested sample with a wildly wrong offset but 50 ms rtt must
+    # not displace the tight one: error is bounded by rtt/2.
+    sync.add_sample("peer", 20.0, 27.0, 27.0, 20.050)         # rtt 50 ms
+    assert abs(sync.offset("peer") - 5.0) < 1e-9
+    assert abs(sync.rtt("peer") - 0.002) < 1e-9
+    # A tighter sample does displace it.
+    sync.add_sample("peer", 30.0, 35.0025, 35.0025, 30.001)   # rtt 1 ms
+    assert abs(sync.rtt("peer") - 0.001) < 1e-9
+
+
+def test_peer_hold_time_subtracted_from_rtt():
+    # Four-timestamp form: the peer held our probe for 0.1 s before
+    # answering; that hold must not count as network delay.
+    sync = ClockSync()
+    sync.add_sample("peer", t_send=10.0, t_peer1=15.001, t_peer2=15.101,
+                    t_recv=10.102)
+    assert abs(sync.rtt("peer") - 0.002) < 1e-9
+    assert abs(sync.offset("peer") - 5.0) < 1e-9
+
+
+def test_nonsense_samples_rejected():
+    sync = ClockSync()
+    # Reply before request (clock stepped mid-sample).
+    sync.add_sample("peer", t_send=10.0, t_peer1=15.0, t_peer2=15.0,
+                    t_recv=9.0)
+    # Peer hold longer than the whole local round trip (a stale echo)
+    # => negative rtt.
+    sync.add_sample("peer", t_send=10.0, t_peer1=15.0, t_peer2=15.1,
+                    t_recv=10.001)
+    assert sync.samples_rejected == 2
+    assert "peer" not in sync.peers()
+    # Unknown peer degrades to the identity mapping.
+    assert sync.offset("peer") is None
+    assert sync.to_local("peer", 42.0) == 42.0
+
+
+def test_sample_window_is_bounded():
+    sync = ClockSync()
+    for i in range(SAMPLE_WINDOW * 3):
+        sync.add_sample("peer", float(i), float(i) + 1.0, float(i) + 1.0,
+                        float(i) + 0.01)
+    snap = sync.snapshot()
+    assert snap["peers"]["peer"]["samples"] == SAMPLE_WINDOW
+    assert snap["samples_total"] == SAMPLE_WINDOW * 3
+    assert snap["samples_rejected"] == 0
+
+
+def test_snapshot_shape():
+    sync = ClockSync()
+    sync.add_sample(1, 0.0, 0.5, 0.5, 0.002)
+    sync.add_sample(2, 0.0, -0.5, -0.5, 0.004)
+    snap = sync.snapshot()
+    assert set(snap) == {"peers", "samples_total", "samples_rejected"}
+    assert set(snap["peers"]) == {1, 2}
+    for info in snap["peers"].values():
+        assert set(info) == {"offset_s", "rtt_s", "samples"}
+    assert snap["peers"][1]["offset_s"] > 0 > snap["peers"][2]["offset_s"]
