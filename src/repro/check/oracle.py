@@ -38,6 +38,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.errors import ActorSpaceError
+from repro.core.mailbox import DEFAULT_MAILBOX_CAPACITY
 from repro.core.manager import SpaceManager, UnmatchedPolicy
 from repro.core.messages import Destination
 from repro.runtime.network import LatencyModel, Topology
@@ -148,6 +149,11 @@ class _Run:
             # tiebreakers explore.  Jittered latencies would serialize it.
             latency_model=LatencyModel(local=0.1, lan=0.1, wan=0.1, jitter=0.0),
             root_manager_factory=lambda: SpaceManager(unmatched=policy),
+            # Bounded-but-roomy mailboxes, matching the TCP runtime's
+            # default: far above any conformance trace's depth, so the
+            # bound is semantically invisible — which is itself part of
+            # what a conformance run now certifies.
+            mailbox_capacity=DEFAULT_MAILBOX_CAPACITY,
         )
         self.system.events.tiebreaker = tiebreaker
         self._teardown = inject(self.system) if inject is not None else None

@@ -15,41 +15,107 @@ meaningfully process the next invocation — this implements the actor
 model's rule that ``become`` determines the behavior used for the *next*
 message.  RPC replies are matched by request id rather than drained in
 order, because an actor may have several system calls outstanding.
+
+Overload protection: a mailbox may be constructed with a ``capacity``
+bound on the INVOCATION port, plus a :class:`ShedPolicy` that decides
+what happens to the overflow.  The BEHAVIOR and RPC ports are exempt —
+behavior installs are control traffic an actor cannot make progress
+without, and RPC replies answer system calls that are already holding
+resources; shedding either would wedge the actor, not protect it.
+``deliver`` returns the envelopes it shed (normally empty) so the
+runtime can route them into dead-letter accounting instead of letting
+them vanish.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from typing import Any
 
 from .errors import MailboxClosedError
 from .messages import Envelope, Port
 
+#: Capacity used when a runtime asks for "bounded but roomy" mailboxes
+#: (e.g. conformance runs): far above any conformance trace, so the
+#: bound never changes observable behavior, but a runaway producer hits
+#: a wall instead of exhausting memory.
+DEFAULT_MAILBOX_CAPACITY = 1024
+
+
+class ShedPolicy(enum.Enum):
+    """What a full invocation port does with the overflow.
+
+    * ``DROP_OLDEST`` — evict the head of the queue to admit the new
+      arrival (freshest-wins; bounded staleness for admitted traffic).
+    * ``DROP_NEWEST`` — refuse the new arrival (oldest-wins; admitted
+      traffic is exactly the earliest ``capacity`` envelopes).
+    * ``SUSPEND_SENDER`` — defer the new arrival in a bounded side
+      stash that drains back into the invocation port as the actor
+      catches up; the sender's traffic is absorbed with delay rather
+      than dropped.  Only once the stash itself is full does the oldest
+      stashed envelope shed.
+    """
+
+    DROP_OLDEST = "drop-oldest"
+    DROP_NEWEST = "drop-newest"
+    SUSPEND_SENDER = "suspend-sender"
+
+    @classmethod
+    def parse(cls, value: "ShedPolicy | str") -> "ShedPolicy":
+        if isinstance(value, cls):
+            return value
+        for policy in cls:
+            if policy.value == value:
+                return policy
+        raise ValueError(
+            f"unknown shed policy {value!r}; "
+            f"expected one of {[p.value for p in cls]}")
+
 
 class Mailbox:
     """Three-port message queue for one executing actor."""
 
-    __slots__ = ("_behavior", "_invocation", "_rpc", "_closed",
-                 "delivered_count", "rpc_collisions")
+    __slots__ = ("_behavior", "_invocation", "_rpc", "_stash", "_closed",
+                 "_pending", "capacity", "shed_policy",
+                 "delivered_count", "rpc_collisions", "shed_count")
 
-    def __init__(self):
+    def __init__(self, capacity: int | None = None,
+                 shed_policy: ShedPolicy | str = ShedPolicy.DROP_OLDEST):
         self._behavior: deque[Envelope] = deque()
         self._invocation: deque[Envelope] = deque()
         #: rpc_id -> FIFO of replies.  Two replies sharing an id must both
         #: survive: overwriting would lose one and deadlock whichever
         #: system call is still waiting on it.
         self._rpc: dict[Any, deque[Envelope]] = {}
+        #: SUSPEND_SENDER overflow, promoted back as the actor drains.
+        self._stash: deque[Envelope] = deque()
         self._closed = False
+        #: Maintained count of envelopes waiting on any port (including
+        #: the stash).  Kept in lockstep by deliver/next_ready/take_rpc/
+        #: close so :attr:`pending` is O(1) — it sits on the admission
+        #: hot path now.
+        self._pending = 0
+        #: INVOCATION-port bound; ``None`` = unbounded (legacy behavior).
+        self.capacity = capacity
+        self.shed_policy = ShedPolicy.parse(shed_policy)
         #: Total envelopes ever enqueued (accounting for fairness tests).
         self.delivered_count = 0
         #: RPC replies that arrived while another reply with the same id
         #: was still pending (each one queued, none dropped).
         self.rpc_collisions = 0
+        #: Envelopes this mailbox has shed (returned from deliver).
+        self.shed_count = 0
 
     # -- enqueue ---------------------------------------------------------------
 
-    def deliver(self, envelope: Envelope) -> None:
+    def deliver(self, envelope: Envelope) -> list[Envelope]:
         """Enqueue ``envelope`` on the port it names.
+
+        Returns the envelopes shed to make room (empty unless the
+        mailbox is bounded and the invocation port overflowed).  The
+        offered envelope itself appears in the result when the policy
+        refused it.
 
         Raises
         ------
@@ -58,7 +124,6 @@ class Mailbox:
         """
         if self._closed:
             raise MailboxClosedError(f"mailbox closed; dropped {envelope!r}")
-        self.delivered_count += 1
         if envelope.port is Port.BEHAVIOR:
             self._behavior.append(envelope)
         elif envelope.port is Port.RPC:
@@ -70,7 +135,46 @@ class Mailbox:
                 queue.append(envelope)
                 self.rpc_collisions += 1
         else:
+            if (self.capacity is not None
+                    and len(self._invocation) >= self.capacity):
+                return self._overflow(envelope)
             self._invocation.append(envelope)
+        self.delivered_count += 1
+        self._pending += 1
+        return []
+
+    def _overflow(self, envelope: Envelope) -> list[Envelope]:
+        """Apply the shed policy to a full invocation port."""
+        policy = self.shed_policy
+        if policy is ShedPolicy.DROP_NEWEST:
+            self.shed_count += 1
+            return [envelope]
+        if policy is ShedPolicy.DROP_OLDEST:
+            victim = self._invocation.popleft()
+            self._invocation.append(envelope)
+            self.delivered_count += 1
+            self.shed_count += 1
+            return [victim]
+        # SUSPEND_SENDER: absorb into the stash; shed its head only when
+        # the stash itself is at capacity.
+        shed: list[Envelope] = []
+        if len(self._stash) >= (self.capacity or 0):
+            shed.append(self._stash.popleft())
+            self._pending -= 1
+            self.shed_count += 1
+        self._stash.append(envelope)
+        self.delivered_count += 1
+        self._pending += 1
+        return shed
+
+    def _promote(self) -> None:
+        """Refill the invocation port from the stash as room opens."""
+        if not self._stash:
+            return
+        capacity = self.capacity if self.capacity is not None else len(
+            self._stash) + len(self._invocation)
+        while self._stash and len(self._invocation) < capacity:
+            self._invocation.append(self._stash.popleft())
 
     # -- dequeue -----------------------------------------------------------------
 
@@ -81,9 +185,13 @@ class Mailbox:
         returned here (they are claimed by :meth:`take_rpc`).
         """
         if self._behavior:
+            self._pending -= 1
             return self._behavior.popleft()
         if self._invocation:
-            return self._invocation.popleft()
+            self._pending -= 1
+            envelope = self._invocation.popleft()
+            self._promote()
+            return envelope
         return None
 
     def take_rpc(self, rpc_id: Any) -> Envelope | None:
@@ -94,36 +202,46 @@ class Mailbox:
         envelope = queue.popleft()
         if not queue:
             del self._rpc[rpc_id]
+        self._pending -= 1
         return envelope
 
     # -- state ------------------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        """Number of envelopes waiting on any port."""
-        return (
-            len(self._behavior)
-            + len(self._invocation)
-            + sum(len(q) for q in self._rpc.values())
-        )
+        """Number of envelopes waiting on any port (O(1))."""
+        return self._pending
+
+    @property
+    def suspended(self) -> int:
+        """Envelopes deferred in the SUSPEND_SENDER stash."""
+        return len(self._stash)
 
     @property
     def is_empty(self) -> bool:
-        return self.pending == 0
+        return self._pending == 0
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def close(self) -> list[Envelope]:
-        """Close the mailbox; return (and discard) any still-queued mail."""
+        """Close the mailbox; return any still-queued mail.
+
+        Callers own the leftovers: the runtime routes them into
+        dead-letter accounting so terminated-actor mail is counted,
+        never silently vanished.
+        """
         self._closed = True
-        leftovers = list(self._behavior) + list(self._invocation)
+        leftovers = list(self._behavior) + list(self._invocation) \
+            + list(self._stash)
         for queue in self._rpc.values():
             leftovers.extend(queue)
         self._behavior.clear()
         self._invocation.clear()
+        self._stash.clear()
         self._rpc.clear()
+        self._pending = 0
         return leftovers
 
     def __repr__(self):

@@ -177,6 +177,7 @@ class LocalCluster:
                  host: str = "127.0.0.1", cluster_id: str | None = None,
                  out_dir: str | Path | None = None, verbose: bool = False,
                  trace: bool = True,
+                 node_args: list[str] | None = None,
                  log: Callable[[str], None] | None = None):
         self.n = nodes
         self.seed = seed
@@ -189,6 +190,9 @@ class LocalCluster:
         self.cluster_id = cluster_id or f"actorspace-{os.getpid()}"
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.verbose = verbose
+        #: Extra ``repro serve`` CLI flags appended verbatim to every
+        #: node's command line (overload knobs, detector tuning, ...).
+        self.node_args = list(node_args) if node_args else []
         self._log = log or (lambda text: None)
         self.ports: list[int] = []
         self.procs: dict[int, subprocess.Popen] = {}
@@ -234,6 +238,7 @@ class LocalCluster:
             "--seed", str(self.seed),
             "--heartbeat", str(self.heartbeat),
         ]
+        cmd += self.node_args
         if self.verbose:
             cmd.append("--verbose")
         if not self.trace:
@@ -1101,6 +1106,21 @@ def serve_main(argv: list[str]) -> int:
     parser.add_argument("--heartbeat", type=float, default=0.2)
     parser.add_argument("--suspect-after", type=int, default=2)
     parser.add_argument("--confirm-after", type=int, default=4)
+    parser.add_argument("--mailbox-capacity", type=int, default=None,
+                        help="per-actor invocation-port bound (0 = unbounded; "
+                             "default: the bounded-but-roomy runtime default)")
+    parser.add_argument("--mailbox-policy", default="drop-oldest",
+                        choices=["drop-oldest", "drop-newest", "suspend-sender"],
+                        help="what a full mailbox does with the overflow")
+    parser.add_argument("--admission-rate", type=float, default=None,
+                        help="per-route admitted envelopes/second "
+                             "(default: no rate limiting)")
+    parser.add_argument("--breaker-threshold", type=int, default=None,
+                        help="mailbox sheds within 1s that trip the per-"
+                             "destination circuit breaker (default: off)")
+    parser.add_argument("--credit-window", type=int, default=None,
+                        help="data frames a peer may have in flight before "
+                             "the sender pauses (0 = no credit gating)")
     parser.add_argument("--no-uvloop", action="store_true",
                         help="stay on stdlib asyncio even if uvloop exists")
     parser.add_argument("--no-trace", action="store_true",
@@ -1117,12 +1137,22 @@ def serve_main(argv: list[str]) -> int:
     ports = {i: int(p) for i, p in enumerate(args.ports.split(","))}
     if args.node not in ports:
         parser.error(f"--node {args.node} has no entry in --ports")
+    overload_kw: dict = {"mailbox_policy": args.mailbox_policy}
+    if args.mailbox_capacity is not None:
+        # 0 means explicitly unbounded; unset keeps the runtime default.
+        overload_kw["mailbox_capacity"] = args.mailbox_capacity or None
+    if args.admission_rate is not None:
+        overload_kw["admission_rate"] = args.admission_rate
+    if args.breaker_threshold is not None:
+        overload_kw["breaker_threshold"] = args.breaker_threshold
+    if args.credit_window is not None:
+        overload_kw["credit_window"] = args.credit_window
     runtime = NodeRuntime(
         args.node, ports, host=args.host, cluster_id=args.cluster_id,
         seed=args.seed, heartbeat_interval=args.heartbeat,
         suspect_after=args.suspect_after, confirm_after=args.confirm_after,
         trace=not args.no_trace, trace_jsonl=args.trace_jsonl,
-        quiet=not args.verbose)
+        quiet=not args.verbose, **overload_kw)
 
     async def main() -> None:
         loop = asyncio.get_running_loop()

@@ -46,7 +46,7 @@ from repro.core.messages import Destination, Envelope, Message, Mode, Port
 from repro.core.patterns import Pattern, parse_pattern
 from repro.runtime.bus import OpKind, VisibilityOp
 
-PROTOCOL_VERSION = 3  # v3: clock-sync timestamps in handshake + heartbeat
+PROTOCOL_VERSION = 4  # v4: credit-based flow control (CREDIT frames)
 SCHEMA_VERSION = 1
 
 #: Hard ceiling on a single frame (length prefix included payload).
@@ -80,6 +80,7 @@ class FrameKind(enum.IntEnum):
     CONTROL = 11     #: launcher -> node: control-plane request
     REPLY = 12       #: node -> launcher: control-plane response
     BATCH = 13       #: N coalesced frames in one length-prefixed envelope
+    CREDIT = 14      #: receiver -> sender: data-frame flow-control grant
 
 
 # -- enum index tables (wire-stable: append-only) -------------------------------

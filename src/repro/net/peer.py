@@ -32,6 +32,25 @@ optional ``flush_delay`` lingers briefly to coalesce sparse traffic).
 The queue itself is bounded: once ``max_pending_bytes`` of frames are
 waiting (a peer stalled mid-``drain``), further sends are *shed* and
 counted — a frozen peer must cost bounded memory, not the process.
+
+Overload protection (two mechanisms, one per direction of causality):
+
+* **Control/data queue split.**  Each link keeps *two* FIFO queues.
+  Data frames (ENVELOPE) ride the big ``max_pending_bytes``-bounded
+  queue; everything else — heartbeats, bus traffic, control replies,
+  credit grants — rides a small separate queue with its own
+  ``ctrl_pending_bytes`` budget that data saturation cannot consume.
+  Before the split, a saturated link shed heartbeats along with data,
+  so a live-but-stalled peer went fully silent and its receiver falsely
+  suspected it.  The flusher always drains control ahead of data.
+* **Credit-based flow control.**  A receiver grants the sender a window
+  of ``credit_window`` data frames at link registration and tops it up
+  with CREDIT frames as it consumes (every ``credit_window // 2``
+  envelopes).  The flusher stops writing data frames when the window is
+  exhausted — the sender *pauses* (frames wait in the bounded queue)
+  instead of blind-shedding into a receiver that cannot keep up.
+  Control frames are never credit-gated, so grants and liveness flow
+  even while data is stalled.  ``credit_window=0`` disables gating.
 """
 
 from __future__ import annotations
@@ -61,10 +80,22 @@ RECONNECT_BASE = 0.05
 
 #: Cut a coalesced write once this many payload bytes are gathered.
 BATCH_MAX_BYTES = 256 * 1024
-#: Bound on frames queued behind a non-draining link before shedding.
+#: Bound on *data* frames queued behind a non-draining link before shedding.
 MAX_PENDING_BYTES = 4 * 1024 * 1024
+#: Separate shed-exempt budget for control/liveness frames: data
+#: saturation must never silence heartbeats or credit grants.  Control
+#: frames are small; a backlog this deep means the socket itself is
+#: wedged, at which point suspicion is correct.
+CTRL_PENDING_BYTES = 256 * 1024
+#: Data frames a receiver lets a sender keep in flight before the
+#: sender's flusher pauses; replenished by CREDIT grants at half-window.
+CREDIT_WINDOW_FRAMES = 1024
 #: asyncio transport write-buffer high watermark (drain() blocks above).
 WRITE_HIGH_WATER = 256 * 1024
+
+#: Frame kinds subject to the data bound + credit gating; everything
+#: else is control-class (shed-exempt budget, never credit-gated).
+_DATA_KINDS = frozenset({FrameKind.ENVELOPE})
 
 
 class PeerLink:
@@ -77,7 +108,8 @@ class PeerLink:
     """
 
     __slots__ = ("node", "role", "reader", "writer", "opened_at",
-                 "queue", "queue_bytes", "wake", "frames_shed", "closing")
+                 "queue", "queue_bytes", "ctrl_queue", "ctrl_bytes",
+                 "wake", "frames_shed", "credit_stalled", "closing")
 
     def __init__(self, node: int, role: str,
                  reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
@@ -86,12 +118,19 @@ class PeerLink:
         self.reader = reader
         self.writer = writer
         self.opened_at = time.monotonic()
-        #: FIFO of (encoded frame, perf_counter at enqueue) — the second
-        #: element times the enqueue->flush stage of the wire path.
+        #: Data-frame FIFO of (encoded frame, perf_counter at enqueue) —
+        #: the second element times the enqueue->flush wire-path stage.
         self.queue: deque[tuple[bytes, float]] = deque()
         self.queue_bytes = 0
+        #: Control/liveness FIFO with its own shed-exempt budget; the
+        #: flusher drains it ahead of data and never credit-gates it.
+        self.ctrl_queue: deque[tuple[bytes, float]] = deque()
+        self.ctrl_bytes = 0
         self.wake = asyncio.Event()
         self.frames_shed = 0
+        #: Flusher is currently paused on an exhausted credit window
+        #: (edge flag so the stall counter counts episodes, not polls).
+        self.credit_stalled = False
         self.closing = False
 
     def __repr__(self):
@@ -131,6 +170,8 @@ class PeerHub:
         log: Callable[[str], None] | None = None,
         batch_max_bytes: int = BATCH_MAX_BYTES,
         max_pending_bytes: int = MAX_PENDING_BYTES,
+        ctrl_pending_bytes: int = CTRL_PENDING_BYTES,
+        credit_window: int = CREDIT_WINDOW_FRAMES,
         flush_delay: float = 0.0,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] | None = None,
@@ -145,6 +186,10 @@ class PeerHub:
         self._log = log or (lambda text: None)
         self.batch_max_bytes = batch_max_bytes
         self.max_pending_bytes = max_pending_bytes
+        self.ctrl_pending_bytes = ctrl_pending_bytes
+        #: Data frames a peer may have in flight to us before pausing;
+        #: 0 disables credit gating entirely.
+        self.credit_window = credit_window
         self.flush_delay = flush_delay
         #: The node's wall clock (elapsed seconds); handshake/heartbeat
         #: timestamps and the per-peer offset estimates live on it.
@@ -172,11 +217,19 @@ class PeerHub:
         self.batches_out = 0
         self.batches_in = 0
         self.frames_shed = 0
-        #: High-water mark of any single link's send queue, in bytes —
-        #: how close the run came to the shed bound.
+        #: High-water mark of any single link's data send queue, in bytes
+        #: — how close the run came to the shed bound.
         self.queue_peak_bytes = 0
         self.handshakes_rejected = 0
         self.reconnects = 0
+        #: Credit flow control: remaining data-frame window per peer node
+        #: (what *we* may still send), envelopes consumed since our last
+        #: grant to each peer, and the episode/grant counters.
+        self.data_credit: dict[int, int] = {}
+        self.data_consumed: dict[int, int] = {}
+        self.credit_stalls = 0
+        self.credit_grants_in = 0
+        self.credit_grants_out = 0
         self._server: asyncio.AbstractServer | None = None
         self._tasks: set[asyncio.Task] = set()
         self._running = False
@@ -257,7 +310,7 @@ class PeerHub:
         except WireError as exc:
             self._log(f"send to {link!r} failed: {exc}")
             return False
-        return self._enqueue(link, data)
+        return self._enqueue(link, data, kind in _DATA_KINDS)
 
     def broadcast(self, kind: FrameKind, payload: Any = None,
                   exclude: tuple = ()) -> int:
@@ -275,25 +328,38 @@ class PeerHub:
         except WireError as exc:
             self._log(f"broadcast encode failed: {exc}")
             return 0
-        return sum(1 for link in targets if self._enqueue(link, data))
+        is_data = kind in _DATA_KINDS
+        return sum(1 for link in targets if self._enqueue(link, data, is_data))
 
-    def _enqueue(self, link: PeerLink, data: bytes) -> bool:
-        """FIFO-queue encoded bytes on ``link``; shed when over the bound."""
+    def _enqueue(self, link: PeerLink, data: bytes, is_data: bool = True) -> bool:
+        """FIFO-queue encoded bytes on ``link``; shed when over the bound.
+
+        Data frames ride the big ``max_pending_bytes`` queue; control
+        frames ride the separate shed-exempt-from-data budget, so a
+        saturated data queue can never silence liveness or credit.
+        ``last_sent`` is deliberately *not* touched here — a frame that
+        only made it into a userspace queue proves nothing to the peer's
+        liveness oracle; the flusher records it after the actual write.
+        """
         if link.closing or link.writer.is_closing():
             return False
-        if link.queue_bytes + len(data) > self.max_pending_bytes:
+        budget = self.max_pending_bytes if is_data else self.ctrl_pending_bytes
+        used = link.queue_bytes if is_data else link.ctrl_bytes
+        if used + len(data) > budget:
             link.frames_shed += 1
             self.frames_shed += 1
             return False
-        link.queue.append((data, time.perf_counter()))
-        link.queue_bytes += len(data)
-        if link.queue_bytes > self.queue_peak_bytes:
-            self.queue_peak_bytes = link.queue_bytes
+        if is_data:
+            link.queue.append((data, time.perf_counter()))
+            link.queue_bytes += len(data)
+            if link.queue_bytes > self.queue_peak_bytes:
+                self.queue_peak_bytes = link.queue_bytes
+        else:
+            link.ctrl_queue.append((data, time.perf_counter()))
+            link.ctrl_bytes += len(data)
         link.wake.set()
         self.frames_out += 1
         self.bytes_out += len(data)
-        if link.role == "node":
-            self.last_sent[link.node] = time.monotonic()
         return True
 
     def idle_peers(self, window: float) -> list[int]:
@@ -309,45 +375,84 @@ class PeerHub:
 
     # -- flushing ----------------------------------------------------------------
 
+    def _next_chunks(self, link: PeerLink) -> list[bytes]:
+        """Pop the next coalesced write off ``link``: control ahead of data.
+
+        Control frames always flow; data frames are additionally gated
+        by the peer's remaining credit window (node links only).  An
+        empty return with data still queued means the flusher should go
+        back to sleep — a CREDIT grant will wake it.
+        """
+        now = time.perf_counter()
+        chunks: list[bytes] = []
+        size = 0
+        while link.ctrl_queue and size < self.batch_max_bytes:
+            nxt, t_enq = link.ctrl_queue[0]
+            if chunks and size + len(nxt) + 9 > MAX_FRAME_BYTES:
+                return chunks  # batch header + chunks must stay a legal frame
+            link.ctrl_queue.popleft()
+            link.ctrl_bytes -= len(nxt)
+            self.h_send_queue.observe(now - t_enq)
+            chunks.append(nxt)
+            size += len(nxt)
+        gated = self.credit_window > 0 and link.role == "node"
+        avail = self.data_credit.get(link.node, self.credit_window) \
+            if gated else -1
+        taken = 0
+        while link.queue and size < self.batch_max_bytes \
+                and (avail < 0 or taken < avail):
+            nxt, t_enq = link.queue[0]
+            if chunks and size + len(nxt) + 9 > MAX_FRAME_BYTES:
+                break
+            link.queue.popleft()
+            link.queue_bytes -= len(nxt)
+            self.h_send_queue.observe(now - t_enq)
+            chunks.append(nxt)
+            size += len(nxt)
+            taken += 1
+        if gated:
+            if taken:
+                self.data_credit[link.node] = avail - taken
+            # Edge-count stall episodes: data waiting, window exhausted.
+            stalled = bool(link.queue) and (avail - taken) <= 0
+            if stalled and not link.credit_stalled:
+                self.credit_stalls += 1
+            link.credit_stalled = stalled
+        return chunks
+
     async def _flush_loop(self, link: PeerLink) -> None:
-        """Drain ``link``'s send queue until it closes (one task per link).
+        """Drain ``link``'s send queues until it closes (one task per link).
 
         Coalesces every queued frame into as few writes as possible:
         runs of more than one frame travel as a single BATCH frame.
         ``drain()`` between writes is the backpressure seam — while a
         slow peer keeps it blocked, frames accumulate in the queue (and
         are shed past ``max_pending_bytes``), not in the transport.
+        Control frames always go first; data stops when the credit
+        window is exhausted and resumes when a CREDIT grant wakes us.
         """
         try:
             while True:
                 await link.wake.wait()
                 link.wake.clear()
                 if self.flush_delay > 0 and not link.closing \
-                        and link.queue_bytes < self.batch_max_bytes:
+                        and link.queue_bytes + link.ctrl_bytes < self.batch_max_bytes:
                     # Time trigger: linger to coalesce sparse traffic.
                     await asyncio.sleep(self.flush_delay)
-                while link.queue:
-                    now = time.perf_counter()
-                    first, t_enq = link.queue.popleft()
-                    link.queue_bytes -= len(first)
-                    self.h_send_queue.observe(now - t_enq)
-                    chunks: list[bytes] = [first]
-                    size = len(first)
-                    while link.queue and size < self.batch_max_bytes:
-                        nxt, t_enq = link.queue[0]
-                        if size + len(nxt) + 9 > MAX_FRAME_BYTES:
-                            break  # batch header + chunks must stay a legal frame
-                        link.queue.popleft()
-                        link.queue_bytes -= len(nxt)
-                        self.h_send_queue.observe(now - t_enq)
-                        chunks.append(nxt)
-                        size += len(nxt)
+                while True:
+                    chunks = self._next_chunks(link)
+                    if not chunks:
+                        break
                     if len(chunks) == 1:
                         link.writer.write(chunks[0])
                     else:
                         link.writer.write(wrap_batch(chunks))
                         self.batches_out += 1
                     self.writes += 1
+                    if link.role == "node":
+                        # Liveness is a wire fact: record the send only
+                        # once bytes actually left for the socket.
+                        self.last_sent[link.node] = time.monotonic()
                     await link.writer.drain()
                 if link.closing:
                     return
@@ -359,7 +464,7 @@ class PeerHub:
     async def _drain_link(self, link: PeerLink, timeout: float = 1.0) -> None:
         """Wait (bounded) until ``link``'s queue and transport are empty."""
         deadline = time.monotonic() + timeout
-        while link.queue and time.monotonic() < deadline:
+        while (link.queue or link.ctrl_queue) and time.monotonic() < deadline:
             await asyncio.sleep(0.005)
         try:
             await asyncio.wait_for(link.writer.drain(),
@@ -515,6 +620,12 @@ class PeerHub:
                     if kind == FrameKind.BYE:
                         goodbye = True
                         break
+                    if kind == FrameKind.CREDIT:
+                        # Flow-control grants are link-layer traffic:
+                        # top up the window and wake the flusher; the
+                        # runtime never sees them.
+                        self._on_credit(link, payload)
+                        continue
                     t0 = time.perf_counter()
                     try:
                         self.on_frame(link.node, kind, payload, link)
@@ -522,6 +633,8 @@ class PeerHub:
                         self._log(f"frame handler failed on {kind.name} "
                                   f"from {link!r}: {exc!r}")
                     self.h_deliver.observe(time.perf_counter() - t0)
+                    if kind == FrameKind.ENVELOPE and link.role == "node":
+                        self._note_consumed(link.node)
                 if goodbye:
                     break
                 data = await link.reader.read(65536)
@@ -547,12 +660,49 @@ class PeerHub:
             self._unregister(link)
             link.writer.close()
 
+    # -- credit flow control ----------------------------------------------------
+
+    def _on_credit(self, link: PeerLink, payload: Any) -> None:
+        """A peer granted us more data-frame window; wake its flusher."""
+        n = payload.get("n", 0) if isinstance(payload, dict) else 0
+        if link.role != "node" or not isinstance(n, int) or n <= 0:
+            return
+        self.credit_grants_in += 1
+        node = link.node
+        # Cap at the full window so post-reconnect double-grants cannot
+        # inflate the window; drift self-heals toward ``credit_window``.
+        self.data_credit[node] = min(
+            self.credit_window, self.data_credit.get(node, self.credit_window) + n)
+        registered = self.links.get(node)
+        if registered is not None:
+            registered.wake.set()
+
+    def _note_consumed(self, node: int) -> None:
+        """Count one consumed envelope; grant credit back at half-window."""
+        if self.credit_window <= 0:
+            return
+        consumed = self.data_consumed.get(node, 0) + 1
+        if consumed >= max(1, self.credit_window // 2) \
+                and self.send(node, FrameKind.CREDIT, {"n": consumed}):
+            self.credit_grants_out += 1
+            consumed = 0
+        self.data_consumed[node] = consumed
+
     # -- link registry ----------------------------------------------------------
 
     def _register(self, link: PeerLink) -> None:
         previous = self.links.get(link.node)
         self.links[link.node] = link
         self.last_heard[link.node] = time.monotonic()
+        # The handshake frames just crossed the wire, so the peer's
+        # recency oracle is fresh as of now (last_sent is otherwise
+        # only advanced by the flusher, after real writes).
+        self.last_sent[link.node] = time.monotonic()
+        if self.credit_window > 0:
+            # Fresh link, fresh window on both sides: sender restarts
+            # with a full grant, receiver restarts its consumed count.
+            self.data_credit[link.node] = self.credit_window
+            self.data_consumed[link.node] = 0
         if previous is None and self.on_peer_up is not None:
             self.on_peer_up(link.node)
 
@@ -566,13 +716,27 @@ class PeerHub:
 
     def metrics_snapshot(self) -> dict:
         """Link-layer counters for the node's metrics snapshot."""
+        # ``send_buffer_bytes`` stays data-queue-only: the fault drill's
+        # bounded-memory assertion gates it against ``max_pending_bytes``.
         send_buffer = sum(link.queue_bytes for link in self.links.values())
+        ctrl_buffer = sum(link.ctrl_bytes for link in self.links.values())
         # Mirror the sampled depths into registry gauges so a metrics
         # scrape and this snapshot tell one story.
         self.metrics.gauge("wire_send_buffer_bytes").set(send_buffer)
         self.metrics.gauge("wire_queue_peak_bytes").set(self.queue_peak_bytes)
+        self.metrics.gauge("wire_ctrl_buffer_bytes").set(ctrl_buffer)
+        self.metrics.gauge("wire_credit_stalls").set(self.credit_stalls)
         return {
             "links_up": len(self.links),
+            "ctrl_buffer_bytes": ctrl_buffer,
+            "credit": {
+                "window": self.credit_window,
+                "stalls": self.credit_stalls,
+                "grants_in": self.credit_grants_in,
+                "grants_out": self.credit_grants_out,
+                "data_credit": {str(node): credit for node, credit
+                                in sorted(self.data_credit.items())},
+            },
             "frames_in": self.frames_in,
             "frames_out": self.frames_out,
             "bytes_in": self.bytes_in,

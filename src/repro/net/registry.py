@@ -167,12 +167,80 @@ class LoadPumpBehavior(Behavior):
             self.done = True
 
 
+class OverloadSinkBehavior(Behavior):
+    """Counts arrivals; optionally burns ``busy_ms`` per message.
+
+    The busy-wait sets a hard per-actor service capacity (1000/busy_ms
+    messages per second), which is what the overload drill floods past.
+    Acks only when asked (``reply_to`` set), so an open-loop pump can
+    flood it without generating a return wave.
+    """
+
+    def __init__(self, busy_ms: float = 0.0):
+        self.busy_ms = float(busy_ms)
+        self.count = 0
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        self.count += 1
+        if self.busy_ms > 0:
+            deadline = time.monotonic() + self.busy_ms / 1000.0
+            while time.monotonic() < deadline:
+                pass
+        payload = message.payload
+        if (message.reply_to is not None and isinstance(payload, tuple)
+                and payload and payload[0] == "req"):
+            ctx.send_to(message.reply_to, ("ack", payload[1]))
+
+
+class OverloadPumpBehavior(Behavior):
+    """Open-loop flood generator: ``burst`` sends per tick, no feedback.
+
+    Unlike :class:`LoadPumpBehavior` (closed-loop: offered load tracks
+    service rate by construction) this pump keeps offering at a fixed
+    rate regardless of how the sink is doing — the defining shape of an
+    overload drill.  On ``("go",)`` it self-schedules every ``tick``
+    seconds and fires ``burst`` messages at ``target`` each tick until
+    ``total`` have been sent; ``sent``/``done`` are readable via the
+    ``actor_state`` control command.  Self-scheduling works identically
+    on virtual and wall clocks, so one behavior drives both sweeps.
+    """
+
+    def __init__(self, target, total: int, burst: int, tick: float = 0.01):
+        self.target = target
+        self.total = int(total)
+        self.burst = max(1, int(burst))
+        self.tick = float(tick)
+        self.sent = 0
+        self.ticks = 0
+        self.done = False
+
+    def receive(self, ctx: ActorContext, message: Message) -> None:
+        payload = message.payload
+        if payload not in (("go",), ("tick",)):
+            return
+        self.ticks += payload == ("tick",)
+        for _ in range(min(self.burst, self.total - self.sent)):
+            ctx.send_to(self.target, ("req", self.sent))
+            self.sent += 1
+        if self.sent < self.total:
+            ctx.schedule(self.tick, ("tick",))
+        else:
+            self.done = True
+
+
 register_behavior("echo", lambda params: EchoBehavior())
 register_behavior("counter",
                   lambda params: CounterBehavior(keep=int(params.get("keep", 8))))
 register_behavior("replica",
                   lambda params: ReplicaBehavior(name=params.get("name", "replica")))
 register_behavior("load_sink", lambda params: LoadSinkBehavior())
+register_behavior("overload_sink", lambda params: OverloadSinkBehavior(
+    busy_ms=float(params.get("busy_ms", 0.0))))
+register_behavior("overload_pump", lambda params: OverloadPumpBehavior(
+    params["target"], total=int(params["total"]),
+    burst=int(params.get("burst", 32)),
+    tick=float(params.get("tick", 0.01)),
+))
 register_behavior("load_pump", lambda params: LoadPumpBehavior(
     params["target"], total=int(params["total"]),
     window=int(params.get("window", 1)),

@@ -37,6 +37,7 @@ from typing import Any
 from repro.core.actorspace import SpaceRecord
 from repro.core.addresses import ActorAddress, SpaceAddress
 from repro.core.capabilities import CapabilityIssuer
+from repro.core.mailbox import DEFAULT_MAILBOX_CAPACITY, ShedPolicy
 from repro.core.manager import SpaceManager
 from repro.core.matching import resolve_actors
 from repro.core.messages import (
@@ -47,6 +48,7 @@ from repro.core.messages import (
     Port,
     parse_destination,
 )
+from repro.runtime.admission import AdmissionControl
 from repro.runtime.context import RuntimeContext
 from repro.runtime.coordinator import Coordinator
 from repro.runtime.eventlog import EventLog, JsonlSink
@@ -210,6 +212,14 @@ class NodeRuntime:
         trace: bool = True,
         trace_jsonl: str | None = None,
         quiet: bool = True,
+        mailbox_capacity: int | None = DEFAULT_MAILBOX_CAPACITY,
+        mailbox_policy: ShedPolicy | str = ShedPolicy.DROP_OLDEST,
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
+        breaker_threshold: int | None = None,
+        breaker_window: float = 1.0,
+        breaker_cooldown: float = 0.5,
+        credit_window: int | None = None,
     ):
         rebase_wire_counters(node_id)
         self.node_id = node_id
@@ -236,6 +246,19 @@ class NodeRuntime:
         self.processing_delay = 0.0
         self.in_flight: dict[int, Envelope] = {}
         self._held_roots: set = set()
+        #: Overload knobs, read by the coordinator exactly like the
+        #: simulator's (bounded mailboxes at creation, admission in
+        #: ``_route``).  TCP nodes default to bounded-but-roomy.
+        self.mailbox_capacity = mailbox_capacity
+        self.mailbox_policy = ShedPolicy.parse(mailbox_policy)
+        if admission_rate is not None or breaker_threshold is not None:
+            self.admission = AdmissionControl(
+                self, rate=admission_rate, burst=admission_burst,
+                breaker_threshold=breaker_threshold,
+                breaker_window=breaker_window,
+                breaker_cooldown=breaker_cooldown)
+        else:
+            self.admission = None
 
         self.coordinator = Coordinator(node_id, self)
         self.coordinators: list = [
@@ -259,10 +282,11 @@ class NodeRuntime:
         self.coordinator.managers[self.root_space] = SpaceManager()
         self._held_roots.add(self.root_space)
 
+        hub_kw = {} if credit_window is None else {"credit_window": credit_window}
         self.hub = PeerHub(
             node_id, ports, self._on_frame, host=host, cluster_id=cluster_id,
             on_peer_up=self._on_peer_up, log=self._log,
-            metrics=self.metrics, clock=lambda: self.clock.now)
+            metrics=self.metrics, clock=lambda: self.clock.now, **hub_kw)
         self._wake: asyncio.Event | None = None
         self._stopping = False
         self.heartbeats_suppressed = 0
@@ -359,6 +383,10 @@ class NodeRuntime:
         assert target is not None
         self.in_flight.pop(envelope.envelope_id, None)
         if self.hub.send(target.node, FrameKind.ENVELOPE, {"envelope": envelope}):
+            # The envelope left this node's authority: any dead-letter
+            # attempt record for it is finished business (the receiving
+            # node starts its own accounting from zero).
+            self.dead_letters.note_delivered(envelope.envelope_id)
             return
         self.tracer.on_dropped("node_down", envelope, node=self.node_id,
                                t=self.clock.now)
@@ -560,6 +588,15 @@ class NodeRuntime:
             "batches_in": self.hub.batches_in,
             "batches_out": self.hub.batches_out,
             "heartbeats_suppressed": self.heartbeats_suppressed,
+            "mailbox_shed": sum(r.mailbox.shed_count
+                                for r in self.coordinator.actors.values()),
+            "mailbox_suspended": sum(r.mailbox.suspended
+                                     for r in self.coordinator.actors.values()),
+            "credit_stalls": self.hub.credit_stalls,
+            "credit_grants_in": self.hub.credit_grants_in,
+            "credit_grants_out": self.hub.credit_grants_out,
+            "admission": self.admission.metrics()
+                         if self.admission is not None else None,
             "clock": self.hub.clock_sync.snapshot(),
             "bus": self.bus.metrics_snapshot(),
         }

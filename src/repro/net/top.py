@@ -51,6 +51,14 @@ def _ms(value) -> str:
     return f"{value * 1000.0:.2f}"
 
 
+def _admission_rejected(admission: dict | None) -> str:
+    """Total admission rejections (rate + breaker), or ``-`` when off."""
+    if not isinstance(admission, dict):
+        return "-"
+    return str(admission.get("rejected_rate", 0)
+               + admission.get("rejected_breaker", 0))
+
+
 def _peer_offsets(clock: dict | None) -> str:
     """Render a node's per-peer offset estimates as ``peer:+ms`` pairs."""
     if not isinstance(clock, dict) or not clock.get("peers"):
@@ -73,7 +81,8 @@ def _render(collector: TelemetryCollector, statuses: dict[int, dict],
     now = time.monotonic()
     node_table = TextTable(
         ["node", "actors", "pend", "infl", "dlq", "links",
-         "fr_in/s", "fr_out/s", "shed", "b_in", "b_out", "hb_sup",
+         "fr_in/s", "fr_out/s", "shed", "mb_shed", "adm_rej",
+         "cr_stall", "b_in", "b_out", "hb_sup",
          "peak_kB", "peer offsets"],
         title=f"cluster: {collector.cluster_id}  "
               f"({len(collector.ports)} nodes, pull #{collector.pulls})")
@@ -85,7 +94,7 @@ def _render(collector: TelemetryCollector, statuses: dict[int, dict],
         snap = collector.snapshots.get(node) or {}
         hub = snap.get("hub") or {}
         if not isinstance(status, dict):
-            node_table.add_row([node, "DOWN"] + ["-"] * 12)
+            node_table.add_row([node, "DOWN"] + ["-"] * 15)
             continue
         frames_in = hub.get("frames_in", 0) or 0
         frames_out = hub.get("frames_out", 0) or 0
@@ -106,6 +115,9 @@ def _render(collector: TelemetryCollector, statuses: dict[int, dict],
             f"{rate_in:.0f}",
             f"{rate_out:.0f}",
             status.get("frames_shed", "-"),
+            status.get("mailbox_shed", "-"),
+            _admission_rejected(status.get("admission")),
+            status.get("credit_stalls", "-"),
             status.get("batches_in", "-"),
             status.get("batches_out", "-"),
             status.get("heartbeats_suppressed", "-"),

@@ -45,6 +45,7 @@ from repro.core.errors import (
 )
 from repro.core.gc import scan_addresses
 from repro.core.manager import SpaceManager, UnmatchedPolicy, default_manager
+from repro.core.mailbox import Mailbox
 from repro.core.matching import (
     MatchStats,
     ResolutionCache,
@@ -217,6 +218,11 @@ class Coordinator:
             address, beh, self.node_id, space, capability,
             created_at=self.system.clock.now,
         )
+        capacity = getattr(self.system, "mailbox_capacity", None)
+        if capacity is not None:
+            record.mailbox = Mailbox(
+                capacity, getattr(self.system, "mailbox_policy",
+                                  "drop-oldest"))
         self.actors[address] = record
         # Conservative acquaintances: addresses reachable from behavior state.
         known: set[MailAddress] = set(_behavior_addresses(beh))
@@ -235,7 +241,12 @@ class Coordinator:
         return address
 
     def terminate_actor(self, address: ActorAddress) -> None:
-        """Stop an actor: close its mailbox, drop it from matching."""
+        """Stop an actor: close its mailbox, drop it from matching.
+
+        Mail still queued at termination goes through dead-letter
+        capture, so it shows up in DLQ accounting (and may expire there)
+        instead of vanishing with the mailbox.
+        """
         record = self.actors.get(address)
         if record is None or record.terminated:
             return
@@ -248,6 +259,9 @@ class Coordinator:
             for envelope in leftovers:
                 log.emit("dropped", self.system.clock.now, self.node_id,
                          envelope, reason="mailbox_closed")
+        for envelope in leftovers:
+            self.system.dead_letters.capture(envelope, self.node_id,
+                                             "mailbox_closed")
         # Remove from every registry; replicated so all nodes stop matching it.
         self.submit_op(OpKind.PURGE, {"target": address})
 
@@ -507,6 +521,24 @@ class Coordinator:
         envelope.target = target
         system = self.system
         dst_node = target.node
+        admission = getattr(system, "admission", None)
+        if admission is not None and envelope.port is not Port.BEHAVIOR \
+                and envelope.port is not Port.RPC:
+            # Control traffic (behavior installs, RPC replies) is never
+            # rate limited: shedding it wedges actors instead of
+            # protecting them — same exemption as the bounded mailbox.
+            verdict = admission.check(self.node_id, dst_node,
+                                      system.clock.now)
+            if verdict is not None:
+                # Shed at the door: park with backoff retry so the
+                # rejection is load leveling, not silent loss.
+                system.tracer.on_overload(verdict, envelope,
+                                          node=self.node_id,
+                                          t=system.clock.now,
+                                          dst_node=dst_node)
+                system.dead_letters.capture_retry(envelope, dst_node,
+                                                  verdict)
+                return
         envelope.hop(self.node_id)
         kind = system.topology.link_kind(self.node_id, dst_node)
         system.tracer.on_hop(kind, envelope, node=self.node_id,
@@ -549,12 +581,29 @@ class Coordinator:
         envelope.delivered_at = system.clock.now
         envelope.hop(self.node_id)
         try:
-            record.mailbox.deliver(envelope)
+            shed = record.mailbox.deliver(envelope)
         except MailboxClosedError:
             system.tracer.on_dropped("dead_letter", envelope, node=self.node_id,
                                      t=system.clock.now)
             system.dead_letters.capture(envelope, self.node_id, "dead_letter")
             return
+        if shed:
+            admission = getattr(system, "admission", None)
+            if admission is not None:
+                admission.on_overflow(self.node_id, system.clock.now,
+                                      len(shed))
+            accepted = True
+            for victim in shed:
+                if victim is envelope:
+                    accepted = False
+                system.tracer.on_dropped("mailbox_overflow", victim,
+                                         node=self.node_id,
+                                         t=system.clock.now)
+                system.dead_letters.capture_retry(victim, self.node_id,
+                                                  "mailbox_overflow")
+            if not accepted:
+                return
+        system.dead_letters.note_delivered(envelope.envelope_id)
         system.tracer.on_enqueued(envelope, node=self.node_id,
                                   t=system.clock.now,
                                   queue_depth=record.mailbox.pending,

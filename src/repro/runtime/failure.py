@@ -269,6 +269,39 @@ class DeadLetterQueue:
         )
         return True
 
+    def capture_retry(self, envelope: Envelope, dst_node: int,
+                      reason: str) -> bool:
+        """Park an envelope whose *destination is alive* and retry it.
+
+        Overload sheds (full mailbox, admission rejection) differ from
+        node-down captures: there is no future recovery edge to flush
+        the queue, so redelivery is scheduled immediately with the same
+        capped backoff.  This is queue-based load leveling — parked
+        traffic re-offers itself as the destination drains, and an
+        envelope that keeps being shed expires after
+        ``max_redeliveries`` attempts instead of looping forever.
+
+        Returns ``False`` if the envelope expired instead of parking.
+        """
+        if not self.capture(envelope, dst_node, reason):
+            return False
+        queue = self._queues[dst_node]
+        self._schedule(queue.pop())
+        return True
+
+    def note_delivered(self, envelope_id: int) -> None:
+        """Forget redelivery attempts for an envelope that got through.
+
+        Called by the coordinator when an envelope lands in a mailbox
+        (and by the TCP runtime when it hands an envelope to the wire).
+        Without this, ``_attempts`` kept one entry per *successfully*
+        redelivered envelope forever — entries were added in
+        ``_schedule`` but only removed in ``_expire``, so the dict grew
+        without bound under crash/recover churn.
+        """
+        if self._attempts:
+            self._attempts.pop(envelope_id, None)
+
     def _expire(self, envelope: Envelope, dst_node: int, reason: str,
                 attempts: int) -> None:
         self.expired_total += 1

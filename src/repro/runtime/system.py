@@ -28,10 +28,12 @@ from repro.core.actor import ActorRecord, Behavior
 from repro.core.addresses import ActorAddress, MailAddress, SpaceAddress
 from repro.core.capabilities import Capability, CapabilityIssuer
 from repro.core.gc import GarbageCollector, GcReport, scan_addresses
+from repro.core.mailbox import ShedPolicy
 from repro.core.manager import SpaceManager
 from repro.core.messages import Destination, Envelope, Message, Mode, Port, parse_destination
 from repro.core.visibility import Directory
 
+from .admission import AdmissionControl
 from .bus import Bus, SequencerBus, TokenRingBus
 from .clock import VirtualClock
 from .context import RuntimeContext
@@ -83,6 +85,21 @@ class ActorSpaceSystem:
         enables an in-memory :class:`~repro.runtime.eventlog.EventLog`
         ring buffer; an :class:`EventLog` instance is used as-is (bring
         your own capacity/sinks).
+    mailbox_capacity / mailbox_policy:
+        Overload protection for actors: bound every mailbox's
+        INVOCATION port at ``mailbox_capacity`` envelopes and shed the
+        overflow per :class:`~repro.core.mailbox.ShedPolicy`
+        (``drop-oldest`` / ``drop-newest`` / ``suspend-sender``).  Shed
+        mail flows into the dead-letter queue with backoff redelivery —
+        counted, never vanished.  ``None`` (default) keeps mailboxes
+        unbounded.
+    admission_rate / admission_burst / breaker_*:
+        Admission control at the routing door: a per-route token bucket
+        (``admission_rate`` msgs/s, ``admission_burst`` capacity) and a
+        per-destination circuit breaker that opens after
+        ``breaker_threshold`` mailbox sheds within ``breaker_window``
+        seconds (or a saturated DLQ) and re-closes after
+        ``breaker_cooldown`` quiet seconds.  Both default to off.
     """
 
     def __init__(
@@ -98,6 +115,13 @@ class ActorSpaceSystem:
         dlq_capacity: int = 256,
         dlq_max_redeliveries: int = 4,
         trace: "bool | EventLog" = False,
+        mailbox_capacity: int | None = None,
+        mailbox_policy: str = "drop-oldest",
+        admission_rate: float | None = None,
+        admission_burst: float | None = None,
+        breaker_threshold: int | None = None,
+        breaker_window: float = 1.0,
+        breaker_cooldown: float = 0.5,
     ):
         self.topology = topology or Topology.single()
         self.rng = RngHub(seed)
@@ -143,6 +167,19 @@ class ActorSpaceSystem:
         self.dead_letters = DeadLetterQueue(
             self, capacity=dlq_capacity, max_redeliveries=dlq_max_redeliveries
         )
+        #: Overload protection: bounded mailboxes for every actor created
+        #: from here on (``None`` = unbounded, the historical default)...
+        self.mailbox_capacity = mailbox_capacity
+        self.mailbox_policy = ShedPolicy.parse(mailbox_policy)
+        #: ...plus optional admission control consulted by ``_route``.
+        self.admission: AdmissionControl | None = None
+        if admission_rate is not None or breaker_threshold is not None:
+            self.admission = AdmissionControl(
+                self, rate=admission_rate, burst=admission_burst,
+                breaker_threshold=breaker_threshold,
+                breaker_window=breaker_window,
+                breaker_cooldown=breaker_cooldown,
+            )
         #: Heartbeat-based failure detector; armed on demand via
         #: :meth:`start_failure_detector`.
         self.failure_detector: FailureDetector | None = None
@@ -523,6 +560,9 @@ class ActorSpaceSystem:
             self.metrics.gauge(f"parked_node_{coordinator.node_id}").set(
                 len(coordinator.suspended) + len(coordinator.persistent))
         self.metrics.gauge("in_flight").set(len(self.in_flight))
+        if self.admission is not None:
+            for name, value in self.admission.metrics().items():
+                self.metrics.gauge(f"admission_{name}").set(value)
         # Transport accounting rides along as gauges (nested counters of a
         # wrapped transport — e.g. LossyTransport's inner — are flattened).
         for name, value in self.transport.metrics_snapshot().items():

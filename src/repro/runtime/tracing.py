@@ -117,6 +117,10 @@ class Tracer:
             "node_suspected_total",
             "node_confirmed_down_total",
             "node_recovered_total",
+            "overload_admission_rate_total",
+            "overload_circuit_open_total",
+            "overload_breaker_open_total",
+            "overload_breaker_closed_total",
         ):
             reg.counter(name)
         #: End-to-end latency samples (see ``keep_samples``).
@@ -301,6 +305,17 @@ class Tracer:
         if self.log.enabled:
             self.log.emit(f"dead_letter_{action}", t, node, envelope,
                           reason=reason, attempts=attempts)
+
+    def on_overload(self, decision: str, envelope=None, node: int = 0,
+                    t: float = 0.0, dst_node: int | None = None) -> None:
+        """Overload-protection decisions: admission rejections and
+        circuit-breaker transitions (``decision`` is e.g.
+        ``admission_rate``, ``circuit_open``, ``breaker_open``,
+        ``breaker_closed``)."""
+        self.registry.counter(f"overload_{decision}_total").inc()
+        if self.log.enabled:
+            self.log.emit(f"overload_{decision}", t, node, envelope,
+                          dst_node=dst_node)
 
     def on_failover(self, node: int = -1, t: float = 0.0, protocol: str = "",
                     reason: str = "", new_leader: int | None = None) -> None:

@@ -1,0 +1,194 @@
+"""Bounded mailboxes: shed policies, accounting, and property tests.
+
+The unit tests pin each :class:`ShedPolicy`'s observable contract; the
+hypothesis tests drive random deliver/drain interleavings through every
+policy and check the invariants that make bounded mailboxes safe to turn
+on by default:
+
+* the invocation port never exceeds ``capacity``;
+* survivors preserve per-port FIFO order (a shed policy may drop
+  envelopes, never reorder them);
+* BEHAVIOR- and RPC-port envelopes are never shed (control traffic an
+  actor cannot make progress without);
+* the maintained ``pending`` counter always equals a recount;
+* every envelope is accounted for: drained + shed + still-queued =
+  delivered offers.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addresses import ActorAddress
+from repro.core.mailbox import DEFAULT_MAILBOX_CAPACITY, Mailbox, ShedPolicy
+from repro.core.messages import Envelope, Message, Mode, Port
+
+_ids = itertools.count()
+
+
+def env(port=Port.INVOCATION, payload=None, rpc_id=None):
+    headers = {"rpc_id": rpc_id} if rpc_id is not None else {}
+    return Envelope(
+        message=Message(payload if payload is not None else next(_ids),
+                        headers=headers),
+        sender=ActorAddress(0, 0),
+        mode=Mode.DIRECT,
+        target=ActorAddress(0, 1),
+        port=port,
+    )
+
+
+class TestShedPolicies:
+    def test_parse_accepts_names_and_instances(self):
+        assert ShedPolicy.parse("drop-oldest") is ShedPolicy.DROP_OLDEST
+        assert ShedPolicy.parse(ShedPolicy.DROP_NEWEST) is ShedPolicy.DROP_NEWEST
+        with pytest.raises(ValueError):
+            ShedPolicy.parse("yolo")
+
+    def test_unbounded_is_the_default(self):
+        mb = Mailbox()
+        for _ in range(DEFAULT_MAILBOX_CAPACITY + 10):
+            assert mb.deliver(env()) == []
+        assert mb.shed_count == 0
+
+    def test_drop_oldest_evicts_head_admits_new(self):
+        mb = Mailbox(capacity=2, shed_policy="drop-oldest")
+        first = env(payload="a")
+        mb.deliver(first)
+        mb.deliver(env(payload="b"))
+        shed = mb.deliver(env(payload="c"))
+        assert shed == [first]
+        assert mb.shed_count == 1
+        got = [mb.next_ready().message.payload, mb.next_ready().message.payload]
+        assert got == ["b", "c"]  # freshest-wins, order kept
+
+    def test_drop_newest_refuses_the_offered_envelope(self):
+        mb = Mailbox(capacity=2, shed_policy="drop-newest")
+        mb.deliver(env(payload="a"))
+        mb.deliver(env(payload="b"))
+        refused = env(payload="c")
+        assert mb.deliver(refused) == [refused]
+        got = [mb.next_ready().message.payload, mb.next_ready().message.payload]
+        assert got == ["a", "b"]  # oldest-wins
+
+    def test_suspend_sender_defers_then_promotes_in_order(self):
+        mb = Mailbox(capacity=2, shed_policy="suspend-sender")
+        for payload in "abcd":
+            assert mb.deliver(env(payload=payload)) == []
+        assert mb.suspended == 2  # c, d deferred, not dropped
+        assert mb.pending == 4
+        got = [mb.next_ready().message.payload for _ in range(4)]
+        assert got == ["a", "b", "c", "d"]  # stash drains back FIFO
+        assert mb.shed_count == 0 and mb.suspended == 0
+
+    def test_suspend_sender_stash_is_bounded_too(self):
+        mb = Mailbox(capacity=2, shed_policy="suspend-sender")
+        offered = [env(payload=i) for i in range(6)]
+        shed = [victim for e in offered for victim in mb.deliver(e)]
+        # 2 queued + 2 stashed; the stash sheds its head for 5th and 6th.
+        assert [v.message.payload for v in shed] == [2, 3]
+        assert mb.shed_count == 2
+        assert mb.pending == 4
+
+    def test_behavior_and_rpc_ports_are_exempt(self):
+        mb = Mailbox(capacity=1, shed_policy="drop-newest")
+        mb.deliver(env(payload="inv"))
+        for _ in range(5):
+            assert mb.deliver(env(port=Port.BEHAVIOR)) == []
+            assert mb.deliver(env(port=Port.RPC, rpc_id=next(_ids))) == []
+        assert mb.shed_count == 0
+
+    def test_close_includes_stash_and_resets_pending(self):
+        mb = Mailbox(capacity=1, shed_policy="suspend-sender")
+        mb.deliver(env(payload="a"))
+        mb.deliver(env(payload="b"))  # stashed
+        assert mb.suspended == 1
+        leftovers = mb.close()
+        assert sorted(e.message.payload for e in leftovers) == ["a", "b"]
+        assert mb.pending == 0 and mb.is_empty
+
+
+# -- property tests ---------------------------------------------------------------
+
+#: One abstract mailbox op: deliver to a port, or drain one envelope.
+_OPS = st.lists(
+    st.one_of(
+        st.just(("deliver", Port.INVOCATION)),
+        st.just(("deliver", Port.BEHAVIOR)),
+        st.just(("deliver", Port.RPC)),
+        st.just(("drain", None)),
+        st.just(("take_rpc", None)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_OPS, capacity=st.integers(min_value=1, max_value=5),
+       policy=st.sampled_from(list(ShedPolicy)))
+def test_bounded_mailbox_invariants(ops, capacity, policy):
+    mb = Mailbox(capacity=capacity, shed_policy=policy)
+    offered: list[Envelope] = []
+    shed: list[Envelope] = []
+    drained: list[Envelope] = []
+    rpc_ids: list = []
+    for op, port in ops:
+        if op == "deliver":
+            rpc_id = None
+            if port is Port.RPC:
+                rpc_id = next(_ids)
+                rpc_ids.append(rpc_id)
+            e = env(port=port, rpc_id=rpc_id)
+            offered.append(e)
+            shed.extend(mb.deliver(e))
+        elif op == "drain":
+            got = mb.next_ready()
+            if got is not None:
+                drained.append(got)
+        elif op == "take_rpc" and rpc_ids:
+            got = mb.take_rpc(rpc_ids[0])
+            if got is not None:
+                rpc_ids.pop(0)
+                drained.append(got)
+        # Invariants that must hold after *every* op:
+        assert len(mb._invocation) <= capacity
+        recount = (len(mb._behavior) + len(mb._invocation) + len(mb._stash)
+                   + sum(len(q) for q in mb._rpc.values()))
+        assert mb.pending == recount
+
+    # Control traffic is never shed.
+    assert all(e.port is Port.INVOCATION for e in shed)
+    assert mb.shed_count == len(shed)
+    # Conservation: every offered envelope is drained, shed, or queued.
+    leftovers = mb.close()
+    assert len(drained) + len(shed) + len(leftovers) == len(offered)
+    # Survivors keep per-port FIFO: the drained+leftover invocation
+    # sequence is a subsequence of the offered invocation sequence.
+    survivors = [e.envelope_id for e in drained + leftovers
+                 if e.port is Port.INVOCATION]
+    offered_inv = [e.envelope_id for e in offered
+                   if e.port is Port.INVOCATION]
+    it = iter(offered_inv)
+    assert all(eid in it for eid in survivors), \
+        f"survivors {survivors} not a subsequence of {offered_inv}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=1, max_value=40),
+       capacity=st.integers(min_value=1, max_value=5))
+def test_suspend_sender_loses_nothing_until_stash_overflows(n, capacity):
+    """Up to ``2 * capacity`` outstanding, SUSPEND_SENDER is lossless."""
+    mb = Mailbox(capacity=capacity, shed_policy=ShedPolicy.SUSPEND_SENDER)
+    shed = []
+    for i in range(n):
+        shed.extend(mb.deliver(env(payload=i)))
+    expected_shed = max(0, n - 2 * capacity)
+    assert len(shed) == expected_shed
+    drained = []
+    while (e := mb.next_ready()) is not None:
+        drained.append(e.message.payload)
+    # Everything that survived comes out in offer order.
+    assert drained == sorted(drained)
+    assert len(drained) == n - expected_shed

@@ -142,12 +142,12 @@ def test_linger_delays_then_flushes():
 
 
 def test_stalled_link_sheds_instead_of_growing():
-    """With no flusher draining, the queue is capped and sheds beyond it."""
+    """With no flusher draining, the data queue is capped and sheds beyond it."""
     async def scenario():
-        frame = encode_frame(FrameKind.HEARTBEAT, {"fill": "x" * 256})
+        frame = encode_frame(FrameKind.ENVELOPE, {"fill": "x" * 256})
         hub = _quiet_hub(max_pending_bytes=len(frame) * 4)
         link = _bench_link(hub)
-        results = [hub.send(1, FrameKind.HEARTBEAT, {"fill": "x" * 256})
+        results = [hub.send(1, FrameKind.ENVELOPE, {"fill": "x" * 256})
                    for _ in range(10)]
         assert results.count(True) == 4 and results.count(False) == 6
         assert link.queue_bytes <= hub.max_pending_bytes
@@ -155,6 +155,106 @@ def test_stalled_link_sheds_instead_of_growing():
         snapshot = hub.metrics_snapshot()
         assert snapshot["frames_shed"] == 6
         assert snapshot["send_buffer_bytes"] == link.queue_bytes
+
+    asyncio.run(scenario())
+
+
+def test_saturated_data_queue_does_not_shed_liveness():
+    """Regression: data saturation used to shed heartbeats too, so a
+    live-but-stalled peer went silent and got falsely suspected.
+    Control frames now ride a separate shed-exempt budget."""
+    async def scenario():
+        frame = encode_frame(FrameKind.ENVELOPE, {"fill": "x" * 256})
+        hub = _quiet_hub(max_pending_bytes=len(frame) * 2)
+        link = _bench_link(hub)
+        # Saturate the data queue: further data frames shed...
+        for _ in range(8):
+            hub.send(1, FrameKind.ENVELOPE, {"fill": "x" * 256})
+        assert link.frames_shed == 6
+        # ...yet heartbeats are still accepted, on their own queue.
+        assert hub.send(1, FrameKind.HEARTBEAT, {"n": 1})
+        assert link.ctrl_queue and link.ctrl_bytes > 0
+        assert link.frames_shed == 6  # unchanged by the heartbeat
+        # The control budget itself is bounded too: a wedged socket
+        # must not grow the control queue without limit.
+        beacon = encode_frame(FrameKind.HEARTBEAT, {"n": 1})
+        limit = hub.ctrl_pending_bytes // len(beacon) + 2
+        results = [hub.send(1, FrameKind.HEARTBEAT, {"n": 1})
+                   for _ in range(limit)]
+        assert False in results
+        assert link.ctrl_bytes <= hub.ctrl_pending_bytes
+        snapshot = hub.metrics_snapshot()
+        assert snapshot["ctrl_buffer_bytes"] == link.ctrl_bytes
+        assert snapshot["send_buffer_bytes"] == link.queue_bytes
+
+    asyncio.run(scenario())
+
+
+# -- credit flow control ----------------------------------------------------------
+
+
+def test_credit_window_pauses_data_and_control_still_flows():
+    """An exhausted credit window pauses the flusher's data path —
+    frames wait in the bounded queue instead of being shed — while
+    control frames keep flowing; a CREDIT grant resumes data."""
+    async def scenario():
+        hub = _quiet_hub(credit_window=4)
+        link = _bench_link(hub)
+        flusher = asyncio.ensure_future(hub._flush_loop(link))
+        for n in range(10):
+            assert hub.send(1, FrameKind.ENVELOPE, {"n": n})
+
+        def envelopes_out():
+            return [p for k, p in _frames(link.writer)
+                    if k == FrameKind.ENVELOPE]
+
+        assert await _poll(lambda: len(envelopes_out()) == 4)
+        await asyncio.sleep(0.05)
+        assert len(envelopes_out()) == 4          # paused, not shed
+        assert len(link.queue) == 6               # waiting, not dropped
+        assert link.frames_shed == 0
+        assert hub.credit_stalls == 1             # one episode, not per-poll
+        # Control frames bypass the gate entirely.
+        assert hub.send(1, FrameKind.HEARTBEAT, {"hb": True})
+        assert await _poll(lambda: any(
+            k == FrameKind.HEARTBEAT for k, _p in _frames(link.writer)))
+        assert len(envelopes_out()) == 4
+        # A grant wakes the flusher and releases exactly that much data.
+        hub._on_credit(link, {"n": 4})
+        assert await _poll(lambda: len(envelopes_out()) == 8)
+        await asyncio.sleep(0.05)
+        assert len(envelopes_out()) == 8
+        # FIFO survived the pause.
+        assert [p["n"] for p in envelopes_out()] == list(range(8))
+        flusher.cancel()
+
+    asyncio.run(scenario())
+
+
+def test_receiver_grants_credit_at_half_window():
+    """Over a real link, the receiver tops the sender's window back up
+    every ``credit_window // 2`` consumed envelopes."""
+    async def scenario():
+        ports = dict(enumerate(_free_ports(2)))
+        received = []
+        a = PeerHub(0, ports, lambda *args: None, credit_window=8)
+        b = PeerHub(1, ports, lambda src, kind, payload, link:
+                    received.append(payload), credit_window=8)
+        try:
+            await a.start()
+            await b.start()
+            assert await _poll(lambda: 1 in a.links and 0 in b.links)
+            for n in range(8):
+                assert a.send(1, FrameKind.ENVELOPE, {"n": n})
+            assert await _poll(lambda: len(received) == 8)
+            # b consumed 8 envelopes = two half-windows -> two grants,
+            # which restore a's window to full.
+            assert await _poll(lambda: a.credit_grants_in >= 2)
+            assert b.credit_grants_out >= 2
+            assert a.data_credit[1] == 8
+        finally:
+            await a.stop()
+            await b.stop()
 
     asyncio.run(scenario())
 
