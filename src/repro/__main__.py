@@ -36,6 +36,15 @@ Commands
     Spawn N localhost node processes, run a shipped example across
     them over real sockets, optionally drill a mid-run node failure
     (quarantine + dead-letter redelivery), and collect snapshots.
+``replay <data-dir> [--until SEQ] [--diff A:B] [--check] [...]``
+    Offline time-travel debugger: re-drive a node's persisted
+    visibility log (``serve --data-dir``) deterministically, inspect
+    the directory at any seq, diff two points in history, run the
+    conformance oracle over the log, and export a Chrome trace.
+``durability [--nodes N] [--wave N] [--probes N] [--out DIR]``
+    Total-crash drill: SIGKILL a whole TCP cluster mid-traffic and
+    prove it recovers from its data directories — directories equal
+    the pre-crash state, dead letters re-adopted, zero silent loss.
 ``version``
     Print the package version.
 """
@@ -261,6 +270,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.net.cluster import cluster_main
 
         return cluster_main(args[1:])
+    if command == "replay":
+        from repro.store.replay import replay_main
+
+        return replay_main(args[1:])
+    if command == "durability":
+        from repro.net.cluster import durability_main
+
+        return durability_main(args[1:])
     if command == "version":
         from repro import __version__
 

@@ -70,6 +70,15 @@ class Directory:
         """Record the capability bound to ``target`` at its creation."""
         self._known_capabilities[target] = capability
 
+    def capability_bindings(self) -> Iterator[tuple[MailAddress, Capability | None]]:
+        """Every known (target, capability) binding, for persistence.
+
+        Includes the implicit bindings seeded by :meth:`add_space`;
+        restoring them with :meth:`bind_capability` reproduces the
+        authorization state exactly.
+        """
+        return iter(self._known_capabilities.items())
+
     def space(self, address: SpaceAddress) -> SpaceRecord:
         """Look up a live space record.
 
@@ -225,6 +234,28 @@ class Directory:
         self._authorize(target, rec, capability)
         if check_cycles and self.would_cycle(target, space):
             raise VisibilityCycleError(target, space)
+        before = rec.epoch
+        entry = rec.register(target, as_paths(attributes), now)
+        self._containers.setdefault(target, set()).add(space)
+        if rec.epoch != before:
+            self._op_count += 1
+        return entry
+
+    def restore_entry(
+        self,
+        target: MailAddress,
+        attributes: "Iterable[AttributePath | str] | AttributePath | str",
+        space: SpaceAddress,
+        now: float = 0.0,
+    ) -> RegistryEntry:
+        """Recovery-only rebuild of a registration.
+
+        Bypasses capability and cycle checks: both were enforced when
+        the op originally applied, and re-checking would require the
+        original *presented* capability, which is deliberately not
+        persisted (only the bindings needed to verify future ops are).
+        """
+        rec = self.space(space)
         before = rec.epoch
         entry = rec.register(target, as_paths(attributes), now)
         self._containers.setdefault(target, set()).add(space)

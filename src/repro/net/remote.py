@@ -223,6 +223,11 @@ class RemoteSequencerBus:
         self.protocol_messages = 0
         self.ops_sequenced = 0
         self.failovers = 0
+        #: Optional :class:`repro.store.NodeStore`: sequenced ops are
+        #: persisted and committed *before* local delivery or fan-out
+        #: (transactional outbox), on both the sequencer and replica
+        #: paths, so a SIGKILL at any instant loses only unapplied ops.
+        self.store = None
 
     # -- origin side -------------------------------------------------------------
 
@@ -275,6 +280,9 @@ class RemoteSequencerBus:
             self.ops_sequenced += 1
             self._sequenced.add((ready.origin_node, ready.origin_seq))
             self.log[seq] = ready
+            if self.store is not None:
+                self.store.append_op(seq, ready)
+                self.store.commit()
             event_log = self.runtime.event_log
             if event_log is not None and event_log.enabled:
                 event_log.emit(
@@ -295,7 +303,14 @@ class RemoteSequencerBus:
 
     def on_op(self, seq: int, op: VisibilityOp) -> None:
         """A globally sequenced op arrived (fan-out or SYNC replay)."""
+        first_sight = seq not in self.log
         self.log[seq] = op
+        if self.store is not None and first_sight:
+            # Outbox on the replica path too: the op is durable here
+            # before the coordinator applies it, so this replica's
+            # recovery never depends on the sequencer's disk.
+            self.store.append_op(seq, op)
+            self.store.commit()
         self._sequenced.add((op.origin_node, op.origin_seq))
         self._expected[op.origin_node] = max(
             self._expected.get(op.origin_node, 0), op.origin_seq + 1)
@@ -322,6 +337,21 @@ class RemoteSequencerBus:
         coordinator.on_bus_delivery(seq, local if local is not None else op)
 
     # -- state transfer ----------------------------------------------------------
+
+    def restore_log(self, ops: dict[int, VisibilityOp]) -> None:
+        """Rebuild bus state from persisted ops (recovery, pre-serve).
+
+        Restores the log (so this node can serve SYNC_REQ and continue
+        the order if elected sequencer), the dedup set, and the
+        per-origin FIFO watermarks — without delivering anything: the
+        caller replays ops into the coordinator separately.
+        """
+        for seq, op in ops.items():
+            self.log.setdefault(seq, op)
+            self._sequenced.add((op.origin_node, op.origin_seq))
+            self._expected[op.origin_node] = max(
+                self._expected.get(op.origin_node, 0), op.origin_seq + 1)
+        self._next_seq = max(self._next_seq, max(self.log, default=-1) + 1)
 
     def request_sync(self) -> None:
         """Ask the current sequencer to replay the log we have not applied."""

@@ -220,6 +220,9 @@ class NodeRuntime:
         breaker_window: float = 1.0,
         breaker_cooldown: float = 0.5,
         credit_window: int | None = None,
+        data_dir: str | None = None,
+        fsync: str = "commit",
+        snapshot_interval: float = 30.0,
     ):
         rebase_wire_counters(node_id)
         self.node_id = node_id
@@ -313,6 +316,72 @@ class NodeRuntime:
             "telemetry": self._ctl_telemetry,
             "shutdown": self._ctl_shutdown,
         }
+
+        # Durability: open the data directory, recover the previous
+        # incarnation's state, then attach the store as a transactional
+        # outbox (attachment happens *after* recovery so the replayed
+        # suffix is not re-persisted as fresh records).
+        self.data_dir = data_dir
+        self.snapshot_interval = snapshot_interval
+        self.store = None
+        self.recovery: dict | None = None
+        if data_dir is not None:
+            from repro.store import NodeStore
+            from repro.store.recovery import restore_node
+
+            self.store = NodeStore(data_dir, fsync=fsync)
+            recovered = self.store.load()
+            if not recovered.empty:
+                self.recovery = restore_node(
+                    self.node_id, self.coordinator, self.dead_letters,
+                    recovered, store=self.store)
+                self.bus.restore_log(recovered.ops)
+                # The log may be truncated below the snapshot; the
+                # persisted per-origin watermarks keep wire dedup exact
+                # even for origins whose every op predates the snapshot.
+                snap = recovered.snapshot or {}
+                for origin, floor in snap.get("expected", {}).items():
+                    self.bus._expected[origin] = max(
+                        self.bus._expected.get(origin, 0), floor)
+                self.event_log.emit(
+                    "node_recovered", self.clock.now, self.node_id,
+                    **self.recovery)
+                self._log(f"recovered from {data_dir}: {self.recovery}")
+            self.bus.store = self.store
+            self.dead_letters.store = self.store
+            # A fresh snapshot caps the recovery cost of the *next*
+            # restart even if this process dies before the first
+            # periodic snapshot fires.
+            if self.recovery is not None:
+                self.write_snapshot_now()
+
+    # -- durability --------------------------------------------------------------
+
+    def write_snapshot_now(self) -> str | None:
+        """Write a directory snapshot and truncate superseded segments."""
+        if self.store is None:
+            return None
+        from repro.store.recovery import snapshot_state
+
+        state = snapshot_state(
+            self.node_id, self.coordinator, self.dead_letters,
+            extra={"expected": dict(self.bus._expected)})
+        path = self.store.write_snapshot(
+            self.coordinator._next_apply_seq, state)
+        self.event_log.emit(
+            "snapshot_written", self.clock.now, self.node_id,
+            applied_seq=self.coordinator._next_apply_seq)
+        return path
+
+    async def _snapshot_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.snapshot_interval)
+            if self._stopping:
+                return
+            try:
+                self.write_snapshot_now()
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                self._log(f"snapshot failed: {exc!r}")
 
     # -- system-facade duck typing ----------------------------------------------
 
@@ -467,17 +536,31 @@ class NodeRuntime:
         self._log(f"listening on {self.hub.host}:{self.hub.ports[self.node_id]} "
                   f"peers={[n for n in self.nodes if n != self.node_id]}")
         heartbeats = asyncio.ensure_future(self._heartbeat_loop())
+        snapshots = None
+        if self.store is not None and self.snapshot_interval > 0:
+            snapshots = asyncio.ensure_future(self._snapshot_loop())
         if ready is not None:
             ready.set()
         try:
             await self._pump()
         finally:
-            heartbeats.cancel()
-            try:
-                await heartbeats
-            except asyncio.CancelledError:
-                pass
+            for task in (heartbeats, snapshots):
+                if task is None:
+                    continue
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
             await self.hub.stop(drain=True)
+            if self.store is not None:
+                # Orderly exit: fold everything into a final snapshot so
+                # the next start replays nothing.  A SIGKILL skips this,
+                # which is exactly what the recovery path is for.
+                try:
+                    self.write_snapshot_now()
+                finally:
+                    self.store.close()
             self.event_log.close()
 
     def request_shutdown(self) -> None:
@@ -599,6 +682,10 @@ class NodeRuntime:
                          if self.admission is not None else None,
             "clock": self.hub.clock_sync.snapshot(),
             "bus": self.bus.metrics_snapshot(),
+            "store": self.store.metrics_snapshot()
+                     if self.store is not None else None,
+            "recovery": self.recovery,
+            "dlq_recovered": self.dead_letters.recovered_total,
         }
 
     def _ctl_create_space(self, attributes=None, parent=None, capability=None):
@@ -743,6 +830,7 @@ class NodeRuntime:
             "queued": self.dead_letters.queued_total,
             "redelivered": self.dead_letters.redelivered_total,
             "expired": self.dead_letters.expired_total,
+            "recovered": self.dead_letters.recovered_total,
         }
 
     def _ctl_shutdown(self):

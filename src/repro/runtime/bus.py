@@ -116,6 +116,12 @@ class Bus:
         #: coordinator can be brought up to date (state transfer); a real
         #: deployment would truncate it at the all-applied watermark.
         self.log: dict[int, VisibilityOp] = {}
+        #: Optional :class:`repro.store.NodeStore`.  When attached, every
+        #: sequenced op is persisted and committed before local delivery
+        #: is scheduled (transactional outbox), and ``replay_to`` can
+        #: fall back to disk when no live replica can source a transfer.
+        self.store = None
+        self.disk_replays = 0
 
     def submit(self, op: VisibilityOp) -> None:  # pragma: no cover - abstract
         """Accept ``op`` from its origin coordinator for global ordering."""
@@ -152,10 +158,15 @@ class Bus:
         from repro.core.errors import NodeDownError, TransportError
 
         pending = sorted(s for s in self.log if s >= from_seq)
-        if not pending:
-            return 0
         live = self.live_nodes()
         sources = [n for n in live if n != node] or ([node] if node in live else [])
+        if not sources and self.store is not None:
+            # The disk may hold ops the in-memory log cannot see (a fresh
+            # process starts with an empty log), so consult it whenever no
+            # live replica can source the transfer.
+            return self._replay_from_store(node, from_seq)
+        if not pending:
+            return 0
         if not sources:
             raise NodeDownError(
                 f"no live replica can source state transfer to node {node}"
@@ -175,6 +186,34 @@ class Bus:
                 (lambda n=node, s=seq, o=op: self.deliver(n, s, o)),
                 priority=BUS_PRIORITY,
                 tag=("bus", node),
+            )
+        return count
+
+    def _replay_from_store(self, node: int, from_seq: int) -> int:
+        """State transfer from the persisted log when no replica lives.
+
+        Before the store existed this case was a hard
+        :class:`NodeDownError` — ops pending, nobody alive to send them —
+        even though the recovering node itself had every op on disk.
+        Disk replay schedules the missed ops locally (no network to
+        cross, so they land at the next tick) through the same hold-back
+        path as a live transfer.
+        """
+        count = 0
+        for seq, op in self.store.read_ops(from_seq):
+            self.log.setdefault(seq, op)
+            count += 1
+            self.events.schedule(
+                self.clock.now,
+                (lambda n=node, s=seq, o=op: self.deliver(n, s, o)),
+                priority=BUS_PRIORITY,
+                tag=("bus", node),
+            )
+        self.disk_replays += 1
+        if self.event_log is not None and self.event_log.enabled:
+            self.event_log.emit(
+                "bus_disk_replay", self.clock.now, node, None,
+                from_seq=from_seq, ops=count,
             )
         return count
 
@@ -207,6 +246,11 @@ class Bus:
         from repro.core.errors import TransportError
 
         self.log[seq] = op
+        if self.store is not None:
+            # Transactional outbox: the op is durable before any replica
+            # sees it, so a crash can only lose ops nobody applied.
+            self.store.append_op(seq, op)
+            self.store.commit()
         if self.event_log is not None and self.event_log.enabled:
             self.event_log.emit(
                 "bus_sequenced", self.clock.now, from_node, None,

@@ -241,6 +241,12 @@ class DeadLetterQueue:
         self.queued_total = 0
         self.redelivered_total = 0
         self.expired_total = 0
+        #: Optional :class:`repro.store.NodeStore` — when attached, the
+        #: letter lifecycle (capture / resolve / expire) is journaled so
+        #: a restart re-adopts exactly the still-pending letters.
+        self.store = None
+        #: Letters re-adopted from disk by the last recovery.
+        self.recovered_total = 0
 
     # -- capture ----------------------------------------------------------------
 
@@ -263,6 +269,10 @@ class DeadLetterQueue:
         )
         queue.append(letter)
         self.queued_total += 1
+        if self.store is not None:
+            self.store.append_dlq_capture(
+                envelope, dst_node, reason, attempts, letter.queued_at)
+            self.store.commit()
         self.system.tracer.on_dead_letter(
             "queued", envelope, node=dst_node, t=self.system.clock.now,
             reason=reason, attempts=attempts,
@@ -301,11 +311,21 @@ class DeadLetterQueue:
         """
         if self._attempts:
             self._attempts.pop(envelope_id, None)
+        if self.store is not None:
+            # The store only journals ids it has persisted as captured
+            # (this method fires on *every* mailbox landing, captured or
+            # not — the store-side guard stops the write amplification).
+            if self.store.append_dlq_resolve(envelope_id):
+                self.store.commit()
 
     def _expire(self, envelope: Envelope, dst_node: int, reason: str,
                 attempts: int) -> None:
         self.expired_total += 1
         self._attempts.pop(envelope.envelope_id, None)
+        if self.store is not None:
+            if self.store.append_dlq_expire(envelope.envelope_id, reason,
+                                            attempts):
+                self.store.commit()
         self.system.tracer.on_dead_letter(
             "expired", envelope, node=dst_node, t=self.system.clock.now,
             reason=reason, attempts=attempts,
@@ -357,6 +377,28 @@ class DeadLetterQueue:
         target = letter.envelope.target
         assert target is not None
         system.coordinators[dst]._route(letter.envelope, target)
+
+    # -- recovery ---------------------------------------------------------------
+
+    def adopt(self, envelope: Envelope, dst_node: int, reason: str,
+              queued_at: float = 0.0, attempts: int = 0) -> DeadLetter:
+        """Re-insert a letter recovered from disk, bypassing capture.
+
+        Capture would re-journal the letter (and re-count it in
+        ``queued_total``); adoption restores the in-memory shape exactly
+        as the snapshot/journal recorded it.  Redelivery happens through
+        the ordinary ``flush``/recovery edges afterwards.
+        """
+        letter = DeadLetter(envelope, dst_node, reason, queued_at, attempts)
+        self._queues.setdefault(dst_node, deque()).append(letter)
+        if attempts:
+            self._attempts[envelope.envelope_id] = attempts
+        self.recovered_total += 1
+        return letter
+
+    def queues(self) -> dict[int, deque]:
+        """The live per-destination queues (read-only use: snapshots)."""
+        return self._queues
 
     # -- introspection ----------------------------------------------------------
 

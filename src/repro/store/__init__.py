@@ -1,0 +1,96 @@
+"""Durable storage: the event-sourced bus log, snapshots, and recovery.
+
+This package is the README of the durability layer.  It persists the two
+pieces of node state the paper's open-system stance (§2, §7) needs to
+survive a full restart: the **sequenced visibility log** (the total order
+every replica applied, §7.3) and the **dead-letter queue** (envelopes
+parked for redelivery).  Directories themselves are *derived* state —
+they are rebuilt by replaying the log — so what goes to disk is the
+event-sourcing classic: an append-only log plus periodic snapshots.
+
+Layout of a node's data directory::
+
+    <data-dir>/
+        log/
+            seg-00000001.log      append-only record segments
+            seg-00000002.log
+            ...
+        snapshot-000000000000000042.snap    state at applied seq 42
+        snapshot-*.snap.tmp                 in-progress writes (ignored)
+
+Record format (``segment.py``)
+------------------------------
+Every record is ``u32 length | u32 crc32 | payload`` where ``payload``
+is one value in the deterministic closed-world wire encoding of
+:mod:`repro.net.codec` — the same bytes that cross sockets are the bytes
+that hit disk, so everything the cluster can say is persistable and
+nothing else is (no pickle, ever).  The CRC covers the payload; a record
+either decodes completely and passes its checksum, or it is not a record.
+Readers salvage the longest valid prefix of each segment, report honest
+``records_dropped`` / ``bytes_dropped`` counts for what they could not
+trust, and never raise on corrupt input (:func:`segment.scan_segments`).
+
+Durability contract (fsync-on-commit batching)
+----------------------------------------------
+Appends buffer in memory; :meth:`NodeStore.commit` writes the whole
+batch with one ``write()`` and — under the default ``fsync="commit"``
+policy — one ``fsync()``.  The write path is a transactional outbox: the
+bus persists **and commits** a sequenced op *before* delivering it to
+the local coordinator, so any state a crash can lose is state that was
+never applied.  Concretely:
+
+* ``fsync="commit"`` — every commit is fsynced.  A record returned by
+  recovery was durable at the moment its commit call returned; this is
+  the policy ``repro serve --data-dir`` runs with.
+* ``fsync="batch"``  — commits ``flush()`` to the OS but fsync at most
+  once per ``batch_interval`` seconds.  Survives process crashes, may
+  lose the last interval on power loss.  For benchmarks and drills.
+* ``fsync="never"``  — flush only.  Measurement baseline.
+
+Snapshots (``snapshot.py``) are epoch-stamped by the applied sequence
+number, written to a temporary file, fsynced, then atomically
+``rename()``d into place (the directory entry is fsynced too), so a
+crash mid-snapshot leaves the previous snapshot intact.  After a
+successful snapshot the store rotates its segment and deletes closed
+segments whose ops are entirely below the snapshot seq — log truncation
+without ever touching the live tail.
+
+Recovery (``recovery.py``) rebuilds a node as *snapshot + log suffix
+replay*: restore the directory/managers/capabilities/DLQ from the
+snapshot, then re-drive every persisted op at or past the snapshot's
+applied seq through the coordinator's ordinary hold-back application
+path.  Origin sequence numbers and the address-factory serial are
+resynced from persisted state, so a restarted node continues minting
+where its previous incarnation stopped instead of ghost re-registering
+colliding addresses.
+
+On top of the same bytes, ``replay.py`` implements ``python -m repro
+replay`` — an offline deterministic time-travel debugger (``--until``,
+``--diff``, Chrome-trace export) whose canonical state export is
+byte-identical across runs; ``repro check --log`` re-drives a persisted
+log against the §5 reference model.
+
+What is *not* persisted: actor behaviors and mailboxes (code and
+in-flight conversation die with the process — the paper's actors are
+not durable objects), parked pattern messages, and quarantine masks
+(the failure detector re-derives them).
+"""
+
+from __future__ import annotations
+
+from .node_store import NodeStore, RecoveredState
+from .recovery import restore_node, snapshot_state
+from .segment import ReadReport, SegmentWriter, scan_segments
+from .snapshot import load_latest_snapshot, write_snapshot
+
+__all__ = [
+    "NodeStore",
+    "RecoveredState",
+    "ReadReport",
+    "SegmentWriter",
+    "scan_segments",
+    "load_latest_snapshot",
+    "write_snapshot",
+    "restore_node",
+    "snapshot_state",
+]

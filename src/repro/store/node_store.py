@@ -1,0 +1,336 @@
+"""The per-node durable store: op log + DLQ journal + snapshots.
+
+``NodeStore`` owns one data directory (see the package docstring for
+layout) and exposes the transactional-outbox write path the buses and
+the dead-letter queue hook into:
+
+* ``append_op(seq, op)`` / ``commit()`` — persist a sequenced visibility
+  op.  The bus calls commit *before* delivering the op locally, so an op
+  a recovered node replays was durable before it ever applied.
+* ``append_dlq_*`` — journal dead-letter lifecycle events (capture,
+  retry, resolve, expire).  Each carries a monotonically increasing
+  event number ``n``; snapshots record the highest ``n`` folded in, so
+  recovery applies only the journal suffix and a letter never
+  double-adopts.
+* ``write_snapshot(applied_seq, state)`` — install a snapshot, rotate
+  the live segment, and truncate closed segments made redundant by it.
+
+Record shapes on disk (all values closed-world codec-encodable)::
+
+    {"rec": "op",  "seq": int, "op": VisibilityOp}
+    {"rec": "dlq", "n": int, "kind": "capture"|"retry",
+     "envelope": Envelope, "dst": int, "reason": str,
+     "attempts": int, "queued_at": float}
+    {"rec": "dlq", "n": int, "kind": "resolve", "id": int}
+    {"rec": "dlq", "n": int, "kind": "expire",  "id": int,
+     "reason": str, "attempts": int}
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .segment import ReadReport, SegmentWriter, fsync_dir, scan_segment
+from .snapshot import (
+    list_snapshots,
+    load_latest_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+
+_SEG_RE = re.compile(r"^seg-(\d{8})\.log$")
+
+#: Rotate the live segment once it grows past this many bytes (also
+#: rotated unconditionally at snapshot time, so truncation has a clean
+#: pre-snapshot/post-snapshot boundary).
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+def segment_paths(data_dir: str) -> list[str]:
+    """Segment files in a data directory, oldest first."""
+    log_dir = os.path.join(data_dir, "log")
+    try:
+        names = sorted(n for n in os.listdir(log_dir) if _SEG_RE.match(n))
+    except OSError:
+        return []
+    return [os.path.join(log_dir, n) for n in names]
+
+
+def load_data_dir(data_dir: str) -> "RecoveredState":
+    """Read-only salvage of a data directory (no writer is opened).
+
+    Used by ``NodeStore.load`` at startup and by the offline replay
+    debugger, which must never mutate the directory it inspects.
+    """
+    out = RecoveredState()
+    snap = load_latest_snapshot(data_dir, out.report)
+    dlq_floor = 0
+    if snap is not None:
+        out.snapshot_seq, out.snapshot = snap
+        dlq_floor = out.snapshot.get("dlq_event_seq", 0)
+    events: dict[int, dict] = {}
+    for path in segment_paths(data_dir):
+        for rec in scan_segment(path, out.report):
+            if not isinstance(rec, dict):
+                continue
+            if rec.get("rec") == "op":
+                out.ops[rec["seq"]] = rec["op"]
+            elif rec.get("rec") == "dlq" and rec["n"] > dlq_floor:
+                events[rec["n"]] = rec
+    out.dlq_events = [events[n] for n in sorted(events)]
+    return out
+
+
+def read_ops_from_dir(data_dir: str, from_seq: int = 0) -> list[tuple[int, Any]]:
+    """Persisted ops with seq >= from_seq from a data directory."""
+    ops: dict[int, Any] = {}
+    for path in segment_paths(data_dir):
+        report = ReadReport()
+        for rec in scan_segment(path, report):
+            if isinstance(rec, dict) and rec.get("rec") == "op" \
+                    and rec["seq"] >= from_seq:
+                ops[rec["seq"]] = rec["op"]
+    return sorted(ops.items())
+
+
+@dataclass
+class RecoveredState:
+    """Everything ``NodeStore.load`` salvages from disk."""
+
+    snapshot_seq: int = -1            # applied_seq of the snapshot, -1 if none
+    snapshot: dict | None = None
+    ops: dict[int, Any] = field(default_factory=dict)     # seq -> VisibilityOp
+    dlq_events: list[dict] = field(default_factory=list)  # journal suffix, by n
+    report: ReadReport = field(default_factory=ReadReport)
+
+    @property
+    def max_seq(self) -> int:
+        """Highest persisted op seq (committed-durable watermark)."""
+        return max(self.ops, default=self.snapshot_seq)
+
+    @property
+    def empty(self) -> bool:
+        return self.snapshot is None and not self.ops and not self.dlq_events
+
+
+class NodeStore:
+    """Append-only durable store for one node's data directory."""
+
+    def __init__(self, data_dir: str, *, fsync: str = "commit",
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 batch_interval: float = 0.05):
+        self.data_dir = data_dir
+        self.log_dir = os.path.join(data_dir, "log")
+        os.makedirs(self.log_dir, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.batch_interval = batch_interval
+        self._last_sync = time.monotonic()
+        # DLQ journal bookkeeping: monotone event counter, plus the set
+        # of envelope ids currently persisted as captured.  resolve/
+        # expire records are written only for ids in this set —
+        # note_delivered fires on *every* mailbox landing, and without
+        # the guard ordinary traffic would write-amplify the journal.
+        self._dlq_seq = 0
+        self._dlq_pending: set[int] = set()
+        # metrics
+        self.ops_appended = 0
+        self.dlq_appended = 0
+        self.commits = 0
+        self.bytes_written = 0
+        self.snapshots_written = 0
+        self.segments_truncated = 0
+        self._closed_segments: list[tuple[str, int]] = []  # (path, max_op_seq)
+        self._writer: SegmentWriter | None = None
+        self._live_max_op_seq = -1
+        self._scan_existing_segments()
+        self._open_segment(next_index=self._next_segment_index)
+
+    # -- segment lifecycle ---------------------------------------------------
+
+    def _scan_existing_segments(self) -> None:
+        """Index pre-existing segments (recovery path) as closed history."""
+        self._next_segment_index = 1
+        for name in sorted(os.listdir(self.log_dir)):
+            m = _SEG_RE.match(name)
+            if not m:
+                continue
+            self._next_segment_index = int(m.group(1)) + 1
+            path = os.path.join(self.log_dir, name)
+            report = ReadReport()
+            max_seq = -1
+            for rec in scan_segment(path, report):
+                if isinstance(rec, dict) and rec.get("rec") == "op":
+                    max_seq = max(max_seq, rec["seq"])
+                elif isinstance(rec, dict) and rec.get("rec") == "dlq":
+                    self._dlq_seq = max(self._dlq_seq, rec["n"])
+            self._closed_segments.append((path, max_seq))
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.log_dir, f"seg-{index:08d}.log")
+
+    def _open_segment(self, next_index: int) -> None:
+        self._writer = SegmentWriter(self._segment_path(next_index),
+                                     fsync=self.fsync)
+        self._next_segment_index = next_index + 1
+        self._live_max_op_seq = -1
+        fsync_dir(self.log_dir)
+
+    def _rotate(self) -> None:
+        writer = self._writer
+        writer.close()
+        self._closed_segments.append((writer.path, self._live_max_op_seq))
+        self._open_segment(self._next_segment_index)
+
+    # -- write path ----------------------------------------------------------
+
+    def append_op(self, seq: int, op: Any) -> None:
+        self._writer.append({"rec": "op", "seq": seq, "op": op})
+        self._live_max_op_seq = max(self._live_max_op_seq, seq)
+        self.ops_appended += 1
+
+    def _append_dlq(self, record: dict) -> None:
+        self._dlq_seq += 1
+        record["rec"] = "dlq"
+        record["n"] = self._dlq_seq
+        self._writer.append(record)
+        self.dlq_appended += 1
+
+    def append_dlq_capture(self, envelope: Any, dst: int, reason: str,
+                           attempts: int, queued_at: float) -> None:
+        """Journal a (re-)capture.  A capture of an id already pending is
+        recorded as a ``retry`` — an update to the existing letter, not a
+        new one — so recovery's queued_total accounting stays honest."""
+        retry = envelope.envelope_id in self._dlq_pending
+        self._append_dlq({
+            "kind": "retry" if retry else "capture",
+            "envelope": envelope, "dst": dst, "reason": reason,
+            "attempts": attempts, "queued_at": queued_at,
+        })
+        self._dlq_pending.add(envelope.envelope_id)
+
+    def append_dlq_resolve(self, envelope_id: int) -> bool:
+        """Journal a delivery for a persisted letter; False if unknown."""
+        if envelope_id not in self._dlq_pending:
+            return False
+        self._dlq_pending.discard(envelope_id)
+        self._append_dlq({"kind": "resolve", "id": envelope_id})
+        return True
+
+    def append_dlq_expire(self, envelope_id: int, reason: str,
+                          attempts: int) -> bool:
+        if envelope_id not in self._dlq_pending:
+            return False
+        self._dlq_pending.discard(envelope_id)
+        self._append_dlq({"kind": "expire", "id": envelope_id,
+                          "reason": reason, "attempts": attempts})
+        return True
+
+    def adopt_pending(self, envelope_ids) -> None:
+        """Seed the pending-letter guard after recovery re-adoption."""
+        self._dlq_pending.update(envelope_ids)
+
+    def commit(self) -> int:
+        """Make all staged appends durable per the fsync policy."""
+        writer = self._writer
+        before = writer.size
+        n = writer.commit()
+        self.bytes_written += writer.size - before
+        if n:
+            self.commits += 1
+            if self.fsync == "batch":
+                now = time.monotonic()
+                if now - self._last_sync >= self.batch_interval:
+                    writer.sync()
+                    self._last_sync = now
+        if writer.size >= self.segment_bytes:
+            self._rotate()
+        return n
+
+    # -- snapshots + truncation ----------------------------------------------
+
+    def write_snapshot(self, applied_seq: int, state: dict) -> str:
+        """Install a snapshot and truncate segments it supersedes.
+
+        The live segment is rotated first, so every closed segment
+        predates the snapshot; a closed segment is deleted when its
+        highest op seq is below the *oldest retained* snapshot's seq —
+        not this one's.  We keep two snapshots so that recovery can fall
+        back past a corrupt newest one, and that fallback needs the log
+        suffix between the two snapshots to still exist.  (A deleted
+        segment's DLQ records are superseded too — every retained
+        snapshot embeds full pending-letter state and the journal
+        high-water mark.)
+        """
+        state = dict(state)
+        state["dlq_event_seq"] = self._dlq_seq
+        path = write_snapshot(self.data_dir, applied_seq, state)
+        self.snapshots_written += 1
+        if self._writer.pending or self._writer.size:
+            self._rotate()
+        prune_snapshots(self.data_dir, keep=2)
+        snaps = list_snapshots(self.data_dir)
+        retained_floor = snaps[0][0] if snaps else applied_seq
+        survivors = []
+        for seg_path, max_op_seq in self._closed_segments:
+            if max_op_seq < retained_floor:
+                try:
+                    os.remove(seg_path)
+                    self.segments_truncated += 1
+                except OSError:
+                    survivors.append((seg_path, max_op_seq))
+            else:
+                survivors.append((seg_path, max_op_seq))
+        self._closed_segments = survivors
+        fsync_dir(self.log_dir)
+        return path
+
+    # -- read path -----------------------------------------------------------
+
+    def load(self) -> RecoveredState:
+        """Salvage snapshot + log into a :class:`RecoveredState`.
+
+        Safe to call on a live store (reads only closed bytes), but the
+        intended use is at startup before any appends.
+        """
+        return load_data_dir(self.data_dir)
+
+    def read_ops(self, from_seq: int = 0) -> list[tuple[int, Any]]:
+        """Persisted ops with seq >= from_seq, in seq order.
+
+        Flushes the live segment first so the read sees every committed
+        record; used by the bus's disk-replay fallback.
+        """
+        if self._writer is not None:
+            self._writer.commit()
+        return read_ops_from_dir(self.data_dir, from_seq)
+
+    # -- misc ----------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        writer = self._writer
+        return {
+            "ops_appended": self.ops_appended,
+            "dlq_appended": self.dlq_appended,
+            "commits": self.commits,
+            "fsyncs": writer.fsyncs if writer else 0,
+            "bytes_written": self.bytes_written,
+            "snapshots_written": self.snapshots_written,
+            "segments_truncated": self.segments_truncated,
+            "segments": len(self._closed_segments) + 1,
+            "dlq_pending": len(self._dlq_pending),
+            "fsync_policy": self.fsync,
+        }
+
+    @property
+    def latest_snapshot_seq(self) -> int:
+        snaps = list_snapshots(self.data_dir)
+        return snaps[-1][0] if snaps else -1
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()

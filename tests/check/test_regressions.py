@@ -79,6 +79,69 @@ class TestShrunkTraces:
             ]))
 
 
+class TestRecoveryResume:
+    def test_recovery_then_resume_stays_conformant(self):
+        """A recovered replica must *resume* the order, not restart it.
+
+        Shrunk from the durability drill: churn lands while node 1 is
+        down, node 1 recovers via state transfer, then continues issuing
+        its own ops — the resumed origin numbering has to extend the
+        pre-crash sequence or the oracle sees a ghost re-registration.
+        """
+        conforms(Scenario(
+            nodes=2, bus="sequencer", seed=9, unmatched="suspend",
+            commands=[
+                {"op": "actor", "name": "a0", "node": 1},
+                {"op": "vis", "target": "a0", "attrs": ["pre"],
+                 "space": "ROOT", "node": 1},
+                {"op": "detector", "duration": 4.0},
+                {"op": "crash", "node": 1},
+                {"op": "actor", "name": "a1", "node": 0},
+                {"op": "vis", "target": "a1", "attrs": ["during"],
+                 "space": "ROOT", "node": 0},
+                {"op": "recover", "node": 1},
+                {"op": "actor", "name": "a2", "node": 1},
+                {"op": "vis", "target": "a2", "attrs": ["post"],
+                 "space": "ROOT", "node": 1},
+                {"op": "settle"},
+            ]))
+
+    def test_crash_cycle_log_passes_offline_oracle(self, tmp_path):
+        """What a crash/recover cycle persists must replay as history.
+
+        Bridges the live harness and the durability layer: the same
+        churn as above runs with a store attached, and the bytes left on
+        disk are handed to the *offline* oracle (``check_recovered``) —
+        so recovery-then-resume is checked twice, once live and once
+        from its own persisted log.
+        """
+        from repro.check.logcheck import check_recovered
+        from repro.store import NodeStore
+        from repro.store.node_store import load_data_dir
+
+        system = ActorSpaceSystem(topology=Topology.lan(2), seed=9)
+        store = NodeStore(str(tmp_path))
+        system.bus.store = store
+        pre = system.create_actor(lambda ctx, m: None, node=1)
+        system.make_visible(pre, "pre", node=1)
+        system.run()
+        system.crash_node(1)
+        during = system.create_actor(lambda ctx, m: None, node=0)
+        system.make_visible(during, "during", node=0)
+        system.run()
+        system.recover_node(1)
+        post = system.create_actor(lambda ctx, m: None, node=1)
+        system.make_visible(post, "post", node=1)
+        system.run()
+        assert system.replicas_coherent()
+        store.close()
+
+        recovered = load_data_dir(str(tmp_path))
+        assert recovered.report.clean
+        assert len(recovered.ops) == len(system.bus.log)
+        assert check_recovered(recovered) == []
+
+
 class TestMailboxPumpRestart:
     def test_backlog_accepted_before_crash_is_processed_after_recovery(self):
         """Processing events swallowed during a crash must restart.

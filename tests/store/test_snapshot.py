@@ -1,0 +1,112 @@
+"""Tests: snapshots, log truncation, and snapshot+suffix restoration."""
+
+import os
+
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.store import NodeStore
+from repro.store.node_store import load_data_dir, segment_paths
+from repro.store.recovery import restore_node, snapshot_state
+from repro.store.snapshot import list_snapshots, load_latest_snapshot
+
+from .workload import noop, run_persisted_workload
+
+
+def take_snapshot(system, store, node=0):
+    state = snapshot_state(node, system.coordinators[node],
+                           system.dead_letters)
+    store.write_snapshot(state["applied_seq"], state)
+    return state
+
+
+class TestSnapshotRestore:
+    def test_snapshot_truncates_prefix_and_restores_exactly(self, tmp_path):
+        system, store = run_persisted_workload(str(tmp_path), seed=3, n_ops=20)
+        state = take_snapshot(system, store)
+        assert state["applied_seq"] > 0
+        # Post-snapshot churn becomes the replayable suffix.
+        for i in range(3):
+            actor = system.create_actor(noop, node=i % 2)
+            system.make_visible(actor, f"late/{i}", node=i % 2)
+        system.run()
+        store.close()
+
+        recovered = load_data_dir(str(tmp_path))
+        assert recovered.snapshot_seq == state["applied_seq"]
+        # Rotation-at-snapshot made truncation exact: every surviving
+        # persisted op is at or past the snapshot boundary.
+        assert recovered.ops
+        assert min(recovered.ops) >= state["applied_seq"]
+        assert store.segments_truncated >= 1
+
+        system2 = ActorSpaceSystem(topology=Topology.lan(2), seed=3)
+        summary = restore_node(0, system2.coordinators[0],
+                               system2.dead_letters, recovered)
+        assert summary["ops_replayed"] == len(recovered.ops)
+        assert system2.directory_of(0).snapshot() == \
+            system.directory_of(0).snapshot()
+        # Sequence factories resync: no ghost re-registration, no address
+        # collisions with the previous incarnation.
+        assert system2.coordinators[0]._next_apply_seq == \
+            system.coordinators[0]._next_apply_seq
+        assert system2.coordinators[0]._next_origin_seq >= \
+            system.coordinators[0]._next_origin_seq
+        assert system2.coordinators[0].addresses._next_serial >= \
+            system.coordinators[0].addresses._next_serial
+
+    def test_corrupt_newest_snapshot_falls_back_to_older(self, tmp_path):
+        system, store = run_persisted_workload(str(tmp_path), seed=4, n_ops=12)
+        take_snapshot(system, store)
+        actor = system.create_actor(noop, node=0)
+        system.make_visible(actor, "after/first")
+        system.run()
+        second = take_snapshot(system, store)
+        store.close()
+
+        snaps = list_snapshots(str(tmp_path))
+        assert len(snaps) == 2  # prune keeps two
+        # Corrupt the newest; loading must fall back, honestly reported.
+        with open(snaps[-1][1], "r+b") as fh:
+            fh.seek(10)
+            fh.write(b"\xff\xff\xff")
+        recovered = load_data_dir(str(tmp_path))
+        assert recovered.snapshot_seq == snaps[0][0] < second["applied_seq"]
+        assert not recovered.report.clean
+        # The older snapshot plus a longer suffix still restores — but
+        # only the ops the (now-shorter) log retains.
+        system2 = ActorSpaceSystem(topology=Topology.lan(2), seed=4)
+        restore_node(0, system2.coordinators[0], system2.dead_letters,
+                     recovered)
+        expected_dir = system.directory_of(0).snapshot()
+        assert system2.directory_of(0).snapshot() == expected_dir
+
+    def test_no_tmp_files_survive_installation(self, tmp_path):
+        system, store = run_persisted_workload(str(tmp_path), seed=5, n_ops=8)
+        take_snapshot(system, store)
+        store.close()
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_half_written_tmp_is_ignored(self, tmp_path):
+        system, store = run_persisted_workload(str(tmp_path), seed=6, n_ops=8)
+        state = take_snapshot(system, store)
+        store.close()
+        # A crash mid-install leaves a .tmp; it must not shadow the real one.
+        tmp_file = os.path.join(
+            str(tmp_path), f"snapshot-{state['applied_seq'] + 5:020d}.snap.tmp")
+        with open(tmp_file, "wb") as fh:
+            fh.write(b"garbage")
+        loaded = load_latest_snapshot(str(tmp_path))
+        assert loaded is not None and loaded[0] == state["applied_seq"]
+
+    def test_segment_rotation_by_size(self, tmp_path):
+        _system, store = run_persisted_workload(
+            str(tmp_path), seed=8, n_ops=25, segment_bytes=512)
+        store.close()
+        # Tiny segment cap: the workload must have rolled several segments,
+        # and the multi-segment log still recovers in order.
+        assert len(segment_paths(str(tmp_path))) >= 2
+        recovered = load_data_dir(str(tmp_path))
+        assert recovered.report.clean
+        seqs = sorted(recovered.ops)
+        assert seqs == list(range(len(seqs)))

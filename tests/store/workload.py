@@ -1,0 +1,78 @@
+"""Shared driver: a seeded simulator workload persisted through a NodeStore.
+
+Every durability test needs the same thing — a bus log on disk whose
+in-memory twin is known — so the generator lives here once.  The
+workload mixes all visibility op kinds (including submissions that the
+apply path rejects, which must round-trip through the log as rejected
+ops, not disappear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ActorSpaceError
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.store import NodeStore
+
+
+def noop(ctx, message):
+    pass
+
+
+def run_persisted_workload(data_dir, seed=0, n_ops=30, nodes=2,
+                           fsync="commit", segment_bytes=None):
+    """Drive a seeded mixed workload with a store attached to the bus.
+
+    Returns ``(system, store)``; the caller closes the store (or crashes
+    it deliberately by not doing so).
+    """
+    system = ActorSpaceSystem(topology=Topology.lan(nodes), seed=seed)
+    kwargs = {"fsync": fsync}
+    if segment_bytes is not None:
+        kwargs["segment_bytes"] = segment_bytes
+    store = NodeStore(data_dir, **kwargs)
+    system.bus.store = store
+    rng = np.random.default_rng(seed)
+    spaces = [system.root_space]
+    actors = []
+    for i in range(n_ops):
+        kind = int(rng.integers(0, 6))
+        node = int(rng.integers(0, nodes))
+        space = spaces[int(rng.integers(0, len(spaces)))]
+        try:
+            if kind == 0 or not actors:
+                actor = system.create_actor(noop, node=node)
+                actors.append(actor)
+                system.make_visible(actor, f"pool/a{i}", space, node=node)
+            elif kind == 1 and len(spaces) < 6:
+                spaces.append(system.create_space(node=node,
+                                                  attributes=f"region/{i}"))
+            elif kind == 2:
+                target = actors[int(rng.integers(0, len(actors)))]
+                system.make_visible(target, f"extra/{i}", space, node=node)
+            elif kind == 3:
+                target = actors[int(rng.integers(0, len(actors)))]
+                system.change_attributes(target, f"renamed/{i}", space,
+                                         node=node)
+            else:
+                # Often targets an entry not visible in `space`: the apply
+                # path rejects it, which the persisted log must reflect.
+                target = actors[int(rng.integers(0, len(actors)))]
+                system.make_invisible(target, space, node=node)
+        except ActorSpaceError:
+            pass
+        if rng.random() < 0.3:
+            system.run()
+    system.run()
+    return system, store
+
+
+def log_signature(log):
+    """A comparable shape for a seq->op map: what ordering + identity
+    the durable log must preserve."""
+    return [
+        (seq, log[seq].kind.value, log[seq].origin_node, log[seq].origin_seq)
+        for seq in sorted(log)
+    ]
