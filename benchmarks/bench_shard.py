@@ -1,0 +1,437 @@
+"""Sharded visibility-plane benchmark: throughput scaling 1/2/4/8 shards.
+
+The visibility plane's single sequencer is a serialization point: every
+``make_visible``/``change_attributes`` in the cluster funnels through one
+total order, however many spaces it touches.  Partitioning the plane
+(``src/repro/shard``) keeps one total order *per space family* — which is
+all §5 of the paper ever required — so independent spaces sequence
+concurrently.  This benchmark measures exactly that claim, twice:
+
+* **sim** — the single-process runtime with a modeled per-op sequencer
+  service time (``sequencer_service_time``, standing in for the durable
+  append + fan-out a real seat performs).  Virtual time is the
+  yardstick: seats on different nodes overlap their service intervals,
+  so K shards divide the sequencing makespan by ~K for a workload
+  spread over K independent space families.
+* **tcp-loopback** — real node processes on one machine.  One machine
+  means one CPU budget: sharding *redistributes* sequencing work, it
+  cannot add cores, so wall-clock throughput on loopback understates
+  the win.  The honest scaling metric here is **bottleneck-node
+  capacity**: total ops divided by the *largest* per-node CPU time
+  consumed (utime+stime from ``/proc/<pid>/stat``).  On a multi-core
+  or multi-host deployment — where each seat really does run on its
+  own silicon — wall-clock throughput tracks this capacity figure,
+  because the slowest (busiest) node gates the pipeline.  Wall ops/s
+  is reported alongside for transparency; the ``--min-speedup`` gate
+  reads capacity.
+
+Both sweeps drive the same shape: eight spaces whose root attribute
+atoms are probed to spread perfectly across 1/2/4/8 shards, one target
+actor per space pinned round-robin across the nodes, and a fixed number
+of visibility ops per space submitted from the actor's own node.  A
+second measurement holds the *single-shard* case honest: a one-space
+workload on the sharded plane must keep its per-op latency within ~10%
+of the unsharded baseline (the sim ratio is deterministic and gated;
+the TCP ratio shares a core with the cluster and is reported, not
+gated).
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--quick]
+
+Emits ``BENCH_shard.json`` next to this file and a table on stdout.
+``--min-speedup R`` exits non-zero if 4-shard throughput scaling is
+below ``R x`` (sim virtual throughput and TCP bottleneck capacity) or
+the sim single-shard latency ratio exceeds 1.10 — CI runs it at
+reduced scale with ``--min-speedup 1.5``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+import zlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net.cluster import LocalCluster, loopback_available  # noqa: E402
+from repro.runtime.network import Topology  # noqa: E402
+from repro.runtime.system import ActorSpaceSystem  # noqa: E402
+from repro.shard.map import ShardMap  # noqa: E402
+
+HERE = pathlib.Path(__file__).resolve().parent
+SHARD_COUNTS = [1, 2, 4, 8]
+SPACES = 8
+SIM_NODES = 8       # one sim node per potential seat
+TCP_NODES = 6       # throughput sweep: seats spread over six processes
+TCP_LATENCY_NODES = 2
+SERVICE_TIME = 0.002  # modeled per-op sequencer service time (sim)
+
+
+def _affine_atoms(buckets: int = SPACES) -> list[str]:
+    """Root atoms whose crc32 buckets cover 0..buckets-1 exactly.
+
+    Because the shard of an atom is ``crc32 % n_shards`` and the bucket
+    count is a multiple of every swept shard count, these atoms spread
+    *perfectly* evenly across 1, 2, 4, and 8 shards — the sweep measures
+    the plane, not hash luck.
+    """
+    atoms: dict[int, str] = {}
+    index = 0
+    while len(atoms) < buckets:
+        atom = f"shard{index}"
+        atoms.setdefault(zlib.crc32(atom.encode("utf-8")) % buckets, atom)
+        index += 1
+    return [atoms[i] for i in range(buckets)]
+
+
+def _noop_behavior(ctx, message):  # pragma: no cover - never messaged
+    return None
+
+
+# -- simulator side --------------------------------------------------------------
+
+
+def _sim_system(shards: int, nodes: int) -> ActorSpaceSystem:
+    kw = {"shards": shards} if shards > 1 else {}
+    return ActorSpaceSystem(topology=Topology.lan(nodes), seed=0,
+                            sequencer_service_time=SERVICE_TIME, **kw)
+
+
+def bench_sim(ops_per_space: int, shard_counts: list[int]) -> list[dict]:
+    """Virtual-time sweep: K independent space families, K shard streams."""
+    atoms = _affine_atoms()
+    rows = []
+    for k in shard_counts:
+        system = _sim_system(k, SIM_NODES)
+        spaces, actors, homes = [], [], []
+        for i, atom in enumerate(atoms):
+            home = i % SIM_NODES
+            space = system.create_space(node=home, attributes=atom)
+            actor = system.create_actor(_noop_behavior, node=home)
+            system.make_visible(actor, f"{atom}/seed", space, node=home)
+            spaces.append(space)
+            actors.append(actor)
+            homes.append(home)
+        system.run()
+        t0 = system.clock.now
+        total = ops_per_space * len(atoms)
+        for i in range(total):
+            j = i % len(spaces)
+            system.make_visible(actors[j], f"{atoms[j]}/v{i & 7}",
+                                spaces[j], node=homes[j])
+        system.run()
+        makespan = system.clock.now - t0
+        rows.append({
+            "transport": "sim",
+            "shards": k,
+            "ops": total,
+            "makespan_virtual_s": round(makespan, 6),
+            "throughput_ops_per_s": round(total / makespan, 1),
+        })
+    return rows
+
+
+def bench_sim_latency(ops: int) -> dict:
+    """Single-space per-op virtual latency: sharded plane vs baseline.
+
+    The probe atom's 4-shard seat is node 0 — the same node the single
+    global sequencer lives on — so both sides pay identical modeled
+    wire and service costs and the ratio isolates the sharded plane's
+    bookkeeping.  Deterministic (virtual time), hence gated.
+    """
+    atom = _seat_zero_atom(TCP_LATENCY_NODES)
+    out = {}
+    for label, shards in (("unsharded", 1), ("sharded_4", 4)):
+        system = _sim_system(shards, TCP_LATENCY_NODES)
+        space = system.create_space(node=0, attributes=atom)
+        actor = system.create_actor(_noop_behavior, node=0)
+        system.make_visible(actor, f"{atom}/seed", space, node=0)
+        system.run()
+        t0 = system.clock.now
+        for i in range(ops):
+            system.make_visible(actor, f"{atom}/v{i & 7}", space, node=0)
+        system.run()
+        out[label] = (system.clock.now - t0) / ops
+    return {
+        "ops": ops,
+        "unsharded_ms_per_op": round(out["unsharded"] * 1e3, 4),
+        "sharded_4_ms_per_op": round(out["sharded_4"] * 1e3, 4),
+        "ratio": round(out["sharded_4"] / out["unsharded"], 4),
+    }
+
+
+# -- TCP loopback side -----------------------------------------------------------
+
+
+def _seat_zero_atom(nodes: int) -> str:
+    """An affine atom whose 4-shard sequencer seat is node 0."""
+    return next(a for a in _affine_atoms()
+                if ShardMap(4, list(range(nodes))).sequencer_for(
+                    ShardMap(4).owner_of(a)) == 0)
+
+
+def _tcp_applied(cluster: LocalCluster, node: int) -> int:
+    return cluster.call(node, "status")["applied_seq"]
+
+
+def _cpu_seconds(cluster: LocalCluster) -> dict[int, float]:
+    """Per-node process CPU time (utime+stime) from ``/proc/<pid>/stat``.
+
+    Returns ``{}`` when /proc accounting is unavailable (non-Linux) —
+    callers fall back to wall-clock-only reporting.
+    """
+    try:
+        tck = os.sysconf("SC_CLK_TCK")
+    except (AttributeError, ValueError, OSError):
+        return {}
+    out: dict[int, float] = {}
+    for node, proc in cluster.procs.items():
+        try:
+            stat = pathlib.Path(f"/proc/{proc.pid}/stat").read_text()
+            # Field 2 (comm) may contain spaces; split after its ")".
+            parts = stat.rsplit(") ", 1)[1].split()
+            out[node] = (int(parts[11]) + int(parts[12])) / tck
+        except (OSError, IndexError, ValueError):
+            return {}
+    return out
+
+
+def _tcp_workload(cluster: LocalCluster,
+                  ops_per_space: int) -> tuple[float, "float | None"]:
+    """One sweep point: build the spaces, burst every one, time to quiesce.
+
+    Application placement is *fixed* across the sweep — space ``i``'s
+    target actor and submitter live on node ``i % nodes`` — so the
+    1-shard baseline pays the real price of a single global seat (every
+    remote submitter round-trips each op through it) and the sharded
+    runs win exactly what seat locality buys.  Returns ``(wall seconds,
+    max per-node CPU seconds)``; the latter is ``None`` without /proc.
+    """
+    atoms = _affine_atoms()
+    n = cluster.n
+    spaces, targets, submitters = [], [], []
+    for i, atom in enumerate(atoms):
+        submitter = i % n
+        space = cluster.call(0, "create_space", attributes=atom)["address"]
+        target = cluster.call(
+            submitter, "create_actor", behavior="counter",
+            visible={"attributes": f"{atom}/seed", "space": space},
+        )["address"]
+        spaces.append(space)
+        targets.append(target)
+        submitters.append(submitter)
+    cluster.wait_until(
+        lambda: all(cluster.call(node, "has_space", address=space)
+                    for node in range(n) for space in spaces),
+        what="bench spaces replicated")
+
+    base = {node: _tcp_applied(cluster, node) for node in range(n)}
+    cpu0 = _cpu_seconds(cluster)
+    total = ops_per_space * len(atoms)
+    t0 = time.monotonic()
+    for i, (space, target, submitter) in enumerate(
+            zip(spaces, targets, submitters)):
+        cluster.call(submitter, "vis_burst", target=target, space=space,
+                     count=ops_per_space, prefix=f"b{i}")
+    cluster.wait_until(
+        lambda: all(_tcp_applied(cluster, node) >= base[node] + total
+                    for node in range(n)),
+        timeout=180, interval=0.05, what=f"{total} vis ops applied everywhere")
+    elapsed = time.monotonic() - t0
+    cpu1 = _cpu_seconds(cluster)
+    if not cpu0 or not cpu1:
+        return elapsed, None
+    busiest = max(cpu1[node] - cpu0[node] for node in cpu0)
+    return elapsed, (busiest if busiest > 0 else None)
+
+
+def bench_tcp(ops_per_space: int, shard_counts: list[int]) -> list[dict]:
+    rows = []
+    for k in shard_counts:
+        cluster = LocalCluster(TCP_NODES, seed=0, trace=False,
+                               shards=k if k > 1 else 1)
+        cluster.start()
+        try:
+            elapsed, busiest_cpu = _tcp_workload(cluster, ops_per_space)
+        finally:
+            cluster.shutdown()
+        total = ops_per_space * SPACES
+        row = {
+            "transport": "tcp-loopback",
+            "shards": k,
+            "ops": total,
+            "elapsed_s": round(elapsed, 4),
+            "wall_ops_per_s": round(total / elapsed, 1),
+        }
+        if busiest_cpu is not None:
+            row["busiest_node_cpu_s"] = round(busiest_cpu, 4)
+            row["capacity_ops_per_s"] = round(total / busiest_cpu, 1)
+        # The gate metric: bottleneck-node capacity when /proc gives it
+        # to us, wall throughput otherwise (non-Linux fallback).
+        row["throughput_ops_per_s"] = row.get("capacity_ops_per_s",
+                                              row["wall_ops_per_s"])
+        rows.append(row)
+    return rows
+
+
+def bench_tcp_latency(ops: int, repeats: int = 3) -> dict:
+    """Single-space per-op wall latency: sharded plane vs baseline.
+
+    Both sides submit from the space's seat node (the probe atom's
+    4-shard seat is node 0, matching the unsharded global seat), so the
+    comparison isolates the sharded plane's bookkeeping — router,
+    per-shard cursors, SHARD_FWD framing — rather than placement.
+    Best-of-``repeats`` bounds scheduler noise on a shared core.
+    """
+    atom = _seat_zero_atom(TCP_LATENCY_NODES)
+    out = {}
+    for label, shards in (("unsharded", 1), ("sharded_4", 4)):
+        cluster = LocalCluster(TCP_LATENCY_NODES, seed=0, trace=False,
+                               shards=shards)
+        cluster.start()
+        try:
+            space = cluster.call(0, "create_space",
+                                 attributes=atom)["address"]
+            target = cluster.call(
+                0, "create_actor", behavior="counter",
+                visible={"attributes": f"{atom}/seed", "space": space},
+            )["address"]
+            cluster.wait_until(
+                lambda: all(cluster.call(node, "has_space", address=space)
+                            for node in range(TCP_LATENCY_NODES)),
+                what="latency space replicated")
+            best = None
+            for attempt in range(repeats):
+                base = {node: _tcp_applied(cluster, node)
+                        for node in range(TCP_LATENCY_NODES)}
+                t0 = time.monotonic()
+                cluster.call(0, "vis_burst", target=target, space=space,
+                             count=ops, prefix=f"lat{attempt}")
+                cluster.wait_until(
+                    lambda: all(
+                        _tcp_applied(cluster, node) >= base[node] + ops
+                        for node in range(TCP_LATENCY_NODES)),
+                    timeout=120, interval=0.02, what="latency burst applied")
+                elapsed = time.monotonic() - t0
+                best = elapsed if best is None else min(best, elapsed)
+        finally:
+            cluster.shutdown()
+        out[label] = best / ops
+    return {
+        "ops": ops,
+        "repeats": repeats,
+        "unsharded_ms_per_op": round(out["unsharded"] * 1e3, 4),
+        "sharded_4_ms_per_op": round(out["sharded_4"] * 1e3, 4),
+        "ratio": round(out["sharded_4"] / out["unsharded"], 4),
+    }
+
+
+# -- driver ----------------------------------------------------------------------
+
+
+def _speedup(rows: list[dict], transport: str,
+             shards: int = 4) -> "float | None":
+    by_shards = {r["shards"]: r["throughput_ops_per_s"]
+                 for r in rows if r["transport"] == transport}
+    if 1 not in by_shards or shards not in by_shards:
+        return None
+    return round(by_shards[shards] / by_shards[1], 3)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops-per-space", type=int, default=None,
+                        help="visibility ops per space per sweep point "
+                             "(default: sim 50, tcp 300)")
+    parser.add_argument("--latency-ops", type=int, default=None,
+                        help="ops in each single-space latency burst "
+                             "(default: sim 400, tcp 2000)")
+    parser.add_argument("--shards", type=int, nargs="+", default=SHARD_COUNTS,
+                        help=f"shard counts to sweep (default {SHARD_COUNTS})")
+    parser.add_argument("--quick", action="store_true",
+                        help="small counts for smoke/CI runs")
+    parser.add_argument("--skip-tcp", action="store_true",
+                        help="simulator sweep only")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless 4-shard scaling >= this x (sim "
+                             "virtual throughput + TCP bottleneck capacity) "
+                             "and the sim latency ratio stays <= 1.10")
+    parser.add_argument("--out", default=str(HERE / "BENCH_shard.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    sim_ops = args.ops_per_space or (25 if args.quick else 50)
+    tcp_ops = args.ops_per_space or (200 if args.quick else 300)
+    sim_latency_ops = args.latency_ops or (100 if args.quick else 400)
+    tcp_latency_ops = args.latency_ops or (500 if args.quick else 2000)
+
+    rows = bench_sim(sim_ops, args.shards)
+    latency = {"sim": bench_sim_latency(sim_latency_ops)}
+    tcp_available = loopback_available() and not args.skip_tcp
+    if tcp_available:
+        rows.extend(bench_tcp(tcp_ops, args.shards))
+        latency["tcp"] = bench_tcp_latency(tcp_latency_ops)
+    else:
+        print("loopback TCP unavailable or skipped; simulator rows only")
+
+    header = (f"{'transport':<14} {'shards':>7} {'ops':>7} "
+              f"{'wall ops/s':>12} {'capacity/s':>12}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        wall = row.get("wall_ops_per_s", row["throughput_ops_per_s"])
+        cap = row.get("capacity_ops_per_s", "-")
+        print(f"{row['transport']:<14} {row['shards']:>7} {row['ops']:>7} "
+              f"{wall:>12} {cap:>12}")
+    speedups = {t: _speedup(rows, t)
+                for t in ("sim", "tcp-loopback")
+                if any(r["transport"] == t for r in rows)}
+    for transport, speedup in speedups.items():
+        metric = ("bottleneck-node capacity"
+                  if transport == "tcp-loopback" else "virtual throughput")
+        print(f"{transport}: 4-shard {metric} speedup over 1 shard "
+              f"= {speedup}x")
+    for transport, info in latency.items():
+        print(f"{transport}: single-shard latency {info['sharded_4_ms_per_op']}"
+              f" ms/op sharded vs {info['unsharded_ms_per_op']} ms/op "
+              f"unsharded (ratio {info['ratio']})")
+
+    report = {
+        "spaces": SPACES,
+        "sim_ops_per_space": sim_ops,
+        "tcp_ops_per_space": tcp_ops,
+        "shard_counts": args.shards,
+        "sim_nodes": SIM_NODES,
+        "tcp_nodes": TCP_NODES,
+        "sim_service_time_s": SERVICE_TIME,
+        "tcp_metric": "capacity_ops_per_s = ops / busiest node CPU-seconds "
+                      "(/proc utime+stime); wall ops/s reported alongside — "
+                      "one shared core cannot show wall scaling",
+        "speedup_4_shards": speedups,
+        "single_shard_latency": latency,
+        "results": rows,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.min_speedup is not None:
+        failed = [t for t, s in speedups.items()
+                  if s is None or s < args.min_speedup]
+        if latency["sim"]["ratio"] > 1.10:
+            failed.append("sim-latency")
+        if failed:
+            print(f"FAIL: gate misses for {failed}: speedups={speedups} "
+                  f"sim latency ratio={latency['sim']['ratio']}")
+            return 1
+        print(f"OK: 4-shard scaling meets the {args.min_speedup}x floor "
+              f"on {sorted(speedups)} and the sim latency ratio "
+              f"{latency['sim']['ratio']} is within 1.10")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

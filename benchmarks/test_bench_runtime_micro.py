@@ -165,3 +165,49 @@ def test_bench_actor_creation(benchmark):
         return sum(len(c.actors) for c in system.coordinators)
 
     assert benchmark(run) == 2000
+
+
+def test_atoms_are_interned_identities():
+    """The interning guard behind the shard map's memo dict.
+
+    ``check_atom`` routes every atom through ``sys.intern``, so atoms
+    parsed from equal text at different times are the *same* object —
+    the property ``ShardMap.owner_of``'s memo, the first-atom index, and
+    every attribute dict rely on to hit the pointer-equality fast path.
+    """
+    from repro.core.atoms import as_paths, check_atom
+
+    a = check_atom("tenant-" + "x" * 30)
+    b = check_atom("tenant-" + "x" * 30)
+    assert a is b, "check_atom must return the interned atom"
+    p = sorted(as_paths("svc/db/primary"), key=str)[0]
+    q = sorted(as_paths("svc" + "/db/primary"), key=str)[0]
+    assert all(x is y for x, y in zip(p.atoms, q.atoms)), (
+        "atoms parsed from equal text must be pointer-identical"
+    )
+
+
+def test_bench_shard_owner_lookup(benchmark):
+    """100k shard-owner lookups over a 64-atom working set.
+
+    The routing hot path: every visibility op resolves its space's home
+    shard.  The memoized map must answer at dict-hit speed — this guard
+    exists so a regression to re-hashing (or to un-interned atoms
+    falling off the pointer-equality fast path) shows up in CI.
+    """
+    from repro.core.atoms import check_atom
+    from repro.shard.map import ShardMap
+
+    shard_map = ShardMap(8, nodes=[0, 1, 2, 3])
+    atoms = [check_atom(f"tenant{i}") for i in range(64)]
+
+    def run():
+        owner_of = shard_map.owner_of
+        total = 0
+        for _ in range(100_000 // len(atoms)):
+            for atom in atoms:
+                total += owner_of(atom)
+        return total
+
+    first = run()
+    assert benchmark(run) == first

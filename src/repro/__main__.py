@@ -45,6 +45,11 @@ Commands
     Total-crash drill: SIGKILL a whole TCP cluster mid-traffic and
     prove it recovers from its data directories — directories equal
     the pre-crash state, dead letters re-adopted, zero silent loss.
+``shard [--nodes N] [--shards K] [--rebalance] [--kill-sequencers]``
+    Partitioned-visibility-plane drill over TCP: shard-affine spaces,
+    per-shard sequencing load, an optional live sequencer rebalance
+    and per-shard sequencer-kill failovers — directories stay
+    coherent and message conservation closes (zero silent loss).
 ``version``
     Print the package version.
 """
@@ -278,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.net.cluster import durability_main
 
         return durability_main(args[1:])
+    if command == "shard":
+        from repro.net.cluster import shard_main
+
+        return shard_main(args[1:])
     if command == "version":
         from repro import __version__
 

@@ -42,6 +42,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="force a node count (default: per-seed 2..4)")
     parser.add_argument("--bus", choices=["sequencer", "token-ring"], default=None,
                         help="force a bus protocol (default: alternate by seed)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="run the runtime on a partitioned visibility "
+                             "plane with N per-shard sequencers (forces the "
+                             "sequencer bus; the model stays the unsharded "
+                             "§5 reference; default 1)")
     parser.add_argument("--walks", type=int, default=0,
                         help="random-walk schedules per scenario (default 0)")
     parser.add_argument("--explore", type=int, default=0,
@@ -77,6 +82,7 @@ def _run_tcp_check(args) -> int:
     seeds = [args.seed + offset for offset in range(args.seeds)]
     nodes = args.nodes if args.nodes else 3
     report = run_tcp_conformance(seeds, nodes=nodes, out_dir=None,
+                                 shards=args.shards,
                                  log=lambda text: print(f"  {text}"))
     if report["divergences"]:
         first = report["divergences"][0]
@@ -107,8 +113,9 @@ def _schedule_factory(spec: dict):
     raise ValueError(f"unknown schedule type {kind!r}")
 
 
-def _check_with(scenario: Scenario, make_breaker, inject):
-    return check_scenario(scenario, tiebreaker=make_breaker(), inject=inject)
+def _check_with(scenario: Scenario, make_breaker, inject, shards: int = 1):
+    return check_scenario(scenario, tiebreaker=make_breaker(), inject=inject,
+                          shards=shards)
 
 
 def _report_failure(scenario: Scenario, report, schedule_spec: dict,
@@ -117,11 +124,12 @@ def _report_failure(scenario: Scenario, report, schedule_spec: dict,
     for divergence in report.divergences[:8]:
         print(f"  {divergence}")
     shrunk, checks = scenario, 0
+    shards = getattr(args, "shards", 1)
     if not args.no_shrink:
         make_breaker = _schedule_factory(schedule_spec)
         shrunk, checks = shrink_scenario(
-            scenario, lambda s: _check_with(s, make_breaker, inject))
-        final = _check_with(shrunk, make_breaker, inject)
+            scenario, lambda s: _check_with(s, make_breaker, inject, shards))
+        final = _check_with(shrunk, make_breaker, inject, shards)
         print(f"shrunk {len(scenario)} -> {len(shrunk)} commands "
               f"({checks} oracle calls)")
         report = final if not final.ok else report
@@ -129,6 +137,7 @@ def _report_failure(scenario: Scenario, report, schedule_spec: dict,
         "scenario": json.loads(shrunk.to_json()),
         "schedule": schedule_spec,
         "inject": args.inject,
+        "shards": shards,
         "divergences": [str(d) for d in report.divergences],
     }
     out_dir = Path(args.out)
@@ -149,7 +158,9 @@ def _replay(path: str, args, inject) -> int:
     scenario = Scenario.from_json(json.dumps(artifact["scenario"]))
     schedule_spec = artifact.get("schedule", {"type": "fifo"})
     inject = inject or INJECTIONS.get(artifact.get("inject") or "")
-    report = _check_with(scenario, _schedule_factory(schedule_spec), inject)
+    shards = int(artifact.get("shards", 1)) or getattr(args, "shards", 1)
+    report = _check_with(scenario, _schedule_factory(schedule_spec), inject,
+                         shards)
     print(report.summary())
     for divergence in report.divergences[:8]:
         print(f"  {divergence}")
@@ -180,14 +191,16 @@ def run_check(argv: list[str]) -> int:
             print(f"budget exhausted after {scenarios} scenarios")
             break
         seed = args.seed + offset
-        scenario = generate_scenario(seed, nodes=args.nodes, bus=args.bus)
+        bus = "sequencer" if args.shards > 1 else args.bus
+        scenario = generate_scenario(seed, nodes=args.nodes, bus=bus)
         scenarios += 1
         if any(cmd["op"] == "crash" for cmd in scenario.commands):
             crash_scenarios += 1
 
         # 1. The deterministic FIFO schedule.
         fifo_spec = {"type": "fifo"}
-        report = _check_with(scenario, _schedule_factory(fifo_spec), inject)
+        report = _check_with(scenario, _schedule_factory(fifo_spec), inject,
+                             args.shards)
         schedules += 1
         if not report.ok:
             return _report_failure(scenario, report, fifo_spec, args, inject)
@@ -197,7 +210,8 @@ def run_check(argv: list[str]) -> int:
             if out_of_budget():
                 break
             spec = {"type": "random", "seed": seed * 1000 + walk}
-            report = _check_with(scenario, _schedule_factory(spec), inject)
+            report = _check_with(scenario, _schedule_factory(spec), inject,
+                                 args.shards)
             schedules += 1
             if not report.ok:
                 return _report_failure(scenario, report, spec, args, inject)
@@ -206,7 +220,8 @@ def run_check(argv: list[str]) -> int:
         if args.explore > 0 and not out_of_budget():
             explorer = Explorer(
                 lambda breaker: check_scenario(scenario, tiebreaker=breaker,
-                                               inject=inject),
+                                               inject=inject,
+                                               shards=args.shards),
                 max_schedules=args.explore,
                 deadline=out_of_budget,
             )

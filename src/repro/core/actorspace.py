@@ -59,6 +59,7 @@ class SpaceRecord:
         "capability",
         "node",
         "created_at",
+        "shard",
         "_entries",
         "_by_first_atom",
         "destroyed",
@@ -71,11 +72,16 @@ class SpaceRecord:
         capability: Capability | None = None,
         node: int = 0,
         created_at: float = 0.0,
+        shard: int = 0,
     ):
         self.address = address
         self.capability = capability
         self.node = node
         self.created_at = created_at
+        #: Home shard of this space under a partitioned visibility plane
+        #: (0 when unsharded): actor-visibility ops inside the space are
+        #: sequenced by this shard's sequencer.
+        self.shard = shard
         self._entries: dict[MailAddress, RegistryEntry] = {}
         #: first atom of an attribute -> {target: entry}.  Lets literal-
         #: prefixed patterns resolve without scanning the whole registry

@@ -20,6 +20,7 @@ messages, and used as dictionary keys.
 
 from __future__ import annotations
 
+import sys
 from functools import total_ordering
 from typing import Iterable, Iterator
 
@@ -40,7 +41,13 @@ def is_valid_atom(text: str) -> bool:
 
 
 def check_atom(text: str) -> str:
-    """Validate ``text`` as an atom, returning it unchanged.
+    """Validate ``text`` as an atom, returning its interned form.
+
+    Atoms are interned (:func:`sys.intern`) so that the many places that
+    compare or hash them — the per-registry first-atom index, the shard
+    map's ``owner_of``, dict keys throughout resolution — hit CPython's
+    pointer-equality fast path instead of character comparison.  Two
+    paths parsed from equal text therefore share one atom object.
 
     Raises
     ------
@@ -54,7 +61,7 @@ def check_atom(text: str) -> str:
     bad = sorted(set(text) & RESERVED_CHARS)
     if bad:
         raise AttributeSyntaxError(f"atom {text!r} contains reserved characters {bad}")
-    return text
+    return sys.intern(text)
 
 
 @total_ordering

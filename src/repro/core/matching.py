@@ -73,7 +73,15 @@ class ResolutionCache:
     1. **Global**: the directory epoch has not moved — nothing changed
        anywhere, the entry is valid (one integer compare; this is the
        stable-visibility fast path that E10d measures).
-    2. **Path**: the directory epoch moved, but no space on the entry's
+    2. **Shard vector** (partitioned visibility plane only): the global
+       epoch moved, but none of the *shards* whose spaces this walk
+       crossed did — the mutation was sequenced on an unrelated shard.
+       A handful of integer compares (one per shard touched, plus the
+       quarantine-mask epoch) instead of one per visited space.  This
+       is the per-shard generalization of the single directory epoch:
+       under sharding the global epoch moves on every op anywhere, so
+       tier 1 alone would degrade to a per-op invalidation storm.
+    3. **Path**: some touched shard moved, but no space on the entry's
        resolution path did — the mutation happened somewhere this
        resolution never looked, so the result is still exact.  The
        global epoch is refreshed so the next lookup takes tier 1.
@@ -94,14 +102,21 @@ class ResolutionCache:
     epochs are replica-local values.
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "invalidations", "_entries")
+    __slots__ = ("max_entries", "hits", "misses", "invalidations",
+                 "shard_hits", "_entries")
 
     def __init__(self, max_entries: int = 4096):
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
-        #: (kind, space, pattern) -> [result, dir_epoch, {space: epoch}]
+        #: Hits that needed the shard-vector tier (tier 1 failed because
+        #: an op landed somewhere, but not on any shard this walk saw).
+        self.shard_hits = 0
+        #: (kind, space, pattern) ->
+        #:   [result, dir_epoch, {space: epoch}, shard_vector | None]
+        #: where shard_vector is [{shard: epoch}, mask_epoch] under a
+        #: partitioned plane and None otherwise.
         self._entries: dict[tuple, list] = {}
 
     def __len__(self) -> int:
@@ -116,6 +131,7 @@ class ResolutionCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "shard_hits": self.shard_hits,
             "entries": len(self._entries),
         }
 
@@ -132,8 +148,17 @@ class ResolutionCache:
         key = (kind, space, pattern)
         entry = self._entries.get(key)
         if entry is not None:
-            result, dir_epoch, path_epochs = entry
-            if dir_epoch == directory.epoch or all(
+            result, dir_epoch, path_epochs, shard_vector = entry
+            valid = dir_epoch == directory.epoch
+            if not valid and shard_vector is not None:
+                shard_epochs, mask_epoch = shard_vector
+                if mask_epoch == directory.mask_epoch and all(
+                    directory.shard_epoch(k) == e
+                    for k, e in shard_epochs.items()
+                ):
+                    valid = True
+                    self.shard_hits += 1
+            if valid or all(
                 directory.space_epoch(s) == e for s, e in path_epochs.items()
             ):
                 entry[1] = directory.epoch
@@ -164,9 +189,25 @@ class ResolutionCache:
     ) -> None:
         while len(self._entries) >= self.max_entries:
             self._entries.pop(next(iter(self._entries)))
+        path_spaces = list(path_spaces)
         path_epochs = {s: directory.space_epoch(s) for s in path_spaces}
+        shard_vector = None
+        if directory.sharded:
+            # Which shard streams can mutate the spaces this walk saw?
+            # A registry is only ever mutated by its home shard's stream
+            # or by shard 0 (space lifecycle + containment edges are
+            # always sequenced there), so those epochs — plus the mask
+            # epoch, because quarantine changes arrive outside any shard
+            # stream — validate the entry with a handful of integer
+            # compares (tier 2).  Shard 0 also covers spaces the walk
+            # found missing: their eventual ADD_SPACE lands on shard 0.
+            shard_epochs = {
+                k: directory.shard_epoch(k)
+                for k in directory.shards_of(path_spaces) | {0}
+            }
+            shard_vector = [shard_epochs, directory.mask_epoch]
         self._entries[(kind, space, pattern)] = [
-            frozenset(result), directory.epoch, path_epochs,
+            frozenset(result), directory.epoch, path_epochs, shard_vector,
         ]
 
     def __repr__(self):

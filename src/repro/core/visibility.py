@@ -39,9 +39,13 @@ class Directory:
     """All actorSpace registries plus the visibility DAG over spaces."""
 
     __slots__ = ("_spaces", "_containers", "_known_capabilities", "_op_count",
-                 "_quarantined")
+                 "_quarantined", "_shard_epochs", "_mask_epoch", "sharded")
 
     def __init__(self):
+        #: True when this replica lives under a partitioned visibility
+        #: plane (set by the coordinator); gates the resolution cache's
+        #: shard-vector tier so unsharded runs pay nothing new.
+        self.sharded = False
         self._spaces: dict[SpaceAddress, SpaceRecord] = {}
         #: Reverse index: target address -> set of spaces it is visible in.
         self._containers: dict[MailAddress, set[SpaceAddress]] = {}
@@ -55,6 +59,17 @@ class Directory:
         #: and therefore :meth:`snapshot` — are untouched, so replicas
         #: stay comparable while their quarantine views differ.
         self._quarantined: set[int] = set()
+        #: Per-shard mutation epochs under a partitioned visibility plane:
+        #: shard id -> count of mutating ops applied from that shard's
+        #: stream.  The resolution cache validates cached walks against
+        #: the epochs of only the shards its path crossed, so a mutation
+        #: sequenced on an unrelated shard no longer invalidates anything
+        #: (the per-shard generalization of the single directory epoch).
+        self._shard_epochs: dict[int, int] = {}
+        #: Quarantine-mask epoch: masks change outside the bus (no shard
+        #: stream carries them), so shard-vector cache validation checks
+        #: this alongside the shard epochs.
+        self._mask_epoch = 0
 
     # -- space lifecycle ---------------------------------------------------------
 
@@ -96,6 +111,16 @@ class Directory:
     def has_space(self, address: SpaceAddress) -> bool:
         rec = self._spaces.get(address)
         return rec is not None and not rec.destroyed
+
+    def knows_space(self, address: SpaceAddress) -> bool:
+        """Known live *or* tombstoned.
+
+        The partitioned plane's dependency check: an op referencing a
+        space this replica has never heard of must park until the
+        space's ``ADD_SPACE`` arrives on the topology shard's stream; one
+        referencing a tombstone applies (and rejects) immediately.
+        """
+        return address in self._spaces
 
     def spaces(self) -> Iterator[SpaceRecord]:
         """Iterate over live space records."""
@@ -326,18 +351,44 @@ class Directory:
     def is_visible_anywhere(self, target: MailAddress) -> bool:
         return bool(self._containers.get(target))
 
-    def purge_target(self, target: MailAddress) -> int:
+    def purge_target(self, target: MailAddress, shard: "int | None" = None) -> int:
         """Remove every registration of ``target`` (used when it is collected).
+
+        With ``shard`` given (partitioned plane), only registries of
+        spaces *homed on that shard* are purged — the purge is fanned
+        across shards as one slice per stream, preserving the invariant
+        that a registry is mutated only by its home shard's stream (what
+        keeps the resolution cache's shard-vector tier sound).
 
         Returns the number of registries it was removed from.
         """
-        holders = self._containers.pop(target, set())
+        if shard is None:
+            holders = self._containers.pop(target, set())
+        else:
+            holders = {
+                s for s in self._containers.get(target, ())
+                if (rec := self._spaces.get(s)) is not None
+                and rec.shard == shard
+            }
         n = 0
         for space in holders:
             rec = self._spaces.get(space)
             if rec is not None and not rec.destroyed and rec.unregister(target):
                 n += 1
-        self._known_capabilities.pop(target, None)
+        if shard is not None:
+            remaining = self._containers.get(target)
+            if remaining is not None:
+                remaining -= holders
+                if not remaining:
+                    del self._containers[target]
+            # The capability binding goes with the last slice to leave
+            # the target registered anywhere; the shard-0 slice also
+            # covers targets that were never registered at all.
+            if target not in self._containers:
+                if shard == 0 or holders:
+                    self._known_capabilities.pop(target, None)
+        else:
+            self._known_capabilities.pop(target, None)
         if n:
             self._op_count += 1
         return n
@@ -379,6 +430,7 @@ class Directory:
         self._quarantined.add(node)
         masked = self._touch_spaces_hosting(node)
         self._op_count += 1
+        self._mask_epoch += 1
         return masked
 
     def unquarantine_node(self, node: int) -> int:
@@ -388,6 +440,7 @@ class Directory:
         self._quarantined.discard(node)
         unmasked = self._touch_spaces_hosting(node)
         self._op_count += 1
+        self._mask_epoch += 1
         return unmasked
 
     def is_masked(self, target: MailAddress) -> bool:
@@ -421,6 +474,28 @@ class Directory:
         valid while ``epoch == e``.
         """
         return self._op_count
+
+    def note_shard_op(self, shard: int) -> None:
+        """Record that a mutating op from ``shard``'s stream applied."""
+        self._shard_epochs[shard] = self._shard_epochs.get(shard, 0) + 1
+
+    def shard_epoch(self, shard: int) -> int:
+        """Mutation epoch of one shard's slice of the directory."""
+        return self._shard_epochs.get(shard, 0)
+
+    @property
+    def mask_epoch(self) -> int:
+        """Epoch of the quarantine mask overlay (moves outside the bus)."""
+        return self._mask_epoch
+
+    def shards_of(self, spaces) -> "set[int]":
+        """The home shards of the given space addresses (known ones)."""
+        shards: set[int] = set()
+        for address in spaces:
+            rec = self._spaces.get(address)
+            if rec is not None:
+                shards.add(rec.shard)
+        return shards
 
     def space_epoch(self, address: SpaceAddress) -> int:
         """The per-registry epoch of ``address``; ``-1`` if never known.

@@ -179,10 +179,15 @@ class LocalCluster:
                  trace: bool = True,
                  node_args: list[str] | None = None,
                  data_dir: str | Path | None = None,
+                 shards: int = 1,
                  log: Callable[[str], None] | None = None):
         self.n = nodes
         self.seed = seed
         self.heartbeat = heartbeat
+        #: Visibility-plane shard count.  ``1`` keeps the classic single
+        #: sequencer; ``>1`` partitions the directory across per-shard
+        #: sequencers (each node gets ``--shards`` on its command line).
+        self.shards = shards
         #: Flight-recorder event logs in the node processes.  On by
         #: default for observability; benchmarks turn it off — emitting
         #: several trace records per message is measurable at load.
@@ -212,13 +217,21 @@ class LocalCluster:
         if self.out_dir is not None:
             # The manifest lets out-of-process tools (`repro top`,
             # `repro trace --cluster`) find the control ports.
-            (self.out_dir / "cluster.json").write_text(json.dumps({
+            manifest: dict[str, Any] = {
                 "nodes": self.n,
                 "host": self.host,
                 "ports": self.ports,
                 "cluster_id": self.cluster_id,
                 "launcher_pid": os.getpid(),
-            }, indent=2) + "\n")
+            }
+            if self.shards > 1:
+                from repro.shard.map import ShardMap
+
+                manifest["shards"] = self.shards
+                manifest["shard_map"] = ShardMap(
+                    self.shards, list(range(self.n))).to_manifest()
+            (self.out_dir / "cluster.json").write_text(
+                json.dumps(manifest, indent=2) + "\n")
         for node in range(self.n):
             self._spawn(node)
         for node in range(self.n):
@@ -242,6 +255,8 @@ class LocalCluster:
             "--seed", str(self.seed),
             "--heartbeat", str(self.heartbeat),
         ]
+        if self.shards > 1:
+            cmd += ["--shards", str(self.shards)]
         cmd += self.node_args
         if self.data_dir is not None:
             cmd += ["--data-dir", str(self.data_dir / f"node{node}")]
@@ -1009,6 +1024,40 @@ def _apply_to_oracle(system, script: list[dict]):
     return system.coordinators[0].directory.snapshot(), resolves
 
 
+def _replication_barrier(cluster: LocalCluster, *,
+                         nodes: list[int] | None = None,
+                         timeout: float = 20.0,
+                         what: str = "visibility ops replicated") -> None:
+    """Block until every (listed) node has applied what the first has.
+
+    Unsharded, one global cursor suffices.  Sharded, a summed
+    ``applied_seq`` is meaningless across nodes mid-flight (two nodes
+    can hold the same total while trailing on *different* shards), so
+    the barrier compares each shard's apply cursor separately.
+    """
+    members = list(nodes) if nodes is not None else list(range(cluster.n))
+    status0 = cluster.call(members[0], "status")
+    shards = status0.get("shards")
+    if shards is None:
+        applied = status0["applied_seq"]
+        cluster.wait_until(
+            lambda: all(cluster.call(i, "status")["applied_seq"] >= applied
+                        for i in members),
+            timeout=timeout, what=what)
+        return
+    floors = {k: info["applied"] for k, info in shards.items()}
+
+    def caught_up() -> bool:
+        for node in members:
+            node_shards = cluster.call(node, "status")["shards"]
+            for k, floor in floors.items():
+                if node_shards[k]["applied"] < floor:
+                    return False
+        return True
+
+    cluster.wait_until(caught_up, timeout=timeout, what=what)
+
+
 def _apply_to_cluster(cluster: LocalCluster, script: list[dict]):
     spaces: list = []  # root is addressed implicitly (space=None)
     actors: list = []
@@ -1036,11 +1085,7 @@ def _apply_to_cluster(cluster: LocalCluster, script: list[dict]):
                          space=scope_of(step["space"]))
 
     # Barrier: every replica has applied exactly what node 0 applied.
-    applied = cluster.call(0, "status")["applied_seq"]
-    cluster.wait_until(
-        lambda: all(cluster.call(i, "status")["applied_seq"] >= applied
-                    for i in range(cluster.n)),
-        what="visibility ops replicated")
+    _replication_barrier(cluster)
 
     final = script[-1]
     snapshots = {i: cluster.call(i, "directory")["snapshot"]
@@ -1056,6 +1101,7 @@ def _apply_to_cluster(cluster: LocalCluster, script: list[dict]):
 
 
 def run_tcp_conformance(seeds: list[int], *, nodes: int = 3, ops: int = 10,
+                        shards: int = 1,
                         out_dir: str | Path | None = None,
                         log: Callable[[str], None] = print) -> dict:
     """Diff real TCP clusters against the single-process oracle.
@@ -1063,16 +1109,24 @@ def run_tcp_conformance(seeds: list[int], *, nodes: int = 3, ops: int = 10,
     Returns ``{"seeds": ..., "divergences": [...]}`` — empty divergences
     means every node's directory replica and every pattern resolution
     matched the simulator exactly.
+
+    With ``shards > 1`` both sides run the partitioned visibility plane.
+    The cluster keeps the default spread seat assignment (shard k's
+    sequencer on node k mod n), so cross-shard submissions genuinely
+    traverse the SHARD_FWD wire path; the quiescent end state is
+    interleaving-independent, so it still has to equal the simulator's.
     """
     from repro.runtime.system import ActorSpaceSystem
 
+    sim_kw: dict[str, Any] = {"shards": shards} if shards > 1 else {}
     divergences: list[dict] = []
     for seed in seeds:
         script = _conformance_script(seed, ops)
-        oracle = ActorSpaceSystem(seed=seed)
+        oracle = ActorSpaceSystem(seed=seed, **sim_kw)
         oracle_snapshot, oracle_resolves = _apply_to_oracle(oracle, script)
 
-        cluster = LocalCluster(nodes, seed=seed, out_dir=out_dir)
+        cluster = LocalCluster(nodes, seed=seed, out_dir=out_dir,
+                               shards=shards)
         try:
             cluster.start()
             snapshots, resolves = _apply_to_cluster(cluster, script)
@@ -1097,11 +1151,12 @@ def run_tcp_conformance(seeds: list[int], *, nodes: int = 3, ops: int = 10,
                     })
         verdict = "MATCH" if not divergences else "DIVERGED"
         log(f"seed {seed}: tcp cluster vs oracle -> {verdict} "
-            f"({len(script) - 1} ops, {nodes} nodes)")
+            f"({len(script) - 1} ops, {nodes} nodes"
+            + (f", {shards} shards)" if shards > 1 else ")"))
         if divergences:
             break  # first divergence is the story; don't pile on
     return {"seeds": list(seeds), "nodes": nodes, "ops": ops,
-            "divergences": divergences}
+            "shards": shards, "divergences": divergences}
 
 
 # -- durability drill ----------------------------------------------------------
@@ -1351,6 +1406,270 @@ def durability_main(argv: list[str]) -> int:
     return 0
 
 
+# -- shard drill ---------------------------------------------------------------
+
+
+def _probe_shard_atoms(shards: int) -> dict[int, str]:
+    """One root attribute atom per shard, probed against the stable hash."""
+    from repro.shard.map import ShardMap
+
+    smap = ShardMap(shards)
+    atoms: dict[int, str] = {}
+    index = 0
+    while len(atoms) < shards:
+        atoms.setdefault(smap.owner_of(f"sh{index}"), f"sh{index}")
+        index += 1
+    return atoms
+
+
+def run_shard_drill(cluster: LocalCluster, *, wave: int = 25, burst: int = 16,
+                    rebalance: bool = True, kill_sequencers: bool = False,
+                    log: Callable[[str], None] = print) -> dict:
+    """Drive the partitioned visibility plane through its failure modes.
+
+    The script: one space per shard (root atoms probed so every shard
+    owns one), a counter actor per space, then interleaved message waves
+    and per-shard visibility bursts from every node.  Mid-drill the
+    launcher optionally (a) moves one shard's sequencer seat to another
+    node *live* (``rebalance``) and (b) SIGKILLs a seat-holding node,
+    waits for per-shard failover, and proves the seats return home on
+    respawn (``kill_sequencers``).  The exit criteria are absolute:
+    every node's directory replica is identical, per-shard resolutions
+    agree everywhere, and message conservation closes with zero silent
+    loss — delivered + pending + expired == offered.
+    """
+    n, shards = cluster.n, cluster.shards
+    report: dict[str, Any] = {"drill": "shard", "nodes": n, "shards": shards,
+                              "wave": wave, "burst": burst}
+    atoms = _probe_shard_atoms(shards)
+
+    spaces: dict[int, Any] = {}
+    counters: dict[int, Any] = {}
+    for k in sorted(atoms):
+        spaces[k] = cluster.call(
+            0, "create_space", attributes=atoms[k])["address"]
+    cluster.wait_until(
+        lambda: all(cluster.call(node, "has_space", address=spaces[k])
+                    for node in range(n) for k in spaces),
+        what="shard spaces replicated")
+    for k in sorted(atoms):
+        counters[k] = cluster.call(
+            0, "create_actor", behavior="counter",
+            visible={"attributes": f"{atoms[k]}/c", "space": spaces[k]},
+        )["address"]
+    log(f"{shards} spaces up, one per shard "
+        f"(root atoms {[atoms[k] for k in sorted(atoms)]})")
+
+    offered = 0
+    sent: dict[int, int] = {k: 0 for k in spaces}
+
+    def traffic(tag: str, senders: list[int] | None = None) -> None:
+        """One wave of messages plus a visibility burst on every shard."""
+        nonlocal offered
+        live = senders if senders is not None else list(range(n))
+        for index in range(wave):
+            for k in sorted(spaces):
+                cluster.call(0, "send_to", target=counters[k],
+                             payload=(tag, index))
+                sent[k] += 1
+                offered += 1
+        for node in live:
+            for k in sorted(spaces):
+                cluster.call(node, "vis_burst", target=counters[k],
+                             space=spaces[k], count=burst,
+                             prefix=f"{tag}-n{node}")
+
+    traffic("pre")
+    _replication_barrier(cluster, what="pre-drill convergence")
+    seats = cluster.call(0, "status")["shards"]
+    report["initial_seats"] = {
+        k: info["sequencer"] for k, info in sorted(seats.items())}
+    log(f"phase 1 traffic converged; seats {report['initial_seats']}")
+
+    if rebalance:
+        moved = 1 % shards
+        old = seats[moved]["sequencer"]
+        new = (old + 1) % n
+        # Every node adopts the same assignment (bumping its local map
+        # to the same version) — the launcher plays gossip here, exactly
+        # as an operator pushing a new map through the control plane.
+        versions = [
+            cluster.call(node, "rebalance", shard=moved, seat=new)["version"]
+            for node in range(n)]
+        assert len(set(versions)) == 1, versions
+        traffic("post-rebalance")
+        _replication_barrier(cluster, what="post-rebalance convergence")
+        for node in range(n):
+            status = cluster.call(node, "status")
+            assert status["shards"][moved]["sequencer"] == new, \
+                f"node {node} did not adopt the new seat for shard {moved}"
+            assert status["shard_map_version"] == versions[0], status
+        report["rebalance"] = {"shard": moved, "from": old, "to": new,
+                               "map_version": versions[0]}
+        log(f"shard {moved} seat moved live: node {old} -> node {new} "
+            f"(map v{versions[0]}); traffic kept flowing")
+
+    if kill_sequencers:
+        seats = cluster.call(0, "status")["shards"]
+        holders: dict[int, list[int]] = {}
+        for k, info in seats.items():
+            if info["sequencer"] != 0:
+                holders.setdefault(info["sequencer"], []).append(k)
+        assert holders, "no non-zero seat holder to kill"
+        victim = max(holders, key=lambda node: (len(holders[node]), node))
+        victim_shards = sorted(holders[victim])
+        survivors = [node for node in range(n) if node != victim]
+        cluster.kill(victim)
+
+        def failed_over() -> bool:
+            for node in survivors:
+                node_shards = cluster.call(node, "status")["shards"]
+                if any(node_shards[k]["sequencer"] == victim
+                       for k in victim_shards):
+                    return False
+            return True
+
+        cluster.wait_until(failed_over, timeout=30.0,
+                           what=f"failover of node {victim}'s shard seats")
+        interim = {k: cluster.call(0, "status")["shards"][k]["sequencer"]
+                   for k in victim_shards}
+        log(f"node {victim} killed; shards {victim_shards} failed over "
+            f"to {interim}")
+        traffic("failover", senders=survivors)
+        _replication_barrier(cluster, nodes=survivors,
+                             what="convergence under failover")
+
+        cluster.respawn(victim)
+        cluster.wait_linked(timeout=30.0)
+        # The respawned node rejoined with the *spawn-time* shard map;
+        # gossip it the current assignment so any rebalanced seat stays
+        # where the operator put it.
+        manifest = cluster.call(0, "shard_map")["map"]
+        cluster.call(victim, "shard_map", manifest=manifest)
+
+        def seats_home() -> bool:
+            for node in range(n):
+                node_shards = cluster.call(node, "status")["shards"]
+                if any(info["sequencer"] != info["home"]
+                       for info in node_shards.values()):
+                    return False
+            return True
+
+        cluster.wait_until(seats_home, timeout=30.0,
+                           what="seats returning home after respawn")
+        traffic("post-respawn")
+        report["kill"] = {"victim": victim, "shards": victim_shards,
+                          "interim": interim}
+        log(f"node {victim} respawned; every shard seat back home")
+
+    # Conservation: every offered message is delivered (the counters all
+    # live on node 0, which never dies) and none arrives twice.
+    def all_landed() -> bool:
+        return all(
+            cluster.call(0, "actor_state", address=counters[k],
+                         attrs=["count"])["count"] >= sent[k]
+            for k in counters)
+
+    cluster.wait_until(all_landed, timeout=30.0, what="message conservation")
+    delivered = sum(
+        cluster.call(0, "actor_state", address=counters[k],
+                     attrs=["count"])["count"]
+        for k in counters)
+    dlq = cluster.call(0, "dlq")
+    assert delivered + dlq["pending"] + dlq["expired"] == offered, \
+        (delivered, dict(dlq), offered)
+    assert delivered == offered, \
+        f"duplicate or lost deliveries: {delivered} != {offered}"
+    report["conservation"] = {"offered": offered, "delivered": delivered,
+                              "pending": dlq["pending"],
+                              "expired": dlq["expired"]}
+    log(f"conservation closes: delivered {delivered} + pending "
+        f"{dlq['pending']} + expired {dlq['expired']} == offered {offered}")
+
+    # Coherence: identical directory replicas and per-shard resolutions.
+    _replication_barrier(cluster, what="final convergence")
+    snapshots = {node: cluster.call(node, "directory")["snapshot"]
+                 for node in range(n)}
+    for node in range(1, n):
+        assert snapshots[node] == snapshots[0], \
+            f"node {node} directory diverged from node 0"
+    for k in sorted(spaces):
+        resolutions = {
+            node: sorted(cluster.call(node, "resolve", pattern="**",
+                                      space=spaces[k]))
+            for node in range(n)}
+        assert all(r == resolutions[0] for r in resolutions.values()), \
+            f"shard {k} resolutions diverged: {resolutions}"
+        assert counters[k] in resolutions[0], \
+            f"shard {k} counter missing from its space"
+    report["final_seats"] = {
+        k: info["sequencer"]
+        for k, info in sorted(cluster.call(0, "status")["shards"].items())}
+    report["coherent"] = True
+    log(f"all {n} directory replicas identical; per-shard resolutions "
+        f"agree on every node")
+    return report
+
+
+def shard_main(argv: list[str]) -> int:
+    """``python -m repro shard`` — partitioned visibility-plane drill."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro shard",
+        description="Drive a sharded TCP cluster: per-shard sequencing "
+                    "load, an optional live seat rebalance and per-shard "
+                    "sequencer-kill failover, holding directory coherence "
+                    "and zero silent message loss throughout.")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--wave", type=int, default=25,
+                        help="messages per shard per traffic phase")
+    parser.add_argument("--burst", type=int, default=16,
+                        help="visibility ops per shard per node per phase")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="move one shard's sequencer seat live mid-drill")
+    parser.add_argument("--kill-sequencers", action="store_true",
+                        help="SIGKILL a seat-holding node; verify per-shard "
+                             "failover and the seats returning home")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--heartbeat", type=float, default=0.2)
+    parser.add_argument("--out", default=None,
+                        help="directory for logs, snapshots, shard.json")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if not loopback_available():
+        print("shard: loopback sockets unavailable on this platform; "
+              "skipping", file=sys.stderr)
+        return 0
+    if args.nodes < 2:
+        parser.error("--nodes must be >= 2")
+    if args.shards < 2:
+        parser.error("--shards must be >= 2")
+
+    def log(text: str) -> None:
+        print(f"[shard] {text}", flush=True)
+
+    cluster = LocalCluster(
+        args.nodes, seed=args.seed, heartbeat=args.heartbeat,
+        out_dir=args.out, verbose=args.verbose, shards=args.shards, log=log)
+    try:
+        cluster.start()
+        report = run_shard_drill(
+            cluster, wave=args.wave, burst=args.burst,
+            rebalance=args.rebalance,
+            kill_sequencers=args.kill_sequencers, log=log)
+    finally:
+        cluster.shutdown()
+    if args.out is not None:
+        path = Path(args.out) / "shard.json"
+        path.write_text(json.dumps(_jsonable(report), indent=2))
+        log(f"report written to {path}")
+    log("shard: OK")
+    return 0
+
+
 # -- CLI entry points ----------------------------------------------------------
 
 
@@ -1374,6 +1693,13 @@ def serve_main(argv: list[str]) -> int:
     parser.add_argument("--heartbeat", type=float, default=0.2)
     parser.add_argument("--suspect-after", type=int, default=2)
     parser.add_argument("--confirm-after", type=int, default=4)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="visibility-plane shard count (>1 partitions "
+                             "the directory across per-shard sequencers)")
+    parser.add_argument("--shard-sequencer", type=int, default=None,
+                        metavar="NODE",
+                        help="home every shard's sequencer on NODE instead "
+                             "of spreading seats round-robin")
     parser.add_argument("--mailbox-capacity", type=int, default=None,
                         help="per-actor invocation-port bound (0 = unbounded; "
                              "default: the bounded-but-roomy runtime default)")
@@ -1431,7 +1757,8 @@ def serve_main(argv: list[str]) -> int:
         suspect_after=args.suspect_after, confirm_after=args.confirm_after,
         trace=not args.no_trace, trace_jsonl=args.trace_jsonl,
         quiet=not args.verbose, data_dir=args.data_dir, fsync=args.fsync,
-        snapshot_interval=args.snapshot_interval, **overload_kw)
+        snapshot_interval=args.snapshot_interval, shards=args.shards,
+        shard_sequencer=args.shard_sequencer, **overload_kw)
 
     async def main() -> None:
         loop = asyncio.get_running_loop()
@@ -1442,6 +1769,20 @@ def serve_main(argv: list[str]) -> int:
                 pass
         await runtime.serve()
 
+    profile_dir = os.environ.get("REPRO_NODE_PROFILE")
+    if profile_dir:
+        # Whole-process profile per node (perf forensics): dump pstats
+        # to <dir>/node<N>.pstats at clean shutdown.
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            asyncio.run(main())
+        finally:
+            profiler.disable()
+            Path(profile_dir).mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(Path(profile_dir) / f"node{args.node}.pstats"))
+        return 0
     asyncio.run(main())
     return 0
 

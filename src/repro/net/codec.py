@@ -46,8 +46,8 @@ from repro.core.messages import Destination, Envelope, Message, Mode, Port
 from repro.core.patterns import Pattern, parse_pattern
 from repro.runtime.bus import OpKind, VisibilityOp
 
-PROTOCOL_VERSION = 4  # v4: credit-based flow control (CREDIT frames)
-SCHEMA_VERSION = 1
+PROTOCOL_VERSION = 5  # v5: sharded visibility plane (SHARD_FWD, shard ids)
+SCHEMA_VERSION = 2    # v2: VisibilityOp carries shard / tick / fan_of
 
 #: Hard ceiling on a single frame (length prefix included payload).
 MAX_FRAME_BYTES = 8 * 1024 * 1024
@@ -81,6 +81,7 @@ class FrameKind(enum.IntEnum):
     REPLY = 12       #: node -> launcher: control-plane response
     BATCH = 13       #: N coalesced frames in one length-prefixed envelope
     CREDIT = 14      #: receiver -> sender: data-frame flow-control grant
+    SHARD_FWD = 15   #: cross-shard routed envelope (credit-controlled data)
 
 
 # -- enum index tables (wire-stable: append-only) -------------------------------
@@ -277,6 +278,9 @@ def _enc_visibility_op(out: bytearray, obj: VisibilityOp) -> None:
     _enc_int(out, obj.origin_node)
     _enc_int(out, obj.origin_seq)
     _enc_int(out, obj.op_id)
+    _enc_int(out, obj.shard)
+    _enc(out, obj.tick)
+    _enc(out, obj.fan_of)
     _enc(out, obj.args)
 
 
@@ -575,9 +579,13 @@ def _dec_visibility_op(buf: bytes, pos: int) -> tuple[VisibilityOp, int]:
     origin_node, pos = _dec_int(buf, pos)
     origin_seq, pos = _dec_int(buf, pos)
     op_id, pos = _dec_int(buf, pos)
+    shard, pos = _dec_int(buf, pos)
+    tick, pos = _dec(buf, pos)
+    fan_of, pos = _dec(buf, pos)
     args, pos = _dec(buf, pos)
     return VisibilityOp(kind=kind, args=args, origin_node=origin_node,
-                        origin_seq=origin_seq, op_id=op_id), pos
+                        origin_seq=origin_seq, op_id=op_id, shard=shard,
+                        tick=tick, fan_of=fan_of), pos
 
 
 def _dec_manager_factory(buf: bytes, pos: int) -> tuple[Callable, int]:

@@ -36,8 +36,9 @@ counted — a frozen peer must cost bounded memory, not the process.
 Overload protection (two mechanisms, one per direction of causality):
 
 * **Control/data queue split.**  Each link keeps *two* FIFO queues.
-  Data frames (ENVELOPE) ride the big ``max_pending_bytes``-bounded
-  queue; everything else — heartbeats, bus traffic, control replies,
+  Payload-bearing frames (envelopes, bus submissions and fan-out,
+  cross-shard forwards) ride the big ``max_pending_bytes``-bounded
+  queue; everything else — heartbeats, control replies,
   credit grants — rides a small separate queue with its own
   ``ctrl_pending_bytes`` budget that data saturation cannot consume.
   Before the split, a saturated link shed heartbeats along with data,
@@ -95,7 +96,14 @@ WRITE_HIGH_WATER = 256 * 1024
 
 #: Frame kinds subject to the data bound + credit gating; everything
 #: else is control-class (shed-exempt budget, never credit-gated).
-_DATA_KINDS = frozenset({FrameKind.ENVELOPE})
+#: Alongside envelopes, the bus replication stream (BUS_SUBMIT
+#: submissions, BUS_OP fan-out and sync replay) and SHARD_FWD
+#: cross-shard forwards are payload-bearing, unbounded-volume traffic:
+#: they must get backpressure from the big credit-gated queue, not
+#: overflow the small control budget and shed — a shed BUS_OP is a hole
+#: in a replica's log.  Heartbeats and grants keep their own lane.
+_DATA_KINDS = frozenset({FrameKind.ENVELOPE, FrameKind.SHARD_FWD,
+                         FrameKind.BUS_SUBMIT, FrameKind.BUS_OP})
 
 
 class PeerLink:
@@ -417,6 +425,8 @@ class PeerHub:
             stalled = bool(link.queue) and (avail - taken) <= 0
             if stalled and not link.credit_stalled:
                 self.credit_stalls += 1
+                self._log(f"credit stall on {link.node}: "
+                          f"{len(link.queue)} data frames waiting")
             link.credit_stalled = stalled
         return chunks
 
@@ -456,10 +466,11 @@ class PeerHub:
                     await link.writer.drain()
                 if link.closing:
                     return
-        except (OSError, WireError, RuntimeError, asyncio.CancelledError):
+        except (OSError, WireError, RuntimeError, asyncio.CancelledError) as exc:
             # Connection died mid-flush (or shutdown); the serve loop
             # owns unregistration and close.
-            pass
+            if not isinstance(exc, asyncio.CancelledError):
+                self._log(f"flusher for {link!r} died: {exc!r}")
 
     async def _drain_link(self, link: PeerLink, timeout: float = 1.0) -> None:
         """Wait (bounded) until ``link``'s queue and transport are empty."""
@@ -633,7 +644,11 @@ class PeerHub:
                         self._log(f"frame handler failed on {kind.name} "
                                   f"from {link!r}: {exc!r}")
                     self.h_deliver.observe(time.perf_counter() - t0)
-                    if kind == FrameKind.ENVELOPE and link.role == "node":
+                    if kind in _DATA_KINDS and link.role == "node":
+                        # Grant-back must mirror the sender's spend: the
+                        # flusher debits credit for every data-class
+                        # frame, so SHARD_FWD consumption replenishes
+                        # the window exactly like ENVELOPE does.
                         self._note_consumed(link.node)
                 if goodbye:
                     break
@@ -693,6 +708,23 @@ class PeerHub:
     def _register(self, link: PeerLink) -> None:
         previous = self.links.get(link.node)
         self.links[link.node] = link
+        if previous is not None and previous is not link:
+            # A duplicate connection won the registration race (late
+            # simultaneous dial).  Frames still queued on the losing
+            # link would be orphaned — credit grants wake only the
+            # *registered* link, so its flusher would sleep on a stalled
+            # window forever.  Migrate the backlog, retire the loser.
+            link.queue.extend(previous.queue)
+            link.queue_bytes += previous.queue_bytes
+            link.ctrl_queue.extend(previous.ctrl_queue)
+            link.ctrl_bytes += previous.ctrl_bytes
+            previous.queue.clear()
+            previous.queue_bytes = 0
+            previous.ctrl_queue.clear()
+            previous.ctrl_bytes = 0
+            previous.closing = True
+            previous.wake.set()
+            link.wake.set()
         self.last_heard[link.node] = time.monotonic()
         # The handshake frames just crossed the wire, so the peer's
         # recency oracle is fresh as of now (last_sent is otherwise

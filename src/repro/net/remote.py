@@ -202,13 +202,27 @@ class RemoteSequencerBus:
 
     FAILOVER_DELAY = 0.05
 
-    def __init__(self, runtime: "NodeRuntime"):
+    def __init__(self, runtime: "NodeRuntime", shard_id: int = 0,
+                 home_node: int | None = None):
         self.runtime = runtime
         self.nodes = list(runtime.nodes)
-        self.sequencer_node = min(self.nodes)
+        #: Which visibility-plane shard this bus orders (0 = the whole
+        #: plane when the node runs unsharded).
+        self.shard_id = shard_id
+        #: Preferred sequencer seat (the shard map's assignment).  The
+        #: role sticks here while the node is live, falls back to the
+        #: lowest live node during an outage, and returns on recovery —
+        #: with the default (lowest node) this is exactly the historical
+        #: lowest-live election.
+        self.home_node = home_node if home_node is not None else min(self.nodes)
+        self.sequencer_node = self.home_node
         #: The sequenced log: global seq -> op (SYNC_REQ replay source).
         self.log: dict[int, VisibilityOp] = {}
         self._next_seq = 0
+        #: Highest seq present in ``log`` (watermark, so a freshly
+        #: elected sequencer continues the order in O(1) instead of
+        #: scanning the whole log on every sequenced op).
+        self._log_high = -1
         #: Per-origin FIFO reassembly (sequencer role only).
         self._expected: dict[int, int] = {}
         self._holdback: dict[tuple[int, int], VisibilityOp] = {}
@@ -220,6 +234,7 @@ class RemoteSequencerBus:
         #: Local op objects (with callbacks), substituted on fan-in.
         self._local_ops: dict[int, VisibilityOp] = {}
         self._redrive_scheduled = False
+        self._gap_sync_scheduled = False
         self.protocol_messages = 0
         self.ops_sequenced = 0
         self.failovers = 0
@@ -245,9 +260,15 @@ class RemoteSequencerBus:
             return
         self.protocol_messages += 1
         # An unreachable sequencer is fine: the op stays unacked and the
-        # failover/reconnect paths re-drive it.
-        self.runtime.hub.send(self.sequencer_node, FrameKind.BUS_SUBMIT,
-                              {"op": op})
+        # failover/reconnect paths re-drive it.  Sharded nodes route the
+        # submission as SHARD_FWD — payload-bearing cross-shard traffic
+        # that rides the credit-controlled data class on the wire.
+        if self.runtime.shards > 1:
+            self.runtime.hub.send(self.sequencer_node, FrameKind.SHARD_FWD,
+                                  {"op": op, "shard": self.shard_id})
+        else:
+            self.runtime.hub.send(self.sequencer_node, FrameKind.BUS_SUBMIT,
+                                  {"op": op})
 
     # -- sequencer side ----------------------------------------------------------
 
@@ -268,8 +289,7 @@ class RemoteSequencerBus:
             return  # duplicate of a re-driven op that already made it
         # A freshly elected sequencer continues the order after the
         # highest seq it has observed (its log mirrors the fan-out).
-        self._next_seq = max(self._next_seq,
-                             max(self.log, default=-1) + 1)
+        self._next_seq = max(self._next_seq, self._log_high + 1)
         self._expected.setdefault(origin, 0)
         self._holdback[(origin, op.origin_seq)] = op
         while (origin, self._expected[origin]) in self._holdback:
@@ -280,6 +300,7 @@ class RemoteSequencerBus:
             self.ops_sequenced += 1
             self._sequenced.add((ready.origin_node, ready.origin_seq))
             self.log[seq] = ready
+            self._log_high = max(self._log_high, seq)
             if self.store is not None:
                 self.store.append_op(seq, ready)
                 self.store.commit()
@@ -297,7 +318,8 @@ class RemoteSequencerBus:
                 else:
                     self.protocol_messages += 1
                     self.runtime.hub.send(node, FrameKind.BUS_OP,
-                                          {"seq": seq, "op": ready})
+                                          {"seq": seq, "op": ready,
+                                           "shard": self.shard_id})
 
     # -- replica side ------------------------------------------------------------
 
@@ -305,6 +327,7 @@ class RemoteSequencerBus:
         """A globally sequenced op arrived (fan-out or SYNC replay)."""
         first_sight = seq not in self.log
         self.log[seq] = op
+        self._log_high = max(self._log_high, seq)
         if self.store is not None and first_sight:
             # Outbox on the replica path too: the op is durable here
             # before the coordinator applies it, so this replica's
@@ -321,20 +344,38 @@ class RemoteSequencerBus:
             # process mints would collide with a pre-crash (origin,
             # origin_seq) pair and be deduped into the void.
             coordinator = self.runtime.coordinator
-            coordinator._next_origin_seq = max(
-                coordinator._next_origin_seq, op.origin_seq + 1)
+            if coordinator.router is not None:
+                floor = coordinator._origin_seqs.get(self.shard_id, 0)
+                coordinator._origin_seqs[self.shard_id] = max(
+                    floor, op.origin_seq + 1)
+            else:
+                coordinator._next_origin_seq = max(
+                    coordinator._next_origin_seq, op.origin_seq + 1)
         self._deliver_local(seq, op)
+        if self._applied_cursor() <= seq:
+            # This op landed beyond the applied cursor: some earlier seq
+            # is missing (lost frame, or fan-out raced a failover).  Ask
+            # the sequencer to replay the hole after a debounce — the
+            # stream self-heals instead of stalling at the gap forever.
+            self._schedule_gap_sync()
 
     def on_ack(self, op_id: int) -> None:
         """Sequencer acknowledged receipt (advisory; dedup is by log)."""
 
+    def _applied_cursor(self) -> int:
+        """How far this replica has applied *this shard's* stream."""
+        coordinator = self.runtime.coordinator
+        if coordinator.router is not None:
+            return coordinator._shard_cursors.get(self.shard_id, 0)
+        return coordinator._next_apply_seq
+
     def _deliver_local(self, seq: int, op: VisibilityOp) -> None:
         local = self._local_ops.pop(op.op_id, None)
         self._unacked.pop(op.op_id, None)
-        coordinator = self.runtime.coordinator
-        if seq < coordinator._next_apply_seq:
+        if seq < self._applied_cursor():
             return  # SYNC replay overlap: already applied here
-        coordinator.on_bus_delivery(seq, local if local is not None else op)
+        self.runtime.coordinator.on_bus_delivery(
+            seq, local if local is not None else op)
 
     # -- state transfer ----------------------------------------------------------
 
@@ -348,10 +389,11 @@ class RemoteSequencerBus:
         """
         for seq, op in ops.items():
             self.log.setdefault(seq, op)
+            self._log_high = max(self._log_high, seq)
             self._sequenced.add((op.origin_node, op.origin_seq))
             self._expected[op.origin_node] = max(
                 self._expected.get(op.origin_node, 0), op.origin_seq + 1)
-        self._next_seq = max(self._next_seq, max(self.log, default=-1) + 1)
+        self._next_seq = max(self._next_seq, self._log_high + 1)
 
     def request_sync(self) -> None:
         """Ask the current sequencer to replay the log we have not applied."""
@@ -361,14 +403,33 @@ class RemoteSequencerBus:
         self.runtime.hub.send(
             self.sequencer_node, FrameKind.SYNC_REQ,
             {"node": self.runtime.node_id,
-             "from_seq": self.runtime.coordinator._next_apply_seq})
+             "from_seq": self._applied_cursor(),
+             "shard": self.shard_id})
 
-    def on_sync_req(self, node: int, from_seq: int) -> None:
+    def on_sync_req(self, node: int, from_seq: int, shard: int = 0) -> None:
         """Replay every logged op >= ``from_seq`` back to ``node``."""
         for seq in sorted(s for s in self.log if s >= from_seq):
             self.protocol_messages += 1
             self.runtime.hub.send(node, FrameKind.BUS_OP,
-                                  {"seq": seq, "op": self.log[seq]})
+                                  {"seq": seq, "op": self.log[seq],
+                                   "shard": self.shard_id})
+
+    def on_peer_up(self, node: int) -> None:
+        """A peer link registered; catch up if it holds our sequencer role."""
+        if node == self.sequencer_node:
+            self.request_sync()
+        elif self.sequencer_node == self.runtime.node_id:
+            # We hold the seat.  A (re)starting seat-holder must adopt
+            # the existing stream before sequencing over it — otherwise
+            # it would re-mint seq numbers replicas have already applied
+            # and those ops would be silently skipped.  Every replica
+            # mirrors the log, so the newly linked peer can serve the
+            # replay; a current seat-holder gets an empty reply.
+            self.protocol_messages += 1
+            self.runtime.hub.send(node, FrameKind.SYNC_REQ,
+                                  {"node": self.runtime.node_id,
+                                   "from_seq": self._applied_cursor(),
+                                   "shard": self.shard_id})
 
     # -- failover ----------------------------------------------------------------
 
@@ -388,11 +449,18 @@ class RemoteSequencerBus:
         # because each re-evaluates against its own liveness view.
         self._elect("sequencer_recovered")
 
+    def rebalance(self, node: int) -> None:
+        """Move this shard's home seat to ``node`` and re-elect, live."""
+        self.home_node = node
+        self._elect("rebalance")
+        if self._unacked:
+            self._schedule_redrive()
+
     def _elect(self, reason: str) -> None:
         live = self.live_nodes()
         if not live:
             return
-        new = min(live)
+        new = self.home_node if self.home_node in live else min(live)
         if new != self.sequencer_node:
             self.sequencer_node = new
             self.failovers += 1
@@ -418,11 +486,30 @@ class RemoteSequencerBus:
                          key=lambda o: (o.origin_node, o.origin_seq)):
             self._send_submit(op)
 
+    def _schedule_gap_sync(self) -> None:
+        if self._gap_sync_scheduled:
+            return
+        self._gap_sync_scheduled = True
+        self.runtime.events.schedule(
+            self.runtime.clock.now + self.FAILOVER_DELAY, self._gap_sync,
+            priority=BUS_PRIORITY, tag=("bus_ctl",))
+
+    def _gap_sync(self) -> None:
+        self._gap_sync_scheduled = False
+        if (self.sequencer_node == self.runtime.node_id
+                or self._applied_cursor() > self._log_high):
+            return  # gap closed (or we hold the seat: nothing to ask)
+        self.request_sync()
+        # Re-arm: the replay itself rides the wire and can be lost too.
+        self._schedule_gap_sync()
+
     # -- introspection -----------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
         return {
+            "shard": self.shard_id,
             "sequencer_node": self.sequencer_node,
+            "home_node": self.home_node,
             "ops_sequenced": self.ops_sequenced,
             "protocol_messages": self.protocol_messages,
             "failovers": self.failovers,
@@ -431,5 +518,101 @@ class RemoteSequencerBus:
         }
 
     def __repr__(self):
-        return (f"<RemoteSequencerBus @n{self.sequencer_node} "
+        return (f"<RemoteSequencerBus shard={self.shard_id} "
+                f"@n{self.sequencer_node} "
                 f"log={len(self.log)} unacked={len(self._unacked)}>")
+
+
+class ShardedRemoteBus:
+    """N per-shard :class:`RemoteSequencerBus` instances, one facade.
+
+    The wire analogue of :class:`repro.shard.bus.ShardedBus`: frames
+    carry the shard id (SHARD_FWD submissions, BUS_OP/SYNC_REQ payload
+    keys), every shard elects and re-drives independently, and a
+    recovering replica catches up per shard.  ``op.shard`` — stamped by
+    the submitting coordinator's router — picks the inner bus.
+    """
+
+    def __init__(self, runtime: "NodeRuntime", shard_map):
+        self.runtime = runtime
+        self.map = shard_map
+        self.shards: dict[int, RemoteSequencerBus] = {
+            k: RemoteSequencerBus(runtime, shard_id=k,
+                                  home_node=shard_map.sequencer_for(k))
+            for k in range(shard_map.n_shards)
+        }
+
+    # -- frame dispatch ----------------------------------------------------------
+
+    def submit(self, op: VisibilityOp) -> None:
+        self.shards[op.shard].submit(op)
+
+    def on_submit(self, from_node: int, op: VisibilityOp) -> None:
+        self.shards[op.shard].on_submit(from_node, op)
+
+    def on_op(self, seq: int, op: VisibilityOp) -> None:
+        self.shards[op.shard].on_op(seq, op)
+
+    def on_ack(self, op_id: int) -> None:
+        pass  # advisory in the single-shard bus too
+
+    def on_sync_req(self, node: int, from_seq: int, shard: int = 0) -> None:
+        self.shards[shard].on_sync_req(node, from_seq)
+
+    # -- liveness ----------------------------------------------------------------
+
+    def on_node_down(self, node: int) -> None:
+        for bus in self.shards.values():
+            bus.on_node_down(node)
+
+    def on_node_recovered(self, node: int) -> None:
+        for bus in self.shards.values():
+            bus.on_node_recovered(node)
+
+    def on_peer_up(self, node: int) -> None:
+        for bus in self.shards.values():
+            bus.on_peer_up(node)
+
+    def request_sync(self) -> None:
+        for bus in self.shards.values():
+            bus.request_sync()
+
+    # -- rebalance ---------------------------------------------------------------
+
+    def rebalance(self, shard: int, node: int) -> int:
+        """Move ``shard``'s sequencer seat to ``node``; new map version."""
+        self.shards[shard].rebalance(node)
+        return self.map.assign(shard, node)
+
+    def apply_map(self, manifest: dict) -> bool:
+        """Adopt a gossiped shard map if its version is newer."""
+        if not self.map.apply_if_newer(manifest):
+            return False
+        for k, bus in self.shards.items():
+            seat = self.map.sequencer_for(k)
+            if seat != bus.home_node:
+                bus.rebalance(seat)
+        return True
+
+    # -- introspection -----------------------------------------------------------
+
+    def sequencer_nodes(self) -> dict[int, int]:
+        return {k: b.sequencer_node for k, b in self.shards.items()}
+
+    def metrics_snapshot(self) -> dict:
+        return {
+            "shards": {k: b.metrics_snapshot()
+                       for k, b in sorted(self.shards.items())},
+            "map_version": self.map.version,
+            "ops_sequenced": sum(b.ops_sequenced
+                                 for b in self.shards.values()),
+            "protocol_messages": sum(b.protocol_messages
+                                     for b in self.shards.values()),
+            "failovers": sum(b.failovers for b in self.shards.values()),
+            "unacked": sum(len(b._unacked) for b in self.shards.values()),
+        }
+
+    def __repr__(self):
+        seats = ",".join(f"{k}@n{b.sequencer_node}"
+                         for k, b in sorted(self.shards.items()))
+        return f"<ShardedRemoteBus {seats}>"

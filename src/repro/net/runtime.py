@@ -223,6 +223,8 @@ class NodeRuntime:
         data_dir: str | None = None,
         fsync: str = "commit",
         snapshot_interval: float = 30.0,
+        shards: int = 1,
+        shard_sequencer: int | None = None,
     ):
         rebase_wire_counters(node_id)
         self.node_id = node_id
@@ -268,7 +270,27 @@ class NodeRuntime:
             self.coordinator if n == self.node_id else RemoteNodeProxy(self, n)
             for n in self.nodes
         ]
-        self.bus = RemoteSequencerBus(self)
+        #: Visibility-plane partition count.  1 = the historical single
+        #: global sequencer; >1 = one sequencer per shard, routed by the
+        #: space's root attribute atom (repro.shard).
+        self.shards = shards
+        self.shard_map = None
+        if shards > 1:
+            from repro.shard import ShardMap, ShardRouter
+
+            from .remote import ShardedRemoteBus
+
+            self.shard_map = ShardMap(shards, self.nodes)
+            if shard_sequencer is not None:
+                # Co-located seats (conformance mode): one node orders
+                # every shard, so all replicas see one arrival order.
+                self.shard_map.assignment = {
+                    k: shard_sequencer for k in range(shards)}
+            self.bus = ShardedRemoteBus(self, self.shard_map)
+            self.coordinator.router = ShardRouter(self.shard_map)
+            self.coordinator.directory.sharded = True
+        else:
+            self.bus = RemoteSequencerBus(self)
         self.dead_letters = DeadLetterQueue(self)
         self.failure_detector = NetFailureDetector(
             self, interval=heartbeat_interval,
@@ -311,6 +333,9 @@ class NodeRuntime:
             "visible_attributes": self._ctl_visible_attributes,
             "actor_state": self._ctl_actor_state,
             "directory": self._ctl_directory,
+            "vis_burst": self._ctl_vis_burst,
+            "shard_map": self._ctl_shard_map,
+            "rebalance": self._ctl_rebalance,
             "snapshot": self._ctl_snapshot,
             "dlq": self._ctl_dlq,
             "telemetry": self._ctl_telemetry,
@@ -324,8 +349,11 @@ class NodeRuntime:
         self.data_dir = data_dir
         self.snapshot_interval = snapshot_interval
         self.store = None
+        self.shard_stores: dict[int, Any] = {}
         self.recovery: dict | None = None
-        if data_dir is not None:
+        if data_dir is not None and shards > 1:
+            self._init_sharded_stores(data_dir, fsync)
+        elif data_dir is not None:
             from repro.store import NodeStore
             from repro.store.recovery import restore_node
 
@@ -357,9 +385,62 @@ class NodeRuntime:
 
     # -- durability --------------------------------------------------------------
 
+    def _init_sharded_stores(self, data_dir: str, fsync: str) -> None:
+        """One outbox store per shard at ``data_dir/shard-K``.
+
+        Each shard recovers independently: a shard whose store is
+        unreadable is skipped (it re-syncs from its sequencer's log over
+        the wire) and never blocks replay of the healthy shards.  The
+        top-level store keeps the dead-letter namespace.  Snapshots are
+        per-plane state and stay disabled in sharded mode — recovery is
+        per-shard log replay, merged in tick order across shards.
+        """
+        from pathlib import Path
+
+        from repro.store import NodeStore
+
+        self.store = NodeStore(data_dir, fsync=fsync)
+        self.store.load()
+        self.dead_letters.store = self.store
+        replayable: list[tuple[int, int, int, Any]] = []
+        shard_recovery: dict[int, int] = {}
+        for k, bus in sorted(self.bus.shards.items()):
+            shard_dir = str(Path(data_dir) / f"shard-{k}")
+            try:
+                store = NodeStore(shard_dir, fsync=fsync)
+                recovered = store.load()
+            except Exception as exc:  # noqa: BLE001 - scoped recovery
+                self._log(f"shard {k} store unreadable ({exc!r}); "
+                          f"will re-sync over the wire")
+                continue
+            if not recovered.empty and recovered.ops:
+                bus.restore_log(recovered.ops)
+                shard_recovery[k] = len(recovered.ops)
+                for seq, op in recovered.ops.items():
+                    tick = op.tick if op.tick is not None else seq
+                    replayable.append((tick, k, seq, op))
+            bus.store = store
+            self.shard_stores[k] = store
+        if replayable:
+            # Tick order is a linear extension of every per-shard order
+            # (repro.shard.merge); dependency parking in the coordinator
+            # absorbs any cross-shard ADD-before-vis races regardless.
+            replayable.sort()
+            for _tick, k, seq, op in replayable:
+                self.coordinator.on_bus_delivery(seq, op)
+                if op.origin_node == self.node_id:
+                    floor = self.coordinator._origin_seqs.get(k, 0)
+                    self.coordinator._origin_seqs[k] = max(
+                        floor, op.origin_seq + 1)
+            self.recovery = {"shards": shard_recovery,
+                             "ops_replayed": len(replayable)}
+            self.event_log.emit("node_recovered", self.clock.now,
+                                self.node_id, **self.recovery)
+            self._log(f"recovered from {data_dir}: {self.recovery}")
+
     def write_snapshot_now(self) -> str | None:
         """Write a directory snapshot and truncate superseded segments."""
-        if self.store is None:
+        if self.store is None or self.shards > 1:
             return None
         from repro.store.recovery import snapshot_state
 
@@ -503,12 +584,17 @@ class NodeRuntime:
             self.coordinator._deliver(payload["envelope"])
         elif kind == FrameKind.BUS_SUBMIT:
             self.bus.on_submit(src, payload["op"])
+        elif kind == FrameKind.SHARD_FWD:
+            # Cross-shard submission (credit-controlled data class); the
+            # op's shard stamp routes it to the right inner sequencer.
+            self.bus.on_submit(src, payload["op"])
         elif kind == FrameKind.BUS_OP:
             self.bus.on_op(payload["seq"], payload["op"])
         elif kind == FrameKind.BUS_ACK:
             self.bus.on_ack(payload["op_id"])
         elif kind == FrameKind.SYNC_REQ:
-            self.bus.on_sync_req(payload["node"], payload["from_seq"])
+            self.bus.on_sync_req(payload["node"], payload["from_seq"],
+                                 payload.get("shard", 0))
         elif kind == FrameKind.CONTROL:
             self._on_control(payload, link)
 
@@ -517,10 +603,10 @@ class NodeRuntime:
         self.on_peer_recovered(node)  # no-op unless it was confirmed down
         self._seen_peers.add(node)
         self.dead_letters.flush(node)
-        if node == self.bus.sequencer_node:
-            # Catch up on any visibility ops sequenced before we joined
-            # (or while we were partitioned/restarted).
-            self.bus.request_sync()
+        # Catch up on any visibility ops sequenced before we joined (or
+        # while we were partitioned/restarted) — per shard, each bus
+        # syncs iff the newly linked peer holds its sequencer seat.
+        self.bus.on_peer_up(node)
         peers = {n for n in self.nodes if n != self.node_id}
         if not self._detector_armed and self._seen_peers >= peers:
             self._detector_armed = True
@@ -537,7 +623,8 @@ class NodeRuntime:
                   f"peers={[n for n in self.nodes if n != self.node_id]}")
         heartbeats = asyncio.ensure_future(self._heartbeat_loop())
         snapshots = None
-        if self.store is not None and self.snapshot_interval > 0:
+        if self.store is not None and self.snapshot_interval > 0 \
+                and self.shards == 1:
             snapshots = asyncio.ensure_future(self._snapshot_loop())
         if ready is not None:
             ready.set()
@@ -561,6 +648,8 @@ class NodeRuntime:
                     self.write_snapshot_now()
                 finally:
                     self.store.close()
+                    for store in self.shard_stores.values():
+                        store.close()
             self.event_log.close()
 
     def request_shutdown(self) -> None:
@@ -652,10 +741,34 @@ class NodeRuntime:
     def _ctl_ping(self) -> dict:
         return {"node": self.node_id, "t": self.clock.now}
 
+    def _shard_status(self) -> dict | None:
+        if self.shards == 1:
+            return None
+        cursors = self.coordinator._shard_cursors
+        return {
+            k: {
+                "sequencer": bus.sequencer_node,
+                "home": bus.home_node,
+                "applied": cursors.get(k, 0),
+                "ops_sequenced": bus.ops_sequenced,
+                "log": len(bus.log),
+                "unacked": len(bus._unacked),
+            }
+            for k, bus in sorted(self.bus.shards.items())
+        }
+
+    def _applied_total(self) -> int:
+        if self.shards == 1:
+            return self.coordinator._next_apply_seq
+        return sum(self.coordinator._shard_cursors.values())
+
     def _ctl_status(self) -> dict:
         return {
             "node": self.node_id,
-            "applied_seq": self.coordinator._next_apply_seq,
+            "applied_seq": self._applied_total(),
+            "shards": self._shard_status(),
+            "shard_map_version": (self.shard_map.version
+                                  if self.shard_map is not None else None),
             "actors": len(self.coordinator.actors),
             "events_pending": len(self.events),
             "in_flight": len(self.in_flight),
@@ -689,7 +802,14 @@ class NodeRuntime:
         }
 
     def _ctl_create_space(self, attributes=None, parent=None, capability=None):
-        address = self.coordinator.create_space(capability)
+        # Forward the placement hints: the coordinator homes a new space's
+        # visibility shard by hashing its root attribute atom (falling back
+        # to the parent's shard, then the address).  Dropping them here
+        # would silently hash the address instead — spaces would land on
+        # arbitrary shards and every affine submit would take the remote
+        # SHARD_FWD path.
+        address = self.coordinator.create_space(
+            capability, attributes=attributes, parent=parent)
         self._held_roots.add(address)
         if attributes is not None:
             self.coordinator.make_visible(
@@ -780,6 +900,37 @@ class NodeRuntime:
     def _ctl_directory(self):
         return {"snapshot": self.coordinator.directory.snapshot(),
                 "quarantined": sorted(self.coordinator.directory.quarantined_nodes)}
+
+    def _ctl_vis_burst(self, target, space=None, count=1, prefix="burst",
+                       capability=None):
+        """Issue ``count`` visibility ops on one space (bench workload).
+
+        Each op rebinds ``target``'s attributes in ``space`` — a full
+        sequencer round trip per op on whatever shard owns the space, so
+        the launcher can aim load at a specific shard.
+        """
+        scope = space if space is not None else self.root_space
+        for index in range(int(count)):
+            self.coordinator.make_visible(
+                target, f"{prefix}/v{index & 7}", scope, capability)
+        return {"submitted": int(count)}
+
+    def _ctl_shard_map(self, manifest=None):
+        """Read the shard map, or adopt a gossiped newer assignment."""
+        if self.shard_map is None:
+            raise WireError("node is not sharded")
+        applied = False
+        if manifest is not None:
+            applied = self.bus.apply_map(manifest)
+        return {"map": self.shard_map.to_manifest(), "applied": applied}
+
+    def _ctl_rebalance(self, shard, seat):
+        """Move ``shard``'s sequencer seat to node ``seat``, live."""
+        if self.shard_map is None:
+            raise WireError("node is not sharded")
+        version = self.bus.rebalance(int(shard), int(seat))
+        return {"version": version,
+                "sequencer": self.bus.shards[int(shard)].sequencer_node}
 
     def _ctl_snapshot(self, events: bool = True):
         return {

@@ -71,8 +71,56 @@ def _peer_offsets(clock: dict | None) -> str:
     return ",".join(parts) if parts else "-"
 
 
+def _shard_table(statuses: dict[int, dict],
+                 prev_shards: dict[int, tuple[float, int]]) -> "TextTable | None":
+    """Per-shard sequencer view, aggregated across every node's status.
+
+    ``prev_shards`` maps shard -> (monotonic, total ops sequenced) from
+    the previous refresh; the ops/s column is the delta.  Summing
+    ``ops_sequenced`` over all nodes keeps the rate honest across a
+    failover or rebalance — whichever node held the seat did the work.
+    """
+    per_shard: dict[int, list[dict]] = {}
+    map_versions: set = set()
+    for status in statuses.values():
+        shards = status.get("shards") if isinstance(status, dict) else None
+        if not shards:
+            continue
+        map_versions.add(status.get("shard_map_version"))
+        for k, info in shards.items():
+            per_shard.setdefault(int(k), []).append(info)
+    if not per_shard:
+        return None
+    now = time.monotonic()
+    versions = ",".join(str(v) for v in sorted(map_versions, key=str))
+    table = TextTable(
+        ["shard", "seat", "home", "ops/s", "seq'd", "applied", "lag",
+         "unacked"],
+        title=f"visibility shards ({len(per_shard)} shards, map v{versions})")
+    for k in sorted(per_shard):
+        views = per_shard[k]
+        seats = {v.get("sequencer") for v in views}
+        seat = seats.pop() if len(seats) == 1 else "split"
+        homes = {v.get("home") for v in views}
+        home = homes.pop() if len(homes) == 1 else "split"
+        sequenced = sum(v.get("ops_sequenced", 0) or 0 for v in views)
+        applied = [v.get("applied", 0) or 0 for v in views]
+        rate = 0.0
+        last = prev_shards.get(k)
+        if last is not None and now > last[0]:
+            rate = (sequenced - last[1]) / (now - last[0])
+        prev_shards[k] = (now, sequenced)
+        table.add_row([
+            k, seat, home, f"{rate:.0f}", sequenced,
+            max(applied), max(applied) - min(applied),
+            sum(v.get("unacked", 0) or 0 for v in views),
+        ])
+    return table
+
+
 def _render(collector: TelemetryCollector, statuses: dict[int, dict],
-            prev: dict[int, tuple[float, int, int]]) -> str:
+            prev: dict[int, tuple[float, int, int]],
+            prev_shards: dict[int, tuple[float, int]]) -> str:
     """One refresh: the per-node table + the wire-stage histogram table.
 
     ``prev`` maps node -> (monotonic, frames_in, frames_out) from the
@@ -135,6 +183,9 @@ def _render(collector: TelemetryCollector, statuses: dict[int, dict],
                 _ms(summary.get("p95")), _ms(summary.get("max")),
             ])
     parts = [node_table.render()]
+    shard_table = _shard_table(statuses, prev_shards)
+    if shard_table is not None:
+        parts += ["", shard_table.render()]
     if stage_table.rows:
         parts += ["", stage_table.render()]
     return "\n".join(parts)
@@ -164,6 +215,7 @@ def top_main(argv: list[str]) -> int:
 
     collector = _collector_from_args(args)
     prev: dict[int, tuple[float, int, int]] = {}
+    prev_shards: dict[int, tuple[float, int]] = {}
     iterations = 1 if args.once else args.iterations
     count = 0
     try:
@@ -175,7 +227,7 @@ def top_main(argv: list[str]) -> int:
                     statuses[node] = collector._client(node).call("status")
                 except (ControlError, OSError):
                     collector._drop_client(node)
-            screen = _render(collector, statuses, prev)
+            screen = _render(collector, statuses, prev, prev_shards)
             if args.once:
                 print(screen)
             else:

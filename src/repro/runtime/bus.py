@@ -67,8 +67,18 @@ class VisibilityOp:
     kind: OpKind
     args: dict[str, Any]
     origin_node: int
-    origin_seq: int = 0  #: per-origin FIFO counter, set by the submitting coordinator
+    origin_seq: int = 0  #: per-(origin, shard) FIFO counter, set by the submitter
     op_id: int = field(default_factory=lambda: next(_op_ids))
+    #: Home shard under a partitioned visibility plane (0 when unsharded).
+    shard: int = 0
+    #: Node-local monotonic sequencing tick, stamped when the op receives
+    #: its per-shard sequence number; the cross-shard merge key for
+    #: offline replay (``repro.shard.merge``).  ``None`` until sequenced.
+    tick: "int | None" = None
+    #: ``op_id`` of the primary copy when this op is a per-shard fan copy
+    #: (BIND_CAPABILITY / PURGE are replicated once per shard stream);
+    #: ``None`` for ordinary ops and primaries.
+    fan_of: "int | None" = None
     #: Called (only at the origin) if apply-time validation rejects the op.
     on_rejected: Callable[[Exception], None] | None = None
     #: Called (only at the origin) when the op applies successfully.
@@ -122,6 +132,14 @@ class Bus:
         #: fall back to disk when no live replica can source a transfer.
         self.store = None
         self.disk_replays = 0
+        #: Sharding hooks, set by :class:`repro.shard.ShardedBus` when
+        #: this bus serves one shard of a partitioned plane: the shard id,
+        #: a shared cross-shard sequencing journal (appended at fan-out
+        #: time), and a shared node-local tick counter (the offline merge
+        #: key).  All ``None``/0 for a standalone bus.
+        self.shard_id = 0
+        self.journal: "list[tuple[int, int]] | None" = None
+        self.tick_counter = None
 
     def submit(self, op: VisibilityOp) -> None:  # pragma: no cover - abstract
         """Accept ``op`` from its origin coordinator for global ordering."""
@@ -246,10 +264,17 @@ class Bus:
         from repro.core.errors import TransportError
 
         self.log[seq] = op
+        if self.tick_counter is not None:
+            op.tick = next(self.tick_counter)
+        if self.journal is not None:
+            self.journal.append((self.shard_id, seq))
         if self.store is not None:
             # Transactional outbox: the op is durable before any replica
             # sees it, so a crash can only lose ops nobody applied.
-            self.store.append_op(seq, op)
+            if op.tick is None:
+                self.store.append_op(seq, op)
+            else:
+                self.store.append_op(seq, op, tick=op.tick)
             self.store.commit()
         if self.event_log is not None and self.event_log.enabled:
             self.event_log.emit(
@@ -283,9 +308,20 @@ class SequencerBus(Bus):
     #: coordination round before unacked submissions are re-driven).
     FAILOVER_DELAY = 0.05
 
-    def __init__(self, nodes, events, clock, transport, sequencer_node: int | None = None):
+    def __init__(self, nodes, events, clock, transport,
+                 sequencer_node: int | None = None,
+                 service_time: float = 0.0):
         super().__init__(nodes, events, clock, transport)
         self.sequencer_node = self.nodes[0] if sequencer_node is None else sequencer_node
+        #: Modelled serial per-op service time at the sequencer (virtual
+        #: seconds).  Zero (default) sequences instantaneously — the
+        #: historical behavior.  Non-zero makes the sequencer a real
+        #: queueing station: ops are stamped in order but fanned out one
+        #: service interval apart, so a single global sequencer saturates
+        #: and per-shard sequencers visibly divide the load (what
+        #: ``bench_shard.py`` measures).
+        self.service_time = service_time
+        self._busy_until = 0.0
         self._next_seq = 0
         #: Per-origin FIFO reassembly at the sequencer.
         self._expected: dict[int, int] = {}
@@ -347,7 +383,20 @@ class SequencerBus(Bus):
             self.ops_sequenced += 1
             self._sequenced_ids.add(ready.op_id)
             self._unacked.pop(ready.op_id, None)
-            self._fan_out(seq, ready, self.sequencer_node)
+            if self.service_time > 0.0:
+                # Queueing model: each op occupies the sequencer for one
+                # service interval; fan-out happens when service completes.
+                start = max(self.clock.now, self._busy_until)
+                done = start + self.service_time
+                self._busy_until = done
+                self.events.schedule(
+                    done,
+                    (lambda s=seq, o=ready: self._fan_out(s, o, self.sequencer_node)),
+                    priority=BUS_PRIORITY,
+                    tag=("bus_seq",),
+                )
+            else:
+                self._fan_out(seq, ready, self.sequencer_node)
 
     # -- failover ----------------------------------------------------------------
 

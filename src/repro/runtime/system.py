@@ -122,6 +122,9 @@ class ActorSpaceSystem:
         breaker_threshold: int | None = None,
         breaker_window: float = 1.0,
         breaker_cooldown: float = 0.5,
+        shards: int = 1,
+        sequencer_service_time: float = 0.0,
+        shard_sequencer: int | None = None,
     ):
         self.topology = topology or Topology.single()
         self.rng = RngHub(seed)
@@ -152,8 +155,28 @@ class ActorSpaceSystem:
             Coordinator(n, self) for n in self.topology.nodes
         ]
         nodes = list(self.topology.nodes)
-        if bus == "sequencer":
-            self.bus: Bus = SequencerBus(nodes, self.events, self.clock, self.transport)
+        #: Partitioned visibility plane (``shards > 1``): shard map,
+        #: router, and one sequencer per shard behind a bus facade.  At
+        #: ``shards == 1`` (default) every code path below is untouched.
+        self.shards = shards
+        self.shard_map = None
+        self.shard_router = None
+        if shards > 1:
+            if bus != "sequencer":
+                raise ValueError("a partitioned plane requires bus='sequencer'")
+            from repro.shard import ShardedBus, ShardMap, ShardRouter
+
+            self.shard_map = ShardMap(shards, nodes)
+            self.shard_router = ShardRouter(self.shard_map)
+            self.bus = ShardedBus(
+                nodes, self.events, self.clock, self.transport,
+                self.shard_map, sequencer_override=shard_sequencer,
+                service_time=sequencer_service_time,
+            )
+        elif bus == "sequencer":
+            self.bus: Bus = SequencerBus(nodes, self.events, self.clock,
+                                         self.transport,
+                                         service_time=sequencer_service_time)
         elif bus == "token-ring":
             self.bus = TokenRingBus(nodes, self.events, self.clock, self.transport)
         else:
@@ -161,6 +184,10 @@ class ActorSpaceSystem:
         self.bus.deliver = lambda node, seq, op: self.coordinators[node].on_bus_delivery(seq, op)
         self.bus.event_log = self.event_log
         self.bus.tracer = self.tracer
+        if self.shard_router is not None:
+            for coordinator in self.coordinators:
+                coordinator.router = self.shard_router
+                coordinator.directory.sharded = True
 
         #: Bounded capture of undeliverable envelopes, redelivered on
         #: recovery (self-healing delivery).
@@ -234,7 +261,10 @@ class ActorSpaceSystem:
         parent: SpaceAddress | None = None,
     ) -> SpaceAddress:
         """Create an actorSpace; optionally make it visible under ``attributes``."""
-        address = self.coordinators[node].create_space(capability, manager_factory)
+        address = self.coordinators[node].create_space(
+            capability, manager_factory, attributes=attributes,
+            parent=parent,
+        )
         self._held_roots.add(address)
         if attributes is not None:
             self.coordinators[node].make_visible(
@@ -381,7 +411,12 @@ class ActorSpaceSystem:
         recovered = self.coordinators[node]
         recovered.crashed = False
         self._network_transport.recover_node(node)  # type: ignore[attr-defined]
-        self.bus.replay_to(node, recovered._next_apply_seq)
+        if self.shard_router is not None:
+            # Per-shard state transfer: each shard replays from this
+            # replica's own cursor into that shard's stream.
+            self.bus.replay_to(node, dict(recovered._shard_cursors))
+        else:
+            self.bus.replay_to(node, recovered._next_apply_seq)
         unmasked: list[Coordinator] = []
         for coordinator in self.coordinators:
             if node in coordinator.directory.quarantined_nodes:
@@ -417,6 +452,16 @@ class ActorSpaceSystem:
         for record in recovered.actors.values():
             if not record.terminated and not record.mailbox.is_empty:
                 recovered._schedule_processing(record)
+
+    def rebalance_shard(self, shard: int, node: int) -> int:
+        """Move one shard's sequencer role to ``node``, live (driver op).
+
+        Returns the new shard-map version.  Only meaningful under a
+        partitioned plane (``shards > 1``).
+        """
+        if self.shard_map is None:
+            raise ValueError("rebalance_shard requires shards > 1")
+        return self.bus.rebalance(shard, node)
 
     def start_failure_detector(
         self,
@@ -489,10 +534,10 @@ class ActorSpaceSystem:
         """Resolution-cache counters, per node or summed across nodes."""
         if node is not None:
             return self.coordinators[node].resolution_cache.stats()
-        total = {"hits": 0, "misses": 0, "invalidations": 0, "entries": 0}
+        total: dict = {}
         for coordinator in self.coordinators:
             for key, value in coordinator.resolution_cache.stats().items():
-                total[key] += value
+                total[key] = total.get(key, 0) + value
         return total
 
     def visible_attributes(self, target: MailAddress,

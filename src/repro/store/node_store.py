@@ -188,8 +188,13 @@ class NodeStore:
 
     # -- write path ----------------------------------------------------------
 
-    def append_op(self, seq: int, op: Any) -> None:
-        self._writer.append({"rec": "op", "seq": seq, "op": op})
+    def append_op(self, seq: int, op: Any, tick: "int | None" = None) -> None:
+        record: dict[str, Any] = {"rec": "op", "seq": seq, "op": op}
+        if tick is not None:
+            # Node-local monotonic sequencing tick: the merge key for
+            # cross-shard happens-before ordering (see repro.shard.merge).
+            record["tick"] = tick
+        self._writer.append(record)
         self._live_max_op_seq = max(self._live_max_op_seq, seq)
         self.ops_appended += 1
 

@@ -1,0 +1,125 @@
+"""Unit tests for the shard map and router: the pure partition logic.
+
+Everything here is deterministic arithmetic — no runtime, no clocks —
+because cross-process agreement is the whole point of the map: every
+node must compute the same shard for the same space on every run.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core.atoms import check_atom
+from repro.runtime.bus import OpKind
+from repro.shard.map import ShardMap
+from repro.shard.router import ShardRouter
+
+
+def atom_for_bucket(bucket: int, n: int) -> str:
+    """Any atom whose crc32 lands on ``bucket`` mod ``n``."""
+    i = 0
+    while True:
+        atom = f"a{i}"
+        if zlib.crc32(atom.encode()) % n == bucket:
+            return atom
+        i += 1
+
+
+class TestSpaceToShard:
+    def test_owner_is_stable_content_hash(self):
+        m = ShardMap(4)
+        for atom in ("svc", "db", "web", "img"):
+            expected = zlib.crc32(atom.encode("utf-8")) % 4
+            assert m.owner_of(atom) == expected
+            # Memoized second lookup agrees.
+            assert m.owner_of(atom) == expected
+
+    def test_owner_agrees_across_instances(self):
+        a, b = ShardMap(8), ShardMap(8)
+        for i in range(32):
+            atom = check_atom(f"tenant{i}")
+            assert a.owner_of(atom) == b.owner_of(atom)
+
+    def test_precedence_root_atom_then_parent_then_address(self):
+        m = ShardMap(4)
+        atom = atom_for_bucket(3, 4)
+        assert m.shard_for_space(root_atom=atom, parent_shard=1,
+                                 address="x") == 3
+        assert m.shard_for_space(parent_shard=1, address="x") == 1
+        hashed = zlib.crc32(repr("x").encode("utf-8")) % 4
+        assert m.shard_for_space(address="x") == hashed
+        assert m.shard_for_space() == 0
+
+    def test_single_shard_maps_everything_to_zero(self):
+        m = ShardMap(1)
+        assert all(m.owner_of(f"t{i}") == 0 for i in range(16))
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+
+class TestShardToNode:
+    def test_default_assignment_round_robins_nodes(self):
+        m = ShardMap(4, nodes=[0, 1])
+        assert m.assignment == {0: 0, 1: 1, 2: 0, 3: 1}
+        assert m.sequencer_for(2) == 0
+
+    def test_assign_bumps_version(self):
+        m = ShardMap(4, nodes=[0, 1, 2])
+        v0 = m.version
+        v1 = m.assign(1, 2)
+        assert v1 == v0 + 1 and m.sequencer_for(1) == 2
+        with pytest.raises(ValueError):
+            m.assign(9, 0)
+
+    def test_gossip_applies_strictly_newer_only(self):
+        m = ShardMap(4, nodes=[0, 1])
+        m.assign(0, 1)  # version 1
+        stale = {"n_shards": 4, "version": 1, "assignment": {"0": 0}}
+        assert not m.apply_if_newer(stale)
+        assert m.sequencer_for(0) == 1
+        newer = {"n_shards": 4, "version": 5,
+                 "assignment": {"0": 0, "1": 1, "2": 0, "3": 1}}
+        assert m.apply_if_newer(newer)
+        assert m.version == 5 and m.sequencer_for(0) == 0
+
+    def test_gossip_rejects_mismatched_shard_count(self):
+        m = ShardMap(4)
+        assert not m.apply_if_newer(
+            {"n_shards": 8, "version": 99, "assignment": {}})
+
+    def test_manifest_round_trip(self):
+        m = ShardMap(4, nodes=[0, 1, 2])
+        m.assign(3, 2)
+        clone = ShardMap.from_manifest(m.to_manifest())
+        assert clone.n_shards == m.n_shards
+        assert clone.assignment == m.assignment
+        assert clone.version == m.version
+
+
+class TestRouterRules:
+    def test_topology_ops_pin_to_shard_zero(self):
+        router = ShardRouter(ShardMap(4))
+        assert router.shard_for_op(OpKind.ADD_SPACE, {}) == 0
+        assert router.shard_for_op(OpKind.DESTROY_SPACE, {}) == 0
+
+    def test_fanned_kinds(self):
+        router = ShardRouter(ShardMap(4))
+        assert router.is_fanned(OpKind.BIND_CAPABILITY)
+        assert router.is_fanned(OpKind.PURGE)
+        assert not router.is_fanned(OpKind.MAKE_VISIBLE)
+
+    def test_new_space_hint_survives_until_directory_knows(self):
+        router = ShardRouter(ShardMap(4))
+        atom = atom_for_bucket(2, 4)
+        shard = router.home_shard_for_new_space("addr-1", attributes=atom)
+        assert shard == 2
+        # Before any replica applies the ADD_SPACE, the origin-side hint
+        # answers; after, the directory record would (no directory here).
+        assert router.shard_of_space("addr-1") == 2
+
+    def test_unknown_space_falls_back_to_address_hash(self):
+        router = ShardRouter(ShardMap(4))
+        expected = zlib.crc32(repr("addr-9").encode("utf-8")) % 4
+        assert router.shard_of_space("addr-9") == expected

@@ -1,0 +1,155 @@
+"""Regression: per-shard disk replay, scoped corruption, offline merge.
+
+Satellite of the sharding PR: ``Bus.replay_to``'s disk fallback (grown
+in the durability PR for the single global log) must work *per shard
+namespace* — each shard replays from its own ``shard-K`` store, and a
+corrupted shard store degrades only that shard's replay instead of
+blocking the whole recovery.
+"""
+
+import zlib
+
+from repro.runtime.network import Topology
+from repro.runtime.system import ActorSpaceSystem
+from repro.shard.merge import merge_shard_logs, shard_dirs
+from repro.store import NodeStore
+
+N_SHARDS = 4
+
+
+def atoms_spread():
+    found = {}
+    i = 0
+    while len(found) < N_SHARDS:
+        atom = f"fam{i}"
+        found.setdefault(zlib.crc32(atom.encode()) % N_SHARDS, atom)
+        i += 1
+    return [found[k] for k in range(N_SHARDS)]
+
+
+def noop(ctx, message):
+    return None
+
+
+def build(tmp_path, seed=0):
+    system = ActorSpaceSystem(topology=Topology.lan(2), seed=seed,
+                              shards=N_SHARDS)
+    system.bus.attach_store(lambda k: NodeStore(str(tmp_path / f"shard-{k}")))
+    return system
+
+
+def close_stores(system):
+    for inner in system.bus.shards.values():
+        inner.store.close()
+
+
+def workload(system, atoms, ops_per_space=5):
+    spaces, actors = [], []
+    for atom in atoms:
+        spaces.append(system.create_space(node=0, attributes=atom))
+        actors.append(system.create_actor(noop, node=0))
+    system.run()
+    for space, actor, atom in zip(spaces, actors, atoms):
+        for j in range(ops_per_space):
+            system.make_visible(actor, f"{atom}/v{j}", space, node=0)
+    system.run()
+    return spaces, actors
+
+
+class TestPerShardDiskReplay:
+    def test_fresh_process_replays_every_shard_from_disk(self, tmp_path):
+        atoms = atoms_spread()
+        system = build(tmp_path)
+        workload(system, atoms)
+        expected = system.directory_of(1).snapshot()
+        per_shard_ops = {k: len(b.log) for k, b in system.bus.shards.items()}
+        assert all(n > 0 for n in per_shard_ops.values()), per_shard_ops
+        close_stores(system)
+
+        # A fresh incarnation with empty in-memory logs and a total
+        # outage: every shard must come back from its own namespace.
+        system2 = build(tmp_path)
+        system2.crash_node(0)
+        system2.crash_node(1)
+        count = system2.bus.replay_to(1, {k: 0 for k in range(N_SHARDS)})
+        assert count == sum(per_shard_ops.values())
+        assert system2.bus.disk_replays == N_SHARDS
+        system2.coordinators[1].crashed = False
+        system2.run()
+        assert system2.directory_of(1).snapshot() == expected
+        close_stores(system2)
+
+    def test_cursors_scope_the_replay_per_shard(self, tmp_path):
+        atoms = atoms_spread()
+        system = build(tmp_path)
+        workload(system, atoms)
+        per_shard_ops = {k: len(b.log) for k, b in system.bus.shards.items()}
+        system.crash_node(0)
+        system.crash_node(1)
+        # Pretend the replica already applied everything except the last
+        # op of shard 2: only that one op replays.
+        cursors = dict(per_shard_ops)
+        cursors[2] -= 1
+        assert system.bus.replay_to(1, cursors) == 1
+        close_stores(system)
+
+    def test_corrupted_shard_store_degrades_only_that_shard(self, tmp_path):
+        atoms = atoms_spread()
+        system = build(tmp_path)
+        workload(system, atoms)
+        per_shard_ops = {k: len(b.log) for k, b in system.bus.shards.items()}
+        close_stores(system)
+
+        # Trash shard 2's persisted log: overwrite every segment with
+        # garbage that parses as no record at all.
+        corrupted = 0
+        for seg in (tmp_path / "shard-2" / "log").glob("seg-*.log"):
+            seg.write_bytes(b"\xde\xad\xbe\xef" * 64)
+            corrupted += 1
+        assert corrupted > 0
+
+        system2 = build(tmp_path)
+        system2.crash_node(0)
+        system2.crash_node(1)
+        # No exception: the corrupted namespace yields nothing, the other
+        # shards replay in full.
+        count = system2.bus.replay_to(1, {k: 0 for k in range(N_SHARDS)})
+        healthy = sum(n for k, n in per_shard_ops.items() if k != 2)
+        assert count == healthy
+        system2.coordinators[1].crashed = False
+        system2.run()
+        # One disk replay per shard still ran — the corrupted namespace
+        # contributed zero ops but did not abort the others.
+        assert system2.bus.disk_replays == N_SHARDS
+        close_stores(system2)
+
+
+class TestOfflineMerge:
+    def test_shard_dirs_discovers_namespaces(self, tmp_path):
+        atoms = atoms_spread()
+        system = build(tmp_path)
+        workload(system, atoms)
+        close_stores(system)
+        found = shard_dirs(str(tmp_path))
+        assert sorted(found) == list(range(N_SHARDS))
+
+    def test_unsharded_dir_maps_to_shard_zero(self, tmp_path):
+        assert shard_dirs(str(tmp_path)) == {0: str(tmp_path)}
+
+    def test_merge_is_a_linear_extension_of_every_shard(self, tmp_path):
+        atoms = atoms_spread()
+        system = build(tmp_path)
+        workload(system, atoms)
+        total = sum(len(b.log) for b in system.bus.shards.values())
+        close_stores(system)
+        merged = merge_shard_logs(str(tmp_path))
+        assert len(merged) == total
+        # Ticks are globally unique (one shared counter) and the merge
+        # preserves each shard's internal seq order.
+        ticks = [tick for _shard, _seq, tick, _op in merged]
+        assert ticks == sorted(ticks)
+        per_shard_seqs = {}
+        for shard, seq, _tick, _op in merged:
+            per_shard_seqs.setdefault(shard, []).append(seq)
+        for shard, seqs in per_shard_seqs.items():
+            assert seqs == sorted(seqs), (shard, seqs)
